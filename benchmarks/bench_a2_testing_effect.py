@@ -1,0 +1,71 @@
+"""A2 (ablation) -- effect of pre-release testing on the gain from diversity.
+
+Section 4.2.3 cites Djambazov & Popov (ISSRE'95) for the observation that fault
+removal (testing) can reduce the reliability gain given by fault tolerance.
+This ablation realises that mechanism inside the fault-creation model: a
+testing campaign detects faults in proportion to their failure-region size, so
+it is a *non-proportional* improvement of the ``p_i`` and the Appendix A
+reversal applies.  The bench traces reliability and the eq. (10) gain as
+testing effort grows and asserts the paper-shaped outcome: reliability
+improves monotonically while the diversity gain eventually deteriorates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.fault_model import FaultModel
+from repro.improvement.testing import TestingCampaign
+
+
+def test_a2_testing_effect_on_gain(benchmark):
+    # Easy-to-find faults (large regions) are the *less* probable mistakes;
+    # the most probable mistake has a tiny failure region that testing hardly
+    # ever exercises -- the configuration in which fault removal erodes the
+    # relative advantage of the two-channel system.
+    model = FaultModel(
+        p=np.array([0.05, 0.08, 0.25]),
+        q=np.array([0.03, 0.004, 2e-5]),
+    )
+    schedule = [0, 30, 100, 300, 1_000, 3_000]
+
+    def workload():
+        return TestingCampaign(model).trajectory(schedule)
+
+    trajectory = benchmark(workload)
+    print_table(
+        "A2: testing effort vs reliability and diversity gain",
+        ["test demands", "single mean PFD", "1oo2 mean PFD", "risk ratio (eq.10)", "99% bound ratio"],
+        [
+            [row["test_demands"], row["single_mean_pfd"], row["system_mean_pfd"],
+             row["risk_ratio"], row["bound_ratio"]]
+            for row in trajectory.rows()
+        ],
+    )
+    # Reliability of the released single version improves monotonically with testing ...
+    assert trajectory.reliability_always_improves()
+    # ... and so does the absolute reliability of the 1-out-of-2 system ...
+    assert bool(np.all(np.diff(trajectory.system_means) <= 1e-15))
+    # ... but the *relative* gain from diversity does not: past some testing
+    # effort the eq. (10) ratio turns upwards (the reference-[13] observation).
+    assert not trajectory.gain_is_monotone()
+    assert trajectory.risk_ratios[-1] > np.min(trajectory.risk_ratios)
+
+
+def test_a2_homogeneous_regions_control_case(benchmark):
+    """Control: equal region sizes make testing a proportional improvement (Appendix B)."""
+    model = FaultModel(p=np.array([0.3, 0.2, 0.1, 0.05]), q=np.full(4, 0.01))
+    schedule = [0, 10, 100, 1_000]
+
+    def workload():
+        return TestingCampaign(model).trajectory(schedule)
+
+    trajectory = benchmark(workload)
+    print_table(
+        "A2 control: homogeneous regions -> testing is proportional -> gain monotone",
+        ["test demands", "risk ratio"],
+        [[row["test_demands"], row["risk_ratio"]] for row in trajectory.rows()],
+    )
+    assert trajectory.reliability_always_improves()
+    assert trajectory.gain_is_monotone()

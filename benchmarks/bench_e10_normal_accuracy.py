@@ -1,0 +1,100 @@
+"""E10 -- Section 5's caveat: how good is the normal approximation?
+
+The paper uses the central limit theorem to approximate the PFD distribution
+but warns that "as this is an asymptotic result, we will not know in practice
+how good an approximation it is in a specific case".  This bench quantifies
+the approximation error -- exact distribution versus normal approximation
+versus Berry-Esseen bound -- across the fault-count regimes, and confirms the
+paper's implicit expectation that the approximation is poor in the Section 4
+regime (few, unlikely faults) and respectable in the Section 5 regime (many
+small faults).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.fault_model import FaultModel
+from repro.core.normal_approximation import berry_esseen_error, normal_approximation
+from repro.core.pfd_distribution import exact_pfd_distribution
+from repro.experiments.scenarios import high_quality_scenario, many_small_faults_scenario
+from repro.stats.rng import default_rng
+
+
+def _max_cdf_error(model: FaultModel, versions: int) -> float:
+    """Maximum |exact CDF - normal CDF| over a grid of thresholds."""
+    exact = exact_pfd_distribution(model, versions, max_support=2048)
+    approximation = normal_approximation(model, versions)
+    thresholds = np.linspace(0.0, float(model.q.sum()), 400)
+    errors = [
+        abs(float(exact.cdf(float(t))) - approximation.confidence_of_bound(float(t)))
+        for t in thresholds
+    ]
+    return max(errors)
+
+
+def test_e10_normal_approximation_accuracy(benchmark):
+    scenarios = {
+        "Section 4 regime (5 unlikely faults)": high_quality_scenario(),
+        "Section 5 regime (200 small faults)": many_small_faults_scenario(n=200),
+        "intermediate (50 faults)": FaultModel.random(
+            default_rng(3), n=50, p_range=(0.05, 0.3), total_impact=0.6
+        ),
+    }
+
+    def workload():
+        rows = []
+        for name, model in scenarios.items():
+            rows.append(
+                (
+                    name,
+                    _max_cdf_error(model, 1),
+                    berry_esseen_error(model, 1),
+                    _max_cdf_error(model, 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_table(
+        "E10: normal-approximation error for the PFD distribution",
+        ["scenario", "max CDF error (1 version)", "Berry-Esseen bound", "max CDF error (1oo2)"],
+        [list(row) for row in rows],
+    )
+    by_name = {row[0]: row for row in rows}
+    few = by_name["Section 4 regime (5 unlikely faults)"]
+    many = by_name["Section 5 regime (200 small faults)"]
+    # The approximation is much better in the many-small-faults regime ...
+    assert many[1] < few[1]
+    # ... and is actually usable there (max CDF error below ~15%), while in the
+    # few-faults regime it is hopeless (error of the order of the large
+    # probability mass sitting at PFD = 0, several tens of percent).
+    assert many[1] < 0.15
+    assert few[1] > 0.3
+    # The observed error never exceeds its Berry-Esseen bound (when finite).
+    for _, observed, bound, _ in rows:
+        if np.isfinite(bound):
+            assert observed <= bound + 1e-9
+
+
+def test_e10_quantile_comparison(benchmark):
+    """99% bounds: exact distribution vs normal approximation in the CLT regime."""
+    model = many_small_faults_scenario(n=200)
+
+    def workload():
+        exact = exact_pfd_distribution(model, 1, max_support=2048).quantile(0.99)
+        approximate = normal_approximation(model, 1).bound_for_confidence(0.99)
+        return exact, approximate
+
+    exact, approximate = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_table(
+        "E10: 99% PFD bound, exact vs normal (200-fault model)",
+        ["exact", "normal approximation", "relative difference"],
+        [[exact, approximate, abs(exact - approximate) / exact]],
+    )
+    # The normal bound is in the right ballpark but noticeably optimistic in
+    # the far tail (the PFD distribution is right-skewed) -- exactly the
+    # paper's caveat that the approximation quality is unknown a priori.
+    assert abs(exact - approximate) / exact < 0.25
+    assert approximate <= exact

@@ -1,0 +1,112 @@
+"""E12 -- Section 3.1.1 mean bounds and the EL/LM re-derivation.
+
+Two results are regenerated:
+
+* eq. (4): ``mu_2 <= p_max mu_1`` -- "if an assessor were convinced that a
+  developer's quality assurance activities reduce the probability of the most
+  common fault to, say, 10%, the assessor should also believe that a
+  two-version system from that developer has, on average, at least 10 times
+  better PFD than a single version";
+* the Section 2.2 remark that the EL/LM conclusion (mean system PFD at least
+  the square of the mean version PFD, i.e. worse than the independence claim)
+  is "easily re-derived" in this model, including the induced
+  difficulty-function view over an explicit demand space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.fault_model import FaultModel
+from repro.core.moments import single_version_mean, two_version_mean
+from repro.demandspace.profiles import GridProfile
+from repro.demandspace.regions import BoxRegion
+from repro.demandspace.space import DiscreteDemandSpace
+from repro.elm.comparison import compare_fault_model_with_el
+from repro.elm.eckhardt_lee import EckhardtLeeModel
+from repro.elm.littlewood_miller import LittlewoodMillerModel
+from repro.elm.difficulty import DifficultyFunction
+from repro.stats.rng import default_rng
+
+
+def test_e12_mean_bound_sweep(benchmark):
+    """Eq. (4) across a sweep of random models, including the 10x example."""
+    rng = default_rng(12)
+    models = [FaultModel.random(rng, n=20, p_range=(0.001, p_max_target), total_impact=0.5)
+              for p_max_target in (0.5, 0.2, 0.1, 0.05, 0.01)]
+
+    def workload():
+        rows = []
+        for model in models:
+            mu_1, mu_2 = single_version_mean(model), two_version_mean(model)
+            rows.append((model.p_max, mu_1, mu_2, mu_2 / mu_1, model.p_max))
+        return rows
+
+    rows = benchmark(workload)
+    print_table(
+        "E12: eq. (4) -- actual mean ratio vs the p_max guarantee",
+        ["p_max", "mu_1", "mu_2", "mu_2/mu_1", "guaranteed <="],
+        [list(row) for row in rows],
+    )
+    for p_max, mu_1, mu_2, ratio, guarantee in rows:
+        assert mu_2 <= p_max * mu_1 + 1e-15
+        assert ratio <= guarantee + 1e-12
+    # The paper's 10% example: with p_max ~ 0.1 the two-version system is at
+    # least 10 times better on average.
+    example = rows[2]
+    assert example[1] / example[2] >= 10.0 * 0.999
+
+
+def test_e12_elm_comparison(benchmark):
+    """Fault-creation model vs the induced EL difficulty function vs LM forced diversity."""
+    space = DiscreteDemandSpace(np.arange(50, dtype=float).reshape(-1, 1))
+    profile = GridProfile.uniform(space)
+    regions = [
+        BoxRegion(np.array([float(5 * i)]), np.array([float(5 * i + 3)])) for i in range(8)
+    ]
+    model = FaultModel(
+        p=np.array([0.2, 0.15, 0.1, 0.08, 0.05, 0.04, 0.02, 0.01]),
+        q=np.full(8, 4.0 / 50.0),
+    )
+
+    def workload():
+        comparison = compare_fault_model_with_el(model, regions, profile)
+        # An LM-style forced-diversity pair over the same demand space: team B
+        # finds the demands easy exactly where team A finds them hard.
+        difficulties_a = np.zeros(50)
+        difficulties_b = np.zeros(50)
+        for index, region in enumerate(regions):
+            membership = region.contains(space.points)
+            difficulties_a[membership] = model.p[index]
+            difficulties_b[membership] = model.p[::-1][index]
+        lm_model = LittlewoodMillerModel(
+            DifficultyFunction(profile.probabilities, difficulties_a),
+            DifficultyFunction(profile.probabilities, difficulties_b),
+        )
+        el_model = EckhardtLeeModel(DifficultyFunction(profile.probabilities, difficulties_a))
+        return comparison, el_model, lm_model
+
+    comparison, el_model, lm_model = benchmark(workload)
+    print_table(
+        "E12: fault-creation model vs EL vs independence vs LM forced diversity",
+        ["quantity", "value"],
+        [
+            ["fault model mean single", comparison["fault_model_mean_single"]],
+            ["EL mean single", comparison["el_mean_single"]],
+            ["fault model mean 1oo2", comparison["fault_model_mean_system"]],
+            ["EL mean 1oo2", comparison["el_mean_system"]],
+            ["independence prediction", comparison["independence_prediction"]],
+            ["EL excess over independence", comparison["el_excess_over_independence"]],
+            ["LM (forced diversity) mean 1oo2", lm_model.mean_system_pfd()],
+        ],
+    )
+    # Disjoint regions: the two views coincide.
+    assert abs(comparison["fault_model_mean_single"] - comparison["el_mean_single"]) < 1e-12
+    assert abs(comparison["fault_model_mean_system"] - comparison["el_mean_system"]) < 1e-12
+    # EL/LM re-derivation: the system mean is worse than the independence claim.
+    assert comparison["el_mean_system"] >= comparison["independence_prediction"]
+    assert el_model.excess_over_independence() >= 0.0
+    # Forced (negatively correlated) diversity beats the independence claim.
+    assert lm_model.beats_independence()
+    assert lm_model.mean_system_pfd() < comparison["el_mean_system"]

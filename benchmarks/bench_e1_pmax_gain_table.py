@@ -1,0 +1,55 @@
+"""E1 -- Section 5.1 table: ``p_max`` versus ``sqrt(p_max (1 + p_max))``.
+
+Paper values: 0.5 -> 0.866, 0.1 -> 0.332, 0.01 -> 0.100 ("The last line gives
+us a 10-fold improvement, from using diversity, in any confidence bound on
+system PFD").  The bench regenerates the table, confirms the printed values,
+and verifies by Monte Carlo that the factor really does bound the simulated
+bound ratio for a concrete model with the given ``p_max``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.bounds import PAPER_PMAX_TABLE, pmax_gain_table, std_gain_factor
+from repro.core.fault_model import FaultModel
+from repro.montecarlo.engine import MonteCarloEngine
+
+
+def _build_table():
+    return pmax_gain_table([0.5, 0.1, 0.01])
+
+
+def test_e1_pmax_gain_table(benchmark):
+    """Regenerate the Section 5.1 table and check it against the printed values."""
+    table = benchmark(_build_table)
+    rows = [[row.p_max, row.gain_factor, row.improvement_factor] for row in table]
+    print_table("E1: pmax vs sqrt(pmax(1+pmax)) (paper Section 5.1)",
+                ["pmax", "gain factor", "improvement"], rows)
+    for row in table:
+        assert row.gain_factor == pytest.approx(PAPER_PMAX_TABLE[row.p_max], abs=5e-4)
+    # "The last line gives us a 10-fold improvement."
+    assert table[-1].improvement_factor == pytest.approx(10.0, rel=0.01)
+
+
+def test_e1_factor_bounds_simulated_ratio(benchmark, bench_rng):
+    """The guaranteed factor really bounds a simulated bound ratio (pmax = 0.1)."""
+
+    def workload():
+        model = FaultModel(
+            p=np.array([0.1, 0.05, 0.02, 0.01]),
+            q=np.array([0.05, 0.1, 0.02, 0.2]),
+        )
+        result = MonteCarloEngine(model).simulate_paired(40_000, rng=bench_rng)
+        return model, result.bound_ratio(2.33)
+
+    model, simulated_ratio = benchmark.pedantic(workload, rounds=1, iterations=1)
+    guaranteed = std_gain_factor(model.p_max)
+    print_table(
+        "E1: simulated bound ratio vs guaranteed factor",
+        ["pmax", "simulated ratio", "guaranteed factor"],
+        [[model.p_max, simulated_ratio, guaranteed]],
+    )
+    assert simulated_ratio <= guaranteed + 0.02

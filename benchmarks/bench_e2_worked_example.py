@@ -1,0 +1,37 @@
+"""E2 -- Section 5.1 worked example.
+
+Paper: "if we know that mu1 = 0.01 and sigma1 = 0.001, and we are interested in
+an 84% confidence bound (k = 1), this is 0.011 for one version; for a
+two-version system, even with pmax as high as 0.1, our upper bound is 0.001
+(an improvement by an order of magnitude) if we use our first formula above,
+but a more modest 0.004 if we use the second formula."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.normal_approximation import worked_example_bounds
+
+
+def test_e2_worked_example(benchmark):
+    example = benchmark(worked_example_bounds, 0.01, 0.001, 0.1, 1.0)
+    print_table(
+        "E2: Section 5.1 worked example (mu1=0.01, sigma1=0.001, pmax=0.1, k=1)",
+        ["quantity", "paper", "measured"],
+        [
+            ["single-version bound", 0.011, example.single_version_bound],
+            ["two-version bound, eq. (11)", "~0.001", example.two_version_bound_from_moments],
+            ["two-version bound, eq. (12)", "~0.004", example.two_version_bound_from_bound],
+        ],
+    )
+    assert example.single_version_bound == pytest.approx(0.011)
+    # Eq. (11): 0.001 + 1 * 0.332 * 0.001 = 0.00133, quoted as "0.001 (an
+    # improvement by an order of magnitude)".
+    assert example.two_version_bound_from_moments == pytest.approx(0.00133, abs=5e-5)
+    assert example.improvement_from_moments > 8.0
+    # Eq. (12): 0.332 * 0.011 = 0.00365, quoted as "a more modest 0.004".
+    assert example.two_version_bound_from_bound == pytest.approx(0.004, abs=4e-4)
+    # Ordering: the moment-based bound is the tighter of the two.
+    assert example.two_version_bound_from_moments < example.two_version_bound_from_bound

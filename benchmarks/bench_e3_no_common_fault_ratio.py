@@ -1,0 +1,66 @@
+"""E3 -- Section 4.1, eq. (10): the risk ratio ``P(N2>0) / P(N1>0)``.
+
+The paper proves the ratio never exceeds 1 (diversity never hurts) and the
+surrounding discussion implies the gain grows as fault probabilities shrink.
+The bench sweeps homogeneous and heterogeneous models, checks the exact ratio
+against Monte Carlo simulation, and records the series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.fault_model import FaultModel
+from repro.core.no_common_faults import prob_any_common_fault, prob_any_fault, risk_ratio
+from repro.montecarlo.engine import MonteCarloEngine
+
+
+def _ratio_series():
+    rows = []
+    for probability in (0.3, 0.1, 0.03, 0.01, 0.003):
+        model = FaultModel.homogeneous(10, probability=probability, impact=0.01)
+        rows.append(
+            (
+                probability,
+                prob_any_fault(model),
+                prob_any_common_fault(model),
+                risk_ratio(model),
+            )
+        )
+    return rows
+
+
+def test_e3_exact_ratio_series(benchmark):
+    rows = benchmark(_ratio_series)
+    print_table(
+        "E3: eq. (10) risk ratio, homogeneous models (n=10)",
+        ["p", "P(N1>0)", "P(N2>0)", "ratio"],
+        [list(row) for row in rows],
+    )
+    ratios = [row[3] for row in rows]
+    # The ratio never exceeds 1 and shrinks as the process improves.
+    assert all(ratio <= 1.0 for ratio in ratios)
+    assert all(earlier > later for earlier, later in zip(ratios, ratios[1:]))
+    # For small p the homogeneous-model ratio approaches p (n p^2 / n p).
+    assert ratios[-1] == pytest.approx(0.003, rel=0.1)
+
+
+def test_e3_ratio_matches_simulation(benchmark, bench_rng):
+    model = FaultModel(
+        p=np.array([0.15, 0.1, 0.08, 0.05, 0.02]),
+        q=np.array([0.02, 0.05, 0.01, 0.1, 0.03]),
+    )
+
+    def workload():
+        return MonteCarloEngine(model).simulate_paired(60_000, rng=bench_rng).risk_ratio()
+
+    simulated = benchmark.pedantic(workload, rounds=1, iterations=1)
+    exact = risk_ratio(model)
+    print_table(
+        "E3: exact vs simulated risk ratio (heterogeneous model)",
+        ["exact", "simulated"],
+        [[exact, simulated]],
+    )
+    assert simulated == pytest.approx(exact, rel=0.1)

@@ -1,0 +1,81 @@
+"""E4 -- Appendix A: improving a single fault class can reduce the diversity gain.
+
+The paper's counter-intuitive headline: the partial derivative of the eq. (10)
+ratio with respect to a single ``p_i`` can take either sign, so a process
+improvement targeting one fault class may make the two-channel system *less*
+superior to a single channel.  For n = 2 there is a closed-form reversal
+point.
+
+Reproduction note (DESIGN.md section 3.5): our re-derivation places the
+reversal at ``p_1* = p_2 (sqrt(2(1+p_2)) - (1+p_2)) / (1 - p_2^2)``, which is
+*below* ``p_2`` (~0.155 for ``p_2 = 0.5``); the qualitative sign-reversal
+result is exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.fault_model import FaultModel
+from repro.core.process_improvement import (
+    risk_ratio_partial_derivative,
+    risk_ratio_single_fault_sweep,
+    single_fault_reversal_point,
+    two_fault_reversal_point,
+)
+
+
+def test_e4_two_fault_reversal(benchmark):
+    """Sweep p1 with p2 = 0.5 fixed and locate the reversal of the gain trend."""
+    p_other = 0.5
+    values = np.linspace(0.01, 0.99, 197)
+
+    def workload():
+        model = FaultModel(p=np.array([0.3, p_other]), q=np.array([0.1, 0.1]))
+        return risk_ratio_single_fault_sweep(model, 0, values)
+
+    sweep = benchmark(workload)
+    closed_form = two_fault_reversal_point(p_other)
+    minimiser = sweep.argmin_ratio()
+    sample_rows = [
+        [float(values[i]), float(sweep.risk_ratios[i]), float(sweep.risk_single[i])]
+        for i in range(0, len(values), 28)
+    ]
+    print_table(
+        "E4: ratio vs p1 (p2 = 0.5); reversal expected near p1* = %.4f" % closed_form,
+        ["p1", "risk ratio", "P(N1>0)"],
+        sample_rows,
+    )
+    # The sweep is not monotone: there is a genuine trend reversal.
+    assert not sweep.ratio_is_monotone_nondecreasing()
+    # The reversal sits at the closed-form point.
+    assert minimiser == pytest.approx(closed_form, abs=0.01)
+    # Below the reversal the derivative is negative (improving the process on
+    # that fault REDUCES the gain from diversity), above it is positive.
+    below = FaultModel(p=np.array([closed_form * 0.5, p_other]), q=np.array([0.1, 0.1]))
+    above = FaultModel(p=np.array([closed_form * 1.5, p_other]), q=np.array([0.1, 0.1]))
+    assert risk_ratio_partial_derivative(below, 0) < 0.0
+    assert risk_ratio_partial_derivative(above, 0) > 0.0
+    # Reliability itself still improves monotonically as p1 decreases.
+    assert np.all(np.diff(sweep.risk_single) > 0.0)
+
+
+def test_e4_general_model_reversal(benchmark, high_quality_model):
+    """The reversal phenomenon persists for a realistic multi-fault model."""
+
+    def workload():
+        return single_fault_reversal_point(high_quality_model, index=4)
+
+    reversal = benchmark(workload)
+    print_table(
+        "E4: numerically located reversal point, high-quality scenario (fault 5)",
+        ["fault", "reversal p"],
+        [[high_quality_model.names[4], reversal if reversal is not None else "none"]],
+    )
+    assert reversal is not None
+    assert 0.0 < reversal < 1.0
+    # At the located point the derivative vanishes.
+    at_root = high_quality_model.with_probability(4, reversal)
+    assert risk_ratio_partial_derivative(at_root, 4) == pytest.approx(0.0, abs=1e-8)

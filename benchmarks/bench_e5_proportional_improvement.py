@@ -1,0 +1,76 @@
+"""E5 -- Appendix B: proportional process improvement always increases the gain.
+
+With ``p_i = k b_i``, the derivative of the eq. (10) ratio with respect to
+``k`` is non-negative for all admissible parameters: improving the process
+proportionally (reducing ``k``) always reduces the ratio, i.e. always
+increases the advantage of the two-channel system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.fault_model import FaultModel
+from repro.core.process_improvement import (
+    proportional_improvement_derivative,
+    risk_ratio_proportional_sweep,
+)
+
+
+def test_e5_ratio_monotone_in_k(benchmark, high_quality_model, many_faults_model):
+    """Sweep k for three base models and confirm monotonicity of the ratio."""
+    heterogeneous = FaultModel(
+        p=np.array([0.4, 0.2, 0.1, 0.05, 0.01]),
+        q=np.array([0.02, 0.05, 0.01, 0.1, 0.03]),
+    )
+    k_values = np.linspace(0.05, 1.0, 39)
+
+    def workload():
+        return {
+            "high quality": risk_ratio_proportional_sweep(high_quality_model, k_values),
+            "many small faults": risk_ratio_proportional_sweep(many_faults_model, k_values),
+            "heterogeneous": risk_ratio_proportional_sweep(heterogeneous, k_values),
+        }
+
+    sweeps = benchmark(workload)
+    rows = []
+    for name, sweep in sweeps.items():
+        rows.append(
+            [
+                name,
+                float(sweep.risk_ratios[0]),
+                float(sweep.risk_ratios[len(k_values) // 2]),
+                float(sweep.risk_ratios[-1]),
+                sweep.ratio_is_monotone_nondecreasing(),
+            ]
+        )
+    print_table(
+        "E5: eq. (10) ratio vs process-quality factor k (Appendix B)",
+        ["model", "ratio @ k=0.05", "ratio @ k~0.5", "ratio @ k=1.0", "monotone"],
+        rows,
+    )
+    for sweep in sweeps.values():
+        assert sweep.ratio_is_monotone_nondecreasing(atol=1e-10)
+
+
+def test_e5_derivative_sign(benchmark):
+    """The analytic derivative with respect to k is non-negative across a parameter grid."""
+    rng = np.random.default_rng(5)
+    base_models = [FaultModel.random(rng, n=8, p_range=(0.01, 0.5)) for _ in range(20)]
+    k_grid = np.linspace(0.1, 0.95, 12)
+
+    def workload():
+        worst = np.inf
+        for base in base_models:
+            for k in k_grid:
+                worst = min(worst, proportional_improvement_derivative(base, float(k)))
+        return worst
+
+    worst_derivative = benchmark(workload)
+    print_table(
+        "E5: minimum d(ratio)/dk over 20 random models x 12 k values",
+        ["minimum derivative"],
+        [[worst_derivative]],
+    )
+    assert worst_derivative >= -1e-10

@@ -1,0 +1,89 @@
+"""E6 -- Section 5.2: numerical conjectures about bounds under process improvement.
+
+The paper conjectures (without proof, "based on numerical solutions of special
+cases") that under the normal approximation:
+
+* the bound-ratio gain improves with proportional process improvement;
+* it may increase or decrease when only one ``p_i`` changes;
+* measured as a *difference* of bounds, the gain improves with any increase in
+  any ``p_i``.
+
+This bench reproduces those numerical studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.fault_model import FaultModel
+from repro.core.normal_approximation import (
+    bound_difference,
+    bound_ratio_proportional_sweep,
+    bound_ratio_single_fault_sweep,
+)
+
+K_FACTOR = 2.33  # the paper's 99% confidence bound
+
+
+def test_e6_proportional_bound_ratio_monotone(benchmark, many_faults_model):
+    k_values = np.linspace(0.05, 1.0, 39)
+
+    def workload():
+        return bound_ratio_proportional_sweep(many_faults_model, k_values, K_FACTOR)
+
+    sweep = benchmark(workload)
+    rows = [
+        [float(k_values[i]), float(sweep.bound_ratios[i])] for i in range(0, len(k_values), 6)
+    ]
+    print_table("E6: bound ratio vs proportional quality factor k", ["k", "bound ratio"], rows)
+    assert sweep.ratio_is_monotone_nondecreasing(atol=1e-10)
+
+
+def test_e6_single_fault_bound_ratio_can_reverse(benchmark):
+    model = FaultModel(p=np.array([0.3, 0.6]), q=np.array([0.05, 0.05]))
+    values = np.linspace(0.01, 0.99, 99)
+
+    def workload():
+        return bound_ratio_single_fault_sweep(model, 0, values, K_FACTOR)
+
+    sweep = benchmark(workload)
+    minimiser = float(values[int(np.argmin(sweep.bound_ratios))])
+    print_table(
+        "E6: bound ratio vs a single p1 (p2 = 0.6): non-monotone",
+        ["p1 at minimum ratio", "ratio at minimum", "ratio at p1=0.01", "ratio at p1=0.99"],
+        [
+            [
+                minimiser,
+                float(np.min(sweep.bound_ratios)),
+                float(sweep.bound_ratios[0]),
+                float(sweep.bound_ratios[-1]),
+            ]
+        ],
+    )
+    # The conjecture: the single-fault improvement can either increase or
+    # decrease the gain -- i.e. the sweep is not monotone.
+    assert not sweep.ratio_is_monotone_nondecreasing()
+    assert 0.01 < minimiser < 0.99
+
+
+def test_e6_bound_difference_increases_with_any_p(benchmark, high_quality_model):
+    def workload():
+        results = []
+        for index in range(high_quality_model.n):
+            original = bound_difference(high_quality_model, K_FACTOR)
+            increased_model = high_quality_model.with_probability(
+                index, min(high_quality_model.p[index] * 2.0, 1.0)
+            )
+            increased = bound_difference(increased_model, K_FACTOR)
+            results.append((index, original, increased))
+        return results
+
+    results = benchmark(workload)
+    print_table(
+        "E6: bound difference before/after doubling each p_i",
+        ["fault index", "difference before", "difference after"],
+        [list(row) for row in results],
+    )
+    for _, before, after in results:
+        assert after > before

@@ -1,0 +1,120 @@
+"""E7 -- Fig. 1: the dual-channel, 1-out-of-2 protection system.
+
+Demand-by-demand simulation of the stylised plant-protection architecture:
+two independently developed channels, OR adjudication of shut-down outputs.
+The bench develops many channel pairs, runs operational demands through the
+architecture simulator, and compares single-channel versus 1-out-of-2 failure
+rates with the analytic model predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.adjudication.architectures import NVersionSystem
+from repro.core.moments import pfd_moments
+from repro.versions.generation import IndependentDevelopmentProcess
+
+
+def test_e7_protection_system_simulation(benchmark, protection_scenario, bench_rng):
+    """Demand-by-demand simulation of a batch of developed channel pairs.
+
+    Because common faults are rare events, the mean system PFD over a
+    realistically sized batch of developments is dominated by sampling noise;
+    the demand-level simulation is therefore compared against the analytic
+    PFDs of the *same* developed pairs (a paired, low-variance check), while
+    the population-level gain claim is checked in
+    :func:`test_e7_population_gain` with a large number of simulated
+    developments.
+    """
+    scenario = protection_scenario
+    process = IndependentDevelopmentProcess(scenario.model)
+
+    def workload():
+        pair_count, demands = 40, 3_000
+        single_rates, system_rates, analytic_pair_pfds, analytic_channel_pfds = [], [], [], []
+        for _ in range(pair_count):
+            pair = process.sample_pair(bench_rng)
+            system = NVersionSystem(
+                [pair.channel_a, pair.channel_b], scenario.regions, scenario.profile
+            )
+            result = system.simulate(bench_rng, demands)
+            single_rates.append(result.channel_pfd_estimates[0])
+            system_rates.append(result.system_pfd_estimate)
+            analytic_pair_pfds.append(pair.system_pfd())
+            analytic_channel_pfds.append(pair.channel_a.pfd())
+        return (
+            float(np.mean(single_rates)),
+            float(np.mean(system_rates)),
+            float(np.mean(analytic_channel_pfds)),
+            float(np.mean(analytic_pair_pfds)),
+        )
+
+    single_rate, system_rate, analytic_channel, analytic_pair = benchmark.pedantic(
+        workload, rounds=1, iterations=1
+    )
+    print_table(
+        "E7: Fig. 1 protection system, demand-by-demand simulation (40 pairs)",
+        ["quantity", "simulated (demands)", "analytic (same pairs)"],
+        [
+            ["single-channel PFD", single_rate, analytic_channel],
+            ["1-out-of-2 system PFD", system_rate, analytic_pair],
+        ],
+    )
+    # The demand-level simulation reproduces the analytic PFDs of the very
+    # pairs it executed, and the 1-out-of-2 system beats the single channel.
+    assert single_rate == pytest.approx(analytic_channel, abs=2e-3)
+    assert system_rate == pytest.approx(analytic_pair, abs=2e-3)
+    assert system_rate < single_rate
+
+
+def test_e7_population_gain(benchmark, protection_scenario, bench_rng):
+    """Population-level gain of the 1-out-of-2 architecture (Fig. 1 shape claim)."""
+    from repro.montecarlo.engine import MonteCarloEngine
+
+    scenario = protection_scenario
+
+    def workload():
+        return MonteCarloEngine(scenario.model).simulate_paired(200_000, rng=bench_rng)
+
+    result = benchmark.pedantic(workload, rounds=1, iterations=1)
+    analytic_single = pfd_moments(scenario.model, 1).mean
+    analytic_system = pfd_moments(scenario.model, 2).mean
+    print_table(
+        "E7: population-level mean PFD, 200k simulated developments",
+        ["quantity", "simulated", "analytic"],
+        [
+            ["single-channel mean PFD", result.single.mean_pfd(), analytic_single],
+            ["1-out-of-2 mean PFD", result.system.mean_pfd(), analytic_system],
+            ["gain factor", 1.0 / max(result.mean_ratio(), 1e-12), analytic_single / analytic_system],
+        ],
+    )
+    # Who wins and by roughly what factor: the two-channel system is better by
+    # at least the guaranteed factor 1/pmax (eq. (4)).
+    guaranteed_gain = 1.0 / scenario.model.p_max
+    assert result.mean_ratio() < 1.0
+    assert 1.0 / result.mean_ratio() >= guaranteed_gain * 0.8
+    assert result.single.mean_pfd() == pytest.approx(analytic_single, rel=0.05)
+
+
+def test_e7_analytic_architecture_consistency(benchmark, protection_scenario, bench_rng):
+    """The architecture's analytic PFD equals the version-pair common-fault PFD."""
+    scenario = protection_scenario
+    process = IndependentDevelopmentProcess(scenario.model)
+
+    def workload():
+        mismatches = 0
+        for _ in range(200):
+            pair = process.sample_pair(bench_rng)
+            system = NVersionSystem(
+                [pair.channel_a, pair.channel_b], scenario.regions, scenario.profile
+            )
+            if abs(system.analytic_system_pfd() - pair.system_pfd()) > 1e-12:
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_table("E7: architecture vs version-pair analytic PFD", ["mismatches"], [[mismatches]])
+    assert mismatches == 0

@@ -1,0 +1,62 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``bench_e*.py`` file regenerates one table or figure of the paper (see
+DESIGN.md section 3.4 for the experiment index and EXPERIMENTS.md for the
+paper-versus-measured record).  Benches assert the *shape* of the paper's
+result -- who wins, by roughly what factor, where reversals occur -- and time
+the underlying computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.experiments.scenarios import (
+    high_quality_scenario,
+    many_small_faults_scenario,
+    protection_system_scenario,
+)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print a small aligned table (visible with ``pytest -s``)."""
+    widths = [
+        max(len(str(header)), max((len(_format(row[i])) for row in rows), default=0))
+        for i, header in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)))
+    for row in rows:
+        print("  ".join(_format(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _format(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.6g}"
+    return str(cell)
+
+
+@pytest.fixture(scope="session")
+def high_quality_model() -> FaultModel:
+    """Section 4 regime model shared across benches."""
+    return high_quality_scenario()
+
+
+@pytest.fixture(scope="session")
+def many_faults_model() -> FaultModel:
+    """Section 5 regime model shared across benches."""
+    return many_small_faults_scenario(n=200)
+
+
+@pytest.fixture(scope="session")
+def protection_scenario():
+    """The Fig. 1 protection-system scenario shared across benches."""
+    return protection_system_scenario(rng=11)
+
+
+@pytest.fixture
+def bench_rng() -> np.random.Generator:
+    """Deterministic generator for benchmark workloads."""
+    return np.random.default_rng(20010704)

@@ -1,0 +1,79 @@
+"""How much do the model's assumptions matter? (Section 6)
+
+The model assumes (a) independent introduction of faults and (b)
+non-overlapping failure regions.  This example quantifies the damage when each
+assumption is violated:
+
+* correlated mistakes -- a Gaussian-copula development process that preserves
+  every marginal p_i but makes mistakes co-occur (or compete);
+* overlapping failure regions -- versions whose PFD is the measure of the
+  union of the regions present, compared with the non-overlap sum.
+
+Run with::
+
+    python examples/assumption_sensitivity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+from repro.demandspace.profiles import GridProfile
+from repro.demandspace.regions import BoxRegion
+from repro.demandspace.space import DiscreteDemandSpace
+from repro.sensitivity.overlap import OverlappingRegionModel
+from repro.sensitivity.robustness import robustness_report
+
+
+def main() -> None:
+    model = FaultModel(
+        p=np.array([0.15, 0.1, 0.08, 0.05]),
+        q=np.array([0.05, 0.1, 0.02, 0.2]),
+    )
+
+    print("=== Section 6.1: correlated fault introduction ===")
+    report = robustness_report(
+        model, correlations=(-0.4, 0.0, 0.4, 0.8), replications=40_000, rng=2001
+    )
+    header = (
+        f"{'corr':>6s}  {'mean2 pred':>11s}  {'mean2 sim':>11s}  "
+        f"{'ratio pred':>10s}  {'ratio sim':>10s}"
+    )
+    print(header)
+    for row in report.rows():
+        print(
+            f"{row['correlation']:6.1f}  {row['mean_system_predicted']:11.4e}  "
+            f"{row['mean_system_simulated']:11.4e}  {row['risk_ratio_predicted']:10.4f}  "
+            f"{row['risk_ratio_simulated']:10.4f}"
+        )
+    print("  -> the mean-PFD predictions only depend on the marginals and survive;")
+    print("     the fault-count-based risk ratio drifts as correlation grows, which is")
+    print("     the paper's warning about trusting eq. (10) under strong correlation.")
+
+    print("\n=== Section 6.2: overlapping failure regions ===")
+    space = DiscreteDemandSpace(np.arange(100, dtype=float).reshape(-1, 1))
+    profile = GridProfile.uniform(space)
+    print(f"{'overlap':>8s}  {'sum mean':>10s}  {'union mean':>11s}  {'pessimism':>10s}")
+    for overlap_fraction in (0.0, 0.25, 0.5, 0.75):
+        width = 20.0
+        shift = width * (1.0 - overlap_fraction)
+        overlapping = OverlappingRegionModel(
+            probabilities=np.array([0.3, 0.3]),
+            regions=[
+                BoxRegion(np.array([10.0]), np.array([10.0 + width - 1.0])),
+                BoxRegion(np.array([10.0 + shift]), np.array([10.0 + shift + width - 1.0])),
+            ],
+            profile=profile,
+        )
+        result = overlapping.simulate(replications=30_000, rng=2001)
+        print(
+            f"{overlap_fraction:8.2f}  {result.sum_mean_single:10.4f}  "
+            f"{result.union_mean_single:11.4f}  {result.single_mean_pessimism:10.3f}"
+        )
+    print("  -> ignoring overlap only ever OVER-estimates a version's PFD: a pessimistic,")
+    print("     therefore safe, simplification -- exactly the paper's Section 6.2 argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Synthetic replication of the Knight-Leveson qualitative check (Section 7).
+
+The paper validates its conclusions qualitatively against the Knight-Leveson
+N-version programming experiment: over the 27 versions produced there,
+diversity reduced both the sample mean of the PFD and -- greatly -- its sample
+standard deviation.  The original data set is not available, so this example
+runs the synthetic stand-in: 27 versions are developed from a fault-creation
+model, every one of the 351 possible pairs is formed, and the same sample
+statistics are computed.
+
+Run with::
+
+    python examples/knight_leveson_replication.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.knight_leveson import SyntheticNVersionExperiment
+from repro.experiments.scenarios import many_small_faults_scenario
+
+
+def main() -> None:
+    model = many_small_faults_scenario(n=60)
+    experiment = SyntheticNVersionExperiment(model, version_count=27)
+
+    print("=== Model predictions for the experiment ===")
+    expected = experiment.expected_statistics()
+    print(f"  single version: mean PFD {expected['single_mean']:.4e}, std {expected['single_std']:.4e}")
+    print(f"  1-out-of-2 pair: mean PFD {expected['pair_mean']:.4e}, std {expected['pair_std']:.4e}")
+
+    print("\n=== One synthetic 27-version experiment ===")
+    result = experiment.run(rng=2001)
+    summary = result.summary()
+    print(f"  27 versions ->  sample mean PFD {summary['single_mean']:.4e}, "
+          f"sample std {summary['single_std']:.4e}")
+    print(f"  351 pairs   ->  sample mean PFD {summary['pair_mean']:.4e}, "
+          f"sample std {summary['pair_std']:.4e}")
+    print(f"  mean reduced by a factor of {summary['mean_reduction_factor']:.1f}, "
+          f"std by a factor of {summary['std_reduction_factor']:.1f}")
+
+    print("\n=== How often would a 27-version experiment show the effect? ===")
+    replications = experiment.run_replicated(200, rng=7)
+    mean_reduced = np.mean([replica.diversity_reduced_mean() for replica in replications])
+    std_reduced = np.mean([replica.diversity_reduced_std() for replica in replications])
+    print(f"  over {len(replications)} replications of the whole experiment:")
+    print(f"    diversity reduced the sample mean in {mean_reduced:6.1%} of them")
+    print(f"    diversity reduced the sample std  in {std_reduced:6.1%} of them")
+    print("  -> the paper's qualitative observation is exactly what the fault-creation")
+    print("     model predicts for an experiment of this size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim so the package installs in environments without PEP 517 tooling."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""repro: a reproduction of Popov & Strigini (DSN 2001).
+
+"The Reliability of Diverse Systems: a Contribution using Modelling of the
+Fault Creation Process" models how design faults arise in independently
+developed software versions and what that implies for 1-out-of-2 diverse
+(two-channel) systems.  This package implements the model, its analytical
+results, the substrates needed to exercise it (demand spaces, version
+generation, adjudication, Monte Carlo simulation, the Eckhardt-Lee /
+Littlewood-Miller baselines), and assessor-facing utilities.
+
+Quick start::
+
+    import numpy as np
+    from repro import FaultModel, OneOutOfTwoSystem, diversity_gain_summary
+
+    model = FaultModel(p=np.array([0.05, 0.02, 0.01]),
+                       q=np.array([1e-4, 5e-4, 2e-3]))
+    system = OneOutOfTwoSystem(model)
+    print(system.mean_pfd(), system.normal_bound(0.99))
+    print(diversity_gain_summary(model).as_dict())
+
+The subpackages map onto the paper as follows:
+
+==============================  =====================================================
+Subpackage                      Paper sections
+==============================  =====================================================
+:mod:`repro.core`               Sections 2-5, Appendices A-B (the contribution)
+:mod:`repro.stats`              probability machinery (Poisson-binomial, CLT, bounds)
+:mod:`repro.demandspace`        Section 2.1, Fig. 2 (demands, failure regions)
+:mod:`repro.versions`           Section 2.2, Section 6.1 (fault creation process)
+:mod:`repro.adjudication`       Fig. 1 (1-out-of-2 and general M-out-of-N systems)
+:mod:`repro.montecarlo`         simulation used to validate every analytic result
+:mod:`repro.elm`                Eckhardt-Lee and Littlewood-Miller baselines
+:mod:`repro.sensitivity`        Section 6 (assumption violations)
+:mod:`repro.assessment`         Sections 5, 7 (assessor-facing outputs)
+:mod:`repro.experiments`        Section 7 (synthetic Knight-Leveson check), scenarios
+==============================  =====================================================
+"""
+
+from repro.core import (
+    DiversityGainSummary,
+    FaultClass,
+    FaultModel,
+    OneOutOfTwoSystem,
+    PfdMoments,
+    SingleVersionSystem,
+    confidence_bound_from_bound,
+    confidence_bound_from_moments,
+    diversity_gain_summary,
+    exact_pfd_distribution,
+    fault_count_distribution,
+    mean_gain_factor,
+    normal_approximation,
+    pfd_moments,
+    pmax_gain_table,
+    prob_any_common_fault,
+    prob_any_fault,
+    prob_fault_free_pair,
+    prob_fault_free_version,
+    proportional_improvement_derivative,
+    risk_ratio,
+    risk_ratio_partial_derivative,
+    single_fault_reversal_point,
+    single_version_mean,
+    single_version_std,
+    std_gain_factor,
+    success_ratio,
+    two_fault_reversal_point,
+    two_version_mean,
+    two_version_std,
+)
+from repro.montecarlo import MonteCarloEngine
+from repro.stats import PoissonBinomial
+from repro.versions import IndependentDevelopmentProcess
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiversityGainSummary",
+    "FaultClass",
+    "FaultModel",
+    "IndependentDevelopmentProcess",
+    "MonteCarloEngine",
+    "OneOutOfTwoSystem",
+    "PfdMoments",
+    "PoissonBinomial",
+    "SingleVersionSystem",
+    "__version__",
+    "confidence_bound_from_bound",
+    "confidence_bound_from_moments",
+    "diversity_gain_summary",
+    "exact_pfd_distribution",
+    "fault_count_distribution",
+    "mean_gain_factor",
+    "normal_approximation",
+    "pfd_moments",
+    "pmax_gain_table",
+    "prob_any_common_fault",
+    "prob_any_fault",
+    "prob_fault_free_pair",
+    "prob_fault_free_version",
+    "proportional_improvement_derivative",
+    "risk_ratio",
+    "risk_ratio_partial_derivative",
+    "single_fault_reversal_point",
+    "single_version_mean",
+    "single_version_std",
+    "std_gain_factor",
+    "success_ratio",
+    "two_fault_reversal_point",
+    "two_version_mean",
+    "two_version_std",
+]

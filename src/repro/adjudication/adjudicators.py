@@ -1,0 +1,109 @@
+"""Adjudicators: how channel outputs are combined into a system output.
+
+All adjudicators here are *perfect* in the paper's sense: the combination
+logic itself never fails; only the versions can fail.  An adjudicator maps a
+boolean matrix of per-channel failures (rows = demands, columns = channels) to
+a boolean vector of system failures.
+
+* :class:`OneOutOfNAdjudicator` -- the protection-system OR: the system
+  performs its safety action if *any* channel demands it, so it fails on a
+  demand only when *every* channel fails.  With two channels this is the
+  paper's 1-out-of-2 configuration.
+* :class:`MOutOfNAdjudicator` -- majority-style voting: at least ``m`` correct
+  channels are needed, so the system fails when more than ``n - m`` channels
+  fail.
+* :class:`UnanimityAdjudicator` -- the system fails if *any* channel fails
+  (series configuration / AND of failures); included as the pessimistic
+  extreme for comparison studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Adjudicator",
+    "OneOutOfNAdjudicator",
+    "MOutOfNAdjudicator",
+    "UnanimityAdjudicator",
+]
+
+
+class Adjudicator:
+    """Abstract base class for adjudicators."""
+
+    def system_failures(self, channel_failures: np.ndarray) -> np.ndarray:
+        """Map per-channel failures to system failures.
+
+        Parameters
+        ----------
+        channel_failures:
+            Boolean array of shape ``(demands, channels)``.
+
+        Returns
+        -------
+        Boolean array of length ``demands``.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(channel_failures: np.ndarray) -> np.ndarray:
+        array = np.asarray(channel_failures, dtype=bool)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        if array.ndim != 2 or array.shape[1] == 0:
+            raise ValueError(
+                f"channel_failures must have shape (demands, channels), got {array.shape}"
+            )
+        return array
+
+
+@dataclass(frozen=True)
+class OneOutOfNAdjudicator(Adjudicator):
+    """1-out-of-N: the system fails only when every channel fails (the paper's OR)."""
+
+    def system_failures(self, channel_failures: np.ndarray) -> np.ndarray:
+        array = self._validate(channel_failures)
+        return np.all(array, axis=1)
+
+
+@dataclass(frozen=True)
+class UnanimityAdjudicator(Adjudicator):
+    """N-out-of-N: the system fails as soon as any channel fails (series system)."""
+
+    def system_failures(self, channel_failures: np.ndarray) -> np.ndarray:
+        array = self._validate(channel_failures)
+        return np.any(array, axis=1)
+
+
+@dataclass(frozen=True)
+class MOutOfNAdjudicator(Adjudicator):
+    """M-out-of-N: at least ``required_correct`` channels must be correct.
+
+    The system fails on a demand when strictly fewer than ``required_correct``
+    channels respond correctly, i.e. when more than ``channels - required_correct``
+    channels fail.  ``MOutOfNAdjudicator(required_correct=2, channels=3)`` is
+    the familiar two-out-of-three voter.
+    """
+
+    required_correct: int
+    channels: int
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError(f"channels must be positive, got {self.channels}")
+        if not 1 <= self.required_correct <= self.channels:
+            raise ValueError(
+                f"required_correct must be in [1, {self.channels}], got {self.required_correct}"
+            )
+
+    def system_failures(self, channel_failures: np.ndarray) -> np.ndarray:
+        array = self._validate(channel_failures)
+        if array.shape[1] != self.channels:
+            raise ValueError(
+                f"expected {self.channels} channels, got {array.shape[1]}"
+            )
+        failing = np.sum(array, axis=1)
+        return failing > (self.channels - self.required_correct)

@@ -1,0 +1,179 @@
+"""N-version system architectures and demand-by-demand simulation.
+
+:class:`NVersionSystem` combines a set of developed versions, the failure
+regions of the potential faults in the demand space, an operational profile
+and an adjudicator into an executable model of the Fig. 1 protection system:
+demands are drawn from the profile, each channel fails when the demand falls
+in a failure region of a fault that channel contains, and the adjudicator
+decides whether the system as a whole fails.
+
+Two evaluation routes are provided and should agree:
+
+* **analytic** -- for 1-out-of-N adjudication the system's failure regions are
+  the regions of the faults common to all channels, so its PFD is the profile
+  measure of their union (equal to the sum of ``q_i`` under the non-overlap
+  assumption);
+* **simulated** -- demand-by-demand Monte Carlo execution, which works for any
+  adjudicator and also when regions overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.adjudication.adjudicators import Adjudicator, OneOutOfNAdjudicator
+from repro.demandspace.profiles import OperationalProfile
+from repro.demandspace.regions import FailureRegion
+from repro.versions.version import DevelopedVersion
+
+__all__ = ["NVersionSystem", "DemandSimulationResult"]
+
+
+@dataclass(frozen=True)
+class DemandSimulationResult:
+    """Outcome of a demand-by-demand simulation of an N-version system.
+
+    Attributes
+    ----------
+    demands_simulated:
+        Number of demands drawn from the operational profile.
+    channel_failure_counts:
+        Number of failed demands per channel.
+    system_failure_count:
+        Number of demands on which the adjudicated system failed.
+    """
+
+    demands_simulated: int
+    channel_failure_counts: np.ndarray
+    system_failure_count: int
+
+    @property
+    def channel_pfd_estimates(self) -> np.ndarray:
+        """Per-channel PFD estimates (failures / demands)."""
+        return self.channel_failure_counts / self.demands_simulated
+
+    @property
+    def system_pfd_estimate(self) -> float:
+        """System PFD estimate (failures / demands)."""
+        return self.system_failure_count / self.demands_simulated
+
+    @property
+    def system_pfd_standard_error(self) -> float:
+        """Binomial standard error of the system PFD estimate."""
+        estimate = self.system_pfd_estimate
+        return float(np.sqrt(max(estimate * (1.0 - estimate), 0.0) / self.demands_simulated))
+
+
+@dataclass(frozen=True)
+class NVersionSystem:
+    """An N-version system: developed versions + failure-region geometry + adjudicator.
+
+    Parameters
+    ----------
+    versions:
+        The developed versions, one per channel; all must come from the same
+        fault population (same ``n``).
+    regions:
+        One failure region per potential fault, aligned with the fault model's
+        indices.
+    profile:
+        Operational profile generating demands.
+    adjudicator:
+        How channel outputs combine; defaults to the paper's 1-out-of-N OR.
+    """
+
+    versions: tuple[DevelopedVersion, ...]
+    regions: tuple[FailureRegion, ...]
+    profile: OperationalProfile
+    adjudicator: Adjudicator = OneOutOfNAdjudicator()
+
+    def __init__(
+        self,
+        versions: Sequence[DevelopedVersion],
+        regions: Sequence[FailureRegion],
+        profile: OperationalProfile,
+        adjudicator: Adjudicator | None = None,
+    ):
+        version_tuple = tuple(versions)
+        if not version_tuple:
+            raise ValueError("at least one version is required")
+        fault_counts = {version.model.n for version in version_tuple}
+        if len(fault_counts) != 1:
+            raise ValueError("all versions must come from the same population of potential faults")
+        n = fault_counts.pop()
+        region_tuple = tuple(regions)
+        if len(region_tuple) != n:
+            raise ValueError(f"expected {n} failure regions (one per potential fault), got {len(region_tuple)}")
+        object.__setattr__(self, "versions", version_tuple)
+        object.__setattr__(self, "regions", region_tuple)
+        object.__setattr__(self, "profile", profile)
+        object.__setattr__(self, "adjudicator", adjudicator or OneOutOfNAdjudicator())
+
+    @property
+    def channel_count(self) -> int:
+        """Number of channels (versions)."""
+        return len(self.versions)
+
+    @property
+    def fault_count(self) -> int:
+        """Number of potential faults in the population."""
+        return self.versions[0].model.n
+
+    # ------------------------------------------------------------------ #
+    # Analytic evaluation (1-out-of-N adjudication)
+    # ------------------------------------------------------------------ #
+    def common_fault_indicator(self) -> np.ndarray:
+        """Boolean vector of faults present in *every* channel."""
+        indicator = np.ones(self.fault_count, dtype=bool)
+        for version in self.versions:
+            indicator &= version.fault_present
+        return indicator
+
+    def analytic_system_pfd(self) -> float:
+        """System PFD under 1-out-of-N adjudication and non-overlapping regions.
+
+        Sum of the ``q_i`` of the faults common to all channels.  Raises when
+        the adjudicator is not 1-out-of-N, because the simple common-fault
+        argument then no longer applies.
+        """
+        if not isinstance(self.adjudicator, OneOutOfNAdjudicator):
+            raise ValueError(
+                "analytic_system_pfd applies only to 1-out-of-N adjudication; "
+                "use simulate() for other adjudicators"
+            )
+        model = self.versions[0].model
+        return float(np.sum(model.q[self.common_fault_indicator()]))
+
+    # ------------------------------------------------------------------ #
+    # Demand-by-demand simulation
+    # ------------------------------------------------------------------ #
+    def demand_region_membership(self, demands: np.ndarray) -> np.ndarray:
+        """Boolean matrix ``(demands, faults)``: which failure regions each demand hits."""
+        membership = np.zeros((demands.shape[0], self.fault_count), dtype=bool)
+        for index, region in enumerate(self.regions):
+            membership[:, index] = region.contains(demands)
+        return membership
+
+    def channel_failures(self, demands: np.ndarray) -> np.ndarray:
+        """Boolean matrix ``(demands, channels)`` of per-channel failures."""
+        membership = self.demand_region_membership(demands)
+        failures = np.zeros((demands.shape[0], self.channel_count), dtype=bool)
+        for channel, version in enumerate(self.versions):
+            failures[:, channel] = version.fails_on(membership)
+        return failures
+
+    def simulate(self, rng: np.random.Generator, demands: int) -> DemandSimulationResult:
+        """Run ``demands`` operational demands through the system."""
+        if demands < 1:
+            raise ValueError(f"demands must be positive, got {demands}")
+        demand_points = self.profile.sample(rng, demands)
+        failures = self.channel_failures(demand_points)
+        system_failures = self.adjudicator.system_failures(failures)
+        return DemandSimulationResult(
+            demands_simulated=demands,
+            channel_failure_counts=np.sum(failures, axis=0),
+            system_failure_count=int(np.sum(system_failures)),
+        )

@@ -1,0 +1,48 @@
+"""Assessor-facing utilities (Sections 5 and 7 of the paper).
+
+The paper's declared audience is safety assessors and regulators who must
+translate process evidence into reliability claims.  This subpackage packages
+the model's outputs in that vocabulary:
+
+* :mod:`~repro.assessment.confidence` -- formal confidence claims of the form
+  "P(PFD <= bound) >= confidence";
+* :mod:`~repro.assessment.sil` -- mapping PFD bounds to Safety Integrity
+  Levels (the standards-based practice the paper contrasts itself with);
+* :mod:`~repro.assessment.beta_factor` -- the common-cause beta-factor view of
+  the diversity gain, including the guaranteed bound the paper highlights as
+  being of practical use;
+* :mod:`~repro.assessment.bayesian` -- Bayesian updating of the model-derived
+  PFD distribution with operational evidence (failure-free demands), the
+  extension the paper's conclusions call for;
+* :mod:`~repro.assessment.report` -- a complete textual / JSON assessment
+  report combining all of the above (also exposed by the ``python -m repro``
+  command line).
+"""
+
+from repro.assessment.bayesian import BayesianPfdAssessment
+from repro.assessment.beta_factor import beta_factor, guaranteed_beta_factor
+from repro.assessment.confidence import ConfidenceClaim, claim_from_system
+from repro.assessment.report import AssessmentReport, SystemAssessment, assess
+from repro.assessment.sil import (
+    SIL_BANDS,
+    SafetyIntegrityLevel,
+    required_pfd_bound,
+    sil_for_pfd,
+    sil_claim_for_system,
+)
+
+__all__ = [
+    "AssessmentReport",
+    "BayesianPfdAssessment",
+    "ConfidenceClaim",
+    "SIL_BANDS",
+    "SafetyIntegrityLevel",
+    "SystemAssessment",
+    "assess",
+    "beta_factor",
+    "claim_from_system",
+    "guaranteed_beta_factor",
+    "required_pfd_bound",
+    "sil_claim_for_system",
+    "sil_for_pfd",
+]

@@ -1,0 +1,49 @@
+"""The common-cause "beta factor" view of the diversity gain.
+
+In common-cause-failure modelling, the beta factor is the fraction of a
+channel's failure probability that is shared with the other channel, so that
+``PFD_system = beta * PFD_channel``.  Under the fault-creation model the mean
+beta factor is exactly ``mu_2 / mu_1``, and the paper's eq. (4) turns a bound
+on the most likely fault (``p_max``) into a *guaranteed* beta factor: "being
+able to trust such a reduction factor ('beta-factor' value) would already be a
+practical advantage in many safety assessments" (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import mean_gain_factor, std_gain_factor
+from repro.core.fault_model import FaultModel
+from repro.core.moments import single_version_mean, two_version_mean
+
+__all__ = ["beta_factor", "guaranteed_beta_factor", "guaranteed_bound_beta_factor"]
+
+
+def beta_factor(model: FaultModel) -> float:
+    """The model's mean beta factor ``mu_2 / mu_1``.
+
+    Returns 1.0 when the single-version mean PFD is zero (no common-cause
+    reduction is meaningful for an already perfect process).
+    """
+    single = single_version_mean(model)
+    if single == 0.0:
+        return 1.0
+    return two_version_mean(model) / single
+
+
+def guaranteed_beta_factor(p_max: float) -> float:
+    """The eq. (4) guaranteed beta factor: ``beta <= p_max``.
+
+    Valid whatever the detailed ``p_i``/``q_i`` values, given only that no
+    fault has introduction probability above ``p_max``.
+    """
+    return mean_gain_factor(p_max)
+
+
+def guaranteed_bound_beta_factor(p_max: float) -> float:
+    """The eq. (12) guaranteed reduction factor for confidence bounds.
+
+    Any confidence bound for a single version, multiplied by
+    ``sqrt(p_max (1 + p_max))``, bounds the two-version system at the same
+    confidence -- the "beta factor for bounds" of Section 5.1.
+    """
+    return std_gain_factor(p_max)

@@ -1,0 +1,107 @@
+"""Safety Integrity Level (SIL) banding of PFD claims.
+
+The paper notes that current practice maps reliability requirements into
+"Safety Integrity Levels" and SILs into recommended development practices.
+The IEC 61508 low-demand bands used here give the standard quantitative
+interpretation of those levels in terms of average probability of failure on
+demand:
+
+=====  =======================
+Level  PFD band (low demand)
+=====  =======================
+SIL 1  1e-2 <= PFD < 1e-1
+SIL 2  1e-3 <= PFD < 1e-2
+SIL 3  1e-4 <= PFD < 1e-3
+SIL 4  1e-5 <= PFD < 1e-4
+=====  =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.assessment.confidence import ConfidenceClaim, claim_from_system
+from repro.core.system import OneOutOfRSystem
+
+__all__ = [
+    "SafetyIntegrityLevel",
+    "SIL_BANDS",
+    "sil_for_pfd",
+    "required_pfd_bound",
+    "sil_claim_for_system",
+]
+
+
+class SafetyIntegrityLevel(IntEnum):
+    """IEC 61508 safety integrity levels (low-demand mode)."""
+
+    NONE = 0
+    SIL1 = 1
+    SIL2 = 2
+    SIL3 = 3
+    SIL4 = 4
+
+
+#: Upper PFD bound (exclusive) for each SIL in low-demand mode.
+SIL_BANDS: dict[SafetyIntegrityLevel, tuple[float, float]] = {
+    SafetyIntegrityLevel.SIL1: (1e-2, 1e-1),
+    SafetyIntegrityLevel.SIL2: (1e-3, 1e-2),
+    SafetyIntegrityLevel.SIL3: (1e-4, 1e-3),
+    SafetyIntegrityLevel.SIL4: (1e-5, 1e-4),
+}
+
+
+def sil_for_pfd(pfd: float) -> SafetyIntegrityLevel:
+    """The highest SIL whose band the given PFD satisfies.
+
+    A PFD below the SIL 4 band's lower edge still returns SIL 4 (the standard
+    defines no higher level); a PFD of 0.1 or more achieves no SIL.
+    """
+    if pfd < 0.0:
+        raise ValueError(f"pfd must be non-negative, got {pfd}")
+    if pfd >= 1e-1:
+        return SafetyIntegrityLevel.NONE
+    if pfd >= 1e-2:
+        return SafetyIntegrityLevel.SIL1
+    if pfd >= 1e-3:
+        return SafetyIntegrityLevel.SIL2
+    if pfd >= 1e-4:
+        return SafetyIntegrityLevel.SIL3
+    return SafetyIntegrityLevel.SIL4
+
+
+def required_pfd_bound(level: SafetyIntegrityLevel) -> float:
+    """The PFD that must not be reached for a claim at the given SIL.
+
+    E.g. a SIL 2 claim requires ``PFD < 1e-2``; the returned value is that
+    exclusive upper limit.
+    """
+    if level == SafetyIntegrityLevel.NONE:
+        return 1.0
+    return SIL_BANDS[level][1]
+
+
+@dataclass(frozen=True)
+class SilClaim:
+    """A SIL claim together with the confidence claim it is based on."""
+
+    level: SafetyIntegrityLevel
+    confidence_claim: ConfidenceClaim
+
+    def describe(self) -> str:
+        """Human-readable description of the claim."""
+        return f"{self.level.name} supported by: {self.confidence_claim.describe()}"
+
+
+def sil_claim_for_system(
+    system: OneOutOfRSystem, confidence: float = 0.99, method: str = "normal-approximation"
+) -> SilClaim:
+    """Derive the SIL supportable for a system at the given confidence.
+
+    The claim uses the confidence bound on the PFD (not the mean), in line
+    with the paper's argument that assessors implicitly reason about the
+    probability that the software meets its reliability requirement.
+    """
+    claim = claim_from_system(system, confidence, method)
+    return SilClaim(level=sil_for_pfd(claim.bound), confidence_claim=claim)

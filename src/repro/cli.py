@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the assessor-facing outputs of the model without
+writing any code:
+
+* ``assess`` -- read a fault model from a JSON file (or use a built-in
+  scenario) and print the full assessment report;
+* ``gain`` -- print the diversity-gain summary as JSON;
+* ``pmax-table`` -- print the Section 5.1 table for arbitrary ``p_max`` values;
+* ``scenarios`` -- list the built-in scenarios.
+
+The JSON model format is the output of :meth:`repro.core.fault_model.FaultModel.to_dict`::
+
+    {"p": [0.05, 0.02], "q": [1e-4, 5e-4], "names": ["fault a", "fault b"]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.assessment.report import assess
+from repro.core.bounds import pmax_gain_table
+from repro.core.fault_model import FaultModel
+from repro.core.gain import diversity_gain_summary
+from repro.experiments.scenarios import high_quality_scenario, many_small_faults_scenario
+
+__all__ = ["main", "build_parser"]
+
+#: Built-in scenarios addressable from the command line.
+SCENARIOS = {
+    "high-quality": high_quality_scenario,
+    "many-small-faults": many_small_faults_scenario,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reliability of 1-out-of-2 diverse systems via the fault-creation-process "
+            "model (Popov & Strigini, DSN 2001)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    assess_parser = subparsers.add_parser("assess", help="print a full assessment report")
+    _add_model_arguments(assess_parser)
+    assess_parser.add_argument(
+        "--confidence", type=float, default=0.99, help="confidence level for all bounds (default 0.99)"
+    )
+    assess_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON instead of text"
+    )
+
+    gain_parser = subparsers.add_parser("gain", help="print the diversity-gain summary as JSON")
+    _add_model_arguments(gain_parser)
+    gain_parser.add_argument(
+        "--confidence", type=float, default=0.99, help="confidence level for the bound ratio"
+    )
+
+    table_parser = subparsers.add_parser(
+        "pmax-table", help="print the Section 5.1 table of guaranteed bound reductions"
+    )
+    table_parser.add_argument(
+        "pmax", type=float, nargs="*", default=[0.5, 0.1, 0.01], help="p_max values (default: the paper's)"
+    )
+
+    subparsers.add_parser("scenarios", help="list built-in scenarios")
+    return parser
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--model", type=str, help="path to a JSON fault-model file")
+    group.add_argument(
+        "--scenario", type=str, choices=sorted(SCENARIOS), help="use a built-in scenario"
+    )
+
+
+def _load_model(arguments: argparse.Namespace) -> FaultModel:
+    if arguments.scenario is not None:
+        return SCENARIOS[arguments.scenario]()
+    with open(arguments.model, "r", encoding="utf-8") as handle:
+        return FaultModel.from_dict(json.load(handle))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "scenarios":
+        for name in sorted(SCENARIOS):
+            print(name)
+        return 0
+
+    if arguments.command == "pmax-table":
+        print(f"{'p_max':>10s}  {'bound reduction':>16s}  {'improvement':>12s}")
+        for row in pmax_gain_table(arguments.pmax):
+            print(f"{row.p_max:>10.4g}  {row.gain_factor:>16.4f}  {row.improvement_factor:>11.2f}x")
+        return 0
+
+    model = _load_model(arguments)
+    if arguments.command == "assess":
+        report = assess(model, confidence=arguments.confidence)
+        if arguments.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0
+
+    if arguments.command == "gain":
+        summary = diversity_gain_summary(model, confidence=arguments.confidence)
+        print(json.dumps(summary.as_dict(), indent=2))
+        return 0
+
+    parser.error(f"unknown command {arguments.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

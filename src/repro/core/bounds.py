@@ -1,0 +1,167 @@
+"""Inequality lemmas and confidence-bound results (Sections 3.1 and 5.1).
+
+The paper's practically usable outputs are *bounds* expressed in terms of
+``p_max = max{p_1 .. p_n}``, because an assessor can plausibly bound the
+probability of the most likely fault even when the full parameter set is
+unknowable:
+
+* eq. (4):  ``mu_2 <= p_max * mu_1``
+* eq. (9):  ``sigma_2 <= sqrt(p_max (1 + p_max)) * sigma_1``
+* eq. (11): ``mu_2 + k sigma_2 <= p_max mu_1 + k sqrt(p_max (1 + p_max)) sigma_1``
+* eq. (12): ``mu_2 + k sigma_2 <= sqrt(p_max (1 + p_max)) (mu_1 + k sigma_1)``
+
+and the Section 5.1 table of the factor ``sqrt(p_max (1 + p_max))`` for
+``p_max in {0.5, 0.1, 0.01}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+from repro.core.moments import (
+    single_version_mean,
+    single_version_std,
+    two_version_mean,
+    two_version_std,
+)
+
+__all__ = [
+    "mean_gain_factor",
+    "std_gain_factor",
+    "mean_bound",
+    "std_bound",
+    "confidence_bound_from_moments",
+    "confidence_bound_from_bound",
+    "PmaxGainRow",
+    "pmax_gain_table",
+    "PAPER_PMAX_TABLE",
+    "STD_CONTRACTION_THRESHOLD",
+]
+
+#: The largest ``p`` for which ``p^2 (1 - p^2) <= p (1 - p)`` holds, quoted in
+#: Section 3.1.2 as ``(-1 + 5^0.5) / 2 = 0.618033987`` (the reciprocal of the
+#: golden ratio).  Below this threshold every summand of ``sigma_2^2`` is
+#: smaller than the corresponding summand of ``sigma_1^2``.
+STD_CONTRACTION_THRESHOLD = (np.sqrt(5.0) - 1.0) / 2.0
+
+#: The Section 5.1 table: ``p_max`` versus ``sqrt(p_max (1 + p_max))`` as
+#: printed in the paper (three-decimal rounding).
+PAPER_PMAX_TABLE = {0.5: 0.866, 0.1: 0.332, 0.01: 0.100}
+
+
+def _validate_pmax(p_max: float) -> float:
+    if not 0.0 <= p_max <= 1.0:
+        raise ValueError(f"p_max must be in [0, 1], got {p_max}")
+    return float(p_max)
+
+
+def mean_gain_factor(p_max: float) -> float:
+    """The eq. (4) factor: ``mu_2 <= p_max * mu_1``.
+
+    Interpreting the paper's example: if quality assurance convinces an
+    assessor that the most likely fault has probability at most 10%, the
+    two-version system has, on average, at least 10 times better PFD than a
+    single version.
+    """
+    return _validate_pmax(p_max)
+
+
+def std_gain_factor(p_max: float) -> float:
+    """The eq. (9) / eq. (12) factor ``sqrt(p_max (1 + p_max))``."""
+    p_max = _validate_pmax(p_max)
+    return float(np.sqrt(p_max * (1.0 + p_max)))
+
+
+def mean_bound(model: FaultModel) -> float:
+    """Upper bound on ``mu_2`` from eq. (4): ``p_max * mu_1``."""
+    return mean_gain_factor(model.p_max) * single_version_mean(model)
+
+
+def std_bound(model: FaultModel) -> float:
+    """Upper bound on ``sigma_2`` from eq. (9): ``sqrt(p_max(1+p_max)) * sigma_1``."""
+    return std_gain_factor(model.p_max) * single_version_std(model)
+
+
+def confidence_bound_from_moments(
+    mu_1: float, sigma_1: float, p_max: float, k: float
+) -> float:
+    """Eq. (11): bound on ``mu_2 + k sigma_2`` given ``mu_1`` and ``sigma_1``.
+
+    ``mu_2 + k sigma_2 <= p_max mu_1 + k sqrt(p_max (1 + p_max)) sigma_1``.
+
+    This is the tighter of the paper's two bounds, available when the assessor
+    has separate estimates of the single-version mean and standard deviation.
+    """
+    if mu_1 < 0.0 or sigma_1 < 0.0:
+        raise ValueError("mu_1 and sigma_1 must be non-negative")
+    if k < 0.0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    p_max = _validate_pmax(p_max)
+    return p_max * mu_1 + k * std_gain_factor(p_max) * sigma_1
+
+
+def confidence_bound_from_bound(one_version_bound: float, p_max: float) -> float:
+    """Eq. (12): bound on ``mu_2 + k sigma_2`` given only ``mu_1 + k sigma_1``.
+
+    ``mu_2 + k sigma_2 <= sqrt(p_max (1 + p_max)) * (mu_1 + k sigma_1)``.
+
+    The looser of the two bounds, applicable when the assessor only holds a
+    single confidence bound for the one-version system rather than separate
+    mean / standard-deviation estimates.
+    """
+    if one_version_bound < 0.0:
+        raise ValueError(f"one_version_bound must be non-negative, got {one_version_bound}")
+    return std_gain_factor(p_max) * one_version_bound
+
+
+@dataclass(frozen=True)
+class PmaxGainRow:
+    """One row of the Section 5.1 table."""
+
+    p_max: float
+    gain_factor: float
+
+    @property
+    def improvement_factor(self) -> float:
+        """The reciprocal of the gain factor -- "how many times better" the bound gets."""
+        if self.gain_factor == 0.0:
+            return float("inf")
+        return 1.0 / self.gain_factor
+
+
+def pmax_gain_table(p_max_values: Sequence[float] = (0.5, 0.1, 0.01)) -> list[PmaxGainRow]:
+    """Regenerate the Section 5.1 table of ``p_max`` versus ``sqrt(p_max(1+p_max))``.
+
+    The default argument reproduces exactly the three rows printed in the
+    paper (0.5 -> 0.866, 0.1 -> 0.332, 0.01 -> 0.100).
+    """
+    return [PmaxGainRow(p_max=float(p), gain_factor=std_gain_factor(p)) for p in p_max_values]
+
+
+def verify_mean_bound(model: FaultModel) -> tuple[float, float]:
+    """Return ``(mu_2, p_max * mu_1)`` so callers can check eq. (4) numerically."""
+    return two_version_mean(model), mean_bound(model)
+
+
+def verify_std_bound(model: FaultModel) -> tuple[float, float]:
+    """Return ``(sigma_2, sqrt(p_max(1+p_max)) * sigma_1)`` for checking eq. (9)."""
+    return two_version_std(model), std_bound(model)
+
+
+def verify_confidence_bound(model: FaultModel, k: float) -> tuple[float, float, float]:
+    """Return the actual two-version bound and both paper bounds (eqs. 11, 12).
+
+    The tuple is ``(mu_2 + k sigma_2, eq. (11) bound, eq. (12) bound)``;
+    monotone ordering ``actual <= eq11 <= eq12`` should hold for every model
+    (eq. (12) is derived from eq. (11) by a further relaxation).
+    """
+    mu_1, sigma_1 = single_version_mean(model), single_version_std(model)
+    mu_2, sigma_2 = two_version_mean(model), two_version_std(model)
+    actual = mu_2 + k * sigma_2
+    from_moments = confidence_bound_from_moments(mu_1, sigma_1, model.p_max, k)
+    from_bound = confidence_bound_from_bound(mu_1 + k * sigma_1, model.p_max)
+    return actual, from_moments, from_bound

@@ -1,0 +1,133 @@
+"""Moments of the probability of failure on demand (Section 3 of the paper).
+
+In the fault-creation model the PFD of a version or system is a sum of
+independent two-point random variables: the ``i``-th takes the value ``q_i``
+with probability ``p_i`` (single version) or ``p_i**2`` (1-out-of-2 system of
+two independently developed versions), and 0 otherwise.  Hence (paper
+eqs. (1)-(3) and (5)-(8)):
+
+* ``E[Theta_1]   = sum p_i q_i``
+* ``E[Theta_2]   = sum p_i^2 q_i``
+* ``Var[Theta_1] = sum p_i (1 - p_i) q_i^2``
+* ``Var[Theta_2] = sum p_i^2 (1 - p_i^2) q_i^2``
+
+The functions here also generalise to an ``r``-version, 1-out-of-r system
+(a fault is common to all ``r`` versions with probability ``p_i**r``), which
+is used by the adjudication substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+
+__all__ = [
+    "PfdMoments",
+    "pfd_moments",
+    "single_version_mean",
+    "single_version_variance",
+    "single_version_std",
+    "two_version_mean",
+    "two_version_variance",
+    "two_version_std",
+    "r_version_mean",
+    "r_version_variance",
+    "r_version_std",
+]
+
+
+def _validate_versions(versions: int) -> int:
+    if not isinstance(versions, (int, np.integer)) or versions < 1:
+        raise ValueError(f"versions must be a positive integer, got {versions}")
+    return int(versions)
+
+
+def r_version_mean(model: FaultModel, versions: int) -> float:
+    """``E[Theta_r] = sum p_i^r q_i`` -- mean PFD of a 1-out-of-r system.
+
+    With ``versions=1`` this is the paper's eq. (1) first part; with
+    ``versions=2`` the second part.
+    """
+    versions = _validate_versions(versions)
+    return float(np.sum(model.p**versions * model.q))
+
+
+def r_version_variance(model: FaultModel, versions: int) -> float:
+    """``Var[Theta_r] = sum p_i^r (1 - p_i^r) q_i^2`` (paper eq. (2))."""
+    versions = _validate_versions(versions)
+    present = model.p**versions
+    return float(np.sum(present * (1.0 - present) * model.q**2))
+
+
+def r_version_std(model: FaultModel, versions: int) -> float:
+    """Standard deviation of the PFD of a 1-out-of-r system."""
+    return float(np.sqrt(r_version_variance(model, versions)))
+
+
+def single_version_mean(model: FaultModel) -> float:
+    """``mu_1 = E[Theta_1] = sum p_i q_i`` (eq. (1))."""
+    return r_version_mean(model, 1)
+
+
+def single_version_variance(model: FaultModel) -> float:
+    """``sigma_1^2 = sum p_i (1 - p_i) q_i^2`` (eq. (5))."""
+    return r_version_variance(model, 1)
+
+
+def single_version_std(model: FaultModel) -> float:
+    """``sigma_1`` (eq. (8))."""
+    return r_version_std(model, 1)
+
+
+def two_version_mean(model: FaultModel) -> float:
+    """``mu_2 = E[Theta_2] = sum p_i^2 q_i`` (eq. (1))."""
+    return r_version_mean(model, 2)
+
+
+def two_version_variance(model: FaultModel) -> float:
+    """``sigma_2^2 = sum p_i^2 (1 - p_i^2) q_i^2`` (eq. (6))."""
+    return r_version_variance(model, 2)
+
+
+def two_version_std(model: FaultModel) -> float:
+    """``sigma_2`` (eq. (7))."""
+    return r_version_std(model, 2)
+
+
+@dataclass(frozen=True)
+class PfdMoments:
+    """Mean, variance and standard deviation of a PFD distribution."""
+
+    mean: float
+    variance: float
+
+    @property
+    def std(self) -> float:
+        """Standard deviation (square root of the variance)."""
+        return float(np.sqrt(self.variance))
+
+    def bound(self, k: float) -> float:
+        """The Section 5 style upper bound ``mean + k * std``."""
+        return self.mean + k * self.std
+
+
+def pfd_moments(model: FaultModel, versions: int = 1) -> PfdMoments:
+    """Moments of the PFD of a 1-out-of-``versions`` system built from ``model``."""
+    return PfdMoments(
+        mean=r_version_mean(model, versions),
+        variance=r_version_variance(model, versions),
+    )
+
+
+def expected_fault_count(model: FaultModel, versions: int = 1) -> float:
+    """Expected number of (common) faults, ``sum p_i^versions``.
+
+    With ``versions=1`` this is ``E[N_1]``, with ``versions=2`` it is
+    ``E[N_2]`` -- the regime split of Sections 4 and 5 is driven by whether
+    this quantity is close to zero.
+    """
+    versions = _validate_versions(versions)
+    return float(np.sum(model.p**versions))

@@ -1,0 +1,116 @@
+"""Probability of no common faults (Section 4 of the paper).
+
+For very high-quality software the requirement is effectively that the pair of
+versions share *no* failure region at all.  With independent fault
+introduction:
+
+* ``P(N_1 = 0) = prod (1 - p_i)``       -- a single version is fault-free;
+* ``P(N_2 = 0) = prod (1 - p_i^2)``     -- a pair has no common fault;
+* the *risk ratio* of eq. (10),
+  ``P(N_2 > 0) / P(N_1 > 0) = (1 - prod(1 - p_i^2)) / (1 - prod(1 - p_i))``,
+  measures the gain from diversity: the smaller the ratio, the greater the
+  advantage.  It never exceeds 1;
+* the footnote-5 *success ratio*
+  ``P(N_2 = 0) / P(N_1 = 0) = prod (1 + p_i) >= 1`` is also provided, together
+  with the paper's argument for preferring the risk ratio.
+
+The full distributions of the fault counts ``N_1`` and ``N_2`` (and of the
+common-fault count of an ``r``-version system) are Poisson-binomial and are
+exposed via :func:`fault_count_distribution`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+from repro.stats.poisson_binomial import PoissonBinomial
+
+__all__ = [
+    "prob_fault_free_version",
+    "prob_fault_free_pair",
+    "prob_fault_free_r_versions",
+    "prob_any_fault",
+    "prob_any_common_fault",
+    "risk_ratio",
+    "success_ratio",
+    "fault_count_distribution",
+    "expected_common_faults",
+]
+
+
+def prob_fault_free_version(model: FaultModel) -> float:
+    """``P(N_1 = 0) = prod (1 - p_i)``."""
+    return float(np.prod(1.0 - model.p))
+
+
+def prob_fault_free_pair(model: FaultModel) -> float:
+    """``P(N_2 = 0) = prod (1 - p_i^2)`` -- no fault common to both versions."""
+    return float(np.prod(1.0 - model.p**2))
+
+
+def prob_fault_free_r_versions(model: FaultModel, versions: int) -> float:
+    """``P(N_r = 0) = prod (1 - p_i^r)`` -- no fault common to all ``versions`` versions."""
+    if versions < 1:
+        raise ValueError(f"versions must be a positive integer, got {versions}")
+    return float(np.prod(1.0 - model.p**versions))
+
+
+def prob_any_fault(model: FaultModel) -> float:
+    """``P(N_1 > 0)`` -- the risk of a single version containing at least one fault."""
+    return 1.0 - prob_fault_free_version(model)
+
+
+def prob_any_common_fault(model: FaultModel, versions: int = 2) -> float:
+    """``P(N_r > 0)`` -- the risk of at least one fault common to all ``versions`` versions."""
+    return 1.0 - prob_fault_free_r_versions(model, versions)
+
+
+def risk_ratio(model: FaultModel, versions: int = 2) -> float:
+    """The eq. (10) gain ratio ``P(N_r > 0) / P(N_1 > 0)``.
+
+    Values close to 0 mean a large gain from diversity; values close to 1 mean
+    little gain.  The ratio is always <= 1 (diversity never hurts under the
+    model).  When ``P(N_1 > 0) = 0`` (all ``p_i`` zero) the single version is
+    already certainly fault-free, diversity adds nothing, and the ratio is
+    returned as 1.0 by convention.
+    """
+    denominator = prob_any_fault(model)
+    if denominator == 0.0:
+        return 1.0
+    return prob_any_common_fault(model, versions) / denominator
+
+
+def success_ratio(model: FaultModel) -> float:
+    """The footnote-5 ratio ``P(N_2 = 0) / P(N_1 = 0) = prod (1 + p_i)``.
+
+    Always >= 1.  The paper argues this is the *less* useful measure for
+    practitioners, because the probabilities of success are intended to be
+    close to 1 in the first place and large changes in risk then appear as
+    small changes in this ratio; it is provided for completeness and for
+    reproducing the footnote.  When some ``p_i = 1`` the single version can
+    never be fault-free and the ratio is infinite.
+    """
+    denominator = prob_fault_free_version(model)
+    if denominator == 0.0:
+        return float("inf")
+    return prob_fault_free_pair(model) / denominator
+
+
+def expected_common_faults(model: FaultModel, versions: int = 2) -> float:
+    """``E[N_r] = sum p_i^r`` -- expected number of faults common to all versions."""
+    if versions < 1:
+        raise ValueError(f"versions must be a positive integer, got {versions}")
+    return float(np.sum(model.p**versions))
+
+
+def fault_count_distribution(model: FaultModel, versions: int = 1) -> PoissonBinomial:
+    """The Poisson-binomial distribution of the (common-)fault count.
+
+    ``versions=1`` gives the distribution of ``N_1`` (faults in a single
+    version); ``versions=2`` gives ``N_2`` (faults common to an independently
+    developed pair); larger values generalise to 1-out-of-r systems.
+    """
+    if versions < 1:
+        raise ValueError(f"versions must be a positive integer, got {versions}")
+    return PoissonBinomial(model.p**versions)

@@ -1,0 +1,214 @@
+"""Confidence bounds under the normal approximation (Section 5 of the paper).
+
+When there are many possible faults, each with small ``q_i``, the PFD is a sum
+of many independent contributions and its distribution can be approximated by
+a normal distribution (central limit theorem).  Reliability claims then take
+the form of confidence bounds ``mu + k sigma``:
+
+* :func:`normal_approximation` builds the approximating
+  :class:`~repro.stats.normal.NormalApproximation` for a single version or for
+  a 1-out-of-r system;
+* :func:`bound_gain_ratio` and :func:`bound_difference` quantify the gain from
+  diversity as the ratio / difference of the two bounds (Section 5.1 and the
+  Section 5.2 measures);
+* :func:`berry_esseen_error` bounds the error of the normal approximation, so
+  its trustworthiness for a given model can be assessed (the paper points out
+  that in practice "we will not know how good an approximation it is");
+* :func:`worked_example_bounds` reproduces the Section 5.1 numerical example
+  verbatim from ``(mu_1, sigma_1, p_max, k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.bounds import confidence_bound_from_bound, confidence_bound_from_moments
+from repro.core.fault_model import FaultModel
+from repro.core.moments import pfd_moments
+from repro.stats.normal import NormalApproximation, berry_esseen_bound
+
+__all__ = [
+    "normal_approximation",
+    "bound_gain_ratio",
+    "bound_difference",
+    "berry_esseen_error",
+    "WorkedExampleBounds",
+    "worked_example_bounds",
+    "bound_ratio_proportional_sweep",
+    "bound_ratio_single_fault_sweep",
+]
+
+
+def normal_approximation(model: FaultModel, versions: int = 1) -> NormalApproximation:
+    """The normal approximation to the PFD distribution of a 1-out-of-``versions`` system."""
+    moments = pfd_moments(model, versions)
+    return NormalApproximation(mean=moments.mean, std=moments.std)
+
+
+def bound_gain_ratio(model: FaultModel, k: float) -> float:
+    """The ratio ``(mu_2 + k sigma_2) / (mu_1 + k sigma_1)``.
+
+    This is the Section 5 measure of the gain from diversity in terms of
+    confidence bounds: the smaller the ratio, the greater the gain.  When the
+    single-version bound is zero (a perfect process) the ratio is returned as
+    1.0 by convention.
+    """
+    if k < 0.0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    single = pfd_moments(model, 1)
+    pair = pfd_moments(model, 2)
+    denominator = single.bound(k)
+    if denominator == 0.0:
+        return 1.0
+    return pair.bound(k) / denominator
+
+
+def bound_difference(model: FaultModel, k: float) -> float:
+    """The difference ``(mu_1 + k sigma_1) - (mu_2 + k sigma_2)``.
+
+    Section 5.2 notes that, measured as a *difference*, the reliability gain
+    "improves with any increase in any of the p_i"; this function supports
+    checking that statement numerically.
+    """
+    if k < 0.0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return pfd_moments(model, 1).bound(k) - pfd_moments(model, 2).bound(k)
+
+
+def berry_esseen_error(model: FaultModel, versions: int = 1) -> float:
+    """Berry-Esseen bound on the normal-approximation error for the PFD CDF.
+
+    The ``i``-th PFD contribution equals ``q_i`` with probability
+    ``a_i = p_i**versions`` and 0 otherwise; after centring its variance is
+    ``a_i (1 - a_i) q_i^2`` and its third absolute central moment is
+    ``a_i (1 - a_i) ((1 - a_i)^2 + a_i^2) q_i^3``.
+    """
+    if versions < 1:
+        raise ValueError(f"versions must be a positive integer, got {versions}")
+    present = model.p ** versions
+    variances = present * (1.0 - present) * model.q**2
+    third_moments = present * (1.0 - present) * ((1.0 - present) ** 2 + present**2) * model.q**3
+    return berry_esseen_bound(third_moments, variances)
+
+
+@dataclass(frozen=True)
+class WorkedExampleBounds:
+    """The three bounds of the Section 5.1 worked example.
+
+    Attributes
+    ----------
+    single_version_bound:
+        ``mu_1 + k sigma_1`` (0.011 in the paper's example).
+    two_version_bound_from_moments:
+        The eq. (11) bound on ``mu_2 + k sigma_2`` (0.001 in the example).
+    two_version_bound_from_bound:
+        The looser eq. (12) bound (0.004 in the example).
+    """
+
+    single_version_bound: float
+    two_version_bound_from_moments: float
+    two_version_bound_from_bound: float
+
+    @property
+    def improvement_from_moments(self) -> float:
+        """Factor by which the eq. (11) bound improves on the single-version bound."""
+        if self.two_version_bound_from_moments == 0.0:
+            return float("inf")
+        return self.single_version_bound / self.two_version_bound_from_moments
+
+    @property
+    def improvement_from_bound(self) -> float:
+        """Factor by which the eq. (12) bound improves on the single-version bound."""
+        if self.two_version_bound_from_bound == 0.0:
+            return float("inf")
+        return self.single_version_bound / self.two_version_bound_from_bound
+
+
+def worked_example_bounds(
+    mu_1: float, sigma_1: float, p_max: float, k: float
+) -> WorkedExampleBounds:
+    """Reproduce the Section 5.1 numerical example from its four inputs.
+
+    With ``mu_1 = 0.01``, ``sigma_1 = 0.001``, ``p_max = 0.1`` and ``k = 1``
+    (an 84% confidence bound) the paper reports a single-version bound of
+    0.011, an eq. (11) two-version bound of (approximately) 0.001 and an
+    eq. (12) bound of (approximately) 0.004.
+    """
+    single = mu_1 + k * sigma_1
+    from_moments = confidence_bound_from_moments(mu_1, sigma_1, p_max, k)
+    from_bound = confidence_bound_from_bound(single, p_max)
+    return WorkedExampleBounds(
+        single_version_bound=single,
+        two_version_bound_from_moments=from_moments,
+        two_version_bound_from_bound=from_bound,
+    )
+
+
+@dataclass(frozen=True)
+class BoundSweepResult:
+    """Result of sweeping a process-improvement parameter for the bound ratio."""
+
+    parameter_values: np.ndarray
+    bound_ratios: np.ndarray
+    single_version_bounds: np.ndarray
+    two_version_bounds: np.ndarray
+
+    def ratio_is_monotone_nondecreasing(self, atol: float = 1e-12) -> bool:
+        """True when the bound ratio never decreases as the parameter increases."""
+        return bool(np.all(np.diff(self.bound_ratios) >= -atol))
+
+
+def bound_ratio_proportional_sweep(
+    base_model: FaultModel, k_values: Sequence[float], k_factor: float
+) -> BoundSweepResult:
+    """Sweep the quality factor ``k`` and record the Section 5 bound ratio.
+
+    Supports the Section 5.2 conjecture that the bound-ratio gain "improves
+    with forms of process improvement that reduce the probability of all
+    faults proportionally".
+    """
+    k_array = np.asarray(k_values, dtype=float)
+    if np.any(k_array <= 0.0):
+        raise ValueError("all k values must be positive")
+    ratios = np.empty_like(k_array)
+    singles = np.empty_like(k_array)
+    pairs = np.empty_like(k_array)
+    for position, quality in enumerate(k_array):
+        candidate = base_model.scaled(float(quality))
+        singles[position] = pfd_moments(candidate, 1).bound(k_factor)
+        pairs[position] = pfd_moments(candidate, 2).bound(k_factor)
+        ratios[position] = bound_gain_ratio(candidate, k_factor)
+    return BoundSweepResult(
+        parameter_values=k_array,
+        bound_ratios=ratios,
+        single_version_bounds=singles,
+        two_version_bounds=pairs,
+    )
+
+
+def bound_ratio_single_fault_sweep(
+    model: FaultModel, index: int, values: Sequence[float], k_factor: float
+) -> BoundSweepResult:
+    """Sweep a single ``p_index`` and record the Section 5 bound ratio.
+
+    Supports the Section 5.2 conjecture that this gain "may increase or
+    decrease with a process improvement that affects only one of the p_i".
+    """
+    value_array = np.asarray(values, dtype=float)
+    ratios = np.empty_like(value_array)
+    singles = np.empty_like(value_array)
+    pairs = np.empty_like(value_array)
+    for position, value in enumerate(value_array):
+        candidate = model.with_probability(index, float(value))
+        singles[position] = pfd_moments(candidate, 1).bound(k_factor)
+        pairs[position] = pfd_moments(candidate, 2).bound(k_factor)
+        ratios[position] = bound_gain_ratio(candidate, k_factor)
+    return BoundSweepResult(
+        parameter_values=value_array,
+        bound_ratios=ratios,
+        single_version_bounds=singles,
+        two_version_bounds=pairs,
+    )

@@ -1,0 +1,57 @@
+"""Demand-space substrate (Section 2.1 and Fig. 2 of the paper).
+
+The paper models the operation of a protection system as a series of *demands*
+drawn from a *demand space*; a design fault corresponds to a *failure region*,
+a subset of the demand space on which the version fails; the fault's
+contribution ``q_i`` to unreliability is the probability, under the
+operational profile, that a demand falls inside its failure region.
+
+This subpackage provides concrete demand spaces, geometric failure regions of
+the kinds reported in the literature the paper cites (boxes, balls, arrays of
+isolated points, unions of such shapes), operational profiles over those
+spaces, and the machinery to compute or estimate ``q_i`` as the profile measure
+of a region.
+"""
+
+from repro.demandspace.measure import estimate_region_probability, region_probability
+from repro.demandspace.profiles import (
+    EmpiricalProfile,
+    GridProfile,
+    MixtureProfile,
+    OperationalProfile,
+    ProductProfile,
+    TruncatedNormalMarginal,
+    UniformMarginal,
+)
+from repro.demandspace.regions import (
+    BallRegion,
+    BoxRegion,
+    EmptyRegion,
+    FailureRegion,
+    HalfSpaceRegion,
+    PointSetRegion,
+    UnionRegion,
+)
+from repro.demandspace.space import ContinuousDemandSpace, DemandSpace, DiscreteDemandSpace
+
+__all__ = [
+    "BallRegion",
+    "BoxRegion",
+    "ContinuousDemandSpace",
+    "DemandSpace",
+    "DiscreteDemandSpace",
+    "EmptyRegion",
+    "EmpiricalProfile",
+    "FailureRegion",
+    "GridProfile",
+    "HalfSpaceRegion",
+    "MixtureProfile",
+    "OperationalProfile",
+    "PointSetRegion",
+    "ProductProfile",
+    "TruncatedNormalMarginal",
+    "UniformMarginal",
+    "UnionRegion",
+    "estimate_region_probability",
+    "region_probability",
+]

@@ -1,0 +1,133 @@
+"""Probability measure of failure regions under operational profiles.
+
+The fault-creation model's ``q_i`` parameter is "the probability of a demand
+which is part of that failure region being presented to the system in
+operation" (Table 1).  This module computes it:
+
+* analytically where the geometry allows it (boxes under product profiles,
+  arbitrary regions under grid or empirical profiles);
+* by Monte Carlo estimation with a standard-error report otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.demandspace.profiles import (
+    EmpiricalProfile,
+    GridProfile,
+    OperationalProfile,
+    ProductProfile,
+)
+from repro.demandspace.regions import BoxRegion, EmptyRegion, FailureRegion, UnionRegion
+
+__all__ = ["RegionProbabilityEstimate", "region_probability", "estimate_region_probability"]
+
+
+@dataclass(frozen=True)
+class RegionProbabilityEstimate:
+    """A Monte Carlo estimate of a region probability.
+
+    Attributes
+    ----------
+    value:
+        Point estimate of the probability.
+    standard_error:
+        Binomial standard error of the estimate.
+    sample_size:
+        Number of simulated demands used.
+    """
+
+    value: float
+    standard_error: float
+    sample_size: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-theory confidence interval (clipped to ``[0, 1]``)."""
+        low = max(0.0, self.value - z * self.standard_error)
+        high = min(1.0, self.value + z * self.standard_error)
+        return (low, high)
+
+
+def region_probability(region: FailureRegion, profile: OperationalProfile) -> float | None:
+    """Analytic probability of ``region`` under ``profile`` when available.
+
+    Returns ``None`` when no closed form is implemented for the combination,
+    in which case callers should fall back to
+    :func:`estimate_region_probability`.
+
+    Closed forms implemented:
+
+    * any region under a :class:`GridProfile` or :class:`EmpiricalProfile`
+      (finite summation);
+    * :class:`EmptyRegion` under any profile (probability 0);
+    * :class:`BoxRegion` under a :class:`ProductProfile` (product of marginal
+      interval probabilities);
+    * :class:`UnionRegion` of *disjoint* boxes under a :class:`ProductProfile`
+      (inclusion-exclusion is not attempted; overlapping unions return
+      ``None``).
+    """
+    if isinstance(region, EmptyRegion):
+        return 0.0
+    if isinstance(profile, GridProfile):
+        return profile.region_probability(region)
+    if isinstance(profile, EmpiricalProfile):
+        return profile.region_probability(region)
+    if isinstance(profile, ProductProfile):
+        if isinstance(region, BoxRegion):
+            return profile.box_probability(region.lower, region.upper)
+        if isinstance(region, UnionRegion) and all(
+            isinstance(component, BoxRegion) for component in region.components
+        ):
+            boxes = [component for component in region.components if isinstance(component, BoxRegion)]
+            if _boxes_pairwise_disjoint(boxes):
+                return float(
+                    sum(profile.box_probability(box.lower, box.upper) for box in boxes)
+                )
+            return None
+    return None
+
+
+def estimate_region_probability(
+    region: FailureRegion,
+    profile: OperationalProfile,
+    rng: np.random.Generator,
+    sample_size: int = 100_000,
+) -> RegionProbabilityEstimate:
+    """Monte Carlo estimate of the probability of ``region`` under ``profile``.
+
+    Parameters
+    ----------
+    region:
+        Failure region whose probability is wanted.
+    profile:
+        Operational profile generating demands.
+    rng:
+        Random generator.
+    sample_size:
+        Number of simulated demands.
+    """
+    if sample_size < 1:
+        raise ValueError(f"sample_size must be positive, got {sample_size}")
+    demands = profile.sample(rng, sample_size)
+    hits = region.contains(demands)
+    value = float(np.mean(hits))
+    standard_error = float(np.sqrt(max(value * (1.0 - value), 0.0) / sample_size))
+    return RegionProbabilityEstimate(value=value, standard_error=standard_error, sample_size=sample_size)
+
+
+def _boxes_pairwise_disjoint(boxes: list[BoxRegion]) -> bool:
+    """True when no two boxes overlap on a set of positive volume."""
+    for first_index in range(len(boxes)):
+        for second_index in range(first_index + 1, len(boxes)):
+            first, second = boxes[first_index], boxes[second_index]
+            if first.dimension != second.dimension:
+                raise ValueError("all boxes in a union must share the same dimension")
+            overlaps = np.all(
+                (first.lower < second.upper) & (second.lower < first.upper)
+            )
+            if overlaps:
+                return False
+    return True

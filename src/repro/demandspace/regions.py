@@ -1,0 +1,228 @@
+"""Failure regions in the demand space.
+
+A design fault makes a version fail on every demand in its *failure region*
+(Section 2.1).  The literature surveyed by the paper (Bishop & Pullen; Ammann &
+Knight; Hatton & Roberts) reports failure regions with simple connected shapes
+(blobs, stripes) as well as non-intuitive, non-connected shapes such as arrays
+of isolated points.  The region classes here cover those shapes:
+
+* :class:`BoxRegion` -- axis-aligned boxes (stripes when thin in one dimension);
+* :class:`BallRegion` -- Euclidean balls (blobs);
+* :class:`HalfSpaceRegion` -- threshold-style regions (``a . x >= b``);
+* :class:`PointSetRegion` -- finite arrays of isolated failure points;
+* :class:`UnionRegion` -- unions of any of the above, for non-connected regions;
+* :class:`EmptyRegion` -- the degenerate region of a fault with no effect.
+
+Every region answers a vectorised membership test, and where the geometry
+allows it an analytic probability under simple profiles (see
+:mod:`repro.demandspace.measure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "FailureRegion",
+    "BoxRegion",
+    "BallRegion",
+    "HalfSpaceRegion",
+    "PointSetRegion",
+    "UnionRegion",
+    "EmptyRegion",
+]
+
+
+class FailureRegion:
+    """Abstract base class for failure regions.
+
+    Subclasses implement :meth:`contains` for arrays of demands.  Regions are
+    immutable value objects.
+    """
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        """Boolean array: does each row of ``demands`` fall inside the region?"""
+        raise NotImplementedError
+
+    def union(self, other: "FailureRegion") -> "FailureRegion":
+        """The union of this region with ``other``."""
+        return UnionRegion((self, other))
+
+    @staticmethod
+    def _as_matrix(demands: np.ndarray, dimension: int | None = None) -> np.ndarray:
+        array = np.asarray(demands, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        if array.ndim != 2:
+            raise ValueError(f"demands must be a 2-D array, got shape {array.shape}")
+        if dimension is not None and array.shape[1] != dimension:
+            raise ValueError(
+                f"demands must have {dimension} columns, got {array.shape[1]}"
+            )
+        return array
+
+
+@dataclass(frozen=True)
+class EmptyRegion(FailureRegion):
+    """The empty failure region (a potential fault with no failure points)."""
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        demands = self._as_matrix(demands)
+        return np.zeros(demands.shape[0], dtype=bool)
+
+
+@dataclass(frozen=True)
+class BoxRegion(FailureRegion):
+    """An axis-aligned box ``[lower_1, upper_1] x ... x [lower_d, upper_d]``."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        lower = np.atleast_1d(np.asarray(self.lower, dtype=float))
+        upper = np.atleast_1d(np.asarray(self.upper, dtype=float))
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError("lower and upper must be 1-D arrays of equal length")
+        if np.any(lower > upper):
+            raise ValueError("lower bounds must not exceed upper bounds")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the box."""
+        return int(self.lower.size)
+
+    def volume(self) -> float:
+        """Lebesgue volume of the box."""
+        return float(np.prod(self.upper - self.lower))
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        demands = self._as_matrix(demands, self.dimension)
+        return np.all((demands >= self.lower) & (demands <= self.upper), axis=1)
+
+
+@dataclass(frozen=True)
+class BallRegion(FailureRegion):
+    """A Euclidean ball of given centre and radius."""
+
+    center: np.ndarray
+    radius: float
+
+    def __post_init__(self) -> None:
+        center = np.atleast_1d(np.asarray(self.center, dtype=float))
+        if center.ndim != 1:
+            raise ValueError("center must be a 1-D array")
+        if self.radius < 0.0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+        object.__setattr__(self, "center", center)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the ball."""
+        return int(self.center.size)
+
+    def volume(self) -> float:
+        """Lebesgue volume of the ball (d-dimensional sphere volume formula)."""
+        from scipy.special import gamma
+
+        d = self.dimension
+        return float(np.pi ** (d / 2.0) / gamma(d / 2.0 + 1.0) * self.radius**d)
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        demands = self._as_matrix(demands, self.dimension)
+        distances_sq = np.sum((demands - self.center) ** 2, axis=1)
+        return distances_sq <= self.radius**2
+
+
+@dataclass(frozen=True)
+class HalfSpaceRegion(FailureRegion):
+    """The half-space ``normal . x >= offset``.
+
+    Models threshold-style faults, e.g. "fails whenever the pressure reading
+    exceeds a mis-set trip level".
+    """
+
+    normal: np.ndarray
+    offset: float
+
+    def __post_init__(self) -> None:
+        normal = np.atleast_1d(np.asarray(self.normal, dtype=float))
+        if normal.ndim != 1 or normal.size == 0:
+            raise ValueError("normal must be a non-empty 1-D array")
+        if np.allclose(normal, 0.0):
+            raise ValueError("normal must be non-zero")
+        object.__setattr__(self, "normal", normal)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the half-space."""
+        return int(self.normal.size)
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        demands = self._as_matrix(demands, self.dimension)
+        return demands @ self.normal >= self.offset
+
+
+@dataclass(frozen=True)
+class PointSetRegion(FailureRegion):
+    """A finite set of isolated failure points, with an optional match tolerance.
+
+    With ``tolerance == 0`` the region has zero measure under any continuous
+    profile but non-zero measure under a discrete profile; with a positive
+    tolerance each point becomes a small cube of half-width ``tolerance``,
+    which is how arrays of near-point failure regions are reported in practice.
+    """
+
+    points: np.ndarray
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        points = np.asarray(self.points, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(-1, 1)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty 2-D array")
+        if self.tolerance < 0.0:
+            raise ValueError(f"tolerance must be non-negative, got {self.tolerance}")
+        object.__setattr__(self, "points", points)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the points."""
+        return int(self.points.shape[1])
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        demands = self._as_matrix(demands, self.dimension)
+        result = np.zeros(demands.shape[0], dtype=bool)
+        for point in self.points:
+            result |= np.all(np.abs(demands - point) <= self.tolerance, axis=1)
+        return result
+
+
+@dataclass(frozen=True)
+class UnionRegion(FailureRegion):
+    """The union of several component regions (possibly non-connected)."""
+
+    components: tuple[FailureRegion, ...]
+
+    def __init__(self, components: Sequence[FailureRegion]):
+        flattened: list[FailureRegion] = []
+        for component in components:
+            if isinstance(component, UnionRegion):
+                flattened.extend(component.components)
+            else:
+                flattened.append(component)
+        if not flattened:
+            raise ValueError("UnionRegion requires at least one component")
+        object.__setattr__(self, "components", tuple(flattened))
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        demands = self._as_matrix(demands)
+        result = np.zeros(demands.shape[0], dtype=bool)
+        for component in self.components:
+            result |= component.contains(demands)
+        return result

@@ -1,0 +1,181 @@
+"""Demand spaces.
+
+A *demand* is the complete stimulus presented to the protection system when the
+controlled plant enters a state requiring intervention; the *demand space* is
+the set of all possible demands (the paper's Section 2.1 deliberately renames
+the traditional "input space" to avoid confusion with individual input
+variables).  Two concrete demand spaces are provided:
+
+* :class:`ContinuousDemandSpace` -- an axis-aligned box in ``d`` dimensions,
+  each dimension being one sensed plant variable (as in the paper's Fig. 2,
+  where demands are readings of two variables ``var1`` and ``var2``).
+* :class:`DiscreteDemandSpace` -- an explicit finite set of demand identifiers,
+  useful for exhaustive enumeration in tests and for point-like failure
+  regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DemandSpace", "ContinuousDemandSpace", "DiscreteDemandSpace"]
+
+
+class DemandSpace:
+    """Abstract base class for demand spaces.
+
+    Concrete subclasses expose the dimensionality of a demand and a membership
+    test so that failure regions and operational profiles can validate that
+    they live in the same space.
+    """
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinates describing a single demand."""
+        raise NotImplementedError
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        """Boolean membership of each row of ``demands`` in the space."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ContinuousDemandSpace(DemandSpace):
+    """An axis-aligned box ``[lower_1, upper_1] x ... x [lower_d, upper_d]``.
+
+    Parameters
+    ----------
+    lower, upper:
+        Arrays of per-dimension bounds, with ``lower < upper`` element-wise.
+    names:
+        Optional variable names (e.g. ``("pressure", "temperature")``) used for
+        reporting; defaults to ``var1 .. vard`` in the spirit of Fig. 2.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        lower = np.atleast_1d(np.asarray(self.lower, dtype=float))
+        upper = np.atleast_1d(np.asarray(self.upper, dtype=float))
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError("lower and upper must be 1-D arrays of the same length")
+        if lower.size == 0:
+            raise ValueError("demand space must have at least one dimension")
+        if np.any(lower >= upper):
+            raise ValueError("each lower bound must be strictly below the upper bound")
+        names = tuple(self.names) if self.names else tuple(f"var{i + 1}" for i in range(lower.size))
+        if len(names) != lower.size:
+            raise ValueError(f"expected {lower.size} names, got {len(names)}")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+        object.__setattr__(self, "names", names)
+
+    @property
+    def dimension(self) -> int:
+        return int(self.lower.size)
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Per-dimension widths of the box."""
+        return self.upper - self.lower
+
+    def volume(self) -> float:
+        """Lebesgue volume of the box."""
+        return float(np.prod(self.widths))
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        demands = self._as_demand_matrix(demands)
+        return np.all((demands >= self.lower) & (demands <= self.upper), axis=1)
+
+    def _as_demand_matrix(self, demands: np.ndarray) -> np.ndarray:
+        array = np.asarray(demands, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        if array.ndim != 2 or array.shape[1] != self.dimension:
+            raise ValueError(
+                f"demands must have shape (m, {self.dimension}), got {array.shape}"
+            )
+        return array
+
+    def grid(self, points_per_dimension: int) -> np.ndarray:
+        """A regular grid of demands covering the box.
+
+        Returns an array of shape ``(points_per_dimension**d, d)``; used for
+        deterministic numerical integration of region probabilities in low
+        dimension and for plots of failure-region layouts.
+        """
+        if points_per_dimension < 2:
+            raise ValueError("points_per_dimension must be at least 2")
+        axes = [
+            np.linspace(self.lower[i], self.upper[i], points_per_dimension)
+            for i in range(self.dimension)
+        ]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=1)
+
+    def sample_uniform(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` demands uniformly from the box."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        return self.lower + rng.random((size, self.dimension)) * self.widths
+
+    @staticmethod
+    def unit_square() -> "ContinuousDemandSpace":
+        """The two-dimensional unit square, the canonical Fig. 2 demand space."""
+        return ContinuousDemandSpace(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+
+    @staticmethod
+    def unit_cube(dimension: int) -> "ContinuousDemandSpace":
+        """The ``dimension``-dimensional unit cube."""
+        if dimension < 1:
+            raise ValueError("dimension must be positive")
+        return ContinuousDemandSpace(np.zeros(dimension), np.ones(dimension))
+
+
+@dataclass(frozen=True)
+class DiscreteDemandSpace(DemandSpace):
+    """A finite demand space of explicitly enumerated demand points.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(m, d)`` whose rows are the possible demands.
+    """
+
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        points = np.asarray(self.points, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(-1, 1)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty 2-D array")
+        object.__setattr__(self, "points", points)
+
+    @property
+    def dimension(self) -> int:
+        return int(self.points.shape[1])
+
+    @property
+    def size(self) -> int:
+        """Number of distinct demands in the space."""
+        return int(self.points.shape[0])
+
+    def contains(self, demands: np.ndarray) -> np.ndarray:
+        demands = np.asarray(demands, dtype=float)
+        if demands.ndim == 1:
+            demands = demands.reshape(1, -1)
+        matches = np.zeros(demands.shape[0], dtype=bool)
+        for index in range(demands.shape[0]):
+            matches[index] = bool(np.any(np.all(np.isclose(self.points, demands[index]), axis=1)))
+        return matches
+
+    def index_of(self, demand: np.ndarray) -> int:
+        """Index of ``demand`` in the enumeration, or ``-1`` when absent."""
+        demand = np.asarray(demand, dtype=float).reshape(1, -1)
+        hits = np.where(np.all(np.isclose(self.points, demand), axis=1))[0]
+        return int(hits[0]) if hits.size else -1

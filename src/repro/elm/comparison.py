@@ -1,0 +1,90 @@
+"""Bridging the fault-creation model and the EL/LM difficulty-function view.
+
+A fault-creation model plus an explicit failure-region geometry induces a
+difficulty function over a finite demand space: a randomly developed version
+fails on demand ``x`` exactly when at least one fault whose region contains
+``x`` is present, so
+
+    ``theta(x) = 1 - prod_{i : x in region_i} (1 - p_i)``.
+
+When every demand is covered by at most one potential fault's region, the EL
+view reproduces the fault-creation model's means exactly:
+``E[theta(X)] = sum p_i q_i`` and ``E[theta(X)^2] = sum p_i^2 q_i``.  When
+regions *overlap*, the two views diverge in opposite directions:
+
+* the single-version sum ``sum p_i q_i`` is *pessimistic* (it double-counts
+  demands shared between regions) -- the paper's Section 6.2 point;
+* the two-version sum ``sum p_i^2 q_i`` can be *optimistic*, because the two
+  channels can fail coincidentally on a shared demand through *different*
+  faults, a contribution the common-fault sum does not include, while
+  ``E[theta(X)^2]`` counts it exactly.
+
+The comparison utilities below let users quantify both gaps.  This refines the
+Section 2.2 remark that the model re-derives the EL/LM conclusions while being
+"coarser-grained", and the Section 6.2 discussion of overlapping regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+from repro.demandspace.profiles import GridProfile
+from repro.demandspace.regions import FailureRegion
+from repro.elm.difficulty import DifficultyFunction
+from repro.elm.eckhardt_lee import EckhardtLeeModel
+
+__all__ = ["difficulty_from_fault_model", "compare_fault_model_with_el"]
+
+
+def difficulty_from_fault_model(
+    model: FaultModel, regions: list[FailureRegion], profile: GridProfile
+) -> DifficultyFunction:
+    """The difficulty function induced by a fault-creation model over a finite profile.
+
+    Parameters
+    ----------
+    model:
+        Fault-creation model supplying the ``p_i``.
+    regions:
+        One failure region per potential fault (aligned with the model).
+    profile:
+        A finite :class:`~repro.demandspace.profiles.GridProfile`; the
+        difficulty is computed per grid demand.
+    """
+    if len(regions) != model.n:
+        raise ValueError(f"expected {model.n} regions, got {len(regions)}")
+    demands = profile.space.points
+    survival = np.ones(demands.shape[0], dtype=float)
+    for index, region in enumerate(regions):
+        membership = region.contains(demands)
+        survival[membership] *= 1.0 - model.p[index]
+    return DifficultyFunction(
+        demand_probabilities=profile.probabilities,
+        difficulties=1.0 - survival,
+    )
+
+
+def compare_fault_model_with_el(
+    model: FaultModel, regions: list[FailureRegion], profile: GridProfile
+) -> dict:
+    """Tabulate the fault-creation model's means against the induced EL model's.
+
+    Returns a dictionary with the single-version and two-version mean PFD under
+    both views plus the independence prediction.  Both pairs of means agree
+    exactly when the failure regions are pairwise disjoint; with overlapping
+    regions the single-version sum is pessimistic while the two-version sum can
+    be optimistic (see module docstring).
+    """
+    from repro.core.moments import single_version_mean, two_version_mean
+
+    difficulty = difficulty_from_fault_model(model, regions, profile)
+    el_model = EckhardtLeeModel(difficulty)
+    return {
+        "fault_model_mean_single": single_version_mean(model),
+        "fault_model_mean_system": two_version_mean(model),
+        "el_mean_single": el_model.mean_single_version_pfd(),
+        "el_mean_system": el_model.mean_system_pfd(),
+        "independence_prediction": el_model.independence_prediction(),
+        "el_excess_over_independence": el_model.excess_over_independence(),
+    }

@@ -1,0 +1,87 @@
+"""Difficulty functions over a finite demand space.
+
+The EL/LM models describe the development process through the *difficulty
+function* ``theta(x)``: the probability that a randomly developed version
+fails on demand ``x``.  Over a finite demand space it is just a vector aligned
+with the demand probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DifficultyFunction"]
+
+
+@dataclass(frozen=True)
+class DifficultyFunction:
+    """A difficulty function over a finite demand space.
+
+    Parameters
+    ----------
+    demand_probabilities:
+        Operational-profile probability of each demand (non-negative, summing
+        to 1).
+    difficulties:
+        ``theta(x)`` for each demand, each in ``[0, 1]``.
+    """
+
+    demand_probabilities: np.ndarray
+    difficulties: np.ndarray
+
+    def __post_init__(self) -> None:
+        probabilities = np.asarray(self.demand_probabilities, dtype=float)
+        difficulties = np.asarray(self.difficulties, dtype=float)
+        if probabilities.ndim != 1 or difficulties.ndim != 1:
+            raise ValueError("demand_probabilities and difficulties must be 1-D arrays")
+        if probabilities.size != difficulties.size:
+            raise ValueError("demand_probabilities and difficulties must have the same length")
+        if probabilities.size == 0:
+            raise ValueError("the demand space must contain at least one demand")
+        if np.any(probabilities < 0.0):
+            raise ValueError("demand probabilities must be non-negative")
+        total = probabilities.sum()
+        if not np.isclose(total, 1.0, atol=1e-8):
+            raise ValueError(f"demand probabilities must sum to 1, got {total}")
+        if np.any((difficulties < 0.0) | (difficulties > 1.0)):
+            raise ValueError("difficulties must lie in [0, 1]")
+        object.__setattr__(self, "demand_probabilities", probabilities / total)
+        object.__setattr__(self, "difficulties", difficulties)
+
+    @property
+    def size(self) -> int:
+        """Number of demands in the space."""
+        return int(self.difficulties.size)
+
+    def mean_difficulty(self) -> float:
+        """``E[theta(X)]`` -- the mean PFD of a randomly developed version."""
+        return float(np.dot(self.demand_probabilities, self.difficulties))
+
+    def moment(self, order: int) -> float:
+        """``E[theta(X)^order]`` over the operational profile."""
+        if order < 1:
+            raise ValueError(f"order must be a positive integer, got {order}")
+        return float(np.dot(self.demand_probabilities, self.difficulties**order))
+
+    def variance_of_difficulty(self) -> float:
+        """``Var[theta(X)]`` over the operational profile.
+
+        This is the quantity that drives the EL result: the excess of the
+        two-version mean PFD over the independence prediction equals exactly
+        this variance.
+        """
+        mean = self.mean_difficulty()
+        return self.moment(2) - mean**2
+
+    def covariance_with(self, other: "DifficultyFunction") -> float:
+        """``Cov[theta_self(X), theta_other(X)]`` over a shared operational profile."""
+        if other.size != self.size:
+            raise ValueError("difficulty functions must be defined over the same demand space")
+        if not np.allclose(other.demand_probabilities, self.demand_probabilities):
+            raise ValueError("difficulty functions must share the same operational profile")
+        product_mean = float(
+            np.dot(self.demand_probabilities, self.difficulties * other.difficulties)
+        )
+        return product_mean - self.mean_difficulty() * other.mean_difficulty()

@@ -1,0 +1,53 @@
+"""The Eckhardt-Lee model of coincident failures.
+
+Eckhardt & Lee (1985): versions are independent draws from a population of
+programs; the *difficulty* ``theta(x)`` is the probability that a random
+version fails on demand ``x``.  Conditional on the demand, version failures
+are independent, so for an r-version, 1-out-of-r system the mean PFD is
+``E[theta(X)^r]``.  Jensen's inequality then gives the paper's headline
+re-derivation: ``E[theta(X)^2] >= (E[theta(X)])^2`` -- on average a
+two-version system is *worse* than the "independent failures" prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.elm.difficulty import DifficultyFunction
+
+__all__ = ["EckhardtLeeModel"]
+
+
+@dataclass(frozen=True)
+class EckhardtLeeModel:
+    """The EL model: one difficulty function shared by all development teams."""
+
+    difficulty: DifficultyFunction
+
+    def mean_single_version_pfd(self) -> float:
+        """``E[theta(X)]``."""
+        return self.difficulty.mean_difficulty()
+
+    def mean_system_pfd(self, versions: int = 2) -> float:
+        """``E[theta(X)^versions]`` -- mean PFD of a 1-out-of-``versions`` system."""
+        return self.difficulty.moment(versions)
+
+    def independence_prediction(self, versions: int = 2) -> float:
+        """``(E[theta(X)])^versions`` -- the (generally optimistic) independence claim."""
+        return self.mean_single_version_pfd() ** versions
+
+    def excess_over_independence(self, versions: int = 2) -> float:
+        """``E[theta^r] - (E[theta])^r``; for ``r = 2`` this equals ``Var[theta(X)]``.
+
+        Non-negative by Jensen's inequality: the difficulty variation over the
+        demand space is exactly what makes independent development fall short
+        of independent failure.
+        """
+        return self.mean_system_pfd(versions) - self.independence_prediction(versions)
+
+    def mean_gain(self, versions: int = 2) -> float:
+        """Ratio of the system mean PFD to the single-version mean PFD."""
+        single = self.mean_single_version_pfd()
+        if single == 0.0:
+            return 1.0
+        return self.mean_system_pfd(versions) / single

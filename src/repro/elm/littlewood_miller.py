@@ -1,0 +1,69 @@
+"""The Littlewood-Miller model of coincident failures with forced diversity.
+
+Littlewood & Miller (1989) generalise Eckhardt-Lee to channels developed under
+*different* methodologies ``A`` and ``B``, each with its own difficulty
+function.  The mean PFD of the 1-out-of-2 system is then
+``E[theta_A(X) theta_B(X)]``, which can be smaller than
+``E[theta_A(X)] E[theta_B(X)]`` when the difficulties are negatively
+correlated over the demand space -- the formal argument that forced diversity
+can beat even the independence prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.elm.difficulty import DifficultyFunction
+
+__all__ = ["LittlewoodMillerModel"]
+
+
+@dataclass(frozen=True)
+class LittlewoodMillerModel:
+    """The LM model: one difficulty function per development methodology."""
+
+    difficulty_a: DifficultyFunction
+    difficulty_b: DifficultyFunction
+
+    def __post_init__(self) -> None:
+        if self.difficulty_a.size != self.difficulty_b.size:
+            raise ValueError("both difficulty functions must cover the same demand space")
+        if not np.allclose(
+            self.difficulty_a.demand_probabilities, self.difficulty_b.demand_probabilities
+        ):
+            raise ValueError("both difficulty functions must share the same operational profile")
+
+    def mean_single_version_pfd(self) -> tuple[float, float]:
+        """``(E[theta_A(X)], E[theta_B(X)])``."""
+        return (
+            self.difficulty_a.mean_difficulty(),
+            self.difficulty_b.mean_difficulty(),
+        )
+
+    def mean_system_pfd(self) -> float:
+        """``E[theta_A(X) theta_B(X)]`` -- mean PFD of the 1-out-of-2 system."""
+        return float(
+            np.dot(
+                self.difficulty_a.demand_probabilities,
+                self.difficulty_a.difficulties * self.difficulty_b.difficulties,
+            )
+        )
+
+    def independence_prediction(self) -> float:
+        """``E[theta_A(X)] * E[theta_B(X)]``."""
+        mean_a, mean_b = self.mean_single_version_pfd()
+        return mean_a * mean_b
+
+    def difficulty_covariance(self) -> float:
+        """``Cov[theta_A(X), theta_B(X)]``; negative values favour forced diversity."""
+        return self.difficulty_a.covariance_with(self.difficulty_b)
+
+    def beats_independence(self) -> bool:
+        """True when the system mean PFD is below the independence prediction.
+
+        Happens exactly when the difficulty covariance is negative -- the LM
+        argument for forcing the channels to be different.
+        """
+        return self.mean_system_pfd() < self.independence_prediction()

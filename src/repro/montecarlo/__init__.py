@@ -1,0 +1,19 @@
+"""Monte Carlo substrate.
+
+Simulation of the fault creation process end to end, used to validate every
+analytic result of the core model (and to evaluate the model once the paper's
+assumptions -- independence, non-overlap -- are relaxed, where no closed form
+exists).
+"""
+
+from repro.montecarlo.convergence import ConvergenceDiagnostics, running_mean
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.montecarlo.results import PairSimulationResult, SimulationResult
+
+__all__ = [
+    "ConvergenceDiagnostics",
+    "MonteCarloEngine",
+    "PairSimulationResult",
+    "SimulationResult",
+    "running_mean",
+]

@@ -1,0 +1,84 @@
+"""Convergence diagnostics for Monte Carlo estimates.
+
+Simulation-based checks of the paper's analytic results need evidence that the
+simulation has converged well enough for the comparison to be meaningful.  The
+diagnostics here are deliberately simple and assumption-light: running means,
+batch-means standard errors, and a relative-precision stopping criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["running_mean", "batch_means_standard_error", "ConvergenceDiagnostics"]
+
+
+def running_mean(samples: np.ndarray) -> np.ndarray:
+    """The running (cumulative) mean of a sample sequence."""
+    array = np.asarray(samples, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("samples must be a non-empty 1-D array")
+    return np.cumsum(array) / np.arange(1, array.size + 1)
+
+
+def batch_means_standard_error(samples: np.ndarray, batches: int = 20) -> float:
+    """Standard error of the mean estimated by the method of batch means.
+
+    The sample sequence is split into ``batches`` contiguous batches; the
+    standard error of the overall mean is estimated from the spread of the
+    batch means.  More robust than the naive i.i.d. formula when samples are
+    generated in correlated blocks.
+    """
+    array = np.asarray(samples, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("samples must be a non-empty 1-D array")
+    if batches < 2:
+        raise ValueError(f"batches must be at least 2, got {batches}")
+    if array.size < batches:
+        raise ValueError(f"need at least {batches} samples, got {array.size}")
+    batch_size = array.size // batches
+    trimmed = array[: batch_size * batches].reshape(batches, batch_size)
+    means = trimmed.mean(axis=1)
+    return float(np.std(means, ddof=1) / np.sqrt(batches))
+
+
+@dataclass(frozen=True)
+class ConvergenceDiagnostics:
+    """Summary of the convergence of a Monte Carlo mean estimate."""
+
+    mean: float
+    standard_error: float
+    batch_standard_error: float
+    relative_half_width: float
+    sample_size: int
+
+    @staticmethod
+    def from_samples(samples: np.ndarray, batches: int = 20, z: float = 1.96) -> "ConvergenceDiagnostics":
+        """Compute diagnostics from a sample array.
+
+        ``relative_half_width`` is the half-width of the ``z``-level confidence
+        interval divided by the absolute mean (infinite when the mean is 0).
+        """
+        array = np.asarray(samples, dtype=float)
+        if array.ndim != 1 or array.size < 2:
+            raise ValueError("samples must be a 1-D array with at least two entries")
+        mean = float(np.mean(array))
+        standard_error = float(np.std(array, ddof=1) / np.sqrt(array.size))
+        batch_se = (
+            batch_means_standard_error(array, batches) if array.size >= batches else standard_error
+        )
+        half_width = z * standard_error
+        relative = half_width / abs(mean) if mean != 0.0 else float("inf")
+        return ConvergenceDiagnostics(
+            mean=mean,
+            standard_error=standard_error,
+            batch_standard_error=batch_se,
+            relative_half_width=relative,
+            sample_size=int(array.size),
+        )
+
+    def is_converged(self, relative_tolerance: float = 0.05) -> bool:
+        """True when the relative half-width is below ``relative_tolerance``."""
+        return self.relative_half_width <= relative_tolerance

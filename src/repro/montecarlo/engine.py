@@ -1,0 +1,165 @@
+"""Monte Carlo engine for the fault creation process.
+
+The engine repeatedly "develops" versions from a development process (by
+default the paper's independent process), records the PFD and fault count of
+single versions and of 1-out-of-2 (or 1-out-of-r) systems, and packages the
+output for comparison with the analytic results of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+from repro.montecarlo.results import PairSimulationResult, SimulationResult
+from repro.stats.empirical import EmpiricalDistribution
+from repro.stats.rng import ensure_rng
+from repro.versions.generation import DevelopmentProcess, IndependentDevelopmentProcess
+
+__all__ = ["MonteCarloEngine"]
+
+
+@dataclass(frozen=True)
+class MonteCarloEngine:
+    """Simulate the fault creation process for a given model.
+
+    Parameters
+    ----------
+    model:
+        The fault-creation model.
+    process:
+        Development process to sample from; defaults to the paper's
+        independent process over ``model``.
+    """
+
+    model: FaultModel
+    process: DevelopmentProcess = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.process is None:
+            object.__setattr__(self, "process", IndependentDevelopmentProcess(self.model))
+        elif self.process.model.n != self.model.n:
+            raise ValueError("the development process must draw from the engine's fault model")
+
+    # ------------------------------------------------------------------ #
+    # Single-system simulations
+    # ------------------------------------------------------------------ #
+    def simulate_single_versions(
+        self, replications: int, rng: np.random.Generator | int | None = None
+    ) -> SimulationResult:
+        """Develop ``replications`` single versions and record PFD and fault count."""
+        generator = ensure_rng(rng)
+        matrix = self._sample_matrix(generator, replications)
+        pfds = matrix @ self.model.q
+        counts = np.sum(matrix, axis=1)
+        return SimulationResult(
+            pfds=EmpiricalDistribution(pfds),
+            fault_counts=EmpiricalDistribution(counts.astype(float)),
+            replications=replications,
+        )
+
+    def simulate_systems(
+        self,
+        replications: int,
+        versions: int = 2,
+        rng: np.random.Generator | int | None = None,
+    ) -> SimulationResult:
+        """Develop ``replications`` independent 1-out-of-``versions`` systems."""
+        if versions < 1:
+            raise ValueError(f"versions must be a positive integer, got {versions}")
+        generator = ensure_rng(rng)
+        common = np.ones((replications, self.model.n), dtype=bool)
+        for _ in range(versions):
+            common &= self._sample_matrix(generator, replications)
+        pfds = common @ self.model.q
+        counts = np.sum(common, axis=1)
+        return SimulationResult(
+            pfds=EmpiricalDistribution(pfds),
+            fault_counts=EmpiricalDistribution(counts.astype(float)),
+            replications=replications,
+        )
+
+    def simulate_paired(
+        self, replications: int, rng: np.random.Generator | int | None = None
+    ) -> PairSimulationResult:
+        """Simulate single versions and 1-out-of-2 systems from the *same* developments.
+
+        Each replication develops two versions; the first plays the role of
+        "the single version" and the pair plays the role of the system.  Using
+        the same developments for both sides gives paired (lower-variance)
+        comparisons of the gain measures.
+        """
+        generator = ensure_rng(rng)
+        first = self._sample_matrix(generator, replications)
+        second = self._sample_matrix(generator, replications)
+        common = first & second
+        single = SimulationResult(
+            pfds=EmpiricalDistribution(first @ self.model.q),
+            fault_counts=EmpiricalDistribution(np.sum(first, axis=1).astype(float)),
+            replications=replications,
+        )
+        system = SimulationResult(
+            pfds=EmpiricalDistribution(common @ self.model.q),
+            fault_counts=EmpiricalDistribution(np.sum(common, axis=1).astype(float)),
+            replications=replications,
+        )
+        return PairSimulationResult(single=single, system=system)
+
+    # ------------------------------------------------------------------ #
+    # Comparison with analytic predictions
+    # ------------------------------------------------------------------ #
+    def compare_with_analytic(
+        self, replications: int, rng: np.random.Generator | int | None = None
+    ) -> dict:
+        """Simulate and tabulate simulated-versus-analytic headline quantities.
+
+        Returns a dictionary with, for each quantity (mean and standard
+        deviation of the single-version and system PFD, probability of any
+        fault / any common fault), the analytic value, the simulated value and
+        the simulation standard error where applicable.
+        """
+        from repro.core.moments import pfd_moments
+        from repro.core.no_common_faults import prob_any_common_fault, prob_any_fault
+
+        result = self.simulate_paired(replications, rng)
+        single_moments = pfd_moments(self.model, 1)
+        system_moments = pfd_moments(self.model, 2)
+        return {
+            "replications": replications,
+            "mean_single": {
+                "analytic": single_moments.mean,
+                "simulated": result.single.mean_pfd(),
+                "standard_error": result.single.pfds.mean_standard_error(),
+            },
+            "mean_system": {
+                "analytic": system_moments.mean,
+                "simulated": result.system.mean_pfd(),
+                "standard_error": result.system.pfds.mean_standard_error(),
+            },
+            "std_single": {
+                "analytic": single_moments.std,
+                "simulated": result.single.std_pfd(),
+            },
+            "std_system": {
+                "analytic": system_moments.std,
+                "simulated": result.system.std_pfd(),
+            },
+            "prob_any_fault": {
+                "analytic": prob_any_fault(self.model),
+                "simulated": result.single.prob_any_fault(),
+            },
+            "prob_any_common_fault": {
+                "analytic": prob_any_common_fault(self.model),
+                "simulated": result.system.prob_any_fault(),
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _sample_matrix(self, rng: np.random.Generator, replications: int) -> np.ndarray:
+        if replications < 1:
+            raise ValueError(f"replications must be positive, got {replications}")
+        return self.process.sample_fault_matrix(rng, replications)

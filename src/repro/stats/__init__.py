@@ -1,0 +1,49 @@
+"""Statistical substrate for the fault-creation-process model.
+
+This subpackage provides the probability machinery that the core model in
+:mod:`repro.core` is built on:
+
+* :class:`~repro.stats.poisson_binomial.PoissonBinomial` -- the distribution of
+  the number of faults present in a version (a sum of independent, non-identical
+  Bernoulli variables).
+* :class:`~repro.stats.discrete.DiscreteDistribution` -- finite discrete
+  distributions with convolution, used for the exact distribution of the
+  probability of failure on demand (PFD).
+* :mod:`~repro.stats.normal` -- normal-distribution helpers used by the paper's
+  Section 5 (confidence bounds under the normal approximation), including a
+  Berry-Esseen error bound for judging the approximation quality.
+* :mod:`~repro.stats.empirical` -- empirical CDFs, quantiles and bootstrap
+  confidence intervals for Monte Carlo output.
+* :mod:`~repro.stats.rng` -- reproducible random-generator management.
+"""
+
+from repro.stats.discrete import DiscreteDistribution
+from repro.stats.empirical import (
+    EmpiricalDistribution,
+    bootstrap_confidence_interval,
+    empirical_cdf,
+    empirical_quantile,
+)
+from repro.stats.normal import (
+    NormalApproximation,
+    berry_esseen_bound,
+    normal_cdf,
+    normal_quantile,
+)
+from repro.stats.poisson_binomial import PoissonBinomial
+from repro.stats.rng import default_rng, spawn_rngs
+
+__all__ = [
+    "DiscreteDistribution",
+    "EmpiricalDistribution",
+    "NormalApproximation",
+    "PoissonBinomial",
+    "berry_esseen_bound",
+    "bootstrap_confidence_interval",
+    "default_rng",
+    "empirical_cdf",
+    "empirical_quantile",
+    "normal_cdf",
+    "normal_quantile",
+    "spawn_rngs",
+]

@@ -1,0 +1,223 @@
+"""Finite discrete probability distributions.
+
+The probability of failure on demand (PFD) of a version in the fault-creation
+model is a sum of independent two-point random variables: the ``i``-th takes
+the value ``q_i`` with probability ``p_i`` and ``0`` otherwise (Section 3 of
+the paper).  Its exact distribution is therefore a finite discrete distribution
+whose support grows by convolution.  :class:`DiscreteDistribution` provides the
+convolution machinery, with optional support collapsing (binning of nearly
+equal support points) so that exact-to-within-tolerance distributions remain
+tractable for models with many potential faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DiscreteDistribution"]
+
+
+@dataclass(frozen=True)
+class DiscreteDistribution:
+    """A probability distribution on a finite set of real support points.
+
+    Parameters
+    ----------
+    support:
+        Sorted, strictly increasing array of support points.
+    probabilities:
+        Probabilities associated with each support point; non-negative and
+        summing to 1 (within floating-point tolerance).
+    """
+
+    support: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        support = np.asarray(self.support, dtype=float)
+        probabilities = np.asarray(self.probabilities, dtype=float)
+        if support.ndim != 1 or probabilities.ndim != 1:
+            raise ValueError("support and probabilities must be 1-D arrays")
+        if support.size != probabilities.size:
+            raise ValueError(
+                f"support ({support.size}) and probabilities ({probabilities.size}) "
+                "must have the same length"
+            )
+        if support.size == 0:
+            raise ValueError("distribution must have at least one support point")
+        if np.any(probabilities < -1e-12):
+            raise ValueError("probabilities must be non-negative")
+        probabilities = np.clip(probabilities, 0.0, None)
+        total = probabilities.sum()
+        if not np.isclose(total, 1.0, rtol=0.0, atol=1e-8):
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+        order = np.argsort(support, kind="stable")
+        support = support[order]
+        probabilities = probabilities[order] / total
+        # Merge duplicate support points.
+        if support.size > 1 and np.any(np.diff(support) == 0.0):
+            unique, inverse = np.unique(support, return_inverse=True)
+            merged = np.zeros_like(unique)
+            np.add.at(merged, inverse, probabilities)
+            support, probabilities = unique, merged
+        object.__setattr__(self, "support", support)
+        object.__setattr__(self, "probabilities", probabilities)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def point_mass(value: float) -> "DiscreteDistribution":
+        """Distribution concentrated at a single value."""
+        return DiscreteDistribution(np.array([float(value)]), np.array([1.0]))
+
+    @staticmethod
+    def two_point(value: float, probability: float) -> "DiscreteDistribution":
+        """Distribution of a variable equal to ``value`` w.p. ``probability``, else 0.
+
+        This is the contribution of a single potential fault to the PFD: the
+        fault's failure-region probability ``q_i`` with probability ``p_i``,
+        zero otherwise.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if value == 0.0 or probability == 0.0:
+            return DiscreteDistribution.point_mass(0.0)
+        if probability == 1.0:
+            return DiscreteDistribution.point_mass(value)
+        return DiscreteDistribution(
+            np.array([0.0, float(value)]), np.array([1.0 - probability, probability])
+        )
+
+    # ------------------------------------------------------------------ #
+    # Moments and probabilities
+    # ------------------------------------------------------------------ #
+    def mean(self) -> float:
+        """Expected value."""
+        return float(np.dot(self.support, self.probabilities))
+
+    def variance(self) -> float:
+        """Variance."""
+        mean = self.mean()
+        return float(np.dot((self.support - mean) ** 2, self.probabilities))
+
+    def std(self) -> float:
+        """Standard deviation."""
+        return float(np.sqrt(self.variance()))
+
+    def cdf(self, x: float | np.ndarray) -> np.ndarray | float:
+        """``P(X <= x)`` evaluated at scalar or array ``x``."""
+        x_array = np.asarray(x, dtype=float)
+        cumulative = np.cumsum(self.probabilities)
+        indices = np.searchsorted(self.support, x_array, side="right")
+        values = np.where(indices > 0, cumulative[np.minimum(indices, cumulative.size) - 1], 0.0)
+        if np.isscalar(x) or x_array.ndim == 0:
+            return float(values)
+        return values
+
+    def survival(self, x: float) -> float:
+        """``P(X > x)``, the exceedance probability used for PFD-bound risks."""
+        return float(1.0 - self.cdf(x))
+
+    def quantile(self, level: float) -> float:
+        """Smallest support point ``x`` with ``P(X <= x) >= level``."""
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"level must be in [0, 1], got {level}")
+        cumulative = np.cumsum(self.probabilities)
+        index = int(np.searchsorted(cumulative, level - 1e-15, side="left"))
+        index = min(index, self.support.size - 1)
+        return float(self.support[index])
+
+    def prob_zero(self) -> float:
+        """``P(X = 0)`` -- for PFD distributions, the probability of a fault-free product."""
+        zero_indices = np.isclose(self.support, 0.0, atol=0.0)
+        return float(np.sum(self.probabilities[zero_indices]))
+
+    # ------------------------------------------------------------------ #
+    # Convolution
+    # ------------------------------------------------------------------ #
+    def convolve(
+        self, other: "DiscreteDistribution", max_support: int | None = None
+    ) -> "DiscreteDistribution":
+        """Distribution of the sum of two independent variables.
+
+        Parameters
+        ----------
+        other:
+            Distribution of the independent second summand.
+        max_support:
+            When given and the convolution support would exceed this size, the
+            result is collapsed onto a grid of ``max_support`` points (see
+            :meth:`collapse`).  This keeps an "exact to within tolerance"
+            distribution tractable when convolving hundreds of fault
+            contributions.
+        """
+        sums = self.support[:, np.newaxis] + other.support[np.newaxis, :]
+        weights = self.probabilities[:, np.newaxis] * other.probabilities[np.newaxis, :]
+        flat_sums = sums.ravel()
+        flat_weights = weights.ravel()
+        unique, inverse = np.unique(flat_sums, return_inverse=True)
+        merged = np.zeros_like(unique)
+        np.add.at(merged, inverse, flat_weights)
+        result = DiscreteDistribution(unique, merged)
+        if max_support is not None and result.support.size > max_support:
+            result = result.collapse(max_support)
+        return result
+
+    def collapse(self, max_support: int) -> "DiscreteDistribution":
+        """Collapse the support onto at most ``max_support`` points.
+
+        Support points are merged into equal-width bins spanning the support
+        range; each bin is represented by its probability-weighted mean, so the
+        distribution's mean is preserved exactly and its variance is preserved
+        to within the bin width.
+        """
+        if max_support < 2:
+            raise ValueError(f"max_support must be >= 2, got {max_support}")
+        if self.support.size <= max_support:
+            return self
+        low, high = float(self.support[0]), float(self.support[-1])
+        if high == low:
+            return DiscreteDistribution.point_mass(low)
+        edges = np.linspace(low, high, max_support + 1)
+        bin_index = np.clip(np.searchsorted(edges, self.support, side="right") - 1, 0, max_support - 1)
+        probability_sums = np.zeros(max_support)
+        weighted_sums = np.zeros(max_support)
+        np.add.at(probability_sums, bin_index, self.probabilities)
+        np.add.at(weighted_sums, bin_index, self.probabilities * self.support)
+        occupied = probability_sums > 0.0
+        new_support = weighted_sums[occupied] / probability_sums[occupied]
+        new_probabilities = probability_sums[occupied]
+        return DiscreteDistribution(new_support, new_probabilities)
+
+    @staticmethod
+    def convolve_many(
+        components: list["DiscreteDistribution"], max_support: int | None = None
+    ) -> "DiscreteDistribution":
+        """Convolve a list of independent components.
+
+        Components are combined pairwise (balanced tree order) which keeps
+        intermediate supports small compared to a left fold.
+        """
+        if not components:
+            return DiscreteDistribution.point_mass(0.0)
+        current = list(components)
+        while len(current) > 1:
+            next_round: list[DiscreteDistribution] = []
+            for index in range(0, len(current) - 1, 2):
+                next_round.append(current[index].convolve(current[index + 1], max_support=max_support))
+            if len(current) % 2 == 1:
+                next_round.append(current[-1])
+            current = next_round
+        return current[0]
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` independent values from the distribution."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        return rng.choice(self.support, size=size, p=self.probabilities)

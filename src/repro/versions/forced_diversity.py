@@ -1,0 +1,143 @@
+"""Forced diversity: channels developed by different processes.
+
+The paper restricts its analysis to "non-forced" diversity -- the two channels
+are developed by the *same* process, just separately -- and argues this is a
+worst case for real systems in which forced or functional diversity is added.
+This module provides the natural extension used to explore that claim: the two
+channels draw from the same population of potential faults (the same failure
+regions ``q_i``), but with *different* introduction probabilities
+``p_i^A`` and ``p_i^B`` (e.g. because the teams use different methods, tools
+or languages that make different mistakes likely).
+
+With independent developments the probability that fault ``i`` is common to
+both channels is ``p_i^A * p_i^B``, so the analytic results of the core model
+generalise directly and are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+from repro.versions.generation import IndependentDevelopmentProcess
+from repro.versions.version import VersionPair
+
+__all__ = ["ForcedDiversityPair"]
+
+
+@dataclass(frozen=True)
+class ForcedDiversityPair:
+    """A 1-out-of-2 system whose channels come from different development processes.
+
+    Parameters
+    ----------
+    channel_a_model, channel_b_model:
+        Fault-creation models for the two channels.  They must describe the
+        same population of potential faults: equal length and equal ``q``
+        vectors (the failure regions are properties of the *problem*, not of
+        the team), but may have different ``p`` vectors.
+    """
+
+    channel_a_model: FaultModel
+    channel_b_model: FaultModel
+
+    def __post_init__(self) -> None:
+        if self.channel_a_model.n != self.channel_b_model.n:
+            raise ValueError("both channels must share the same population of potential faults")
+        if not np.allclose(self.channel_a_model.q, self.channel_b_model.q):
+            raise ValueError(
+                "the q vectors of the two channels must be identical: failure regions "
+                "are properties of the problem, not of the development team"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of potential faults."""
+        return self.channel_a_model.n
+
+    @property
+    def q(self) -> np.ndarray:
+        """Shared failure-region probabilities."""
+        return self.channel_a_model.q
+
+    # ------------------------------------------------------------------ #
+    # Analytic results (independent developments)
+    # ------------------------------------------------------------------ #
+    def common_fault_probabilities(self) -> np.ndarray:
+        """``p_i^A * p_i^B`` -- probability of each fault being common to both channels."""
+        return self.channel_a_model.p * self.channel_b_model.p
+
+    def mean_system_pfd(self) -> float:
+        """``E[Theta_2] = sum p_i^A p_i^B q_i``."""
+        return float(np.sum(self.common_fault_probabilities() * self.q))
+
+    def variance_system_pfd(self) -> float:
+        """``Var[Theta_2] = sum c_i (1 - c_i) q_i^2`` with ``c_i = p_i^A p_i^B``."""
+        common = self.common_fault_probabilities()
+        return float(np.sum(common * (1.0 - common) * self.q**2))
+
+    def std_system_pfd(self) -> float:
+        """Standard deviation of the system PFD."""
+        return float(np.sqrt(self.variance_system_pfd()))
+
+    def prob_no_common_fault(self) -> float:
+        """``P(N_2 = 0) = prod (1 - p_i^A p_i^B)``."""
+        return float(np.prod(1.0 - self.common_fault_probabilities()))
+
+    def prob_any_common_fault(self) -> float:
+        """``P(N_2 > 0)``."""
+        return 1.0 - self.prob_no_common_fault()
+
+    def mean_channel_pfds(self) -> tuple[float, float]:
+        """``(E[Theta_1^A], E[Theta_1^B])`` -- mean PFD of each channel alone."""
+        return (
+            float(np.sum(self.channel_a_model.p * self.q)),
+            float(np.sum(self.channel_b_model.p * self.q)),
+        )
+
+    def mean_gain_over_best_channel(self) -> float:
+        """Ratio of the system mean PFD to the *better* channel's mean PFD.
+
+        The conservative comparison an assessor would make: diversity is
+        compared against simply deploying the best single channel.
+        """
+        best_channel = min(self.mean_channel_pfds())
+        if best_channel == 0.0:
+            return 1.0
+        return self.mean_system_pfd() / best_channel
+
+    def as_symmetric_model(self) -> FaultModel:
+        """An equivalent symmetric (non-forced) model with ``p_i = sqrt(p_i^A p_i^B)``.
+
+        The symmetric model has the same common-fault probabilities, and hence
+        the same system-level quantities, as the forced-diversity pair; it is
+        the bridge back to the paper's formulas.
+        """
+        return FaultModel(
+            p=np.sqrt(self.common_fault_probabilities()),
+            q=self.q.copy(),
+            names=self.channel_a_model.names,
+            strict=self.channel_a_model.strict,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def sample_pair(self, rng: np.random.Generator) -> VersionPair:
+        """Develop one version per channel, independently."""
+        process_a = IndependentDevelopmentProcess(self.channel_a_model)
+        process_b = IndependentDevelopmentProcess(self.channel_b_model)
+        return VersionPair(
+            channel_a=process_a.sample_version(rng),
+            channel_b=process_b.sample_version(rng),
+        )
+
+    def sample_system_pfds(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Sample ``count`` system PFD values (independent channel developments)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        matrix_a = rng.random((count, self.n)) < self.channel_a_model.p[np.newaxis, :]
+        matrix_b = rng.random((count, self.n)) < self.channel_b_model.p[np.newaxis, :]
+        return (matrix_a & matrix_b) @ self.q

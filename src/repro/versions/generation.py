@@ -1,0 +1,97 @@
+"""Development processes: sampling versions from the fault-creation model.
+
+The baseline process of the paper introduces each fault independently with its
+probability ``p_i`` ("it is as though the design team, faced with the
+possibility of inserting a fault, tossed dice to decide whether to insert it
+or not", Section 2.2).  Alternative processes relaxing the independence
+assumption live in :mod:`repro.versions.correlated`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+from repro.versions.version import DevelopedVersion, VersionPair
+
+__all__ = ["DevelopmentProcess", "IndependentDevelopmentProcess"]
+
+
+class DevelopmentProcess:
+    """Abstract base class for development processes.
+
+    A development process knows how to produce fault-presence indicator
+    matrices; everything else (PFD evaluation, pairing, statistics) is shared.
+    """
+
+    #: The fault-creation model the process draws from.
+    model: FaultModel
+
+    def sample_fault_matrix(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Sample a ``(count, n)`` boolean matrix of fault presence indicators."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared conveniences
+    # ------------------------------------------------------------------ #
+    def sample_version(self, rng: np.random.Generator) -> DevelopedVersion:
+        """Develop a single version."""
+        matrix = self.sample_fault_matrix(rng, 1)
+        return DevelopedVersion(model=self.model, fault_present=matrix[0])
+
+    def sample_versions(self, rng: np.random.Generator, count: int) -> list[DevelopedVersion]:
+        """Develop ``count`` versions independently."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        matrix = self.sample_fault_matrix(rng, count)
+        return [DevelopedVersion(model=self.model, fault_present=row) for row in matrix]
+
+    def sample_pair(self, rng: np.random.Generator) -> VersionPair:
+        """Develop a pair of versions for a 1-out-of-2 system (separate developments)."""
+        versions = self.sample_versions(rng, 2)
+        return VersionPair(channel_a=versions[0], channel_b=versions[1])
+
+    def sample_pairs(self, rng: np.random.Generator, count: int) -> list[VersionPair]:
+        """Develop ``count`` independent version pairs."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        matrix = self.sample_fault_matrix(rng, 2 * count)
+        return [
+            VersionPair(
+                channel_a=DevelopedVersion(model=self.model, fault_present=matrix[2 * i]),
+                channel_b=DevelopedVersion(model=self.model, fault_present=matrix[2 * i + 1]),
+            )
+            for i in range(count)
+        ]
+
+    def sample_pfds(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Sample ``count`` single-version PFD values without materialising version objects."""
+        matrix = self.sample_fault_matrix(rng, count)
+        return matrix @ self.model.q
+
+    def sample_system_pfds(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Sample ``count`` 1-out-of-2 system PFD values (independent pairs)."""
+        first = self.sample_fault_matrix(rng, count)
+        second = self.sample_fault_matrix(rng, count)
+        return (first & second) @ self.model.q
+
+
+@dataclass(frozen=True)
+class IndependentDevelopmentProcess(DevelopmentProcess):
+    """The paper's baseline process: independent fault introduction.
+
+    Each fault ``i`` is present with probability ``p_i`` independently of all
+    other faults and of the other channel's development.
+    """
+
+    model: FaultModel
+
+    def sample_fault_matrix(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return np.zeros((0, self.model.n), dtype=bool)
+        uniforms = rng.random((count, self.model.n))
+        return uniforms < self.model.p[np.newaxis, :]

@@ -1,0 +1,135 @@
+"""Developed versions and version pairs.
+
+A *developed version* is the outcome of one run of the fault creation process:
+a subset of the potential faults is present in it.  Under the paper's
+assumptions (non-overlapping failure regions) its PFD is the sum of the
+``q_i`` of the faults present.  A *version pair* is two versions intended for
+the two channels of a 1-out-of-2 system; the pair's PFD is the sum of the
+``q_i`` of the faults common to both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+
+__all__ = ["DevelopedVersion", "VersionPair"]
+
+
+@dataclass(frozen=True)
+class DevelopedVersion:
+    """A single developed version: which potential faults it actually contains.
+
+    Parameters
+    ----------
+    model:
+        The fault-creation model the version was sampled from.
+    fault_present:
+        Boolean vector of length ``model.n``; ``True`` where the fault is
+        present in this version.
+    """
+
+    model: FaultModel
+    fault_present: np.ndarray
+
+    def __post_init__(self) -> None:
+        fault_present = np.asarray(self.fault_present, dtype=bool)
+        if fault_present.ndim != 1 or fault_present.size != self.model.n:
+            raise ValueError(
+                f"fault_present must be a boolean vector of length {self.model.n}, "
+                f"got shape {fault_present.shape}"
+            )
+        object.__setattr__(self, "fault_present", fault_present)
+
+    @property
+    def fault_count(self) -> int:
+        """Number of faults present in the version (a realisation of ``N_1``)."""
+        return int(np.sum(self.fault_present))
+
+    @property
+    def fault_indices(self) -> np.ndarray:
+        """Indices of the faults present."""
+        return np.where(self.fault_present)[0]
+
+    @property
+    def fault_names(self) -> tuple[str, ...]:
+        """Names of the faults present."""
+        return tuple(self.model.names[i] for i in self.fault_indices)
+
+    def pfd(self) -> float:
+        """The version's probability of failure on demand (sum of ``q_i`` present)."""
+        return float(np.sum(self.model.q[self.fault_present]))
+
+    def is_fault_free(self) -> bool:
+        """True when the version contains no fault at all."""
+        return not bool(np.any(self.fault_present))
+
+    def fails_on(self, demand_in_region: np.ndarray) -> np.ndarray:
+        """Whether the version fails on each of a batch of demands.
+
+        Parameters
+        ----------
+        demand_in_region:
+            Boolean array of shape ``(m, n)`` where entry ``(d, i)`` says
+            whether demand ``d`` lies in fault ``i``'s failure region (as
+            produced by :mod:`repro.demandspace`).
+
+        Returns
+        -------
+        Boolean array of length ``m``: the version fails on a demand exactly
+        when the demand lies in the failure region of at least one fault the
+        version contains.
+        """
+        membership = np.asarray(demand_in_region, dtype=bool)
+        if membership.ndim != 2 or membership.shape[1] != self.model.n:
+            raise ValueError(
+                f"demand_in_region must have shape (m, {self.model.n}), got {membership.shape}"
+            )
+        return np.any(membership[:, self.fault_present], axis=1)
+
+    def common_faults(self, other: "DevelopedVersion") -> np.ndarray:
+        """Boolean vector of the faults present in both this version and ``other``."""
+        if other.model.n != self.model.n:
+            raise ValueError("versions must be drawn from fault populations of the same size")
+        return self.fault_present & other.fault_present
+
+
+@dataclass(frozen=True)
+class VersionPair:
+    """Two developed versions destined for the two channels of a 1-out-of-2 system."""
+
+    channel_a: DevelopedVersion
+    channel_b: DevelopedVersion
+
+    def __post_init__(self) -> None:
+        if self.channel_a.model.n != self.channel_b.model.n:
+            raise ValueError("both channels must be drawn from fault populations of the same size")
+
+    @property
+    def common_fault_present(self) -> np.ndarray:
+        """Boolean vector of faults present in both channels."""
+        return self.channel_a.common_faults(self.channel_b)
+
+    @property
+    def common_fault_count(self) -> int:
+        """Number of common faults (a realisation of ``N_2``)."""
+        return int(np.sum(self.common_fault_present))
+
+    def system_pfd(self) -> float:
+        """PFD of the 1-out-of-2 system: sum of ``q_i`` over the common faults."""
+        return float(np.sum(self.channel_a.model.q[self.common_fault_present]))
+
+    def has_common_fault(self) -> bool:
+        """True when at least one fault is common to both channels."""
+        return bool(np.any(self.common_fault_present))
+
+    def system_fails_on(self, demand_in_region: np.ndarray) -> np.ndarray:
+        """Whether the 1-out-of-2 system fails on each of a batch of demands.
+
+        The system fails on a demand exactly when *both* channels fail on it
+        (perfect OR adjudication of shut-down outputs).
+        """
+        return self.channel_a.fails_on(demand_in_region) & self.channel_b.fails_on(demand_in_region)

@@ -1,0 +1,89 @@
+"""Tests for adjudicators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adjudication.adjudicators import (
+    MOutOfNAdjudicator,
+    OneOutOfNAdjudicator,
+    UnanimityAdjudicator,
+)
+
+
+class TestOneOutOfN:
+    def test_fails_only_when_all_channels_fail(self):
+        adjudicator = OneOutOfNAdjudicator()
+        failures = np.array(
+            [[True, True], [True, False], [False, True], [False, False]]
+        )
+        np.testing.assert_array_equal(
+            adjudicator.system_failures(failures), [True, False, False, False]
+        )
+
+    def test_single_demand_vector(self):
+        adjudicator = OneOutOfNAdjudicator()
+        assert adjudicator.system_failures(np.array([True, True]))[0]
+        assert not adjudicator.system_failures(np.array([True, False]))[0]
+
+    def test_three_channels(self):
+        adjudicator = OneOutOfNAdjudicator()
+        failures = np.array([[True, True, True], [True, True, False]])
+        np.testing.assert_array_equal(adjudicator.system_failures(failures), [True, False])
+
+    def test_rejects_empty_channels(self):
+        with pytest.raises(ValueError):
+            OneOutOfNAdjudicator().system_failures(np.zeros((3, 0), dtype=bool))
+
+
+class TestUnanimity:
+    def test_fails_when_any_channel_fails(self):
+        adjudicator = UnanimityAdjudicator()
+        failures = np.array([[True, False], [False, False]])
+        np.testing.assert_array_equal(adjudicator.system_failures(failures), [True, False])
+
+
+class TestMOutOfN:
+    def test_two_out_of_three_voting(self):
+        adjudicator = MOutOfNAdjudicator(required_correct=2, channels=3)
+        failures = np.array(
+            [
+                [False, False, False],  # all correct -> success
+                [True, False, False],  # 2 correct -> success
+                [True, True, False],  # 1 correct -> failure
+                [True, True, True],  # 0 correct -> failure
+            ]
+        )
+        np.testing.assert_array_equal(
+            adjudicator.system_failures(failures), [False, False, True, True]
+        )
+
+    def test_one_out_of_two_equivalence(self):
+        moon = MOutOfNAdjudicator(required_correct=1, channels=2)
+        oon = OneOutOfNAdjudicator()
+        failures = np.array([[True, True], [True, False], [False, False]])
+        np.testing.assert_array_equal(
+            moon.system_failures(failures), oon.system_failures(failures)
+        )
+
+    def test_n_out_of_n_equivalence_to_unanimity(self):
+        moon = MOutOfNAdjudicator(required_correct=2, channels=2)
+        unanimity = UnanimityAdjudicator()
+        failures = np.array([[True, False], [False, False], [True, True]])
+        np.testing.assert_array_equal(
+            moon.system_failures(failures), unanimity.system_failures(failures)
+        )
+
+    def test_rejects_wrong_channel_count(self):
+        adjudicator = MOutOfNAdjudicator(required_correct=2, channels=3)
+        with pytest.raises(ValueError):
+            adjudicator.system_failures(np.array([[True, False]]))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MOutOfNAdjudicator(required_correct=0, channels=2)
+        with pytest.raises(ValueError):
+            MOutOfNAdjudicator(required_correct=3, channels=2)
+        with pytest.raises(ValueError):
+            MOutOfNAdjudicator(required_correct=1, channels=0)

@@ -1,0 +1,146 @@
+"""Tests for the N-version system architecture simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adjudication.adjudicators import MOutOfNAdjudicator, OneOutOfNAdjudicator
+from repro.adjudication.architectures import NVersionSystem
+from repro.core.fault_model import FaultModel
+from repro.demandspace.profiles import ProductProfile
+from repro.demandspace.regions import BoxRegion
+from repro.demandspace.space import ContinuousDemandSpace
+from repro.versions.version import DevelopedVersion
+
+
+@pytest.fixture
+def geometry():
+    """A two-fault model with disjoint box failure regions on the unit square."""
+    space = ContinuousDemandSpace.unit_square()
+    profile = ProductProfile.uniform(space)
+    regions = [
+        BoxRegion(np.array([0.0, 0.0]), np.array([0.2, 0.5])),  # q = 0.1
+        BoxRegion(np.array([0.6, 0.0]), np.array([1.0, 0.5])),  # q = 0.2
+    ]
+    model = FaultModel(p=np.array([0.5, 0.5]), q=np.array([0.1, 0.2]))
+    return model, regions, profile
+
+
+class TestConstruction:
+    def test_rejects_no_versions(self, geometry):
+        model, regions, profile = geometry
+        with pytest.raises(ValueError):
+            NVersionSystem([], regions, profile)
+
+    def test_rejects_region_count_mismatch(self, geometry):
+        model, regions, profile = geometry
+        version = DevelopedVersion(model, np.array([True, False]))
+        with pytest.raises(ValueError):
+            NVersionSystem([version], regions[:1], profile)
+
+    def test_rejects_mixed_fault_populations(self, geometry):
+        model, regions, profile = geometry
+        other = FaultModel(p=np.array([0.5]), q=np.array([0.1]))
+        with pytest.raises(ValueError):
+            NVersionSystem(
+                [
+                    DevelopedVersion(model, np.array([True, False])),
+                    DevelopedVersion(other, np.array([True])),
+                ],
+                regions,
+                profile,
+            )
+
+    def test_properties(self, geometry):
+        model, regions, profile = geometry
+        version = DevelopedVersion(model, np.array([True, True]))
+        system = NVersionSystem([version, version], regions, profile)
+        assert system.channel_count == 2
+        assert system.fault_count == 2
+
+
+class TestAnalyticPfd:
+    def test_common_fault_pfd(self, geometry):
+        model, regions, profile = geometry
+        channel_a = DevelopedVersion(model, np.array([True, True]))
+        channel_b = DevelopedVersion(model, np.array([True, False]))
+        system = NVersionSystem([channel_a, channel_b], regions, profile)
+        np.testing.assert_array_equal(system.common_fault_indicator(), [True, False])
+        assert system.analytic_system_pfd() == pytest.approx(0.1)
+
+    def test_no_common_fault_gives_zero(self, geometry):
+        model, regions, profile = geometry
+        channel_a = DevelopedVersion(model, np.array([True, False]))
+        channel_b = DevelopedVersion(model, np.array([False, True]))
+        system = NVersionSystem([channel_a, channel_b], regions, profile)
+        assert system.analytic_system_pfd() == 0.0
+
+    def test_analytic_rejected_for_voting_adjudicator(self, geometry):
+        model, regions, profile = geometry
+        version = DevelopedVersion(model, np.array([True, False]))
+        system = NVersionSystem(
+            [version, version, version],
+            regions,
+            profile,
+            adjudicator=MOutOfNAdjudicator(required_correct=2, channels=3),
+        )
+        with pytest.raises(ValueError):
+            system.analytic_system_pfd()
+
+
+class TestSimulation:
+    def test_simulation_matches_analytic_pfd(self, geometry):
+        model, regions, profile = geometry
+        channel_a = DevelopedVersion(model, np.array([True, True]))
+        channel_b = DevelopedVersion(model, np.array([True, False]))
+        system = NVersionSystem([channel_a, channel_b], regions, profile)
+        result = system.simulate(np.random.default_rng(0), demands=200_000)
+        assert result.system_pfd_estimate == pytest.approx(
+            system.analytic_system_pfd(), abs=4 * result.system_pfd_standard_error
+        )
+
+    def test_channel_pfd_estimates(self, geometry):
+        model, regions, profile = geometry
+        channel_a = DevelopedVersion(model, np.array([True, True]))
+        channel_b = DevelopedVersion(model, np.array([False, True]))
+        system = NVersionSystem([channel_a, channel_b], regions, profile)
+        result = system.simulate(np.random.default_rng(1), demands=100_000)
+        estimates = result.channel_pfd_estimates
+        assert estimates[0] == pytest.approx(0.3, abs=0.01)
+        assert estimates[1] == pytest.approx(0.2, abs=0.01)
+
+    def test_single_channel_system(self, geometry):
+        model, regions, profile = geometry
+        version = DevelopedVersion(model, np.array([False, True]))
+        system = NVersionSystem([version], regions, profile)
+        result = system.simulate(np.random.default_rng(2), demands=50_000)
+        assert result.system_pfd_estimate == pytest.approx(0.2, abs=0.01)
+
+    def test_voting_adjudicator_simulation(self, geometry):
+        model, regions, profile = geometry
+        # Three channels; only one contains fault 1, so 2-out-of-3 never fails.
+        faulty = DevelopedVersion(model, np.array([False, True]))
+        clean = DevelopedVersion(model, np.array([False, False]))
+        system = NVersionSystem(
+            [faulty, clean, clean],
+            regions,
+            profile,
+            adjudicator=MOutOfNAdjudicator(required_correct=2, channels=3),
+        )
+        result = system.simulate(np.random.default_rng(3), demands=20_000)
+        assert result.system_failure_count == 0
+        assert result.channel_failure_counts[0] > 0
+
+    def test_simulation_rejects_bad_demand_count(self, geometry):
+        model, regions, profile = geometry
+        version = DevelopedVersion(model, np.array([True, False]))
+        system = NVersionSystem([version], regions, profile)
+        with pytest.raises(ValueError):
+            system.simulate(np.random.default_rng(4), demands=0)
+
+    def test_default_adjudicator_is_one_out_of_n(self, geometry):
+        model, regions, profile = geometry
+        version = DevelopedVersion(model, np.array([True, False]))
+        system = NVersionSystem([version, version], regions, profile)
+        assert isinstance(system.adjudicator, OneOutOfNAdjudicator)

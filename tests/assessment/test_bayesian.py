@@ -1,0 +1,99 @@
+"""Tests for the Bayesian assessment module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assessment.bayesian import BayesianPfdAssessment
+from repro.core.fault_model import FaultModel
+from repro.core.moments import two_version_mean
+from repro.stats.discrete import DiscreteDistribution
+
+
+@pytest.fixture
+def assessment(small_model: FaultModel) -> BayesianPfdAssessment:
+    return BayesianPfdAssessment.from_model(small_model, versions=2)
+
+
+class TestPrior:
+    def test_prior_mean_matches_model(self, small_model, assessment):
+        assert assessment.prior.mean() == pytest.approx(two_version_mean(small_model))
+
+    def test_posterior_with_no_evidence_is_prior(self, assessment):
+        posterior = assessment.posterior(0)
+        np.testing.assert_allclose(posterior.support, assessment.prior.support)
+        np.testing.assert_allclose(posterior.probabilities, assessment.prior.probabilities)
+
+
+class TestFailureFreeEvidence:
+    def test_posterior_mean_decreases_with_evidence(self, assessment):
+        means = [assessment.posterior_mean(demands) for demands in (0, 100, 10_000, 1_000_000)]
+        assert all(earlier >= later for earlier, later in zip(means, means[1:]))
+
+    def test_posterior_bound_decreases_with_evidence(self, assessment):
+        bounds = [assessment.posterior_bound(0.99, demands) for demands in (0, 10_000, 1_000_000)]
+        assert all(earlier >= later for earlier, later in zip(bounds, bounds[1:]))
+
+    def test_prob_requirement_increases_with_evidence(self, assessment):
+        requirement = 1e-4
+        probabilities = [
+            assessment.prob_requirement_met(requirement, demands) for demands in (0, 10_000, 100_000)
+        ]
+        assert all(earlier <= later for earlier, later in zip(probabilities, probabilities[1:]))
+
+    def test_validation(self, assessment):
+        with pytest.raises(ValueError):
+            assessment.posterior(-1)
+        with pytest.raises(ValueError):
+            assessment.posterior(10, failures=11)
+        with pytest.raises(ValueError):
+            assessment.prob_requirement_met(-0.1, 10)
+
+
+class TestFailureEvidence:
+    def test_observed_failure_shifts_mass_away_from_zero(self, assessment):
+        posterior = assessment.posterior(demands=100, failures=1)
+        # Having seen a failure, the PFD cannot be 0.
+        assert posterior.prob_zero() == pytest.approx(0.0, abs=1e-12)
+        assert posterior.mean() > assessment.posterior_mean(100, failures=0)
+
+    def test_incompatible_evidence_raises(self):
+        # A prior concentrated on PFD = 0 cannot explain an observed failure.
+        prior = DiscreteDistribution.point_mass(0.0)
+        assessment = BayesianPfdAssessment(prior)
+        with pytest.raises(ValueError):
+            assessment.posterior(demands=10, failures=1)
+
+
+class TestDemandsNeeded:
+    def test_zero_needed_when_prior_suffices(self, assessment):
+        # The prior already puts almost all mass at tiny PFD values, so a lax
+        # requirement needs no operational evidence.
+        assert assessment.demands_needed_for_confidence(0.5, 0.9) == 0
+
+    def test_monotone_in_confidence(self, assessment):
+        lax = assessment.demands_needed_for_confidence(1e-5, 0.9)
+        strict = assessment.demands_needed_for_confidence(1e-5, 0.99)
+        assert lax is not None and strict is not None
+        assert strict >= lax
+
+    def test_posterior_at_returned_demand_count_meets_confidence(self, assessment):
+        requirement, confidence = 1e-5, 0.95
+        needed = assessment.demands_needed_for_confidence(requirement, confidence)
+        assert needed is not None
+        assert assessment.prob_requirement_met(requirement, needed) >= confidence
+        if needed > 0:
+            assert assessment.prob_requirement_met(requirement, needed - 1) < confidence
+
+    def test_unreachable_requirement_returns_none(self):
+        # Prior mass sits entirely at a PFD of 0.5, which failure-free demands
+        # can never push below the requirement with certainty... but a point
+        # prior cannot be updated below itself, so no demand count suffices.
+        prior = DiscreteDistribution.point_mass(0.5)
+        assessment = BayesianPfdAssessment(prior)
+        assert assessment.demands_needed_for_confidence(1e-3, 0.99, max_demands=1000) is None
+
+    def test_rejects_bad_confidence(self, assessment):
+        with pytest.raises(ValueError):
+            assessment.demands_needed_for_confidence(1e-3, 1.0)

@@ -1,0 +1,43 @@
+"""Tests for the beta-factor view."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assessment.beta_factor import (
+    beta_factor,
+    guaranteed_beta_factor,
+    guaranteed_bound_beta_factor,
+)
+from repro.core.fault_model import FaultModel
+from repro.core.moments import single_version_mean, two_version_mean
+
+
+class TestBetaFactor:
+    def test_definition(self, small_model: FaultModel):
+        assert beta_factor(small_model) == pytest.approx(
+            two_version_mean(small_model) / single_version_mean(small_model)
+        )
+
+    def test_never_exceeds_guaranteed_value(self, small_model, random_model, homogeneous_model):
+        for model in (small_model, random_model, homogeneous_model):
+            assert beta_factor(model) <= guaranteed_beta_factor(model.p_max) + 1e-12
+
+    def test_degenerate_model(self):
+        model = FaultModel(p=np.array([0.0]), q=np.array([0.1]))
+        assert beta_factor(model) == 1.0
+
+
+class TestGuaranteedFactors:
+    def test_guaranteed_beta_is_pmax(self):
+        assert guaranteed_beta_factor(0.1) == 0.1
+
+    def test_guaranteed_bound_factor_paper_values(self):
+        assert guaranteed_bound_beta_factor(0.5) == pytest.approx(0.866, abs=5e-4)
+        assert guaranteed_bound_beta_factor(0.1) == pytest.approx(0.332, abs=5e-4)
+        assert guaranteed_bound_beta_factor(0.01) == pytest.approx(0.100, abs=5e-4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            guaranteed_beta_factor(1.1)

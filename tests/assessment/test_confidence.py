@@ -1,0 +1,48 @@
+"""Tests for confidence claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assessment.confidence import ConfidenceClaim, claim_from_system
+from repro.core.system import OneOutOfTwoSystem, SingleVersionSystem
+
+
+class TestConfidenceClaim:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceClaim(bound=-0.1, confidence=0.9, method="x")
+        with pytest.raises(ValueError):
+            ConfidenceClaim(bound=0.1, confidence=1.5, method="x")
+
+    def test_satisfies(self):
+        claim = ConfidenceClaim(bound=1e-3, confidence=0.99, method="normal-approximation")
+        assert claim.satisfies(1e-2)
+        assert not claim.satisfies(1e-4)
+
+    def test_describe_contains_numbers(self):
+        claim = ConfidenceClaim(bound=1e-3, confidence=0.99, method="normal-approximation")
+        text = claim.describe()
+        assert "0.99" in text and "normal-approximation" in text
+
+
+class TestClaimFromSystem:
+    def test_normal_method(self, small_model):
+        system = SingleVersionSystem(small_model)
+        claim = claim_from_system(system, 0.99)
+        assert claim.method == "normal-approximation"
+        assert claim.bound == pytest.approx(system.normal_bound(0.99))
+
+    def test_exact_method(self, small_model):
+        system = SingleVersionSystem(small_model)
+        claim = claim_from_system(system, 0.99, method="exact-distribution")
+        assert claim.bound == pytest.approx(system.exact_bound(0.99))
+
+    def test_two_version_claim_tighter(self, small_model):
+        single_claim = claim_from_system(SingleVersionSystem(small_model), 0.99)
+        pair_claim = claim_from_system(OneOutOfTwoSystem(small_model), 0.99)
+        assert pair_claim.bound <= single_claim.bound
+
+    def test_unknown_method_rejected(self, small_model):
+        with pytest.raises(ValueError):
+            claim_from_system(SingleVersionSystem(small_model), 0.99, method="guesswork")

@@ -1,0 +1,52 @@
+"""Tests for the assessment report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.assessment.report import assess
+from repro.core.fault_model import FaultModel
+from repro.core.moments import single_version_mean, two_version_mean
+
+
+class TestAssess:
+    def test_report_values_match_model(self, small_model: FaultModel):
+        report = assess(small_model, confidence=0.99)
+        assert report.single.mean_pfd == pytest.approx(single_version_mean(small_model))
+        assert report.pair.mean_pfd == pytest.approx(two_version_mean(small_model))
+        assert report.single.exact_claim.confidence == 0.99
+        assert report.pair.exact_claim.bound <= report.single.exact_claim.bound
+        assert report.pair.sil >= report.single.sil
+
+    def test_rejects_bad_confidence(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            assess(small_model, confidence=0.0)
+
+    def test_render_contains_key_sections(self, small_model: FaultModel):
+        text = assess(small_model).render()
+        assert "Single version" in text
+        assert "1-out-of-2 diverse system" in text
+        assert "Gain from diversity" in text
+        assert "eq. 10" in text
+
+    def test_to_dict_is_json_serialisable(self, small_model: FaultModel):
+        data = assess(small_model).to_dict()
+        encoded = json.dumps(data)
+        decoded = json.loads(encoded)
+        assert decoded["fault_count"] == small_model.n
+        assert decoded["p_max"] == pytest.approx(small_model.p_max)
+        assert set(decoded["single_version"]) == set(decoded["one_out_of_two"])
+        assert decoded["gain"]["risk_ratio"] <= 1.0
+
+    def test_guaranteed_bounds_present_and_respected(self, small_model: FaultModel):
+        data = assess(small_model).to_dict()
+        assert data["beta_factor"] <= data["guaranteed_beta_factor"] + 1e-12
+        assert data["gain"]["bound_ratio"] <= data["guaranteed_bound_reduction"] + 1e-12
+
+    def test_system_assessment_lines(self, small_model: FaultModel):
+        report = assess(small_model)
+        lines = report.single.lines()
+        assert lines[0].startswith("Single version")
+        assert any("supportable SIL" in line for line in lines)

@@ -1,0 +1,70 @@
+"""Tests for SIL banding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assessment.sil import (
+    SafetyIntegrityLevel,
+    required_pfd_bound,
+    sil_claim_for_system,
+    sil_for_pfd,
+)
+from repro.core.system import OneOutOfTwoSystem, SingleVersionSystem
+
+
+class TestSilForPfd:
+    @pytest.mark.parametrize(
+        "pfd, expected",
+        [
+            (0.5, SafetyIntegrityLevel.NONE),
+            (0.1, SafetyIntegrityLevel.NONE),
+            (0.05, SafetyIntegrityLevel.SIL1),
+            (5e-3, SafetyIntegrityLevel.SIL2),
+            (5e-4, SafetyIntegrityLevel.SIL3),
+            (5e-5, SafetyIntegrityLevel.SIL4),
+            (1e-7, SafetyIntegrityLevel.SIL4),
+        ],
+    )
+    def test_banding(self, pfd, expected):
+        assert sil_for_pfd(pfd) == expected
+
+    def test_band_edges(self):
+        assert sil_for_pfd(1e-2) == SafetyIntegrityLevel.SIL1
+        assert sil_for_pfd(1e-3) == SafetyIntegrityLevel.SIL2
+        assert sil_for_pfd(1e-4) == SafetyIntegrityLevel.SIL3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sil_for_pfd(-1e-3)
+
+
+class TestRequiredBound:
+    def test_bounds(self):
+        assert required_pfd_bound(SafetyIntegrityLevel.SIL1) == 1e-1
+        assert required_pfd_bound(SafetyIntegrityLevel.SIL4) == 1e-4
+        assert required_pfd_bound(SafetyIntegrityLevel.NONE) == 1.0
+
+    def test_consistency_with_banding(self):
+        for level in (
+            SafetyIntegrityLevel.SIL1,
+            SafetyIntegrityLevel.SIL2,
+            SafetyIntegrityLevel.SIL3,
+            SafetyIntegrityLevel.SIL4,
+        ):
+            just_inside = required_pfd_bound(level) * 0.99
+            assert sil_for_pfd(just_inside) >= level
+
+
+class TestSilClaim:
+    def test_two_version_claim_at_least_as_good(self, small_model):
+        single = sil_claim_for_system(SingleVersionSystem(small_model), 0.99)
+        pair = sil_claim_for_system(OneOutOfTwoSystem(small_model), 0.99)
+        assert pair.level >= single.level
+        assert "supported by" in pair.describe()
+
+    def test_claim_uses_requested_method(self, small_model):
+        claim = sil_claim_for_system(
+            SingleVersionSystem(small_model), 0.99, method="exact-distribution"
+        )
+        assert claim.confidence_claim.method == "exact-distribution"

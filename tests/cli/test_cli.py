@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.fault_model import FaultModel
+
+
+@pytest.fixture
+def model_file(tmp_path, small_model: FaultModel) -> str:
+    path = tmp_path / "model.json"
+    path.write_text(json.dumps(small_model.to_dict()), encoding="utf-8")
+    return str(path)
+
+
+class TestScenariosCommand:
+    def test_lists_builtin_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "high-quality" in output
+        assert "many-small-faults" in output
+
+
+class TestPmaxTableCommand:
+    def test_default_table(self, capsys):
+        assert main(["pmax-table"]) == 0
+        output = capsys.readouterr().out
+        assert "0.866" in output
+        assert "0.3317" in output or "0.332" in output
+
+    def test_custom_values(self, capsys):
+        assert main(["pmax-table", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert f"{np.sqrt(0.2 * 1.2):.4f}" in output
+
+
+class TestAssessCommand:
+    def test_text_report_from_file(self, capsys, model_file):
+        assert main(["assess", "--model", model_file]) == 0
+        output = capsys.readouterr().out
+        assert "Gain from diversity" in output
+
+    def test_json_report_from_scenario(self, capsys):
+        assert main(["assess", "--scenario", "high-quality", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["fault_count"] == 5
+        assert data["one_out_of_two"]["mean_pfd"] < data["single_version"]["mean_pfd"]
+
+    def test_custom_confidence(self, capsys, model_file):
+        assert main(["assess", "--model", model_file, "--confidence", "0.9", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["confidence"] == 0.9
+
+    def test_model_and_scenario_mutually_exclusive(self, model_file):
+        with pytest.raises(SystemExit):
+            main(["assess", "--model", model_file, "--scenario", "high-quality"])
+
+    def test_requires_a_model_source(self):
+        with pytest.raises(SystemExit):
+            main(["assess"])
+
+
+class TestGainCommand:
+    def test_gain_json(self, capsys, model_file):
+        assert main(["gain", "--model", model_file]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert 0.0 <= data["risk_ratio"] <= 1.0
+        assert data["mean_ratio"] <= data["guaranteed_mean_ratio"] + 1e-12
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "pmax-table", "0.01"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "0.1005" in completed.stdout

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_model() -> FaultModel:
+    """A three-fault model with hand-picked, easy-to-verify parameters."""
+    return FaultModel(
+        p=np.array([0.05, 0.02, 0.01]),
+        q=np.array([1e-4, 5e-4, 2e-3]),
+        names=("alpha", "beta", "gamma"),
+    )
+
+
+@pytest.fixture
+def two_fault_model() -> FaultModel:
+    """The two-fault model used for the Appendix A analysis."""
+    return FaultModel(p=np.array([0.3, 0.5]), q=np.array([0.1, 0.1]))
+
+
+@pytest.fixture
+def homogeneous_model() -> FaultModel:
+    """Ten identical faults."""
+    return FaultModel.homogeneous(n=10, probability=0.04, impact=0.01)
+
+
+@pytest.fixture
+def random_model(rng: np.random.Generator) -> FaultModel:
+    """A reproducible random model with fifty faults."""
+    return FaultModel.random(rng, n=50, p_range=(0.005, 0.15), total_impact=0.4)

@@ -1,0 +1,118 @@
+"""Tests for the inequality lemmas and confidence bounds (eqs. (4), (9), (11), (12))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    PAPER_PMAX_TABLE,
+    STD_CONTRACTION_THRESHOLD,
+    confidence_bound_from_bound,
+    confidence_bound_from_moments,
+    mean_bound,
+    mean_gain_factor,
+    pmax_gain_table,
+    std_bound,
+    std_gain_factor,
+    verify_confidence_bound,
+    verify_mean_bound,
+    verify_std_bound,
+)
+from repro.core.fault_model import FaultModel
+from repro.core.moments import two_version_mean, two_version_std
+
+
+class TestGainFactors:
+    def test_mean_gain_factor_is_pmax(self):
+        assert mean_gain_factor(0.1) == 0.1
+
+    def test_mean_gain_factor_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mean_gain_factor(1.2)
+
+    def test_std_gain_factor_formula(self):
+        assert std_gain_factor(0.1) == pytest.approx(np.sqrt(0.1 * 1.1))
+
+    def test_std_contraction_threshold_is_golden_ratio_conjugate(self):
+        # Section 3.1.2 quotes (-1 + 5^0.5) / 2 = 0.618033987.
+        assert STD_CONTRACTION_THRESHOLD == pytest.approx(0.618033987, abs=1e-8)
+        p = STD_CONTRACTION_THRESHOLD
+        assert p**2 * (1 - p**2) == pytest.approx(p * (1 - p), abs=1e-12)
+
+
+class TestPaperTable:
+    def test_table_matches_paper_rows(self):
+        # Section 5.1 table: 0.5 -> 0.866, 0.1 -> 0.332, 0.01 -> 0.100.
+        table = pmax_gain_table()
+        values = {row.p_max: row.gain_factor for row in table}
+        for p_max, printed in PAPER_PMAX_TABLE.items():
+            assert values[p_max] == pytest.approx(printed, abs=5e-4)
+
+    def test_improvement_factor_for_pmax_001(self):
+        # "The last line gives us a 10-fold improvement."
+        row = pmax_gain_table([0.01])[0]
+        assert row.improvement_factor == pytest.approx(10.0, rel=0.01)
+
+    def test_small_pmax_factor_approaches_sqrt_pmax(self):
+        # "For even lower values of pmax, clearly sqrt(pmax(1+pmax)) ~= sqrt(pmax)."
+        p_max = 1e-6
+        assert std_gain_factor(p_max) == pytest.approx(np.sqrt(p_max), rel=1e-3)
+
+    def test_improvement_factor_degenerate(self):
+        assert pmax_gain_table([0.0])[0].improvement_factor == float("inf")
+
+
+class TestModelBounds:
+    def test_eq4_mean_bound_holds(self, small_model, random_model, homogeneous_model):
+        for model in (small_model, random_model, homogeneous_model):
+            actual, bound = verify_mean_bound(model)
+            assert actual <= bound + 1e-15
+            assert actual == two_version_mean(model)
+            assert bound == mean_bound(model)
+
+    def test_eq9_std_bound_holds(self, small_model, random_model, homogeneous_model):
+        for model in (small_model, random_model, homogeneous_model):
+            actual, bound = verify_std_bound(model)
+            assert actual <= bound + 1e-15
+            assert actual == two_version_std(model)
+            assert bound == std_bound(model)
+
+    def test_eq9_holds_even_above_contraction_threshold(self):
+        # Even with p_i close to 1 the sqrt(pmax(1+pmax)) bound remains valid
+        # (it simply exceeds 1).
+        model = FaultModel(p=np.array([0.9, 0.95]), q=np.array([0.3, 0.3]))
+        actual, bound = verify_std_bound(model)
+        assert actual <= bound + 1e-15
+
+    def test_confidence_bound_ordering(self, small_model, random_model):
+        # actual <= eq. (11) bound <= eq. (12) bound.
+        for model in (small_model, random_model):
+            for k in (0.0, 1.0, 2.33, 3.0):
+                actual, from_moments, from_bound = verify_confidence_bound(model, k)
+                assert actual <= from_moments + 1e-15
+                assert from_moments <= from_bound + 1e-15
+
+
+class TestConfidenceBoundFunctions:
+    def test_worked_example_values(self):
+        # Section 5.1: mu1=0.01, sigma1=0.001, k=1, pmax=0.1.
+        eq11 = confidence_bound_from_moments(0.01, 0.001, 0.1, 1.0)
+        eq12 = confidence_bound_from_bound(0.011, 0.1)
+        assert eq11 == pytest.approx(0.001 + 0.000332, abs=2e-5)
+        assert eq12 == pytest.approx(0.00365, abs=2e-4)
+
+    def test_eq11_with_k_zero_reduces_to_eq4(self):
+        assert confidence_bound_from_moments(0.02, 0.005, 0.1, 0.0) == pytest.approx(0.002)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            confidence_bound_from_moments(-0.01, 0.001, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            confidence_bound_from_moments(0.01, -0.001, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            confidence_bound_from_moments(0.01, 0.001, 0.1, -1.0)
+        with pytest.raises(ValueError):
+            confidence_bound_from_bound(-0.1, 0.1)
+        with pytest.raises(ValueError):
+            confidence_bound_from_bound(0.1, 1.5)

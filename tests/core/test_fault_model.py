@@ -1,0 +1,197 @@
+"""Tests for the fault-creation model parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultClass, FaultModel
+
+
+class TestFaultClass:
+    def test_valid(self):
+        fault = FaultClass(probability=0.1, impact=0.01, name="x")
+        assert fault.probability == 0.1
+        assert fault.impact == 0.01
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultClass(probability=1.5, impact=0.1)
+
+    def test_rejects_bad_impact(self):
+        with pytest.raises(ValueError):
+            FaultClass(probability=0.5, impact=-0.1)
+
+
+class TestValidation:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            FaultModel(p=np.array([0.1, 0.2]), q=np.array([0.1]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FaultModel(p=np.array([]), q=np.array([]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            FaultModel(p=np.array([1.2]), q=np.array([0.1]))
+        with pytest.raises(ValueError):
+            FaultModel(p=np.array([0.5]), q=np.array([-0.1]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            FaultModel(p=np.array([np.nan]), q=np.array([0.1]))
+
+    def test_strict_mode_rejects_q_sum_above_one(self):
+        with pytest.raises(ValueError):
+            FaultModel(p=np.array([0.1, 0.1]), q=np.array([0.6, 0.6]))
+
+    def test_non_strict_mode_accepts_q_sum_above_one(self):
+        model = FaultModel(p=np.array([0.1, 0.1]), q=np.array([0.6, 0.6]), strict=False)
+        assert model.n == 2
+
+    def test_default_names(self, small_model: FaultModel):
+        assert FaultModel(p=np.array([0.1]), q=np.array([0.2])).names == ("fault_1",)
+        assert small_model.names == ("alpha", "beta", "gamma")
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ValueError):
+            FaultModel(p=np.array([0.1]), q=np.array([0.2]), names=("a", "b"))
+
+
+class TestProperties:
+    def test_n_and_len(self, small_model: FaultModel):
+        assert small_model.n == 3
+        assert len(small_model) == 3
+
+    def test_p_max_min(self, small_model: FaultModel):
+        assert small_model.p_max == pytest.approx(0.05)
+        assert small_model.p_min == pytest.approx(0.01)
+
+    def test_fault_classes_roundtrip(self, small_model: FaultModel):
+        classes = small_model.fault_classes()
+        rebuilt = FaultModel.from_fault_classes(classes)
+        np.testing.assert_allclose(rebuilt.p, small_model.p)
+        np.testing.assert_allclose(rebuilt.q, small_model.q)
+        assert rebuilt.names == small_model.names
+
+    def test_from_fault_classes_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FaultModel.from_fault_classes([])
+
+
+class TestConstructors:
+    def test_homogeneous(self):
+        model = FaultModel.homogeneous(5, probability=0.1, impact=0.05)
+        assert model.n == 5
+        assert np.all(model.p == 0.1)
+        assert np.all(model.q == 0.05)
+
+    def test_homogeneous_rejects_zero_faults(self):
+        with pytest.raises(ValueError):
+            FaultModel.homogeneous(0, 0.1, 0.1)
+
+    def test_random_respects_ranges(self, rng):
+        model = FaultModel.random(rng, n=100, p_range=(0.01, 0.2), total_impact=0.5)
+        assert model.n == 100
+        assert np.all(model.p >= 0.01) and np.all(model.p <= 0.2)
+        assert model.q.sum() == pytest.approx(0.5)
+
+    def test_random_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            FaultModel.random(rng, n=0)
+        with pytest.raises(ValueError):
+            FaultModel.random(rng, n=5, p_range=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            FaultModel.random(rng, n=5, total_impact=0.0)
+        with pytest.raises(ValueError):
+            FaultModel.random(rng, n=5, impact_dispersion=-1.0)
+
+    def test_from_regions_analytic(self):
+        from repro.demandspace.profiles import ProductProfile
+        from repro.demandspace.regions import BoxRegion
+        from repro.demandspace.space import ContinuousDemandSpace
+
+        space = ContinuousDemandSpace.unit_square()
+        profile = ProductProfile.uniform(space)
+        regions = [
+            BoxRegion(np.array([0.0, 0.0]), np.array([0.5, 0.5])),
+            BoxRegion(np.array([0.5, 0.5]), np.array([1.0, 1.0])),
+        ]
+        model = FaultModel.from_regions([0.1, 0.2], regions, profile)
+        np.testing.assert_allclose(model.q, [0.25, 0.25])
+
+    def test_from_regions_length_mismatch(self):
+        from repro.demandspace.profiles import ProductProfile
+        from repro.demandspace.space import ContinuousDemandSpace
+
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        with pytest.raises(ValueError):
+            FaultModel.from_regions([0.1], [], profile)
+
+
+class TestDerivedModels:
+    def test_scaled(self, small_model: FaultModel):
+        scaled = small_model.scaled(0.5)
+        np.testing.assert_allclose(scaled.p, small_model.p * 0.5)
+        np.testing.assert_allclose(scaled.q, small_model.q)
+
+    def test_scaled_rejects_overflow(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            small_model.scaled(25.0)
+
+    def test_scaled_rejects_negative(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            small_model.scaled(-0.1)
+
+    def test_with_probability(self, small_model: FaultModel):
+        changed = small_model.with_probability(1, 0.5)
+        assert changed.p[1] == 0.5
+        assert small_model.p[1] == 0.02  # original untouched
+
+    def test_with_probability_rejects_bad_index(self, small_model: FaultModel):
+        with pytest.raises(IndexError):
+            small_model.with_probability(7, 0.5)
+
+    def test_with_impact(self, small_model: FaultModel):
+        changed = small_model.with_impact(0, 0.01)
+        assert changed.q[0] == 0.01
+
+    def test_subset(self, small_model: FaultModel):
+        subset = small_model.subset([0, 2])
+        assert subset.n == 2
+        assert subset.names == ("alpha", "gamma")
+
+    def test_subset_rejects_empty(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            small_model.subset([])
+
+    def test_merged(self, small_model: FaultModel):
+        merged = small_model.merged(small_model)
+        assert merged.n == 6
+        np.testing.assert_allclose(merged.p[:3], small_model.p)
+
+    def test_merge_faults_probability_and_impact(self, small_model: FaultModel):
+        merged = small_model.merge_faults([0, 1], name="combined")
+        assert merged.n == 2
+        combined_index = merged.names.index("combined")
+        expected_probability = 1.0 - (1 - 0.05) * (1 - 0.02)
+        assert merged.p[combined_index] == pytest.approx(expected_probability)
+        assert merged.q[combined_index] == pytest.approx(1e-4 + 5e-4)
+
+    def test_merge_faults_rejects_single_index(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            small_model.merge_faults([1])
+
+    def test_merge_faults_rejects_out_of_range(self, small_model: FaultModel):
+        with pytest.raises(IndexError):
+            small_model.merge_faults([0, 9])
+
+
+class TestSerialisation:
+    def test_roundtrip(self, small_model: FaultModel):
+        rebuilt = FaultModel.from_dict(small_model.to_dict())
+        np.testing.assert_allclose(rebuilt.p, small_model.p)
+        np.testing.assert_allclose(rebuilt.q, small_model.q)
+        assert rebuilt.names == small_model.names
+        assert rebuilt.strict == small_model.strict

@@ -1,0 +1,73 @@
+"""Tests for the diversity-gain summary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.core.gain import diversity_gain_summary
+from repro.core.moments import single_version_mean, two_version_mean
+from repro.core.no_common_faults import risk_ratio
+
+
+class TestDiversityGainSummary:
+    def test_headline_values(self, small_model: FaultModel):
+        summary = diversity_gain_summary(small_model, confidence=0.99)
+        assert summary.mean_single == pytest.approx(single_version_mean(small_model))
+        assert summary.mean_pair == pytest.approx(two_version_mean(small_model))
+        assert summary.mean_ratio == pytest.approx(
+            two_version_mean(small_model) / single_version_mean(small_model)
+        )
+        assert summary.risk_ratio == pytest.approx(risk_ratio(small_model))
+        assert summary.k_factor == pytest.approx(2.3263, abs=1e-3)
+
+    def test_guaranteed_bounds_hold(self, small_model, random_model, homogeneous_model):
+        for model in (small_model, random_model, homogeneous_model):
+            summary = diversity_gain_summary(model)
+            assert summary.mean_ratio <= summary.guaranteed_mean_ratio + 1e-12
+            assert summary.bound_ratio <= summary.guaranteed_bound_ratio + 1e-12
+
+    def test_beta_factor_equals_mean_ratio(self, small_model: FaultModel):
+        summary = diversity_gain_summary(small_model)
+        assert summary.beta_factor == summary.mean_ratio
+
+    def test_independence_is_optimistic(self, small_model, random_model):
+        # The EL/LM re-derivation: mu_2 >= mu_1^2 for any non-degenerate model.
+        for model in (small_model, random_model):
+            summary = diversity_gain_summary(model)
+            assert summary.mean_pair >= summary.independence_mean
+            assert summary.independence_is_optimistic
+
+    def test_independence_not_optimistic_for_degenerate_model(self):
+        # With a single certain fault whose failure region covers the whole
+        # demand space, the system mean and the independence prediction coincide.
+        model = FaultModel(p=np.array([1.0]), q=np.array([1.0]))
+        summary = diversity_gain_summary(model)
+        assert summary.mean_pair == pytest.approx(summary.independence_mean)
+        assert not summary.independence_is_optimistic
+
+    def test_as_dict_contains_all_keys(self, small_model: FaultModel):
+        data = diversity_gain_summary(small_model).as_dict()
+        for key in (
+            "mean_single",
+            "mean_pair",
+            "mean_ratio",
+            "risk_ratio",
+            "bound_ratio",
+            "guaranteed_mean_ratio",
+            "guaranteed_bound_ratio",
+            "beta_factor",
+            "independence_is_optimistic",
+        ):
+            assert key in data
+
+    def test_rejects_bad_confidence(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            diversity_gain_summary(small_model, confidence=1.0)
+
+    def test_degenerate_all_zero_model(self):
+        model = FaultModel(p=np.array([0.0, 0.0]), q=np.array([0.1, 0.1]))
+        summary = diversity_gain_summary(model)
+        assert summary.mean_ratio == 1.0
+        assert summary.risk_ratio == 1.0

@@ -1,0 +1,131 @@
+"""Tests for the probability of no common faults (Section 4, eq. (10))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.core.no_common_faults import (
+    expected_common_faults,
+    fault_count_distribution,
+    prob_any_common_fault,
+    prob_any_fault,
+    prob_fault_free_pair,
+    prob_fault_free_r_versions,
+    prob_fault_free_version,
+    risk_ratio,
+    success_ratio,
+)
+
+
+class TestFaultFreeProbabilities:
+    def test_single_version_closed_form(self, small_model: FaultModel):
+        assert prob_fault_free_version(small_model) == pytest.approx(
+            float(np.prod(1 - small_model.p))
+        )
+
+    def test_pair_closed_form(self, small_model: FaultModel):
+        assert prob_fault_free_pair(small_model) == pytest.approx(
+            float(np.prod(1 - small_model.p**2))
+        )
+
+    def test_r_versions_generalisation(self, small_model: FaultModel):
+        assert prob_fault_free_r_versions(small_model, 1) == prob_fault_free_version(small_model)
+        assert prob_fault_free_r_versions(small_model, 2) == prob_fault_free_pair(small_model)
+        assert prob_fault_free_r_versions(small_model, 3) == pytest.approx(
+            float(np.prod(1 - small_model.p**3))
+        )
+
+    def test_r_versions_rejects_bad_count(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            prob_fault_free_r_versions(small_model, 0)
+
+    def test_complement_relations(self, small_model: FaultModel):
+        assert prob_any_fault(small_model) == pytest.approx(
+            1 - prob_fault_free_version(small_model)
+        )
+        assert prob_any_common_fault(small_model) == pytest.approx(
+            1 - prob_fault_free_pair(small_model)
+        )
+
+    def test_matches_poisson_binomial(self, small_model: FaultModel):
+        assert prob_fault_free_version(small_model) == pytest.approx(
+            fault_count_distribution(small_model, 1).prob_zero()
+        )
+        assert prob_fault_free_pair(small_model) == pytest.approx(
+            fault_count_distribution(small_model, 2).prob_zero()
+        )
+
+
+class TestRiskRatio:
+    def test_eq10_closed_form(self, small_model: FaultModel):
+        p = small_model.p
+        expected = (1 - np.prod(1 - p**2)) / (1 - np.prod(1 - p))
+        assert risk_ratio(small_model) == pytest.approx(expected)
+
+    def test_never_exceeds_one(self, small_model, random_model, homogeneous_model):
+        for model in (small_model, random_model, homogeneous_model):
+            assert risk_ratio(model) <= 1.0 + 1e-12
+
+    def test_single_fault_ratio_is_p(self):
+        # With one fault the ratio is p^2 / p = p.
+        model = FaultModel(p=np.array([0.3]), q=np.array([0.1]))
+        assert risk_ratio(model) == pytest.approx(0.3)
+
+    def test_degenerate_all_zero(self):
+        model = FaultModel(p=np.array([0.0, 0.0]), q=np.array([0.1, 0.1]))
+        assert risk_ratio(model) == 1.0
+
+    def test_all_certain_faults(self):
+        model = FaultModel(p=np.array([1.0, 1.0]), q=np.array([0.1, 0.1]))
+        assert risk_ratio(model) == pytest.approx(1.0)
+
+    def test_more_versions_reduce_ratio(self, small_model: FaultModel):
+        assert risk_ratio(small_model, 3) < risk_ratio(small_model, 2)
+
+    def test_smaller_probabilities_give_more_gain(self):
+        # The qualitative Appendix B statement: proportionally smaller p_i
+        # (better process) means a smaller risk ratio (bigger gain).
+        base = FaultModel(p=np.array([0.2, 0.1, 0.05]), q=np.array([0.1, 0.1, 0.1]))
+        better = base.scaled(0.5)
+        assert risk_ratio(better) < risk_ratio(base)
+
+
+class TestSuccessRatio:
+    def test_footnote_closed_form(self, small_model: FaultModel):
+        assert success_ratio(small_model) == pytest.approx(float(np.prod(1 + small_model.p)))
+
+    def test_at_least_one(self, small_model, random_model):
+        for model in (small_model, random_model):
+            assert success_ratio(model) >= 1.0
+
+    def test_infinite_when_fault_certain(self):
+        model = FaultModel(p=np.array([1.0]), q=np.array([0.1]))
+        assert success_ratio(model) == float("inf")
+
+    def test_increases_when_any_p_increases(self, small_model: FaultModel):
+        # The footnote notes this ratio increases if any p_i increases.
+        increased = small_model.with_probability(0, small_model.p[0] * 2)
+        assert success_ratio(increased) > success_ratio(small_model)
+
+
+class TestExpectedCommonFaults:
+    def test_values(self, small_model: FaultModel):
+        assert expected_common_faults(small_model, 1) == pytest.approx(small_model.p.sum())
+        assert expected_common_faults(small_model, 2) == pytest.approx((small_model.p**2).sum())
+
+    def test_rejects_bad_versions(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            expected_common_faults(small_model, 0)
+
+
+class TestFaultCountDistribution:
+    def test_distribution_probabilities(self, small_model: FaultModel):
+        np.testing.assert_allclose(
+            fault_count_distribution(small_model, 2).probabilities, small_model.p**2
+        )
+
+    def test_rejects_bad_versions(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            fault_count_distribution(small_model, 0)

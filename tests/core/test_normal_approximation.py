@@ -1,0 +1,126 @@
+"""Tests for the Section 5 normal-approximation machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import std_gain_factor
+from repro.core.fault_model import FaultModel
+from repro.core.moments import pfd_moments
+from repro.core.normal_approximation import (
+    berry_esseen_error,
+    bound_difference,
+    bound_gain_ratio,
+    bound_ratio_proportional_sweep,
+    bound_ratio_single_fault_sweep,
+    normal_approximation,
+    worked_example_bounds,
+)
+
+
+class TestNormalApproximation:
+    def test_matches_moments(self, small_model: FaultModel):
+        for versions in (1, 2):
+            approximation = normal_approximation(small_model, versions)
+            moments = pfd_moments(small_model, versions)
+            assert approximation.mean == pytest.approx(moments.mean)
+            assert approximation.std == pytest.approx(moments.std)
+
+    def test_bound_for_paper_confidence_levels(self, small_model: FaultModel):
+        approximation = normal_approximation(small_model, 1)
+        bound_99 = approximation.bound_for_confidence(0.99)
+        assert bound_99 == pytest.approx(approximation.mean + 2.3263 * approximation.std, rel=1e-3)
+
+
+class TestBoundGainRatio:
+    def test_definition(self, small_model: FaultModel):
+        k = 2.33
+        single = pfd_moments(small_model, 1)
+        pair = pfd_moments(small_model, 2)
+        expected = pair.bound(k) / single.bound(k)
+        assert bound_gain_ratio(small_model, k) == pytest.approx(expected)
+
+    def test_bounded_by_guaranteed_factor(self, small_model, random_model, homogeneous_model):
+        # Eq. (12): the actual bound ratio never exceeds sqrt(pmax(1+pmax)).
+        for model in (small_model, random_model, homogeneous_model):
+            for k in (0.5, 1.0, 2.33):
+                assert bound_gain_ratio(model, k) <= std_gain_factor(model.p_max) + 1e-12
+
+    def test_k_zero_is_mean_ratio(self, small_model: FaultModel):
+        single = pfd_moments(small_model, 1)
+        pair = pfd_moments(small_model, 2)
+        assert bound_gain_ratio(small_model, 0.0) == pytest.approx(pair.mean / single.mean)
+
+    def test_degenerate_zero_model(self):
+        model = FaultModel(p=np.array([0.0]), q=np.array([0.1]))
+        assert bound_gain_ratio(model, 1.0) == 1.0
+
+    def test_rejects_negative_k(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            bound_gain_ratio(small_model, -1.0)
+
+
+class TestBoundDifference:
+    def test_positive_for_all_models(self, small_model, random_model):
+        for model in (small_model, random_model):
+            assert bound_difference(model, 2.33) > 0.0
+
+    def test_increases_with_any_p_increase(self, small_model: FaultModel):
+        # Section 5.2: measured as a difference, the gain improves with any
+        # increase in any of the p_i.
+        for index in range(small_model.n):
+            increased = small_model.with_probability(index, min(small_model.p[index] * 3, 1.0))
+            assert bound_difference(increased, 1.0) > bound_difference(small_model, 1.0)
+
+    def test_rejects_negative_k(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            bound_difference(small_model, -0.5)
+
+
+class TestWorkedExample:
+    def test_section_51_numbers(self):
+        example = worked_example_bounds(mu_1=0.01, sigma_1=0.001, p_max=0.1, k=1.0)
+        assert example.single_version_bound == pytest.approx(0.011)
+        # Paper: "our upper bound is 0.001 ... if we use our first formula
+        # above" (rounded to one significant figure).
+        assert example.two_version_bound_from_moments == pytest.approx(0.00133, abs=5e-5)
+        # "but a more modest 0.004 if we use the second formula."
+        assert example.two_version_bound_from_bound == pytest.approx(0.00365, abs=1e-4)
+        assert example.improvement_from_moments > 8.0
+        assert example.improvement_from_bound == pytest.approx(3.0, abs=0.05)
+
+    def test_improvement_factors_infinite_when_bounds_zero(self):
+        example = worked_example_bounds(mu_1=0.01, sigma_1=0.0, p_max=0.0, k=1.0)
+        assert example.improvement_from_moments == float("inf")
+        assert example.improvement_from_bound == float("inf")
+
+
+class TestBerryEsseen:
+    def test_error_decreases_with_more_faults(self):
+        few = FaultModel.homogeneous(10, probability=0.05, impact=0.01)
+        many = FaultModel.homogeneous(1000, probability=0.05, impact=0.0005)
+        assert berry_esseen_error(many, 1) < berry_esseen_error(few, 1)
+
+    def test_rejects_bad_versions(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            berry_esseen_error(small_model, 0)
+
+
+class TestSweeps:
+    def test_proportional_sweep_monotone_conjecture(self, small_model: FaultModel):
+        # Section 5.2 conjecture: the bound ratio improves (decreases) as the
+        # process improves proportionally, i.e. is non-decreasing in k.
+        sweep = bound_ratio_proportional_sweep(small_model, np.linspace(0.1, 1.0, 19), 2.33)
+        assert sweep.ratio_is_monotone_nondecreasing(atol=1e-10)
+
+    def test_single_fault_sweep_can_be_non_monotone(self):
+        # Section 5.2 conjecture: a single-fault improvement may increase or
+        # decrease the bound-ratio gain.
+        model = FaultModel(p=np.array([0.3, 0.6]), q=np.array([0.05, 0.05]))
+        sweep = bound_ratio_single_fault_sweep(model, 0, np.linspace(0.01, 0.99, 99), 2.33)
+        assert not sweep.ratio_is_monotone_nondecreasing()
+
+    def test_sweep_rejects_bad_k(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            bound_ratio_proportional_sweep(small_model, [0.0, 0.5], 1.0)

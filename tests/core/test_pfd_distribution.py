@@ -1,0 +1,95 @@
+"""Tests for the exact PFD distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.core.moments import pfd_moments
+from repro.core.no_common_faults import prob_fault_free_pair, prob_fault_free_version
+from repro.core.pfd_distribution import (
+    exact_pfd_distribution,
+    pfd_exceedance_probability,
+    pfd_percentile,
+    prob_pfd_zero,
+)
+
+
+class TestExactDistribution:
+    def test_two_fault_enumeration(self):
+        model = FaultModel(p=np.array([0.5, 0.2]), q=np.array([0.1, 0.3]))
+        distribution = exact_pfd_distribution(model, 1, max_support=None)
+        np.testing.assert_allclose(distribution.support, [0.0, 0.1, 0.3, 0.4])
+        np.testing.assert_allclose(
+            distribution.probabilities, [0.5 * 0.8, 0.5 * 0.8, 0.5 * 0.2, 0.5 * 0.2]
+        )
+
+    def test_mean_and_variance_match_moments(self, small_model, homogeneous_model):
+        for model in (small_model, homogeneous_model):
+            for versions in (1, 2):
+                distribution = exact_pfd_distribution(model, versions, max_support=None)
+                moments = pfd_moments(model, versions)
+                assert distribution.mean() == pytest.approx(moments.mean, rel=1e-12, abs=1e-15)
+                assert distribution.variance() == pytest.approx(moments.variance, rel=1e-10, abs=1e-18)
+
+    def test_prob_zero_matches_fault_free_probability(self, small_model: FaultModel):
+        single = exact_pfd_distribution(small_model, 1, max_support=None)
+        pair = exact_pfd_distribution(small_model, 2, max_support=None)
+        assert single.prob_zero() == pytest.approx(prob_fault_free_version(small_model))
+        assert pair.prob_zero() == pytest.approx(prob_fault_free_pair(small_model))
+
+    def test_collapsed_distribution_preserves_mean(self, random_model: FaultModel):
+        collapsed = exact_pfd_distribution(random_model, 1, max_support=256)
+        assert collapsed.support.size <= 256
+        assert collapsed.mean() == pytest.approx(pfd_moments(random_model, 1).mean, rel=1e-9)
+
+    def test_rejects_bad_versions(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            exact_pfd_distribution(small_model, 0)
+
+
+class TestExceedanceAndPercentile:
+    def test_exceedance_simple_case(self):
+        model = FaultModel(p=np.array([0.5]), q=np.array([0.2]))
+        assert pfd_exceedance_probability(model, 0.1, 1) == pytest.approx(0.5)
+        assert pfd_exceedance_probability(model, 0.1, 2) == pytest.approx(0.25)
+        assert pfd_exceedance_probability(model, 0.3, 1) == pytest.approx(0.0)
+
+    def test_exceedance_at_zero_threshold(self, small_model: FaultModel):
+        assert pfd_exceedance_probability(small_model, 0.0, 1) == pytest.approx(
+            1 - prob_fault_free_version(small_model)
+        )
+
+    def test_exceedance_rejects_negative_threshold(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            pfd_exceedance_probability(small_model, -0.1)
+
+    def test_percentile_monotone_in_level(self, small_model: FaultModel):
+        levels = [0.5, 0.9, 0.99, 0.999]
+        values = [pfd_percentile(small_model, level, 1) for level in levels]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_two_version_percentile_below_single(self, random_model: FaultModel):
+        assert pfd_percentile(random_model, 0.99, 2, max_support=512) <= pfd_percentile(
+            random_model, 0.99, 1, max_support=512
+        )
+
+
+class TestProbPfdZero:
+    def test_ignores_zero_impact_faults(self):
+        model = FaultModel(p=np.array([0.5, 0.3]), q=np.array([0.0, 0.1]))
+        # Only the second fault can make the PFD positive.
+        assert prob_pfd_zero(model, 1) == pytest.approx(0.7)
+
+    def test_all_zero_impact(self):
+        model = FaultModel(p=np.array([0.5]), q=np.array([0.0]))
+        assert prob_pfd_zero(model, 1) == 1.0
+
+    def test_matches_distribution(self, small_model: FaultModel):
+        distribution = exact_pfd_distribution(small_model, 2, max_support=None)
+        assert prob_pfd_zero(small_model, 2) == pytest.approx(distribution.prob_zero())
+
+    def test_rejects_bad_versions(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            prob_pfd_zero(small_model, 0)

@@ -1,0 +1,160 @@
+"""Tests for the process-improvement analysis (Section 4.2, Appendices A and B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.core.no_common_faults import risk_ratio
+from repro.core.process_improvement import (
+    proportional_improvement_derivative,
+    risk_ratio_gradient,
+    risk_ratio_partial_derivative,
+    risk_ratio_proportional_sweep,
+    risk_ratio_single_fault_sweep,
+    single_fault_reversal_point,
+    two_fault_reversal_point,
+)
+
+
+def _numeric_partial(model: FaultModel, index: int, step: float = 1e-7) -> float:
+    up = risk_ratio(model.with_probability(index, model.p[index] + step))
+    down = risk_ratio(model.with_probability(index, model.p[index] - step))
+    return (up - down) / (2 * step)
+
+
+class TestPartialDerivative:
+    def test_matches_numeric_differentiation(self, small_model, two_fault_model, random_model):
+        for model in (small_model, two_fault_model, random_model):
+            for index in range(min(model.n, 5)):
+                analytic = risk_ratio_partial_derivative(model, index)
+                numeric = _numeric_partial(model, index)
+                assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_gradient_collects_all_partials(self, small_model: FaultModel):
+        gradient = risk_ratio_gradient(small_model)
+        assert gradient.shape == (small_model.n,)
+        for index in range(small_model.n):
+            assert gradient[index] == pytest.approx(
+                risk_ratio_partial_derivative(small_model, index)
+            )
+
+    def test_rejects_bad_index(self, small_model: FaultModel):
+        with pytest.raises(IndexError):
+            risk_ratio_partial_derivative(small_model, 10)
+
+    def test_rejects_all_zero_model(self):
+        model = FaultModel(p=np.array([0.0, 0.0]), q=np.array([0.1, 0.1]))
+        with pytest.raises(ValueError):
+            risk_ratio_partial_derivative(model, 0)
+
+    def test_sign_can_be_negative(self):
+        # Appendix A headline: the derivative can be negative, i.e. improving a
+        # single fault class can reduce the gain from diversity.
+        model = FaultModel(p=np.array([0.05, 0.5]), q=np.array([0.1, 0.1]))
+        assert risk_ratio_partial_derivative(model, 0) < 0.0
+
+    def test_sign_can_be_positive(self):
+        model = FaultModel(p=np.array([0.4, 0.5]), q=np.array([0.1, 0.1]))
+        assert risk_ratio_partial_derivative(model, 0) > 0.0
+
+
+class TestTwoFaultReversalPoint:
+    def test_derivative_vanishes_at_reversal_point(self):
+        for p_other in (0.1, 0.3, 0.5, 0.8):
+            p_star = two_fault_reversal_point(p_other)
+            model = FaultModel(p=np.array([p_star, p_other]), q=np.array([0.1, 0.1]))
+            assert risk_ratio_partial_derivative(model, 0) == pytest.approx(0.0, abs=1e-10)
+
+    def test_reversal_point_for_half(self):
+        # p_2 = 0.5 -> p_1* = 0.5 (sqrt(3) - 1.5) / 0.75 ~= 0.1547.
+        assert two_fault_reversal_point(0.5) == pytest.approx(0.154700538, abs=1e-8)
+
+    def test_derivative_signs_around_reversal(self):
+        p_other = 0.5
+        p_star = two_fault_reversal_point(p_other)
+        below = FaultModel(p=np.array([p_star * 0.5, p_other]), q=np.array([0.1, 0.1]))
+        above = FaultModel(p=np.array([p_star * 1.5, p_other]), q=np.array([0.1, 0.1]))
+        assert risk_ratio_partial_derivative(below, 0) < 0.0
+        assert risk_ratio_partial_derivative(above, 0) > 0.0
+
+    def test_ratio_is_minimised_at_reversal_point(self):
+        p_other = 0.5
+        p_star = two_fault_reversal_point(p_other)
+        values = np.linspace(0.01, 0.99, 199)
+        ratios = [
+            risk_ratio(FaultModel(p=np.array([v, p_other]), q=np.array([0.1, 0.1])))
+            for v in values
+        ]
+        minimiser = values[int(np.argmin(ratios))]
+        assert minimiser == pytest.approx(p_star, abs=0.01)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            two_fault_reversal_point(0.0)
+        with pytest.raises(ValueError):
+            two_fault_reversal_point(1.0)
+
+
+class TestGeneralReversalPoint:
+    def test_matches_closed_form_for_two_faults(self, two_fault_model: FaultModel):
+        numeric = single_fault_reversal_point(two_fault_model, 0)
+        assert numeric == pytest.approx(two_fault_reversal_point(0.5), abs=1e-9)
+
+    def test_exists_for_three_fault_model(self):
+        model = FaultModel(p=np.array([0.2, 0.3, 0.4]), q=np.array([0.1, 0.1, 0.1]))
+        root = single_fault_reversal_point(model, 0)
+        assert root is not None
+        at_root = model.with_probability(0, root)
+        assert risk_ratio_partial_derivative(at_root, 0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_bad_index(self, two_fault_model: FaultModel):
+        with pytest.raises(IndexError):
+            single_fault_reversal_point(two_fault_model, 5)
+
+
+class TestProportionalImprovement:
+    def test_derivative_non_negative_appendix_b(self, small_model, two_fault_model, random_model):
+        for model in (small_model, two_fault_model, random_model):
+            for k in (0.25, 0.5, 0.9):
+                assert proportional_improvement_derivative(model, k) >= -1e-12
+
+    def test_derivative_matches_numeric(self, two_fault_model: FaultModel):
+        k, step = 0.7, 1e-7
+        numeric = (
+            risk_ratio(two_fault_model.scaled(k + step))
+            - risk_ratio(two_fault_model.scaled(k - step))
+        ) / (2 * step)
+        assert proportional_improvement_derivative(two_fault_model, k) == pytest.approx(
+            numeric, rel=1e-4
+        )
+
+    def test_rejects_non_positive_k(self, two_fault_model: FaultModel):
+        with pytest.raises(ValueError):
+            proportional_improvement_derivative(two_fault_model, 0.0)
+
+
+class TestSweeps:
+    def test_proportional_sweep_is_monotone(self, small_model: FaultModel):
+        sweep = risk_ratio_proportional_sweep(small_model, np.linspace(0.1, 1.0, 19))
+        assert sweep.ratio_is_monotone_nondecreasing()
+        # Reliability itself still improves as k decreases.
+        assert np.all(np.diff(sweep.risk_single) >= -1e-12)
+
+    def test_proportional_sweep_rejects_bad_k(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            risk_ratio_proportional_sweep(small_model, [0.5, 0.0])
+
+    def test_single_fault_sweep_shows_reversal(self):
+        model = FaultModel(p=np.array([0.3, 0.5]), q=np.array([0.1, 0.1]))
+        sweep = risk_ratio_single_fault_sweep(model, 0, np.linspace(0.01, 0.99, 99))
+        assert not sweep.ratio_is_monotone_nondecreasing()
+        assert sweep.argmin_ratio() == pytest.approx(two_fault_reversal_point(0.5), abs=0.02)
+
+    def test_single_fault_sweep_records_risks(self, small_model: FaultModel):
+        values = np.linspace(0.01, 0.2, 5)
+        sweep = risk_ratio_single_fault_sweep(small_model, 0, values)
+        assert sweep.risk_single.shape == values.shape
+        # Single-version risk increases with the swept probability.
+        assert np.all(np.diff(sweep.risk_single) > 0)

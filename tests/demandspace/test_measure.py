@@ -1,0 +1,88 @@
+"""Tests for region probability measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demandspace.measure import estimate_region_probability, region_probability
+from repro.demandspace.profiles import EmpiricalProfile, GridProfile, ProductProfile
+from repro.demandspace.regions import BallRegion, BoxRegion, EmptyRegion, UnionRegion
+from repro.demandspace.space import ContinuousDemandSpace, DiscreteDemandSpace
+
+
+class TestAnalyticMeasure:
+    def test_empty_region_any_profile(self):
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        assert region_probability(EmptyRegion(), profile) == 0.0
+
+    def test_box_under_uniform_product(self):
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        region = BoxRegion(np.array([0.1, 0.2]), np.array([0.4, 0.6]))
+        assert region_probability(region, profile) == pytest.approx(0.3 * 0.4)
+
+    def test_union_of_disjoint_boxes(self):
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        union = UnionRegion(
+            [
+                BoxRegion(np.array([0.0, 0.0]), np.array([0.2, 0.2])),
+                BoxRegion(np.array([0.5, 0.5]), np.array([0.7, 0.7])),
+            ]
+        )
+        assert region_probability(union, profile) == pytest.approx(0.08)
+
+    def test_union_of_overlapping_boxes_returns_none(self):
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        union = UnionRegion(
+            [
+                BoxRegion(np.array([0.0, 0.0]), np.array([0.5, 0.5])),
+                BoxRegion(np.array([0.25, 0.25]), np.array([0.75, 0.75])),
+            ]
+        )
+        assert region_probability(union, profile) is None
+
+    def test_ball_under_product_profile_returns_none(self):
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        assert region_probability(BallRegion(np.array([0.5, 0.5]), 0.1), profile) is None
+
+    def test_grid_profile_exact_summation(self):
+        space = DiscreteDemandSpace(np.arange(10, dtype=float).reshape(-1, 1))
+        profile = GridProfile.uniform(space)
+        region = BoxRegion(np.array([3.0]), np.array([6.0]))
+        assert region_probability(region, profile) == pytest.approx(0.4)
+
+    def test_empirical_profile_fraction(self):
+        profile = EmpiricalProfile(np.array([[0.1], [0.6], [0.7], [0.9]]))
+        region = BoxRegion(np.array([0.5]), np.array([1.0]))
+        assert region_probability(region, profile) == pytest.approx(0.75)
+
+
+class TestMonteCarloMeasure:
+    def test_estimate_matches_analytic_for_box(self):
+        rng = np.random.default_rng(5)
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        region = BoxRegion(np.array([0.2, 0.2]), np.array([0.7, 0.7]))
+        estimate = estimate_region_probability(region, profile, rng, sample_size=50_000)
+        analytic = region_probability(region, profile)
+        assert estimate.value == pytest.approx(analytic, abs=4 * estimate.standard_error)
+
+    def test_estimate_for_ball(self):
+        rng = np.random.default_rng(6)
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        region = BallRegion(np.array([0.5, 0.5]), 0.25)
+        estimate = estimate_region_probability(region, profile, rng, sample_size=50_000)
+        assert estimate.value == pytest.approx(np.pi * 0.25**2, abs=5 * estimate.standard_error)
+
+    def test_confidence_interval_clipped(self):
+        rng = np.random.default_rng(7)
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        estimate = estimate_region_probability(EmptyRegion(), profile, rng, sample_size=100)
+        low, high = estimate.confidence_interval()
+        assert low == 0.0
+        assert high >= 0.0
+
+    def test_rejects_bad_sample_size(self):
+        rng = np.random.default_rng(8)
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        with pytest.raises(ValueError):
+            estimate_region_probability(EmptyRegion(), profile, rng, sample_size=0)

@@ -1,0 +1,171 @@
+"""Tests for operational profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demandspace.profiles import (
+    EmpiricalProfile,
+    GridProfile,
+    MixtureProfile,
+    ProductProfile,
+    TruncatedNormalMarginal,
+    UniformMarginal,
+)
+from repro.demandspace.regions import BoxRegion
+from repro.demandspace.space import ContinuousDemandSpace, DiscreteDemandSpace
+
+
+class TestMarginals:
+    def test_uniform_interval_probability(self):
+        marginal = UniformMarginal(0.0, 2.0)
+        assert marginal.interval_probability(0.0, 1.0) == pytest.approx(0.5)
+        assert marginal.interval_probability(1.5, 5.0) == pytest.approx(0.25)
+        assert marginal.interval_probability(3.0, 1.0) == 0.0
+
+    def test_uniform_cdf(self):
+        marginal = UniformMarginal(0.0, 4.0)
+        np.testing.assert_allclose(marginal.cdf(np.array([-1.0, 2.0, 5.0])), [0.0, 0.5, 1.0])
+
+    def test_uniform_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            UniformMarginal(1.0, 0.0)
+
+    def test_uniform_sampling_range(self):
+        samples = UniformMarginal(2.0, 3.0).sample(np.random.default_rng(0), 500)
+        assert samples.min() >= 2.0 and samples.max() <= 3.0
+
+    def test_truncated_normal_mass_sums_to_one(self):
+        marginal = TruncatedNormalMarginal(mean=0.0, std=1.0, lower=-2.0, upper=2.0)
+        assert marginal.interval_probability(-2.0, 2.0) == pytest.approx(1.0)
+
+    def test_truncated_normal_sampling_within_bounds(self):
+        marginal = TruncatedNormalMarginal(mean=10.0, std=5.0, lower=8.0, upper=12.0)
+        samples = marginal.sample(np.random.default_rng(0), 500)
+        assert samples.min() >= 8.0 and samples.max() <= 12.0
+
+    def test_truncated_normal_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TruncatedNormalMarginal(mean=0.0, std=0.0, lower=-1.0, upper=1.0)
+        with pytest.raises(ValueError):
+            TruncatedNormalMarginal(mean=0.0, std=1.0, lower=1.0, upper=-1.0)
+
+
+class TestProductProfile:
+    def test_uniform_constructor(self):
+        space = ContinuousDemandSpace.unit_square()
+        profile = ProductProfile.uniform(space)
+        assert profile.dimension == 2
+        assert profile.box_probability(np.array([0.0, 0.0]), np.array([0.5, 0.5])) == pytest.approx(0.25)
+
+    def test_sample_shape_and_support(self):
+        space = ContinuousDemandSpace(np.array([0.0, 10.0]), np.array([1.0, 20.0]))
+        profile = ProductProfile.uniform(space)
+        samples = profile.sample(np.random.default_rng(1), 200)
+        assert samples.shape == (200, 2)
+        assert np.all(space.contains(samples))
+
+    def test_rejects_wrong_marginal_count(self):
+        space = ContinuousDemandSpace.unit_square()
+        with pytest.raises(ValueError):
+            ProductProfile(space, [UniformMarginal(0.0, 1.0)])
+
+    def test_box_probability_dimension_check(self):
+        profile = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        with pytest.raises(ValueError):
+            profile.box_probability(np.array([0.0]), np.array([0.5]))
+
+    def test_mixed_marginals(self):
+        space = ContinuousDemandSpace(np.array([0.0, 0.0]), np.array([1.0, 10.0]))
+        profile = ProductProfile(
+            space,
+            [UniformMarginal(0.0, 1.0), TruncatedNormalMarginal(5.0, 2.0, 0.0, 10.0)],
+        )
+        probability = profile.box_probability(np.array([0.0, 0.0]), np.array([1.0, 10.0]))
+        assert probability == pytest.approx(1.0)
+
+
+class TestMixtureProfile:
+    def test_sampling_dimension(self):
+        space = ContinuousDemandSpace.unit_square()
+        mixture = MixtureProfile(
+            [ProductProfile.uniform(space), ProductProfile.uniform(space)], [0.5, 0.5]
+        )
+        samples = mixture.sample(np.random.default_rng(2), 100)
+        assert samples.shape == (100, 2)
+
+    def test_weights_are_normalised(self):
+        space = ContinuousDemandSpace.unit_square()
+        mixture = MixtureProfile(
+            [ProductProfile.uniform(space), ProductProfile.uniform(space)], [2.0, 6.0]
+        )
+        np.testing.assert_allclose(mixture.weights, [0.25, 0.75])
+
+    def test_rejects_bad_weights(self):
+        space = ContinuousDemandSpace.unit_square()
+        uniform = ProductProfile.uniform(space)
+        with pytest.raises(ValueError):
+            MixtureProfile([uniform], [-1.0])
+        with pytest.raises(ValueError):
+            MixtureProfile([uniform, uniform], [1.0])
+        with pytest.raises(ValueError):
+            MixtureProfile([], [])
+
+    def test_rejects_dimension_mismatch(self):
+        square = ProductProfile.uniform(ContinuousDemandSpace.unit_square())
+        cube = ProductProfile.uniform(ContinuousDemandSpace.unit_cube(3))
+        with pytest.raises(ValueError):
+            MixtureProfile([square, cube], [0.5, 0.5])
+
+    def test_sample_zero(self):
+        space = ContinuousDemandSpace.unit_square()
+        mixture = MixtureProfile([ProductProfile.uniform(space)], [1.0])
+        assert mixture.sample(np.random.default_rng(0), 0).shape == (0, 2)
+
+
+class TestGridProfile:
+    def test_uniform_grid(self):
+        space = DiscreteDemandSpace(np.arange(4, dtype=float).reshape(-1, 1))
+        profile = GridProfile.uniform(space)
+        np.testing.assert_allclose(profile.probabilities, 0.25)
+
+    def test_region_probability(self):
+        space = DiscreteDemandSpace(np.arange(10, dtype=float).reshape(-1, 1))
+        profile = GridProfile.uniform(space)
+        region = BoxRegion(np.array([0.0]), np.array([2.0]))
+        assert profile.region_probability(region) == pytest.approx(0.3)
+
+    def test_rejects_bad_probabilities(self):
+        space = DiscreteDemandSpace(np.arange(3, dtype=float).reshape(-1, 1))
+        with pytest.raises(ValueError):
+            GridProfile(space, np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            GridProfile(space, np.array([-0.1, 0.6, 0.5]))
+        with pytest.raises(ValueError):
+            GridProfile(space, np.zeros(3))
+
+    def test_sampling_follows_probabilities(self):
+        space = DiscreteDemandSpace(np.array([[0.0], [1.0]]))
+        profile = GridProfile(space, np.array([0.9, 0.1]))
+        samples = profile.sample(np.random.default_rng(3), 5000)
+        assert np.mean(samples == 0.0) == pytest.approx(0.9, abs=0.02)
+
+
+class TestEmpiricalProfile:
+    def test_sampling_resamples_recorded_demands(self):
+        recorded = np.array([[1.0, 2.0], [3.0, 4.0]])
+        profile = EmpiricalProfile(recorded)
+        samples = profile.sample(np.random.default_rng(4), 50)
+        for sample in samples:
+            assert any(np.allclose(sample, row) for row in recorded)
+
+    def test_region_probability_is_fraction(self):
+        recorded = np.array([[0.1], [0.2], [0.8], [0.9]])
+        profile = EmpiricalProfile(recorded)
+        region = BoxRegion(np.array([0.0]), np.array([0.5]))
+        assert profile.region_probability(region) == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalProfile(np.zeros((0, 2)))

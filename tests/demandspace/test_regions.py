@@ -1,0 +1,133 @@
+"""Tests for failure regions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demandspace.regions import (
+    BallRegion,
+    BoxRegion,
+    EmptyRegion,
+    HalfSpaceRegion,
+    PointSetRegion,
+    UnionRegion,
+)
+
+
+class TestEmptyRegion:
+    def test_contains_nothing(self):
+        region = EmptyRegion()
+        demands = np.random.default_rng(0).random((10, 2))
+        assert not region.contains(demands).any()
+
+
+class TestBoxRegion:
+    def test_membership(self):
+        region = BoxRegion(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        demands = np.array([[0.25, 0.25], [0.5, 0.5], [0.6, 0.1]])
+        np.testing.assert_array_equal(region.contains(demands), [True, True, False])
+
+    def test_volume(self):
+        region = BoxRegion(np.array([0.0, 1.0]), np.array([2.0, 4.0]))
+        assert region.volume() == pytest.approx(6.0)
+
+    def test_degenerate_box(self):
+        region = BoxRegion(np.array([0.5]), np.array([0.5]))
+        assert region.volume() == 0.0
+        assert region.contains(np.array([[0.5]]))[0]
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoxRegion(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_dimension_mismatch(self):
+        region = BoxRegion(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            region.contains(np.array([[0.1, 0.2, 0.3]]))
+
+
+class TestBallRegion:
+    def test_membership(self):
+        region = BallRegion(np.array([0.5, 0.5]), radius=0.2)
+        demands = np.array([[0.5, 0.5], [0.65, 0.5], [0.8, 0.5]])
+        np.testing.assert_array_equal(region.contains(demands), [True, True, False])
+
+    def test_volume_two_dimensional(self):
+        region = BallRegion(np.array([0.0, 0.0]), radius=2.0)
+        assert region.volume() == pytest.approx(np.pi * 4.0)
+
+    def test_volume_three_dimensional(self):
+        region = BallRegion(np.zeros(3), radius=1.0)
+        assert region.volume() == pytest.approx(4.0 / 3.0 * np.pi)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            BallRegion(np.array([0.0]), radius=-1.0)
+
+
+class TestHalfSpaceRegion:
+    def test_membership(self):
+        # Fails whenever x + y >= 1.
+        region = HalfSpaceRegion(np.array([1.0, 1.0]), offset=1.0)
+        demands = np.array([[0.5, 0.5], [0.2, 0.2], [0.9, 0.3]])
+        np.testing.assert_array_equal(region.contains(demands), [True, False, True])
+
+    def test_rejects_zero_normal(self):
+        with pytest.raises(ValueError):
+            HalfSpaceRegion(np.zeros(2), offset=0.0)
+
+
+class TestPointSetRegion:
+    def test_exact_points(self):
+        region = PointSetRegion(np.array([[0.1, 0.1], [0.9, 0.9]]))
+        demands = np.array([[0.1, 0.1], [0.1, 0.2], [0.9, 0.9]])
+        np.testing.assert_array_equal(region.contains(demands), [True, False, True])
+
+    def test_tolerance_creates_small_boxes(self):
+        region = PointSetRegion(np.array([[0.5, 0.5]]), tolerance=0.05)
+        demands = np.array([[0.52, 0.48], [0.6, 0.5]])
+        np.testing.assert_array_equal(region.contains(demands), [True, False])
+
+    def test_one_dimensional_points(self):
+        region = PointSetRegion(np.array([0.3, 0.6]))
+        assert region.dimension == 1
+        assert region.contains(np.array([[0.3]]))[0]
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            PointSetRegion(np.array([[0.5]]), tolerance=-0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PointSetRegion(np.zeros((0, 2)))
+
+
+class TestUnionRegion:
+    def test_union_of_disjoint_boxes(self):
+        union = UnionRegion(
+            [
+                BoxRegion(np.array([0.0, 0.0]), np.array([0.2, 0.2])),
+                BoxRegion(np.array([0.8, 0.8]), np.array([1.0, 1.0])),
+            ]
+        )
+        demands = np.array([[0.1, 0.1], [0.9, 0.9], [0.5, 0.5]])
+        np.testing.assert_array_equal(union.contains(demands), [True, True, False])
+
+    def test_union_flattens_nested_unions(self):
+        inner = UnionRegion([EmptyRegion(), EmptyRegion()])
+        outer = UnionRegion([inner, EmptyRegion()])
+        assert len(outer.components) == 3
+
+    def test_union_method_on_regions(self):
+        combined = BoxRegion(np.array([0.0]), np.array([0.1])).union(
+            BoxRegion(np.array([0.5]), np.array([0.6]))
+        )
+        assert isinstance(combined, UnionRegion)
+        np.testing.assert_array_equal(
+            combined.contains(np.array([[0.05], [0.55], [0.3]])), [True, True, False]
+        )
+
+    def test_rejects_empty_union(self):
+        with pytest.raises(ValueError):
+            UnionRegion([])

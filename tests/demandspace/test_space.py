@@ -1,0 +1,104 @@
+"""Tests for demand spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demandspace.space import ContinuousDemandSpace, DiscreteDemandSpace
+
+
+class TestContinuousDemandSpace:
+    def test_unit_square(self):
+        space = ContinuousDemandSpace.unit_square()
+        assert space.dimension == 2
+        assert space.volume() == pytest.approx(1.0)
+        assert space.names == ("var1", "var2")
+
+    def test_unit_cube(self):
+        space = ContinuousDemandSpace.unit_cube(4)
+        assert space.dimension == 4
+        assert space.volume() == pytest.approx(1.0)
+
+    def test_unit_cube_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            ContinuousDemandSpace.unit_cube(0)
+
+    def test_custom_names(self):
+        space = ContinuousDemandSpace(
+            np.array([0.0, 10.0]), np.array([5.0, 20.0]), names=("pressure", "temperature")
+        )
+        assert space.names == ("pressure", "temperature")
+        np.testing.assert_allclose(space.widths, [5.0, 10.0])
+        assert space.volume() == pytest.approx(50.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            ContinuousDemandSpace(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ContinuousDemandSpace(np.array([0.0]), np.array([1.0]), names=("a", "b"))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ContinuousDemandSpace(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_contains(self):
+        space = ContinuousDemandSpace.unit_square()
+        demands = np.array([[0.5, 0.5], [1.5, 0.5], [0.0, 1.0]])
+        np.testing.assert_array_equal(space.contains(demands), [True, False, True])
+
+    def test_contains_single_demand(self):
+        space = ContinuousDemandSpace.unit_square()
+        assert space.contains(np.array([0.2, 0.3]))[0]
+
+    def test_contains_rejects_wrong_dimension(self):
+        space = ContinuousDemandSpace.unit_square()
+        with pytest.raises(ValueError):
+            space.contains(np.array([[0.1, 0.2, 0.3]]))
+
+    def test_grid_shape_and_coverage(self):
+        space = ContinuousDemandSpace.unit_square()
+        grid = space.grid(5)
+        assert grid.shape == (25, 2)
+        assert np.all(space.contains(grid))
+        assert grid.min() == pytest.approx(0.0)
+        assert grid.max() == pytest.approx(1.0)
+
+    def test_grid_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            ContinuousDemandSpace.unit_square().grid(1)
+
+    def test_sample_uniform_inside(self):
+        space = ContinuousDemandSpace(np.array([-1.0, 2.0]), np.array([1.0, 4.0]))
+        samples = space.sample_uniform(np.random.default_rng(0), 1000)
+        assert samples.shape == (1000, 2)
+        assert np.all(space.contains(samples))
+
+    def test_sample_uniform_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ContinuousDemandSpace.unit_square().sample_uniform(np.random.default_rng(0), -1)
+
+
+class TestDiscreteDemandSpace:
+    def test_basic_properties(self):
+        space = DiscreteDemandSpace(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.5]]))
+        assert space.dimension == 2
+        assert space.size == 3
+
+    def test_one_dimensional_points_are_reshaped(self):
+        space = DiscreteDemandSpace(np.array([1.0, 2.0, 3.0]))
+        assert space.dimension == 1
+        assert space.size == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteDemandSpace(np.zeros((0, 2)))
+
+    def test_contains_and_index_of(self):
+        space = DiscreteDemandSpace(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert space.contains(np.array([1.0, 1.0]))[0]
+        assert not space.contains(np.array([0.5, 0.5]))[0]
+        assert space.index_of(np.array([1.0, 1.0])) == 1
+        assert space.index_of(np.array([0.5, 0.5])) == -1

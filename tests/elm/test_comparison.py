@@ -1,0 +1,75 @@
+"""Tests for the fault-model / difficulty-function bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.core.moments import single_version_mean, two_version_mean
+from repro.demandspace.profiles import GridProfile
+from repro.demandspace.regions import BoxRegion
+from repro.demandspace.space import DiscreteDemandSpace
+from repro.elm.comparison import compare_fault_model_with_el, difficulty_from_fault_model
+
+
+@pytest.fixture
+def grid_profile() -> GridProfile:
+    # Ten one-dimensional demands, uniformly likely.
+    return GridProfile.uniform(DiscreteDemandSpace(np.arange(10, dtype=float).reshape(-1, 1)))
+
+
+class TestDisjointRegions:
+    def test_difficulty_values(self, grid_profile: GridProfile):
+        regions = [
+            BoxRegion(np.array([0.0]), np.array([1.0])),  # demands 0, 1
+            BoxRegion(np.array([5.0]), np.array([5.0])),  # demand 5
+        ]
+        model = FaultModel(p=np.array([0.2, 0.4]), q=np.array([0.2, 0.1]))
+        difficulty = difficulty_from_fault_model(model, regions, grid_profile)
+        np.testing.assert_allclose(difficulty.difficulties[[0, 1]], 0.2)
+        np.testing.assert_allclose(difficulty.difficulties[5], 0.4)
+        np.testing.assert_allclose(difficulty.difficulties[[2, 3, 4, 6, 7, 8, 9]], 0.0)
+
+    def test_means_agree_with_fault_model(self, grid_profile: GridProfile):
+        regions = [
+            BoxRegion(np.array([0.0]), np.array([1.0])),
+            BoxRegion(np.array([5.0]), np.array([5.0])),
+        ]
+        model = FaultModel(p=np.array([0.2, 0.4]), q=np.array([0.2, 0.1]))
+        comparison = compare_fault_model_with_el(model, regions, grid_profile)
+        assert comparison["el_mean_single"] == pytest.approx(single_version_mean(model))
+        assert comparison["el_mean_system"] == pytest.approx(two_version_mean(model))
+        assert comparison["el_excess_over_independence"] >= 0.0
+
+    def test_rejects_region_count_mismatch(self, grid_profile: GridProfile):
+        model = FaultModel(p=np.array([0.2]), q=np.array([0.1]))
+        with pytest.raises(ValueError):
+            difficulty_from_fault_model(model, [], grid_profile)
+
+
+class TestOverlappingRegions:
+    def test_overlap_biases_point_in_opposite_directions(self, grid_profile: GridProfile):
+        # Two regions share demands 4 and 5.  The single-version sum formula
+        # double-counts the shared demands (pessimistic), while the two-version
+        # sum misses coincident failures through *different* faults on the
+        # shared demands (optimistic).
+        regions = [
+            BoxRegion(np.array([2.0]), np.array([5.0])),
+            BoxRegion(np.array([4.0]), np.array([7.0])),
+        ]
+        model = FaultModel(p=np.array([0.3, 0.3]), q=np.array([0.4, 0.4]), strict=True)
+        comparison = compare_fault_model_with_el(model, regions, grid_profile)
+        assert comparison["fault_model_mean_single"] >= comparison["el_mean_single"]
+        assert comparison["fault_model_mean_system"] <= comparison["el_mean_system"]
+
+    def test_overlapping_difficulty_combines_probabilities(self, grid_profile: GridProfile):
+        regions = [
+            BoxRegion(np.array([0.0]), np.array([5.0])),
+            BoxRegion(np.array([3.0]), np.array([9.0])),
+        ]
+        model = FaultModel(p=np.array([0.5, 0.5]), q=np.array([0.4, 0.4]), strict=False)
+        difficulty = difficulty_from_fault_model(model, regions, grid_profile)
+        # Demands covered by both regions have difficulty 1 - 0.5*0.5 = 0.75.
+        np.testing.assert_allclose(difficulty.difficulties[[3, 4, 5]], 0.75)
+        np.testing.assert_allclose(difficulty.difficulties[[0, 1, 2]], 0.5)

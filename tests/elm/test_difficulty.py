@@ -1,0 +1,70 @@
+"""Tests for difficulty functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.elm.difficulty import DifficultyFunction
+
+
+class TestValidation:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DifficultyFunction(np.array([0.5, 0.5]), np.array([0.1]))
+
+    def test_rejects_unnormalised_probabilities(self):
+        with pytest.raises(ValueError):
+            DifficultyFunction(np.array([0.5, 0.6]), np.array([0.1, 0.2]))
+
+    def test_rejects_out_of_range_difficulties(self):
+        with pytest.raises(ValueError):
+            DifficultyFunction(np.array([0.5, 0.5]), np.array([0.1, 1.2]))
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ValueError):
+            DifficultyFunction(np.array([1.5, -0.5]), np.array([0.1, 0.2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DifficultyFunction(np.array([]), np.array([]))
+
+
+class TestMoments:
+    @pytest.fixture
+    def difficulty(self) -> DifficultyFunction:
+        return DifficultyFunction(
+            demand_probabilities=np.array([0.25, 0.25, 0.5]),
+            difficulties=np.array([0.0, 0.4, 0.1]),
+        )
+
+    def test_mean(self, difficulty: DifficultyFunction):
+        assert difficulty.mean_difficulty() == pytest.approx(0.25 * 0.4 + 0.5 * 0.1)
+
+    def test_second_moment(self, difficulty: DifficultyFunction):
+        assert difficulty.moment(2) == pytest.approx(0.25 * 0.16 + 0.5 * 0.01)
+
+    def test_moment_rejects_bad_order(self, difficulty: DifficultyFunction):
+        with pytest.raises(ValueError):
+            difficulty.moment(0)
+
+    def test_variance_is_jensen_gap(self, difficulty: DifficultyFunction):
+        assert difficulty.variance_of_difficulty() == pytest.approx(
+            difficulty.moment(2) - difficulty.mean_difficulty() ** 2
+        )
+        assert difficulty.variance_of_difficulty() >= 0.0
+
+    def test_covariance_with_itself_is_variance(self, difficulty: DifficultyFunction):
+        assert difficulty.covariance_with(difficulty) == pytest.approx(
+            difficulty.variance_of_difficulty()
+        )
+
+    def test_covariance_rejects_mismatched_profiles(self, difficulty: DifficultyFunction):
+        other = DifficultyFunction(np.array([0.5, 0.5]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            difficulty.covariance_with(other)
+        different_profile = DifficultyFunction(
+            np.array([0.3, 0.3, 0.4]), np.array([0.0, 0.4, 0.1])
+        )
+        with pytest.raises(ValueError):
+            difficulty.covariance_with(different_profile)

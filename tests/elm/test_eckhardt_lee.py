@@ -1,0 +1,59 @@
+"""Tests for the Eckhardt-Lee model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.elm.difficulty import DifficultyFunction
+from repro.elm.eckhardt_lee import EckhardtLeeModel
+
+
+@pytest.fixture
+def model() -> EckhardtLeeModel:
+    difficulty = DifficultyFunction(
+        demand_probabilities=np.array([0.2, 0.3, 0.5]),
+        difficulties=np.array([0.5, 0.1, 0.01]),
+    )
+    return EckhardtLeeModel(difficulty)
+
+
+class TestMeans:
+    def test_single_version_mean(self, model: EckhardtLeeModel):
+        assert model.mean_single_version_pfd() == pytest.approx(
+            0.2 * 0.5 + 0.3 * 0.1 + 0.5 * 0.01
+        )
+
+    def test_system_mean_is_second_moment(self, model: EckhardtLeeModel):
+        assert model.mean_system_pfd(2) == pytest.approx(
+            0.2 * 0.25 + 0.3 * 0.01 + 0.5 * 0.0001
+        )
+
+    def test_three_version_mean(self, model: EckhardtLeeModel):
+        assert model.mean_system_pfd(3) == pytest.approx(
+            0.2 * 0.125 + 0.3 * 0.001 + 0.5 * 1e-6
+        )
+
+
+class TestIndependenceComparison:
+    def test_system_worse_than_independence(self, model: EckhardtLeeModel):
+        # The EL headline: E[theta^2] >= (E[theta])^2.
+        assert model.mean_system_pfd(2) >= model.independence_prediction(2)
+        assert model.excess_over_independence(2) >= 0.0
+
+    def test_excess_equals_difficulty_variance(self, model: EckhardtLeeModel):
+        assert model.excess_over_independence(2) == pytest.approx(
+            model.difficulty.variance_of_difficulty()
+        )
+
+    def test_constant_difficulty_matches_independence(self):
+        difficulty = DifficultyFunction(np.array([0.5, 0.5]), np.array([0.1, 0.1]))
+        model = EckhardtLeeModel(difficulty)
+        assert model.excess_over_independence(2) == pytest.approx(0.0, abs=1e-15)
+
+    def test_mean_gain_bounded_by_one(self, model: EckhardtLeeModel):
+        assert 0.0 < model.mean_gain(2) <= 1.0
+
+    def test_mean_gain_degenerate_zero_difficulty(self):
+        difficulty = DifficultyFunction(np.array([1.0]), np.array([0.0]))
+        assert EckhardtLeeModel(difficulty).mean_gain(2) == 1.0

@@ -1,0 +1,62 @@
+"""Tests for the Littlewood-Miller model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.elm.difficulty import DifficultyFunction
+from repro.elm.littlewood_miller import LittlewoodMillerModel
+
+
+def _difficulties(values_a, values_b, probabilities=None):
+    probabilities = probabilities if probabilities is not None else np.full(len(values_a), 1.0 / len(values_a))
+    return (
+        DifficultyFunction(np.asarray(probabilities), np.asarray(values_a, dtype=float)),
+        DifficultyFunction(np.asarray(probabilities), np.asarray(values_b, dtype=float)),
+    )
+
+
+class TestConstruction:
+    def test_rejects_mismatched_demand_spaces(self):
+        difficulty_a = DifficultyFunction(np.array([0.5, 0.5]), np.array([0.1, 0.2]))
+        difficulty_b = DifficultyFunction(np.array([1.0]), np.array([0.1]))
+        with pytest.raises(ValueError):
+            LittlewoodMillerModel(difficulty_a, difficulty_b)
+
+    def test_rejects_mismatched_profiles(self):
+        difficulty_a = DifficultyFunction(np.array([0.5, 0.5]), np.array([0.1, 0.2]))
+        difficulty_b = DifficultyFunction(np.array([0.4, 0.6]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            LittlewoodMillerModel(difficulty_a, difficulty_b)
+
+
+class TestForcedDiversityEffect:
+    def test_negatively_correlated_difficulties_beat_independence(self):
+        # Methodology A struggles on demand 1, methodology B on demand 2.
+        difficulty_a, difficulty_b = _difficulties([0.4, 0.01], [0.01, 0.4])
+        model = LittlewoodMillerModel(difficulty_a, difficulty_b)
+        assert model.difficulty_covariance() < 0.0
+        assert model.beats_independence()
+        assert model.mean_system_pfd() < model.independence_prediction()
+
+    def test_positively_correlated_difficulties_fall_short(self):
+        difficulty_a, difficulty_b = _difficulties([0.4, 0.01], [0.5, 0.02])
+        model = LittlewoodMillerModel(difficulty_a, difficulty_b)
+        assert model.difficulty_covariance() > 0.0
+        assert not model.beats_independence()
+
+    def test_identical_methodologies_reduce_to_eckhardt_lee(self):
+        from repro.elm.eckhardt_lee import EckhardtLeeModel
+
+        difficulty_a, difficulty_b = _difficulties([0.3, 0.05, 0.1], [0.3, 0.05, 0.1])
+        lm_model = LittlewoodMillerModel(difficulty_a, difficulty_b)
+        el_model = EckhardtLeeModel(difficulty_a)
+        assert lm_model.mean_system_pfd() == pytest.approx(el_model.mean_system_pfd(2))
+
+    def test_single_version_means(self):
+        difficulty_a, difficulty_b = _difficulties([0.2, 0.4], [0.1, 0.3])
+        model = LittlewoodMillerModel(difficulty_a, difficulty_b)
+        mean_a, mean_b = model.mean_single_version_pfd()
+        assert mean_a == pytest.approx(0.3)
+        assert mean_b == pytest.approx(0.2)

@@ -1,0 +1,85 @@
+"""Tests for the synthetic Knight-Leveson-style experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.experiments.knight_leveson import (
+    KNIGHT_LEVESON_VERSION_COUNT,
+    SyntheticNVersionExperiment,
+)
+from repro.versions.correlated import CopulaDevelopmentProcess
+
+
+@pytest.fixture
+def model() -> FaultModel:
+    # Moderate fault probabilities so a 27-version experiment sees plenty of
+    # faults and common faults.
+    return FaultModel(
+        p=np.array([0.3, 0.2, 0.15, 0.1, 0.05]),
+        q=np.array([0.02, 0.05, 0.01, 0.1, 0.03]),
+    )
+
+
+class TestExperiment:
+    def test_default_version_count_matches_knight_leveson(self, model: FaultModel):
+        assert SyntheticNVersionExperiment(model).version_count == KNIGHT_LEVESON_VERSION_COUNT == 27
+
+    def test_pair_count_is_all_pairs(self, model: FaultModel):
+        result = SyntheticNVersionExperiment(model, version_count=10).run(rng=0)
+        assert result.pair_count == 45
+        assert result.single_pfds.size == 10
+        assert result.pair_pfds.size == 45
+
+    def test_rejects_too_few_versions(self, model: FaultModel):
+        with pytest.raises(ValueError):
+            SyntheticNVersionExperiment(model, version_count=1)
+
+    def test_reproducible_with_seed(self, model: FaultModel):
+        experiment = SyntheticNVersionExperiment(model)
+        first = experiment.run(rng=5).summary()
+        second = experiment.run(rng=5).summary()
+        assert first == second
+
+    def test_qualitative_section7_claim(self, model: FaultModel):
+        # "diversity reduced not only the sample mean of the PFD ... but also
+        # - greatly - its standard deviation".
+        result = SyntheticNVersionExperiment(model).run(rng=1)
+        assert result.diversity_reduced_mean()
+        assert result.diversity_reduced_std()
+        assert result.mean_reduction_factor() >= 1.0
+        assert result.std_reduction_factor() >= 1.0
+
+    def test_expected_statistics_match_model(self, model: FaultModel):
+        from repro.core.moments import pfd_moments
+
+        expected = SyntheticNVersionExperiment(model).expected_statistics()
+        assert expected["single_mean"] == pytest.approx(pfd_moments(model, 1).mean)
+        assert expected["pair_std"] == pytest.approx(pfd_moments(model, 2).std)
+
+    def test_sample_statistics_converge_to_expected(self, model: FaultModel):
+        # With many versions the sample statistics approach the analytic ones.
+        experiment = SyntheticNVersionExperiment(model, version_count=400)
+        result = experiment.run(rng=2)
+        expected = experiment.expected_statistics()
+        assert result.single_pfds.mean() == pytest.approx(expected["single_mean"], rel=0.1)
+        assert result.single_pfds.std() == pytest.approx(expected["single_std"], rel=0.15)
+
+    def test_replicated_runs_are_independent(self, model: FaultModel):
+        experiment = SyntheticNVersionExperiment(model, version_count=10)
+        results = experiment.run_replicated(3, rng=3)
+        assert len(results) == 3
+        means = {result.single_pfds.mean() for result in results}
+        assert len(means) > 1
+
+    def test_replicated_rejects_bad_count(self, model: FaultModel):
+        with pytest.raises(ValueError):
+            SyntheticNVersionExperiment(model).run_replicated(0)
+
+    def test_custom_development_process(self, model: FaultModel):
+        process = CopulaDevelopmentProcess(model, correlation=0.5)
+        experiment = SyntheticNVersionExperiment(model, version_count=8, process=process)
+        result = experiment.run(rng=4)
+        assert result.version_count == 8

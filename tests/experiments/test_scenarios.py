@@ -1,0 +1,92 @@
+"""Tests for the canonical scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.moments import expected_fault_count
+from repro.demandspace.space import ContinuousDemandSpace
+from repro.experiments.scenarios import (
+    fig2_failure_regions,
+    high_quality_scenario,
+    many_small_faults_scenario,
+    protection_system_scenario,
+)
+
+
+class TestHighQualityScenario:
+    def test_regime_characteristics(self):
+        model = high_quality_scenario()
+        assert model.n == 5
+        # Section 4 regime: the expected fault count per version is well below 1.
+        assert expected_fault_count(model, 1) < 0.2
+        assert model.p_max <= 0.05
+
+
+class TestManySmallFaultsScenario:
+    def test_regime_characteristics(self):
+        model = many_small_faults_scenario(n=150)
+        assert model.n == 150
+        assert model.p_max <= 0.08 + 1e-12
+        assert model.q.sum() == pytest.approx(0.3)
+        # Section 5 regime: many faults expected per version.
+        assert expected_fault_count(model, 1) > 1.0
+
+    def test_reproducible_by_seed(self):
+        np.testing.assert_allclose(
+            many_small_faults_scenario(50, rng=3).p, many_small_faults_scenario(50, rng=3).p
+        )
+
+
+class TestFig2Regions:
+    def test_default_layout(self):
+        regions = fig2_failure_regions()
+        assert len(regions) == 5
+        demands = np.array([[0.25, 0.3], [0.47, 0.5], [0.99, 0.99]])
+        memberships = [region.contains(demands) for region in regions]
+        # First demand sits inside the first blob, second inside the stripe.
+        assert memberships[0][0]
+        assert memberships[2][1]
+
+    def test_rejects_non_two_dimensional_space(self):
+        with pytest.raises(ValueError):
+            fig2_failure_regions(ContinuousDemandSpace.unit_cube(3))
+
+    def test_scaled_space(self):
+        space = ContinuousDemandSpace(np.array([0.0, 100.0]), np.array([10.0, 200.0]))
+        regions = fig2_failure_regions(space)
+        centre_demand = np.array([[2.5, 130.0]])  # scaled equivalent of (0.25, 0.3)
+        assert regions[0].contains(centre_demand)[0]
+
+
+class TestProtectionSystemScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return protection_system_scenario(rng=11)
+
+    def test_structure(self, scenario):
+        assert scenario.n == 6
+        assert scenario.model.n == len(scenario.regions)
+        assert scenario.space.dimension == 2
+        assert scenario.space.names == ("pressure_bar", "temperature_c")
+
+    def test_impacts_consistent_with_geometry(self, scenario, rng):
+        # The model's q_i should match fresh Monte Carlo estimates of the
+        # region probabilities under the profile.
+        from repro.demandspace.measure import estimate_region_probability
+
+        for index, region in enumerate(scenario.regions):
+            estimate = estimate_region_probability(region, scenario.profile, rng, 40_000)
+            assert scenario.model.q[index] == pytest.approx(
+                estimate.value, abs=max(6 * estimate.standard_error, 2e-3)
+            )
+
+    def test_demands_stay_in_space(self, scenario, rng):
+        demands = scenario.profile.sample(rng, 2_000)
+        assert np.all(scenario.space.contains(demands))
+
+    def test_reproducibility(self):
+        first = protection_system_scenario(rng=11)
+        second = protection_system_scenario(rng=11)
+        np.testing.assert_allclose(first.model.q, second.model.q)

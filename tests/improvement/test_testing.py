@@ -1,0 +1,113 @@
+"""Tests for the testing-campaign process-improvement mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.core.moments import single_version_mean
+from repro.core.no_common_faults import risk_ratio
+from repro.improvement.testing import TestingCampaign
+
+
+@pytest.fixture
+def model() -> FaultModel:
+    # Fault 1 fails often (large region) but is rarely introduced; fault 2 is
+    # the more probable mistake but its failure region is tiny, so testing
+    # will find the first long before the second.
+    return FaultModel(p=np.array([0.1, 0.3]), q=np.array([0.05, 5e-7]))
+
+
+class TestValidation:
+    def test_rejects_bad_effectiveness(self, model: FaultModel):
+        with pytest.raises(ValueError):
+            TestingCampaign(model, effectiveness=1.5)
+        with pytest.raises(ValueError):
+            TestingCampaign(model, effectiveness=np.array([0.5, 0.5, 0.5]))
+
+    def test_rejects_bad_repair_probability(self, model: FaultModel):
+        with pytest.raises(ValueError):
+            TestingCampaign(model, repair_probability=-0.1)
+
+    def test_rejects_negative_effort(self, model: FaultModel):
+        with pytest.raises(ValueError):
+            TestingCampaign(model).detection_probability(-1)
+        with pytest.raises(ValueError):
+            TestingCampaign(model).trajectory([])
+        with pytest.raises(ValueError):
+            TestingCampaign(model).trajectory([-5])
+
+
+class TestDetectionAndSurvival:
+    def test_no_testing_changes_nothing(self, model: FaultModel):
+        campaign = TestingCampaign(model)
+        released = campaign.released_model(0)
+        np.testing.assert_allclose(released.p, model.p)
+        np.testing.assert_allclose(released.q, model.q)
+
+    def test_detection_probability_formula(self, model: FaultModel):
+        campaign = TestingCampaign(model, effectiveness=0.5)
+        detection = campaign.detection_probability(10)
+        expected = 1.0 - (1.0 - 0.5 * model.q) ** 10
+        np.testing.assert_allclose(detection, expected)
+
+    def test_large_regions_found_first(self, model: FaultModel):
+        campaign = TestingCampaign(model)
+        detection = campaign.detection_probability(100)
+        assert detection[0] > detection[1]
+
+    def test_survival_with_imperfect_repair(self, model: FaultModel):
+        perfect = TestingCampaign(model, repair_probability=1.0)
+        sloppy = TestingCampaign(model, repair_probability=0.5)
+        assert np.all(
+            sloppy.survival_probability(50) >= perfect.survival_probability(50)
+        )
+
+    def test_released_probabilities_never_increase(self, model: FaultModel):
+        campaign = TestingCampaign(model)
+        for effort in (1, 10, 100, 10_000):
+            released = campaign.released_model(effort)
+            assert np.all(released.p <= model.p + 1e-15)
+
+    def test_extensive_testing_removes_testable_faults(self, model: FaultModel):
+        campaign = TestingCampaign(model)
+        released = campaign.released_model(1_000_000)
+        # The big-region fault is essentially gone; the tiny-region fault survives.
+        assert released.p[0] < 1e-6
+        assert released.p[1] > 0.05
+
+
+class TestTrajectory:
+    def test_reliability_always_improves(self, model: FaultModel):
+        trajectory = TestingCampaign(model).trajectory([0, 10, 100, 1_000, 10_000])
+        assert trajectory.reliability_always_improves()
+        assert trajectory.single_version_means[0] == pytest.approx(single_version_mean(model))
+
+    def test_gain_can_reverse_under_testing(self, model: FaultModel):
+        # Testing removes the easy-to-find (large-region) fault first, so the
+        # released versions become dominated by the more probable but
+        # hard-to-find fault -- the Appendix A situation in which the
+        # diversity gain deteriorates even though reliability improves.
+        trajectory = TestingCampaign(model).trajectory([0, 10, 50, 200, 1_000, 5_000])
+        assert trajectory.reliability_always_improves()
+        assert not trajectory.gain_is_monotone()
+        # The released model's risk ratio tends to the surviving fault's
+        # introduction probability, which is *worse* (larger) than the fresh
+        # model's ratio.
+        assert trajectory.risk_ratios[-1] > trajectory.risk_ratios[0]
+
+    def test_trajectory_rows_structure(self, model: FaultModel):
+        trajectory = TestingCampaign(model).trajectory([0, 10])
+        rows = trajectory.rows()
+        assert len(rows) == 2
+        assert rows[0]["test_demands"] == 0
+        assert rows[0]["risk_ratio"] == pytest.approx(risk_ratio(model))
+
+    def test_equal_region_sizes_keep_gain_improving(self):
+        # When all failure regions are the same size, testing scales every p_i
+        # by the same factor (a proportional improvement), so by Appendix B the
+        # gain can only improve as testing effort grows.
+        homogeneous = FaultModel(p=np.array([0.3, 0.2, 0.1]), q=np.full(3, 0.01))
+        trajectory = TestingCampaign(homogeneous).trajectory([0, 10, 100, 1_000])
+        assert trajectory.gain_is_monotone()

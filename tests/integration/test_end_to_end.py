@@ -1,0 +1,78 @@
+"""End-to-end workflow tests mirroring the examples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assessment.bayesian import BayesianPfdAssessment
+from repro.assessment.confidence import claim_from_system
+from repro.assessment.sil import SafetyIntegrityLevel, sil_claim_for_system
+from repro.core.gain import diversity_gain_summary
+from repro.core.system import OneOutOfTwoSystem, SingleVersionSystem
+from repro.experiments.knight_leveson import SyntheticNVersionExperiment
+from repro.experiments.scenarios import high_quality_scenario, many_small_faults_scenario
+
+
+class TestAssessorWorkflow:
+    def test_high_quality_scenario_full_chain(self):
+        model = high_quality_scenario()
+        single = SingleVersionSystem(model)
+        pair = OneOutOfTwoSystem(model)
+
+        summary = diversity_gain_summary(model, confidence=0.99)
+        assert summary.mean_ratio < summary.guaranteed_mean_ratio + 1e-12
+        assert summary.risk_ratio < 0.1  # diversity buys a lot in this regime
+
+        single_claim = claim_from_system(single, 0.99, method="exact-distribution")
+        pair_claim = claim_from_system(pair, 0.99, method="exact-distribution")
+        assert pair_claim.bound <= single_claim.bound
+
+        pair_sil = sil_claim_for_system(pair, 0.99, method="exact-distribution")
+        single_sil = sil_claim_for_system(single, 0.99, method="exact-distribution")
+        assert pair_sil.level >= single_sil.level
+
+    def test_operational_evidence_improves_claim(self):
+        model = high_quality_scenario()
+        assessment = BayesianPfdAssessment.from_model(model, versions=2)
+        prior_probability = assessment.prob_requirement_met(1e-5, demands=0)
+        posterior_probability = assessment.prob_requirement_met(1e-5, demands=50_000)
+        assert posterior_probability >= prior_probability
+        # The prior alone cannot support a very high confidence in this strict
+        # requirement; failure-free operation eventually can.
+        needed = assessment.demands_needed_for_confidence(1e-5, 0.9999)
+        assert needed is not None and needed > 0
+        assert assessment.prob_requirement_met(1e-5, needed) >= 0.9999
+
+    def test_many_small_faults_scenario_normal_regime(self):
+        model = many_small_faults_scenario(n=150)
+        single = SingleVersionSystem(model)
+        pair = OneOutOfTwoSystem(model)
+        # Normal approximation and exact distribution agree reasonably well in
+        # this regime (that is what makes it the Section 5 regime).
+        assert single.normal_bound(0.99) == pytest.approx(single.exact_bound(0.99), rel=0.2)
+        # And diversity helps by at least the guaranteed factors.
+        assert pair.mean_pfd() <= model.p_max * single.mean_pfd() + 1e-15
+        assert pair.normal_bound(0.99) <= single.normal_bound(0.99)
+
+
+class TestExperimentWorkflow:
+    def test_synthetic_knight_leveson_supports_section7(self):
+        # Run several replications of the synthetic 27-version experiment and
+        # check the Section 7 qualitative observation holds in the overwhelming
+        # majority of them.
+        model = many_small_faults_scenario(n=60)
+        experiment = SyntheticNVersionExperiment(model, version_count=27)
+        results = experiment.run_replicated(20, rng=0)
+        mean_reduced = sum(result.diversity_reduced_mean() for result in results)
+        std_reduced = sum(result.diversity_reduced_std() for result in results)
+        assert mean_reduced == 20
+        assert std_reduced >= 19
+
+    def test_sample_statistics_bracket_model_predictions(self):
+        model = many_small_faults_scenario(n=60)
+        experiment = SyntheticNVersionExperiment(model, version_count=200)
+        result = experiment.run(rng=1)
+        expected = experiment.expected_statistics()
+        assert result.single_pfds.mean() == pytest.approx(expected["single_mean"], rel=0.1)
+        assert result.pair_pfds.mean() == pytest.approx(expected["pair_mean"], rel=0.35)

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script must run cleanly from a fresh interpreter."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {script.name for script in EXAMPLE_SCRIPTS}
+    assert {
+        "quickstart.py",
+        "protection_system_assessment.py",
+        "process_improvement_study.py",
+        "knight_leveson_replication.py",
+        "assumption_sensitivity.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.name)
+def test_example_runs_cleanly(script: pathlib.Path):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    # Every example prints a report of some kind.
+    assert len(completed.stdout.strip()) > 100
+
+
+def test_quickstart_mentions_paper_table():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "Section 5.1" in completed.stdout
+    assert "0.866" in completed.stdout

@@ -1,0 +1,66 @@
+"""Tests for convergence diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.convergence import (
+    ConvergenceDiagnostics,
+    batch_means_standard_error,
+    running_mean,
+)
+
+
+class TestRunningMean:
+    def test_values(self):
+        np.testing.assert_allclose(
+            running_mean(np.array([1.0, 3.0, 5.0])), [1.0, 2.0, 3.0]
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            running_mean(np.array([]))
+
+    def test_converges_to_sample_mean(self):
+        samples = np.random.default_rng(0).random(1000)
+        assert running_mean(samples)[-1] == pytest.approx(samples.mean())
+
+
+class TestBatchMeans:
+    def test_iid_batch_se_close_to_naive(self):
+        samples = np.random.default_rng(1).normal(size=10_000)
+        naive = samples.std(ddof=1) / np.sqrt(samples.size)
+        batched = batch_means_standard_error(samples, batches=20)
+        assert batched == pytest.approx(naive, rel=0.5)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            batch_means_standard_error(np.array([]), 10)
+        with pytest.raises(ValueError):
+            batch_means_standard_error(np.arange(100, dtype=float), 1)
+        with pytest.raises(ValueError):
+            batch_means_standard_error(np.arange(5, dtype=float), 10)
+
+
+class TestDiagnostics:
+    def test_from_samples(self):
+        samples = np.random.default_rng(2).normal(10.0, 1.0, size=5000)
+        diagnostics = ConvergenceDiagnostics.from_samples(samples)
+        assert diagnostics.mean == pytest.approx(10.0, abs=0.1)
+        assert diagnostics.sample_size == 5000
+        assert diagnostics.is_converged(relative_tolerance=0.05)
+
+    def test_not_converged_for_small_noisy_sample(self):
+        samples = np.random.default_rng(3).normal(0.001, 1.0, size=10)
+        diagnostics = ConvergenceDiagnostics.from_samples(samples, batches=2)
+        assert not diagnostics.is_converged(relative_tolerance=0.01)
+
+    def test_zero_mean_relative_width_infinite(self):
+        samples = np.array([-1.0, 1.0, -1.0, 1.0])
+        diagnostics = ConvergenceDiagnostics.from_samples(samples, batches=2)
+        assert diagnostics.relative_half_width == float("inf")
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            ConvergenceDiagnostics.from_samples(np.array([1.0]))

@@ -1,0 +1,107 @@
+"""Tests for the Monte Carlo engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.core.moments import pfd_moments
+from repro.core.no_common_faults import prob_any_common_fault, prob_any_fault, risk_ratio
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.versions.correlated import CopulaDevelopmentProcess
+from repro.versions.generation import IndependentDevelopmentProcess
+
+
+@pytest.fixture
+def model() -> FaultModel:
+    return FaultModel(p=np.array([0.3, 0.15, 0.05]), q=np.array([0.05, 0.1, 0.2]))
+
+
+class TestConstruction:
+    def test_default_process_is_independent(self, model: FaultModel):
+        engine = MonteCarloEngine(model)
+        assert isinstance(engine.process, IndependentDevelopmentProcess)
+        assert engine.process.model is model
+
+    def test_custom_process(self, model: FaultModel):
+        process = CopulaDevelopmentProcess(model, correlation=0.3)
+        engine = MonteCarloEngine(model, process=process)
+        assert engine.process is process
+
+    def test_rejects_mismatched_process(self, model: FaultModel):
+        other = FaultModel(p=np.array([0.1]), q=np.array([0.1]))
+        with pytest.raises(ValueError):
+            MonteCarloEngine(model, process=IndependentDevelopmentProcess(other))
+
+
+class TestSimulations:
+    def test_single_version_statistics(self, model: FaultModel):
+        engine = MonteCarloEngine(model)
+        result = engine.simulate_single_versions(100_000, rng=0)
+        moments = pfd_moments(model, 1)
+        assert result.mean_pfd() == pytest.approx(moments.mean, rel=0.02)
+        assert result.std_pfd() == pytest.approx(moments.std, rel=0.03)
+        assert result.prob_any_fault() == pytest.approx(prob_any_fault(model), abs=0.01)
+        assert result.replications == 100_000
+
+    def test_system_statistics(self, model: FaultModel):
+        engine = MonteCarloEngine(model)
+        result = engine.simulate_systems(100_000, versions=2, rng=1)
+        moments = pfd_moments(model, 2)
+        assert result.mean_pfd() == pytest.approx(moments.mean, rel=0.05)
+        assert result.prob_any_fault() == pytest.approx(prob_any_common_fault(model), abs=0.01)
+
+    def test_three_version_system(self, model: FaultModel):
+        engine = MonteCarloEngine(model)
+        result = engine.simulate_systems(100_000, versions=3, rng=2)
+        assert result.mean_pfd() == pytest.approx(pfd_moments(model, 3).mean, rel=0.15)
+
+    def test_rejects_bad_arguments(self, model: FaultModel):
+        engine = MonteCarloEngine(model)
+        with pytest.raises(ValueError):
+            engine.simulate_single_versions(0)
+        with pytest.raises(ValueError):
+            engine.simulate_systems(100, versions=0)
+
+    def test_reproducibility(self, model: FaultModel):
+        engine = MonteCarloEngine(model)
+        first = engine.simulate_single_versions(1000, rng=7)
+        second = engine.simulate_single_versions(1000, rng=7)
+        assert first.mean_pfd() == second.mean_pfd()
+
+
+class TestPairedSimulation:
+    def test_paired_ratios(self, model: FaultModel):
+        engine = MonteCarloEngine(model)
+        result = engine.simulate_paired(100_000, rng=3)
+        assert result.risk_ratio() == pytest.approx(risk_ratio(model), abs=0.02)
+        analytic_mean_ratio = pfd_moments(model, 2).mean / pfd_moments(model, 1).mean
+        assert result.mean_ratio() == pytest.approx(analytic_mean_ratio, rel=0.1)
+        assert result.std_ratio() < 1.0
+
+    def test_summary_keys(self, model: FaultModel):
+        result = MonteCarloEngine(model).simulate_paired(1000, rng=4)
+        summary = result.summary()
+        for key in ("mean_single", "mean_system", "risk_ratio", "replications"):
+            assert key in summary
+
+    def test_bound_ratio(self, model: FaultModel):
+        result = MonteCarloEngine(model).simulate_paired(50_000, rng=5)
+        assert 0.0 < result.bound_ratio(2.33) < 1.0
+
+
+class TestComparison:
+    def test_compare_with_analytic_structure(self, model: FaultModel):
+        comparison = MonteCarloEngine(model).compare_with_analytic(20_000, rng=6)
+        assert comparison["replications"] == 20_000
+        for key in ("mean_single", "mean_system", "prob_any_fault", "prob_any_common_fault"):
+            entry = comparison[key]
+            assert "analytic" in entry and "simulated" in entry
+
+    def test_compare_with_analytic_agreement(self, model: FaultModel):
+        comparison = MonteCarloEngine(model).compare_with_analytic(100_000, rng=8)
+        mean_single = comparison["mean_single"]
+        assert mean_single["simulated"] == pytest.approx(
+            mean_single["analytic"], abs=5 * mean_single["standard_error"]
+        )

@@ -1,0 +1,60 @@
+"""Tests for Monte Carlo result containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.results import PairSimulationResult, SimulationResult
+from repro.stats.empirical import EmpiricalDistribution
+
+
+def _result(pfds: np.ndarray, counts: np.ndarray) -> SimulationResult:
+    return SimulationResult(
+        pfds=EmpiricalDistribution(pfds),
+        fault_counts=EmpiricalDistribution(counts),
+        replications=len(pfds),
+    )
+
+
+class TestSimulationResult:
+    def test_basic_statistics(self):
+        result = _result(np.array([0.0, 0.1, 0.2, 0.3]), np.array([0.0, 1.0, 1.0, 2.0]))
+        assert result.mean_pfd() == pytest.approx(0.15)
+        assert result.prob_any_fault() == pytest.approx(0.75)
+        assert result.prob_pfd_exceeds(0.15) == pytest.approx(0.5)
+        assert result.pfd_percentile(0.99) == pytest.approx(0.3)
+
+    def test_confidence_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        pfds = rng.random(1000) * 0.01
+        result = _result(pfds, np.ones(1000))
+        low, high = result.mean_pfd_confidence_interval()
+        assert low < result.mean_pfd() < high
+
+
+class TestPairSimulationResult:
+    @pytest.fixture
+    def paired(self) -> PairSimulationResult:
+        single = _result(np.array([0.0, 0.2, 0.4, 0.4]), np.array([0.0, 1.0, 2.0, 2.0]))
+        system = _result(np.array([0.0, 0.0, 0.2, 0.2]), np.array([0.0, 0.0, 1.0, 1.0]))
+        return PairSimulationResult(single=single, system=system)
+
+    def test_ratios(self, paired: PairSimulationResult):
+        assert paired.mean_ratio() == pytest.approx(0.1 / 0.25)
+        assert paired.risk_ratio() == pytest.approx((0.5) / (0.75))
+        assert 0.0 < paired.std_ratio() < 1.0
+        assert 0.0 < paired.bound_ratio(1.0) < 1.0
+
+    def test_degenerate_zero_denominators(self):
+        zeros = _result(np.zeros(4), np.zeros(4))
+        paired = PairSimulationResult(single=zeros, system=zeros)
+        assert paired.mean_ratio() == 1.0
+        assert paired.std_ratio() == 1.0
+        assert paired.risk_ratio() == 1.0
+        assert paired.bound_ratio(2.0) == 1.0
+
+    def test_summary(self, paired: PairSimulationResult):
+        summary = paired.summary()
+        assert summary["replications"] == 4
+        assert summary["mean_ratio"] == paired.mean_ratio()

@@ -1,0 +1,162 @@
+"""Property-based tests for the paper's inequalities.
+
+Every inequality the paper proves (or conjectures) is checked with
+hypothesis-generated fault models, so the claims are exercised across the
+whole admissible parameter space rather than at a few hand-picked points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.bounds import (
+    confidence_bound_from_bound,
+    confidence_bound_from_moments,
+    mean_gain_factor,
+    std_gain_factor,
+)
+from repro.core.fault_model import FaultModel
+from repro.core.moments import (
+    single_version_mean,
+    single_version_std,
+    two_version_mean,
+    two_version_std,
+)
+from repro.core.no_common_faults import prob_any_fault, risk_ratio, success_ratio
+from repro.core.normal_approximation import bound_gain_ratio
+from repro.core.process_improvement import proportional_improvement_derivative
+
+
+@st.composite
+def fault_models(draw, max_faults: int = 12, max_p: float = 1.0):
+    """Generate admissible fault models with n up to ``max_faults``."""
+    n = draw(st.integers(min_value=1, max_value=max_faults))
+    p = draw(
+        hnp.arrays(
+            dtype=float,
+            shape=n,
+            elements=st.floats(min_value=0.0, max_value=max_p, allow_nan=False),
+        )
+    )
+    raw_q = draw(
+        hnp.arrays(
+            dtype=float,
+            shape=n,
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        )
+    )
+    total = raw_q.sum()
+    q = raw_q / total if total > 1.0 else raw_q
+    return FaultModel(p=p, q=q)
+
+
+@st.composite
+def nondegenerate_models(draw, max_faults: int = 12):
+    """Fault models with at least one strictly positive p_i (so ratios are defined)."""
+    model = draw(fault_models(max_faults=max_faults))
+    if model.p.max() == 0.0:
+        boosted = model.p.copy()
+        boosted[0] = draw(st.floats(min_value=1e-6, max_value=1.0))
+        model = FaultModel(p=boosted, q=model.q)
+    return model
+
+
+class TestMomentInequalities:
+    @given(fault_models())
+    @settings(max_examples=200, deadline=None)
+    def test_eq4_mean_bound(self, model: FaultModel):
+        assert two_version_mean(model) <= mean_gain_factor(model.p_max) * single_version_mean(
+            model
+        ) + 1e-12
+
+    @given(fault_models())
+    @settings(max_examples=200, deadline=None)
+    def test_eq9_std_bound(self, model: FaultModel):
+        assert two_version_std(model) <= std_gain_factor(model.p_max) * single_version_std(
+            model
+        ) + 1e-12
+
+    @given(fault_models())
+    @settings(max_examples=200, deadline=None)
+    def test_two_version_mean_never_exceeds_single(self, model: FaultModel):
+        assert two_version_mean(model) <= single_version_mean(model) + 1e-15
+
+    @given(fault_models())
+    @settings(max_examples=200, deadline=None)
+    def test_el_lm_rederivation_system_worse_than_independence(self, model: FaultModel):
+        # Section 2.2: the EL/LM conclusion that E[Theta_2] >= (E[Theta_1])^2
+        # "is easily re-derived here".
+        assert two_version_mean(model) >= single_version_mean(model) ** 2 - 1e-15
+
+    @given(fault_models(max_p=0.618033988))
+    @settings(max_examples=200, deadline=None)
+    def test_std_contraction_below_threshold(self, model: FaultModel):
+        # Section 3.1.2: when every p_i is below (sqrt(5)-1)/2 the two-version
+        # standard deviation cannot exceed the single-version one.
+        assert two_version_std(model) <= single_version_std(model) + 1e-12
+
+
+class TestConfidenceBoundInequalities:
+    @given(fault_models(), st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=200, deadline=None)
+    def test_eq11_bound(self, model: FaultModel, k: float):
+        actual = two_version_mean(model) + k * two_version_std(model)
+        bound = confidence_bound_from_moments(
+            single_version_mean(model), single_version_std(model), model.p_max, k
+        )
+        assert actual <= bound + 1e-12
+
+    @given(fault_models(), st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=200, deadline=None)
+    def test_eq12_bound_looser_than_eq11(self, model: FaultModel, k: float):
+        one_version_bound = single_version_mean(model) + k * single_version_std(model)
+        eq11 = confidence_bound_from_moments(
+            single_version_mean(model), single_version_std(model), model.p_max, k
+        )
+        eq12 = confidence_bound_from_bound(one_version_bound, model.p_max)
+        assert eq11 <= eq12 + 1e-12
+
+    @given(nondegenerate_models(), st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=200, deadline=None)
+    def test_bound_gain_ratio_bounded_by_guaranteed_factor(self, model: FaultModel, k: float):
+        # The ratio form of eq. (12) only makes sense when the single-version
+        # bound is positive; with an all-zero bound the convention returns 1.
+        assume(single_version_mean(model) + k * single_version_std(model) > 0.0)
+        assert bound_gain_ratio(model, k) <= std_gain_factor(model.p_max) + 1e-9
+
+
+class TestRiskRatioProperties:
+    @given(nondegenerate_models())
+    @settings(max_examples=200, deadline=None)
+    def test_eq10_between_zero_and_one(self, model: FaultModel):
+        ratio = risk_ratio(model)
+        assert 0.0 <= ratio <= 1.0 + 1e-12
+
+    @given(nondegenerate_models())
+    @settings(max_examples=200, deadline=None)
+    def test_footnote_success_ratio_at_least_one(self, model: FaultModel):
+        assert success_ratio(model) >= 1.0 - 1e-12
+
+    @given(nondegenerate_models(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_appendix_b_proportional_derivative_non_negative(self, model: FaultModel, k: float):
+        # Scale the base model down so k * b_i never exceeds 1, and discard
+        # degenerate cases where every scaled probability underflows to the
+        # point that P(N_1 > 0) rounds to zero (the derivative is undefined).
+        base = FaultModel(p=model.p / max(model.p_max, 1e-9) * 0.99, q=model.q)
+        assume(prob_any_fault(base.scaled(k)) > 0.0)
+        assert proportional_improvement_derivative(base, k) >= -1e-10
+
+    @given(nondegenerate_models(), st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=150, deadline=None)
+    def test_proportional_improvement_never_reduces_gain(self, model: FaultModel, factor: float):
+        # Direct statement of Appendix B: a proportionally better process has a
+        # risk ratio no larger than the original one.  Discard examples whose
+        # probabilities are so tiny that P(N_1 > 0) underflows to zero after
+        # scaling (the ratio then falls back to its degenerate convention).
+        improved = model.scaled(factor)
+        assume(prob_any_fault(improved) > 0.0)
+        assert risk_ratio(improved) <= risk_ratio(model) + 1e-12

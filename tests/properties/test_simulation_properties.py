@@ -1,0 +1,152 @@
+"""Property-based tests for the simulation substrates.
+
+These complement the analytic-inequality properties: whatever fault model
+hypothesis generates, the version-generation, adjudication and architecture
+layers must respect the structural invariants of the paper's model (a
+1-out-of-2 system can never fail where one of its channels succeeds, adding
+channels never hurts, forced diversity reduces to the symmetric model, and so
+on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.adjudication.adjudicators import MOutOfNAdjudicator, OneOutOfNAdjudicator, UnanimityAdjudicator
+from repro.core.fault_model import FaultModel
+from repro.core.moments import r_version_mean
+from repro.core.no_common_faults import prob_fault_free_r_versions
+from repro.versions.forced_diversity import ForcedDiversityPair
+from repro.versions.generation import IndependentDevelopmentProcess
+
+
+@st.composite
+def fault_models(draw, max_faults: int = 10):
+    n = draw(st.integers(min_value=1, max_value=max_faults))
+    p = draw(
+        hnp.arrays(
+            dtype=float,
+            shape=n,
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        )
+    )
+    raw_q = draw(
+        hnp.arrays(
+            dtype=float,
+            shape=n,
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        )
+    )
+    total = raw_q.sum()
+    q = raw_q / total if total > 1.0 else raw_q
+    return FaultModel(p=p, q=q)
+
+
+failure_matrices = hnp.arrays(
+    dtype=bool,
+    shape=st.tuples(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=6)),
+)
+
+
+class TestAdjudicatorProperties:
+    @given(failure_matrices)
+    @settings(max_examples=200, deadline=None)
+    def test_one_out_of_n_never_worse_than_any_channel(self, failures: np.ndarray):
+        system_failures = OneOutOfNAdjudicator().system_failures(failures)
+        # The 1-out-of-N system fails only where every channel fails.
+        for channel in range(failures.shape[1]):
+            assert np.all(system_failures <= failures[:, channel])
+
+    @given(failure_matrices)
+    @settings(max_examples=200, deadline=None)
+    def test_unanimity_never_better_than_any_channel(self, failures: np.ndarray):
+        system_failures = UnanimityAdjudicator().system_failures(failures)
+        for channel in range(failures.shape[1]):
+            assert np.all(system_failures >= failures[:, channel])
+
+    @given(failure_matrices)
+    @settings(max_examples=200, deadline=None)
+    def test_moon_between_extremes(self, failures: np.ndarray):
+        channels = failures.shape[1]
+        best = OneOutOfNAdjudicator().system_failures(failures)
+        worst = UnanimityAdjudicator().system_failures(failures)
+        for required in range(1, channels + 1):
+            moon = MOutOfNAdjudicator(required_correct=required, channels=channels)
+            system_failures = moon.system_failures(failures)
+            assert np.all(system_failures >= best)
+            assert np.all(system_failures <= worst)
+
+    @given(failure_matrices)
+    @settings(max_examples=200, deadline=None)
+    def test_moon_monotone_in_required_correct(self, failures: np.ndarray):
+        channels = failures.shape[1]
+        previous = None
+        for required in range(1, channels + 1):
+            current = MOutOfNAdjudicator(required_correct=required, channels=channels).system_failures(
+                failures
+            )
+            if previous is not None:
+                assert np.all(current >= previous)
+            previous = current
+
+
+class TestVersionSamplingProperties:
+    @given(fault_models(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_pair_pfd_never_exceeds_channel_pfds(self, model: FaultModel, seed: int):
+        process = IndependentDevelopmentProcess(model)
+        pair = process.sample_pair(np.random.default_rng(seed))
+        assert pair.system_pfd() <= pair.channel_a.pfd() + 1e-12
+        assert pair.system_pfd() <= pair.channel_b.pfd() + 1e-12
+
+    @given(fault_models(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_version_pfd_bounded_by_total_impact(self, model: FaultModel, seed: int):
+        process = IndependentDevelopmentProcess(model)
+        version = process.sample_version(np.random.default_rng(seed))
+        assert 0.0 <= version.pfd() <= model.q.sum() + 1e-12
+        assert version.fault_count <= model.n
+
+    @given(fault_models())
+    @settings(max_examples=100, deadline=None)
+    def test_more_channels_never_hurt(self, model: FaultModel):
+        means = [r_version_mean(model, versions) for versions in (1, 2, 3, 4)]
+        assert all(earlier >= later - 1e-15 for earlier, later in zip(means, means[1:]))
+        fault_free = [prob_fault_free_r_versions(model, versions) for versions in (1, 2, 3, 4)]
+        assert all(later >= earlier - 1e-15 for earlier, later in zip(fault_free, fault_free[1:]))
+
+
+class TestForcedDiversityProperties:
+    @given(fault_models())
+    @settings(max_examples=100, deadline=None)
+    def test_identical_channels_reduce_to_symmetric_model(self, model: FaultModel):
+        pair = ForcedDiversityPair(model, model)
+        assert pair.mean_system_pfd() == pytest.approx(r_version_mean(model, 2), abs=1e-12)
+
+    @given(fault_models(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_weakening_one_channel_never_improves_the_system(
+        self, model: FaultModel, inflation: float
+    ):
+        # Increase every p_i of channel B towards 1: the system mean PFD can
+        # only increase (or stay equal).
+        worse_p = model.p + (1.0 - model.p) * inflation
+        worse_channel = FaultModel(p=worse_p, q=model.q)
+        baseline = ForcedDiversityPair(model, model)
+        degraded = ForcedDiversityPair(model, worse_channel)
+        assert degraded.mean_system_pfd() >= baseline.mean_system_pfd() - 1e-12
+
+    @given(fault_models())
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric_equivalent_preserves_statistics(self, model: FaultModel):
+        other = FaultModel(p=np.clip(model.p * 0.5, 0.0, 1.0), q=model.q)
+        pair = ForcedDiversityPair(model, other)
+        symmetric = pair.as_symmetric_model()
+        assert r_version_mean(symmetric, 2) == pytest.approx(pair.mean_system_pfd(), abs=1e-12)
+        assert float(np.prod(1 - symmetric.p**2)) == pytest.approx(
+            pair.prob_no_common_fault(), abs=1e-12
+        )

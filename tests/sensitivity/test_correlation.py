@@ -1,0 +1,75 @@
+"""Tests for the correlation sensitivity study (Section 6.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.sensitivity.correlation import (
+    copula_sensitivity_sweep,
+    correlation_sensitivity,
+)
+from repro.versions.correlated import CopulaDevelopmentProcess
+from repro.versions.generation import IndependentDevelopmentProcess
+
+
+@pytest.fixture
+def model() -> FaultModel:
+    return FaultModel(p=np.array([0.2, 0.3, 0.15]), q=np.array([0.1, 0.05, 0.2]))
+
+
+class TestCorrelationSensitivity:
+    def test_independent_process_predictions_agree(self, model: FaultModel):
+        process = IndependentDevelopmentProcess(model)
+        result = correlation_sensitivity(model, process, replications=60_000, rng=0)
+        assert result.relative_error("mean_single") < 0.05
+        assert result.relative_error("mean_system") < 0.15
+        assert result.relative_error("risk_single") < 0.05
+        assert result.relative_error("risk_ratio") < 0.1
+
+    def test_positive_correlation_breaks_fault_count_predictions(self, model: FaultModel):
+        # Positive within-version correlation preserves every marginal p_i (so
+        # the mean PFD prediction survives) but concentrates faults in fewer
+        # versions, so P(N_1 > 0) drops below the independence prediction.
+        # The sensitivity machinery must surface exactly that deviation.
+        process = CopulaDevelopmentProcess(model, correlation=0.8)
+        result = correlation_sensitivity(model, process, replications=60_000, rng=1)
+        assert result.relative_error("mean_single") < 0.05  # marginals preserved
+        assert result.simulated_risk_single < result.predicted_risk_single
+        assert result.relative_error("risk_single") > 0.1
+
+    def test_summary_structure(self, model: FaultModel):
+        process = IndependentDevelopmentProcess(model)
+        result = correlation_sensitivity(model, process, replications=5_000, rng=2)
+        summary = result.summary()
+        assert set(summary) == {
+            "mean_single",
+            "mean_system",
+            "std_single",
+            "std_system",
+            "risk_single",
+            "risk_system",
+            "risk_ratio",
+        }
+        for entry in summary.values():
+            assert {"predicted", "simulated", "relative_error"} <= set(entry)
+
+    def test_relative_error_zero_cases(self, model: FaultModel):
+        process = IndependentDevelopmentProcess(model)
+        result = correlation_sensitivity(model, process, replications=2_000, rng=3)
+        # Same value -> zero error; mismatch against a zero simulated value -> inf.
+        assert result.relative_error("mean_single") >= 0.0
+
+
+class TestSweep:
+    def test_sweep_runs_each_correlation(self, model: FaultModel):
+        sweep = copula_sensitivity_sweep(model, [-0.3, 0.0, 0.5], replications=5_000, rng=4)
+        assert [correlation for correlation, _ in sweep] == [-0.3, 0.0, 0.5]
+        for _, result in sweep:
+            assert result.replications == 5_000
+
+    def test_zero_correlation_entry_is_accurate(self, model: FaultModel):
+        sweep = copula_sensitivity_sweep(model, [0.0], replications=60_000, rng=5)
+        _, result = sweep[0]
+        assert result.relative_error("mean_single") < 0.05

@@ -1,0 +1,95 @@
+"""Tests for the overlapping failure-region sensitivity study (Section 6.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demandspace.profiles import GridProfile
+from repro.demandspace.regions import BoxRegion
+from repro.demandspace.space import DiscreteDemandSpace
+from repro.sensitivity.overlap import OverlappingRegionModel
+
+
+@pytest.fixture
+def grid_profile() -> GridProfile:
+    return GridProfile.uniform(DiscreteDemandSpace(np.arange(10, dtype=float).reshape(-1, 1)))
+
+
+@pytest.fixture
+def overlapping(grid_profile: GridProfile) -> OverlappingRegionModel:
+    return OverlappingRegionModel(
+        probabilities=np.array([0.4, 0.5]),
+        regions=[
+            BoxRegion(np.array([0.0]), np.array([4.0])),  # demands 0..4, q = 0.5
+            BoxRegion(np.array([3.0]), np.array([7.0])),  # demands 3..7, q = 0.5
+        ],
+        profile=grid_profile,
+    )
+
+
+class TestConstruction:
+    def test_rejects_length_mismatch(self, grid_profile: GridProfile):
+        with pytest.raises(ValueError):
+            OverlappingRegionModel(np.array([0.1]), [], grid_profile)
+
+    def test_rejects_bad_probabilities(self, grid_profile: GridProfile):
+        with pytest.raises(ValueError):
+            OverlappingRegionModel(
+                np.array([1.5]), [BoxRegion(np.array([0.0]), np.array([1.0]))], grid_profile
+            )
+
+    def test_individual_impacts(self, overlapping: OverlappingRegionModel):
+        np.testing.assert_allclose(overlapping.individual_impacts(), [0.5, 0.5])
+
+    def test_as_nonoverlapping_model(self, overlapping: OverlappingRegionModel):
+        model = overlapping.as_nonoverlapping_model()
+        assert model.n == 2
+        np.testing.assert_allclose(model.q, [0.5, 0.5])
+        # sum(q) == 1 here, so it is still admissible even in strict mode, but
+        # the conversion always uses strict=False to stay safe in general.
+        assert model.strict is False
+
+
+class TestExactPfd:
+    def test_single_fault_pfd(self, overlapping: OverlappingRegionModel):
+        assert overlapping.exact_pfd(np.array([True, False])) == pytest.approx(0.5)
+        assert overlapping.exact_pfd(np.array([False, True])) == pytest.approx(0.5)
+
+    def test_union_pfd_below_sum(self, overlapping: OverlappingRegionModel):
+        # Regions overlap on demands 3 and 4, so the union covers 8 of the 10
+        # demands rather than 10.
+        assert overlapping.exact_pfd(np.array([True, True])) == pytest.approx(0.8)
+
+    def test_no_fault_pfd_zero(self, overlapping: OverlappingRegionModel):
+        assert overlapping.exact_pfd(np.array([False, False])) == 0.0
+
+    def test_rejects_wrong_length(self, overlapping: OverlappingRegionModel):
+        with pytest.raises(ValueError):
+            overlapping.exact_pfd(np.array([True]))
+
+
+class TestSimulation:
+    def test_sum_is_pessimistic(self, overlapping: OverlappingRegionModel):
+        result = overlapping.simulate(replications=30_000, rng=0)
+        assert result.sum_mean_single >= result.union_mean_single - 1e-9
+        assert result.sum_mean_system >= result.union_mean_system - 1e-9
+        assert result.single_mean_pessimism >= 1.0 - 1e-9
+        assert result.system_mean_pessimism >= 1.0 - 1e-9
+
+    def test_disjoint_regions_show_no_pessimism(self, grid_profile: GridProfile):
+        disjoint = OverlappingRegionModel(
+            probabilities=np.array([0.4, 0.5]),
+            regions=[
+                BoxRegion(np.array([0.0]), np.array([2.0])),
+                BoxRegion(np.array([5.0]), np.array([7.0])),
+            ],
+            profile=grid_profile,
+        )
+        result = disjoint.simulate(replications=30_000, rng=1)
+        assert result.single_mean_pessimism == pytest.approx(1.0, rel=0.05)
+        assert result.system_mean_pessimism == pytest.approx(1.0, rel=0.2)
+
+    def test_rejects_tiny_replication_count(self, overlapping: OverlappingRegionModel):
+        with pytest.raises(ValueError):
+            overlapping.simulate(replications=1)

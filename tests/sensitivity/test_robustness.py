@@ -1,0 +1,35 @@
+"""Tests for the combined robustness report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.sensitivity.robustness import robustness_report
+
+
+@pytest.fixture
+def model() -> FaultModel:
+    return FaultModel(p=np.array([0.2, 0.25]), q=np.array([0.1, 0.2]))
+
+
+class TestRobustnessReport:
+    def test_report_structure(self, model: FaultModel):
+        report = robustness_report(model, correlations=(0.0, 0.5), replications=5_000, rng=0)
+        assert report.correlations == (0.0, 0.5)
+        assert len(report.results) == 2
+        rows = report.rows()
+        assert len(rows) == 2
+        assert rows[0]["correlation"] == 0.0
+        for row in rows:
+            assert {"mean_system_predicted", "mean_system_simulated", "risk_ratio_error"} <= set(row)
+
+    def test_worst_relative_error_aggregation(self, model: FaultModel):
+        report = robustness_report(model, correlations=(0.0, 0.6), replications=20_000, rng=1)
+        worst = report.worst_relative_error("mean_system")
+        assert worst >= report.results[0].relative_error("mean_system")
+
+    def test_zero_correlation_error_small(self, model: FaultModel):
+        report = robustness_report(model, correlations=(0.0,), replications=60_000, rng=2)
+        assert report.results[0].relative_error("mean_single") < 0.05

@@ -1,0 +1,175 @@
+"""Tests for finite discrete distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.discrete import DiscreteDistribution
+
+
+class TestConstruction:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.array([0.0, 1.0]), np.array([1.5, -0.5]))
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.array([0.0, 1.0]), np.array([0.3, 0.3]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.array([]), np.array([]))
+
+    def test_sorts_support(self):
+        distribution = DiscreteDistribution(np.array([2.0, 1.0]), np.array([0.25, 0.75]))
+        np.testing.assert_allclose(distribution.support, [1.0, 2.0])
+        np.testing.assert_allclose(distribution.probabilities, [0.75, 0.25])
+
+    def test_merges_duplicate_support(self):
+        distribution = DiscreteDistribution(
+            np.array([1.0, 1.0, 2.0]), np.array([0.2, 0.3, 0.5])
+        )
+        np.testing.assert_allclose(distribution.support, [1.0, 2.0])
+        np.testing.assert_allclose(distribution.probabilities, [0.5, 0.5])
+
+    def test_point_mass(self):
+        distribution = DiscreteDistribution.point_mass(0.3)
+        assert distribution.mean() == pytest.approx(0.3)
+        assert distribution.variance() == pytest.approx(0.0)
+
+    def test_two_point(self):
+        distribution = DiscreteDistribution.two_point(0.5, 0.2)
+        assert distribution.mean() == pytest.approx(0.1)
+        assert distribution.prob_zero() == pytest.approx(0.8)
+
+    def test_two_point_degenerate_cases(self):
+        assert DiscreteDistribution.two_point(0.5, 0.0).support.size == 1
+        assert DiscreteDistribution.two_point(0.0, 0.7).support.size == 1
+        assert DiscreteDistribution.two_point(0.5, 1.0).mean() == pytest.approx(0.5)
+
+    def test_two_point_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution.two_point(0.5, 1.5)
+
+
+class TestQueries:
+    @pytest.fixture
+    def simple(self) -> DiscreteDistribution:
+        return DiscreteDistribution(
+            np.array([0.0, 0.1, 0.2, 0.5]), np.array([0.4, 0.3, 0.2, 0.1])
+        )
+
+    def test_mean_and_variance(self, simple: DiscreteDistribution):
+        expected_mean = 0.3 * 0.1 + 0.2 * 0.2 + 0.1 * 0.5
+        assert simple.mean() == pytest.approx(expected_mean)
+        expected_var = (
+            0.4 * expected_mean**2
+            + 0.3 * (0.1 - expected_mean) ** 2
+            + 0.2 * (0.2 - expected_mean) ** 2
+            + 0.1 * (0.5 - expected_mean) ** 2
+        )
+        assert simple.variance() == pytest.approx(expected_var)
+        assert simple.std() == pytest.approx(np.sqrt(expected_var))
+
+    def test_cdf_scalar_and_array(self, simple: DiscreteDistribution):
+        assert simple.cdf(-0.01) == pytest.approx(0.0)
+        assert simple.cdf(0.0) == pytest.approx(0.4)
+        assert simple.cdf(0.15) == pytest.approx(0.7)
+        assert simple.cdf(1.0) == pytest.approx(1.0)
+        np.testing.assert_allclose(simple.cdf(np.array([0.0, 0.2])), [0.4, 0.9])
+
+    def test_survival(self, simple: DiscreteDistribution):
+        assert simple.survival(0.1) == pytest.approx(0.3)
+
+    def test_quantile(self, simple: DiscreteDistribution):
+        assert simple.quantile(0.0) == pytest.approx(0.0)
+        assert simple.quantile(0.4) == pytest.approx(0.0)
+        assert simple.quantile(0.5) == pytest.approx(0.1)
+        assert simple.quantile(0.95) == pytest.approx(0.5)
+        assert simple.quantile(1.0) == pytest.approx(0.5)
+
+    def test_quantile_rejects_bad_level(self, simple: DiscreteDistribution):
+        with pytest.raises(ValueError):
+            simple.quantile(1.5)
+
+    def test_prob_zero(self, simple: DiscreteDistribution):
+        assert simple.prob_zero() == pytest.approx(0.4)
+
+
+class TestConvolution:
+    def test_convolve_two_point_masses(self):
+        a = DiscreteDistribution.point_mass(1.0)
+        b = DiscreteDistribution.point_mass(2.5)
+        assert a.convolve(b).support.tolist() == [3.5]
+
+    def test_convolution_mean_adds(self):
+        a = DiscreteDistribution.two_point(0.3, 0.5)
+        b = DiscreteDistribution.two_point(0.2, 0.25)
+        c = a.convolve(b)
+        assert c.mean() == pytest.approx(a.mean() + b.mean())
+        assert c.variance() == pytest.approx(a.variance() + b.variance())
+
+    def test_convolution_support_enumeration(self):
+        a = DiscreteDistribution.two_point(0.3, 0.5)
+        b = DiscreteDistribution.two_point(0.2, 0.5)
+        c = a.convolve(b)
+        np.testing.assert_allclose(c.support, [0.0, 0.2, 0.3, 0.5])
+        np.testing.assert_allclose(c.probabilities, [0.25, 0.25, 0.25, 0.25])
+
+    def test_convolve_many_matches_sequential(self):
+        components = [DiscreteDistribution.two_point(0.1 * (i + 1), 0.3) for i in range(4)]
+        tree = DiscreteDistribution.convolve_many(components)
+        sequential = components[0]
+        for component in components[1:]:
+            sequential = sequential.convolve(component)
+        np.testing.assert_allclose(tree.support, sequential.support)
+        np.testing.assert_allclose(tree.probabilities, sequential.probabilities)
+
+    def test_convolve_many_empty_is_zero(self):
+        distribution = DiscreteDistribution.convolve_many([])
+        assert distribution.support.tolist() == [0.0]
+
+    def test_collapse_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        support = np.sort(rng.random(500))
+        probabilities = rng.random(500)
+        probabilities /= probabilities.sum()
+        distribution = DiscreteDistribution(support, probabilities)
+        collapsed = distribution.collapse(32)
+        assert collapsed.support.size <= 32
+        assert collapsed.mean() == pytest.approx(distribution.mean(), rel=1e-9)
+
+    def test_collapse_noop_when_small(self):
+        distribution = DiscreteDistribution.two_point(0.5, 0.5)
+        assert distribution.collapse(100) is distribution
+
+    def test_collapse_rejects_tiny_max_support(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution.two_point(0.5, 0.5).collapse(1)
+
+    def test_convolve_with_max_support_limits_size(self):
+        components = [DiscreteDistribution.two_point(0.01 * (i + 1), 0.4) for i in range(12)]
+        limited = DiscreteDistribution.convolve_many(components, max_support=64)
+        assert limited.support.size <= 64
+        full = DiscreteDistribution.convolve_many(components)
+        assert limited.mean() == pytest.approx(full.mean(), rel=1e-9)
+
+
+class TestSampling:
+    def test_sample_statistics(self):
+        rng = np.random.default_rng(2)
+        distribution = DiscreteDistribution(
+            np.array([0.0, 1.0, 2.0]), np.array([0.5, 0.3, 0.2])
+        )
+        samples = distribution.sample(rng, 50_000)
+        assert samples.mean() == pytest.approx(distribution.mean(), abs=0.02)
+
+    def test_sample_rejects_negative(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            DiscreteDistribution.point_mass(1.0).sample(rng, -5)

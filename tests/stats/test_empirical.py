@@ -1,0 +1,100 @@
+"""Tests for the empirical statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.empirical import (
+    EmpiricalDistribution,
+    bootstrap_confidence_interval,
+    empirical_cdf,
+    empirical_quantile,
+    standard_error_of_mean,
+)
+
+
+class TestFunctions:
+    def test_empirical_cdf(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert empirical_cdf(samples, 2.5) == pytest.approx(0.5)
+        assert empirical_cdf(samples, 0.0) == 0.0
+        assert empirical_cdf(samples, 10.0) == 1.0
+
+    def test_empirical_cdf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.array([]), 1.0)
+
+    def test_empirical_quantile(self):
+        samples = np.arange(1, 101, dtype=float)
+        assert empirical_quantile(samples, 0.5) == pytest.approx(50.0)
+        assert empirical_quantile(samples, 0.99) == pytest.approx(99.0)
+
+    def test_empirical_quantile_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            empirical_quantile(np.array([1.0]), 2.0)
+
+    def test_standard_error_of_mean(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        expected = np.std(samples, ddof=1) / 2.0
+        assert standard_error_of_mean(samples) == pytest.approx(expected)
+
+    def test_standard_error_single_sample_infinite(self):
+        assert standard_error_of_mean(np.array([1.0])) == float("inf")
+
+    def test_bootstrap_interval_contains_statistic(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(5.0, 1.0, size=400)
+        low, high = bootstrap_confidence_interval(samples, np.mean, rng, 0.95, 400)
+        assert low < samples.mean() < high
+        assert high - low < 0.5
+
+    def test_bootstrap_rejects_bad_arguments(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(np.array([]), np.mean, rng)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(np.array([1.0]), np.mean, rng, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(np.array([1.0]), np.mean, rng, n_resamples=0)
+
+
+class TestEmpiricalDistribution:
+    @pytest.fixture
+    def distribution(self) -> EmpiricalDistribution:
+        return EmpiricalDistribution(np.array([0.0, 0.0, 0.1, 0.2, 0.3]))
+
+    def test_rejects_empty_or_2d(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(np.array([]))
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(np.array([[1.0]]))
+
+    def test_size_and_mean(self, distribution: EmpiricalDistribution):
+        assert distribution.size == 5
+        assert distribution.mean() == pytest.approx(0.12)
+
+    def test_std_and_variance(self, distribution: EmpiricalDistribution):
+        assert distribution.variance() == pytest.approx(np.var(distribution.samples, ddof=1))
+        assert distribution.std() == pytest.approx(np.std(distribution.samples, ddof=1))
+
+    def test_single_sample_std_is_zero(self):
+        assert EmpiricalDistribution(np.array([1.0])).std() == 0.0
+
+    def test_cdf_quantile_exceedance(self, distribution: EmpiricalDistribution):
+        assert distribution.cdf(0.1) == pytest.approx(0.6)
+        assert distribution.exceedance_probability(0.1) == pytest.approx(0.4)
+        assert distribution.quantile(0.99) == pytest.approx(0.3)
+
+    def test_prob_zero(self, distribution: EmpiricalDistribution):
+        assert distribution.prob_zero() == pytest.approx(0.4)
+
+    def test_mean_confidence_interval_covers_mean(self, distribution: EmpiricalDistribution):
+        low, high = distribution.mean_confidence_interval(0.9)
+        assert low < distribution.mean() < high
+
+    def test_mean_confidence_interval_rejects_bad_confidence(
+        self, distribution: EmpiricalDistribution
+    ):
+        with pytest.raises(ValueError):
+            distribution.mean_confidence_interval(0.0)

@@ -1,0 +1,106 @@
+"""Tests for the normal-approximation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.normal import (
+    NormalApproximation,
+    berry_esseen_bound,
+    confidence_for_k_factor,
+    k_factor_for_confidence,
+    normal_cdf,
+    normal_quantile,
+)
+
+
+class TestScalarHelpers:
+    def test_normal_cdf_at_zero(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+
+    def test_quantile_inverts_cdf(self):
+        for level in (0.01, 0.3, 0.5, 0.84, 0.99):
+            assert normal_cdf(normal_quantile(level)) == pytest.approx(level)
+
+    def test_quantile_rejects_extremes(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+    def test_paper_three_sigma_confidence(self):
+        # Section 5.1: P(Theta <= mu + 3 sigma) = 0.99865003.
+        assert confidence_for_k_factor(3.0) == pytest.approx(0.99865003, abs=1e-7)
+
+    def test_paper_99_percent_k_factor(self):
+        # Section 5.1: the 99% confidence level corresponds to mu + 2.33 sigma.
+        assert k_factor_for_confidence(0.99) == pytest.approx(2.33, abs=0.005)
+
+
+class TestNormalApproximation:
+    def test_bound_formula(self):
+        approximation = NormalApproximation(mean=0.01, std=0.002)
+        assert approximation.bound(3.0) == pytest.approx(0.016)
+
+    def test_bound_for_confidence_median_is_mean(self):
+        approximation = NormalApproximation(mean=0.02, std=0.005)
+        assert approximation.bound_for_confidence(0.5) == pytest.approx(0.02)
+
+    def test_confidence_of_bound_roundtrip(self):
+        approximation = NormalApproximation(mean=0.01, std=0.001)
+        bound = approximation.bound_for_confidence(0.95)
+        assert approximation.confidence_of_bound(bound) == pytest.approx(0.95)
+
+    def test_exceedance_complements_confidence(self):
+        approximation = NormalApproximation(mean=0.1, std=0.01)
+        assert approximation.exceedance_probability(0.1) == pytest.approx(0.5)
+
+    def test_degenerate_std_zero(self):
+        approximation = NormalApproximation(mean=0.01, std=0.0)
+        assert approximation.bound_for_confidence(0.99) == pytest.approx(0.01)
+        assert approximation.confidence_of_bound(0.02) == 1.0
+        assert approximation.confidence_of_bound(0.005) == 0.0
+        assert approximation.percentile(0.99) == pytest.approx(0.01)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            NormalApproximation(mean=0.0, std=-1.0)
+
+    def test_rejects_non_finite_mean(self):
+        with pytest.raises(ValueError):
+            NormalApproximation(mean=float("nan"), std=1.0)
+
+    def test_percentile_matches_bound(self):
+        approximation = NormalApproximation(mean=0.05, std=0.01)
+        assert approximation.percentile(0.975) == pytest.approx(
+            approximation.bound_for_confidence(0.975)
+        )
+
+
+class TestBerryEsseen:
+    def test_bound_formula(self):
+        variances = np.array([1.0, 1.0])
+        third_moments = np.array([0.5, 0.5])
+        expected = 0.56 * 1.0 / 2.0**1.5
+        assert berry_esseen_bound(third_moments, variances) == pytest.approx(expected)
+
+    def test_zero_variance_is_infinite(self):
+        assert berry_esseen_bound(np.array([0.0]), np.array([0.0])) == float("inf")
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            berry_esseen_bound(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_negative_moments(self):
+        with pytest.raises(ValueError):
+            berry_esseen_bound(np.array([-1.0]), np.array([1.0]))
+
+    def test_decreases_with_more_terms(self):
+        # More i.i.d. terms -> better normal approximation -> smaller bound.
+        def bound_for(n: int) -> float:
+            variances = np.full(n, 0.01)
+            third_moments = np.full(n, 0.001)
+            return berry_esseen_bound(third_moments, variances)
+
+        assert bound_for(200) < bound_for(20) < bound_for(5)

@@ -1,0 +1,169 @@
+"""Tests for the Poisson-binomial distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats.poisson_binomial import PoissonBinomial
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PoissonBinomial(np.array([]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PoissonBinomial(np.array([0.5, 1.2]))
+        with pytest.raises(ValueError):
+            PoissonBinomial(np.array([-0.1]))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            PoissonBinomial(np.array([0.2, np.nan]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            PoissonBinomial(np.array([[0.1, 0.2]]))
+
+
+class TestMoments:
+    def test_mean_is_sum_of_probabilities(self):
+        distribution = PoissonBinomial(np.array([0.1, 0.2, 0.3]))
+        assert distribution.mean() == pytest.approx(0.6)
+
+    def test_variance_formula(self):
+        p = np.array([0.1, 0.2, 0.3])
+        distribution = PoissonBinomial(p)
+        assert distribution.variance() == pytest.approx(np.sum(p * (1 - p)))
+
+    def test_std_is_sqrt_variance(self):
+        distribution = PoissonBinomial(np.array([0.4, 0.4]))
+        assert distribution.std() == pytest.approx(np.sqrt(distribution.variance()))
+
+    def test_degenerate_variance_zero(self):
+        distribution = PoissonBinomial(np.array([0.0, 1.0]))
+        assert distribution.variance() == pytest.approx(0.0)
+        assert distribution.skewness() == 0.0
+
+
+class TestExactPmf:
+    def test_matches_binomial_for_identical_probabilities(self):
+        n, p = 12, 0.3
+        distribution = PoissonBinomial(np.full(n, p))
+        expected = sps.binom.pmf(np.arange(n + 1), n, p)
+        np.testing.assert_allclose(distribution.pmf(), expected, atol=1e-12)
+
+    def test_pmf_sums_to_one(self):
+        distribution = PoissonBinomial(np.array([0.01, 0.5, 0.99, 0.3]))
+        assert distribution.pmf().sum() == pytest.approx(1.0)
+
+    def test_two_component_pmf_by_hand(self):
+        distribution = PoissonBinomial(np.array([0.2, 0.5]))
+        pmf = distribution.pmf()
+        assert pmf[0] == pytest.approx(0.8 * 0.5)
+        assert pmf[1] == pytest.approx(0.2 * 0.5 + 0.8 * 0.5)
+        assert pmf[2] == pytest.approx(0.2 * 0.5)
+
+    def test_cdf_is_cumulative_pmf(self):
+        distribution = PoissonBinomial(np.array([0.3, 0.6, 0.1]))
+        np.testing.assert_allclose(distribution.cdf(), np.cumsum(distribution.pmf()))
+
+    def test_prob_zero_closed_form(self):
+        p = np.array([0.1, 0.25, 0.4])
+        distribution = PoissonBinomial(p)
+        assert distribution.prob_zero() == pytest.approx(np.prod(1 - p))
+        assert distribution.prob_positive() == pytest.approx(1 - np.prod(1 - p))
+
+    def test_prob_at_least_and_exactly(self):
+        distribution = PoissonBinomial(np.array([0.5, 0.5]))
+        assert distribution.prob_at_least(0) == 1.0
+        assert distribution.prob_at_least(3) == 0.0
+        assert distribution.prob_at_least(1) == pytest.approx(0.75)
+        assert distribution.prob_exactly(2) == pytest.approx(0.25)
+        assert distribution.prob_exactly(-1) == 0.0
+        assert distribution.prob_exactly(5) == 0.0
+
+    def test_pmf_cached_copy_is_safe(self):
+        distribution = PoissonBinomial(np.array([0.2, 0.4]))
+        first = distribution.pmf()
+        first[:] = 0.0
+        assert distribution.pmf().sum() == pytest.approx(1.0)
+
+
+class TestApproximations:
+    def test_normal_approximation_reasonable_for_large_n(self):
+        distribution = PoissonBinomial(np.full(400, 0.3))
+        exact = float(distribution.cdf()[120])
+        approx = distribution.normal_approximation_cdf(120)
+        assert abs(exact - approx) < 0.02
+
+    def test_refined_normal_beats_plain_for_skewed_case(self):
+        # Compare the worst-case CDF error over the whole support: the
+        # skewness correction should clearly improve on the plain normal
+        # approximation for this strongly skewed (Poisson-like) case.
+        distribution = PoissonBinomial(np.full(60, 0.03))
+        exact_cdf = distribution.cdf()
+        plain_errors = [
+            abs(distribution.normal_approximation_cdf(k) - exact_cdf[k]) for k in range(61)
+        ]
+        refined_errors = [
+            abs(distribution.refined_normal_approximation_cdf(k) - exact_cdf[k])
+            for k in range(61)
+        ]
+        assert max(refined_errors) < max(plain_errors)
+        assert max(refined_errors) < 0.02
+
+    def test_degenerate_normal_approximation(self):
+        distribution = PoissonBinomial(np.array([1.0, 1.0]))
+        assert distribution.normal_approximation_cdf(2) == 1.0
+        assert distribution.normal_approximation_cdf(1) == 0.0
+
+    def test_poisson_approximation_prob_zero(self):
+        p = np.array([0.01, 0.02, 0.005])
+        distribution = PoissonBinomial(p)
+        assert distribution.poisson_approximation_prob_zero() == pytest.approx(
+            np.exp(-p.sum())
+        )
+        # For small probabilities the Poisson and exact values are close.
+        assert distribution.poisson_approximation_prob_zero() == pytest.approx(
+            distribution.prob_zero(), rel=1e-3
+        )
+
+
+class TestSampling:
+    def test_sample_matches_mean(self):
+        rng = np.random.default_rng(1)
+        distribution = PoissonBinomial(np.array([0.2, 0.5, 0.8]))
+        samples = distribution.sample(rng, 20_000)
+        assert samples.mean() == pytest.approx(distribution.mean(), abs=0.03)
+
+    def test_sample_size_zero(self):
+        rng = np.random.default_rng(1)
+        assert PoissonBinomial(np.array([0.5])).sample(rng, 0).size == 0
+
+    def test_sample_negative_size_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            PoissonBinomial(np.array([0.5])).sample(rng, -1)
+
+
+class TestDerivedDistributions:
+    def test_squared_probabilities(self):
+        p = np.array([0.1, 0.4])
+        squared = PoissonBinomial(p).squared()
+        np.testing.assert_allclose(squared.probabilities, p**2)
+
+    def test_powered_generalises_squared(self):
+        p = np.array([0.3, 0.6])
+        assert np.allclose(
+            PoissonBinomial(p).powered(2).probabilities,
+            PoissonBinomial(p).squared().probabilities,
+        )
+        np.testing.assert_allclose(PoissonBinomial(p).powered(3).probabilities, p**3)
+
+    def test_powered_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            PoissonBinomial(np.array([0.5])).powered(0)

@@ -1,0 +1,60 @@
+"""Tests for random-generator management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.rng import default_rng, ensure_rng, fixed_seed_sequence, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_default_seed_is_reproducible(self):
+        assert default_rng().random() == default_rng().random()
+
+    def test_explicit_seed(self):
+        assert default_rng(1).random() == np.random.default_rng(1).random()
+
+    def test_different_seeds_differ(self):
+        assert default_rng(1).random() != default_rng(2).random()
+
+
+class TestEnsureRng:
+    def test_passes_generator_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_accepts_int_seed(self):
+        assert ensure_rng(5).random() == np.random.default_rng(5).random()
+
+    def test_accepts_none(self):
+        assert ensure_rng(None).random() == default_rng().random()
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+
+    def test_spawn_streams_differ(self):
+        children = spawn_rngs(0, 2)
+        assert children[0].random() != children[1].random()
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_is_reproducible(self):
+        first = [g.random() for g in spawn_rngs(7, 3)]
+        second = [g.random() for g in spawn_rngs(7, 3)]
+        assert first == second
+
+
+class TestFixedSeeds:
+    def test_streams_match_seeds(self):
+        generators = fixed_seed_sequence([1, 2])
+        assert generators[0].random() == np.random.default_rng(1).random()
+        assert generators[1].random() == np.random.default_rng(2).random()

@@ -1,0 +1,98 @@
+"""Tests for correlated development processes (Section 6.1 relaxations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.versions.correlated import CommonCauseDevelopmentProcess, CopulaDevelopmentProcess
+
+
+@pytest.fixture
+def model() -> FaultModel:
+    return FaultModel(p=np.array([0.2, 0.3, 0.25]), q=np.array([0.1, 0.1, 0.1]))
+
+
+class TestCommonCauseProcess:
+    def test_marginals_preserved(self, model: FaultModel):
+        process = CommonCauseDevelopmentProcess(model, bad_day_weight=0.2, inflation=2.5)
+        matrix = process.sample_fault_matrix(np.random.default_rng(0), 100_000)
+        np.testing.assert_allclose(matrix.mean(axis=0), model.p, atol=0.01)
+
+    def test_positive_correlation_within_version(self, model: FaultModel):
+        process = CommonCauseDevelopmentProcess(model, bad_day_weight=0.2, inflation=3.0)
+        matrix = process.sample_fault_matrix(np.random.default_rng(1), 100_000)
+        correlation = np.corrcoef(matrix[:, 0], matrix[:, 1])[0, 1]
+        assert correlation > 0.01
+
+    def test_shared_state_increases_common_fault_rate(self, model: FaultModel):
+        independent_like = CommonCauseDevelopmentProcess(
+            model, bad_day_weight=0.2, inflation=3.0, shared_across_channels=False
+        )
+        shared = CommonCauseDevelopmentProcess(
+            model, bad_day_weight=0.2, inflation=3.0, shared_across_channels=True
+        )
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        unshared_pfds = independent_like.sample_system_pfds(rng_a, 30_000)
+        shared_pfds = shared.sample_system_pfds(rng_b, 30_000)
+        assert shared_pfds.mean() > unshared_pfds.mean()
+
+    def test_sample_pair_shared(self, model: FaultModel):
+        process = CommonCauseDevelopmentProcess(
+            model, bad_day_weight=0.3, inflation=2.0, shared_across_channels=True
+        )
+        pair = process.sample_pair(np.random.default_rng(3))
+        assert pair.channel_a.model.n == model.n
+
+    def test_validation(self, model: FaultModel):
+        with pytest.raises(ValueError):
+            CommonCauseDevelopmentProcess(model, bad_day_weight=0.0, inflation=2.0)
+        with pytest.raises(ValueError):
+            CommonCauseDevelopmentProcess(model, bad_day_weight=0.2, inflation=0.5)
+        with pytest.raises(ValueError):
+            CommonCauseDevelopmentProcess(model, bad_day_weight=0.2, inflation=5.0)
+        # Careful-state probabilities would become negative.
+        with pytest.raises(ValueError):
+            CommonCauseDevelopmentProcess(model, bad_day_weight=0.6, inflation=2.0)
+
+
+class TestCopulaProcess:
+    def test_zero_correlation_matches_independence(self, model: FaultModel):
+        process = CopulaDevelopmentProcess(model, correlation=0.0)
+        matrix = process.sample_fault_matrix(np.random.default_rng(4), 100_000)
+        np.testing.assert_allclose(matrix.mean(axis=0), model.p, atol=0.01)
+        correlation = np.corrcoef(matrix[:, 0], matrix[:, 1])[0, 1]
+        assert abs(correlation) < 0.02
+
+    def test_marginals_preserved_under_correlation(self, model: FaultModel):
+        process = CopulaDevelopmentProcess(model, correlation=0.6)
+        matrix = process.sample_fault_matrix(np.random.default_rng(5), 100_000)
+        np.testing.assert_allclose(matrix.mean(axis=0), model.p, atol=0.01)
+
+    def test_positive_correlation_sign(self, model: FaultModel):
+        process = CopulaDevelopmentProcess(model, correlation=0.7)
+        matrix = process.sample_fault_matrix(np.random.default_rng(6), 100_000)
+        assert np.corrcoef(matrix[:, 0], matrix[:, 1])[0, 1] > 0.1
+
+    def test_negative_correlation_sign(self, model: FaultModel):
+        process = CopulaDevelopmentProcess(model, correlation=-0.7)
+        matrix = process.sample_fault_matrix(np.random.default_rng(7), 100_000)
+        assert np.corrcoef(matrix[:, 0], matrix[:, 1])[0, 1] < -0.1
+
+    def test_extreme_probabilities_handled_exactly(self):
+        model = FaultModel(p=np.array([0.0, 1.0, 0.5]), q=np.array([0.1, 0.1, 0.1]))
+        process = CopulaDevelopmentProcess(model, correlation=0.5)
+        matrix = process.sample_fault_matrix(np.random.default_rng(8), 1000)
+        assert not matrix[:, 0].any()
+        assert matrix[:, 1].all()
+
+    def test_rejects_out_of_range_correlation(self, model: FaultModel):
+        with pytest.raises(ValueError):
+            CopulaDevelopmentProcess(model, correlation=1.0)
+        with pytest.raises(ValueError):
+            CopulaDevelopmentProcess(model, correlation=-1.0)
+
+    def test_zero_count(self, model: FaultModel):
+        process = CopulaDevelopmentProcess(model, correlation=0.3)
+        assert process.sample_fault_matrix(np.random.default_rng(9), 0).shape == (0, 3)

@@ -1,0 +1,99 @@
+"""Tests for the forced-diversity extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.core.moments import two_version_mean
+from repro.versions.forced_diversity import ForcedDiversityPair
+
+
+@pytest.fixture
+def channel_models() -> tuple[FaultModel, FaultModel]:
+    q = np.array([1e-3, 2e-3, 5e-4])
+    channel_a = FaultModel(p=np.array([0.05, 0.02, 0.1]), q=q)
+    channel_b = FaultModel(p=np.array([0.01, 0.08, 0.02]), q=q)
+    return channel_a, channel_b
+
+
+class TestConstruction:
+    def test_rejects_different_fault_populations(self, channel_models):
+        channel_a, _ = channel_models
+        other = FaultModel(p=np.array([0.1]), q=np.array([0.1]))
+        with pytest.raises(ValueError):
+            ForcedDiversityPair(channel_a, other)
+
+    def test_rejects_different_q_vectors(self, channel_models):
+        channel_a, channel_b = channel_models
+        modified = FaultModel(p=channel_b.p, q=channel_b.q * 2)
+        with pytest.raises(ValueError):
+            ForcedDiversityPair(channel_a, modified)
+
+
+class TestAnalytics:
+    def test_common_fault_probabilities(self, channel_models):
+        channel_a, channel_b = channel_models
+        pair = ForcedDiversityPair(channel_a, channel_b)
+        np.testing.assert_allclose(pair.common_fault_probabilities(), channel_a.p * channel_b.p)
+
+    def test_mean_system_pfd_formula(self, channel_models):
+        channel_a, channel_b = channel_models
+        pair = ForcedDiversityPair(channel_a, channel_b)
+        expected = float(np.sum(channel_a.p * channel_b.p * channel_a.q))
+        assert pair.mean_system_pfd() == pytest.approx(expected)
+
+    def test_symmetric_case_reduces_to_core_model(self, small_model: FaultModel):
+        pair = ForcedDiversityPair(small_model, small_model)
+        assert pair.mean_system_pfd() == pytest.approx(two_version_mean(small_model))
+
+    def test_prob_no_common_fault(self, channel_models):
+        channel_a, channel_b = channel_models
+        pair = ForcedDiversityPair(channel_a, channel_b)
+        expected = float(np.prod(1 - channel_a.p * channel_b.p))
+        assert pair.prob_no_common_fault() == pytest.approx(expected)
+        assert pair.prob_any_common_fault() == pytest.approx(1 - expected)
+
+    def test_channel_means_and_gain(self, channel_models):
+        channel_a, channel_b = channel_models
+        pair = ForcedDiversityPair(channel_a, channel_b)
+        mean_a, mean_b = pair.mean_channel_pfds()
+        assert mean_a == pytest.approx(float(np.sum(channel_a.p * channel_a.q)))
+        assert mean_b == pytest.approx(float(np.sum(channel_b.p * channel_b.q)))
+        assert pair.mean_gain_over_best_channel() <= 1.0
+
+    def test_as_symmetric_model_preserves_system_quantities(self, channel_models):
+        channel_a, channel_b = channel_models
+        pair = ForcedDiversityPair(channel_a, channel_b)
+        symmetric = pair.as_symmetric_model()
+        assert two_version_mean(symmetric) == pytest.approx(pair.mean_system_pfd())
+
+    def test_variance_and_std(self, channel_models):
+        channel_a, channel_b = channel_models
+        pair = ForcedDiversityPair(channel_a, channel_b)
+        common = channel_a.p * channel_b.p
+        expected_variance = float(np.sum(common * (1 - common) * channel_a.q**2))
+        assert pair.variance_system_pfd() == pytest.approx(expected_variance)
+        assert pair.std_system_pfd() == pytest.approx(np.sqrt(expected_variance))
+
+
+class TestSimulation:
+    def test_sampled_mean_matches_analytic(self, channel_models):
+        channel_a, channel_b = channel_models
+        # Use larger probabilities so the Monte Carlo comparison converges fast.
+        boosted_a = FaultModel(p=channel_a.p * 5, q=channel_a.q)
+        boosted_b = FaultModel(p=channel_b.p * 5, q=channel_b.q)
+        pair = ForcedDiversityPair(boosted_a, boosted_b)
+        samples = pair.sample_system_pfds(np.random.default_rng(10), 200_000)
+        assert samples.mean() == pytest.approx(pair.mean_system_pfd(), rel=0.1)
+
+    def test_sample_pair_object(self, channel_models):
+        pair = ForcedDiversityPair(*channel_models)
+        version_pair = pair.sample_pair(np.random.default_rng(11))
+        assert version_pair.channel_a.model.n == 3
+
+    def test_sample_rejects_negative_count(self, channel_models):
+        pair = ForcedDiversityPair(*channel_models)
+        with pytest.raises(ValueError):
+            pair.sample_system_pfds(np.random.default_rng(0), -1)

@@ -1,0 +1,79 @@
+"""Tests for the independent development process."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.core.moments import single_version_mean, two_version_mean
+from repro.core.no_common_faults import prob_any_fault
+from repro.versions.generation import IndependentDevelopmentProcess
+
+
+class TestSampling:
+    def test_fault_matrix_shape(self, small_model: FaultModel, rng):
+        process = IndependentDevelopmentProcess(small_model)
+        matrix = process.sample_fault_matrix(rng, 7)
+        assert matrix.shape == (7, 3)
+        assert matrix.dtype == bool
+
+    def test_zero_count(self, small_model: FaultModel, rng):
+        process = IndependentDevelopmentProcess(small_model)
+        assert process.sample_fault_matrix(rng, 0).shape == (0, 3)
+
+    def test_negative_count_rejected(self, small_model: FaultModel, rng):
+        process = IndependentDevelopmentProcess(small_model)
+        with pytest.raises(ValueError):
+            process.sample_fault_matrix(rng, -1)
+        with pytest.raises(ValueError):
+            process.sample_versions(rng, -1)
+        with pytest.raises(ValueError):
+            process.sample_pairs(rng, -1)
+
+    def test_fault_frequencies_match_probabilities(self, rng):
+        model = FaultModel(p=np.array([0.8, 0.3, 0.05]), q=np.array([0.1, 0.1, 0.1]))
+        process = IndependentDevelopmentProcess(model)
+        matrix = process.sample_fault_matrix(rng, 50_000)
+        np.testing.assert_allclose(matrix.mean(axis=0), model.p, atol=0.01)
+
+    def test_sample_version_objects(self, small_model: FaultModel, rng):
+        process = IndependentDevelopmentProcess(small_model)
+        version = process.sample_version(rng)
+        assert version.model is small_model
+        versions = process.sample_versions(rng, 5)
+        assert len(versions) == 5
+
+    def test_sample_pair_and_pairs(self, small_model: FaultModel, rng):
+        process = IndependentDevelopmentProcess(small_model)
+        pair = process.sample_pair(rng)
+        assert pair.channel_a.model.n == pair.channel_b.model.n == 3
+        pairs = process.sample_pairs(rng, 4)
+        assert len(pairs) == 4
+
+
+class TestStatisticalAgreement:
+    def test_single_version_pfd_mean(self, rng):
+        model = FaultModel(p=np.array([0.3, 0.2]), q=np.array([0.2, 0.1]))
+        process = IndependentDevelopmentProcess(model)
+        pfds = process.sample_pfds(rng, 100_000)
+        assert pfds.mean() == pytest.approx(single_version_mean(model), rel=0.02)
+
+    def test_system_pfd_mean(self, rng):
+        model = FaultModel(p=np.array([0.4, 0.3]), q=np.array([0.2, 0.1]))
+        process = IndependentDevelopmentProcess(model)
+        pfds = process.sample_system_pfds(rng, 100_000)
+        assert pfds.mean() == pytest.approx(two_version_mean(model), rel=0.05)
+
+    def test_fraction_of_faulty_versions(self, rng):
+        model = FaultModel(p=np.array([0.2, 0.1, 0.05]), q=np.array([0.1, 0.1, 0.1]))
+        process = IndependentDevelopmentProcess(model)
+        matrix = process.sample_fault_matrix(rng, 50_000)
+        fraction_faulty = np.mean(matrix.any(axis=1))
+        assert fraction_faulty == pytest.approx(prob_any_fault(model), abs=0.01)
+
+    def test_reproducibility_with_same_seed(self, small_model: FaultModel):
+        process = IndependentDevelopmentProcess(small_model)
+        first = process.sample_fault_matrix(np.random.default_rng(9), 100)
+        second = process.sample_fault_matrix(np.random.default_rng(9), 100)
+        np.testing.assert_array_equal(first, second)

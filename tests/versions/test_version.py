@@ -1,0 +1,85 @@
+"""Tests for developed versions and version pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_model import FaultModel
+from repro.versions.version import DevelopedVersion, VersionPair
+
+
+class TestDevelopedVersion:
+    def test_pfd_is_sum_of_present_impacts(self, small_model: FaultModel):
+        version = DevelopedVersion(small_model, np.array([True, False, True]))
+        assert version.pfd() == pytest.approx(1e-4 + 2e-3)
+        assert version.fault_count == 2
+        assert version.fault_names == ("alpha", "gamma")
+        np.testing.assert_array_equal(version.fault_indices, [0, 2])
+
+    def test_fault_free_version(self, small_model: FaultModel):
+        version = DevelopedVersion(small_model, np.zeros(3, dtype=bool))
+        assert version.is_fault_free()
+        assert version.pfd() == 0.0
+
+    def test_rejects_wrong_length(self, small_model: FaultModel):
+        with pytest.raises(ValueError):
+            DevelopedVersion(small_model, np.array([True, False]))
+
+    def test_fails_on_membership_matrix(self, small_model: FaultModel):
+        version = DevelopedVersion(small_model, np.array([True, False, False]))
+        # Three demands; first hits fault 0's region, second hits fault 1's,
+        # third hits none.
+        membership = np.array(
+            [[True, False, False], [False, True, False], [False, False, False]]
+        )
+        np.testing.assert_array_equal(version.fails_on(membership), [True, False, False])
+
+    def test_fails_on_rejects_wrong_shape(self, small_model: FaultModel):
+        version = DevelopedVersion(small_model, np.array([True, False, False]))
+        with pytest.raises(ValueError):
+            version.fails_on(np.array([[True, False]]))
+
+    def test_common_faults(self, small_model: FaultModel):
+        first = DevelopedVersion(small_model, np.array([True, True, False]))
+        second = DevelopedVersion(small_model, np.array([False, True, True]))
+        np.testing.assert_array_equal(first.common_faults(second), [False, True, False])
+
+
+class TestVersionPair:
+    def test_system_pfd_from_common_faults(self, small_model: FaultModel):
+        pair = VersionPair(
+            channel_a=DevelopedVersion(small_model, np.array([True, True, False])),
+            channel_b=DevelopedVersion(small_model, np.array([True, False, True])),
+        )
+        assert pair.common_fault_count == 1
+        assert pair.system_pfd() == pytest.approx(1e-4)
+        assert pair.has_common_fault()
+
+    def test_no_common_fault(self, small_model: FaultModel):
+        pair = VersionPair(
+            channel_a=DevelopedVersion(small_model, np.array([True, False, False])),
+            channel_b=DevelopedVersion(small_model, np.array([False, True, False])),
+        )
+        assert pair.system_pfd() == 0.0
+        assert not pair.has_common_fault()
+
+    def test_system_fails_only_when_both_fail(self, small_model: FaultModel):
+        pair = VersionPair(
+            channel_a=DevelopedVersion(small_model, np.array([True, False, False])),
+            channel_b=DevelopedVersion(small_model, np.array([False, True, False])),
+        )
+        # Demand 0 hits fault 0 only, demand 1 hits fault 1 only, demand 2 hits
+        # both faults' regions.
+        membership = np.array(
+            [[True, False, False], [False, True, False], [True, True, False]]
+        )
+        np.testing.assert_array_equal(pair.system_fails_on(membership), [False, False, True])
+
+    def test_rejects_mismatched_models(self, small_model: FaultModel):
+        other = FaultModel(p=np.array([0.1]), q=np.array([0.1]))
+        with pytest.raises(ValueError):
+            VersionPair(
+                channel_a=DevelopedVersion(small_model, np.array([True, False, False])),
+                channel_b=DevelopedVersion(other, np.array([True])),
+            )
