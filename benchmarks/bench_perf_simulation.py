@@ -1,0 +1,121 @@
+"""PERF -- chunked / streaming / parallel Monte Carlo throughput.
+
+Bench for the high-throughput simulation kernel: the chunked path must be
+bitwise-identical to the in-memory path (chunking is a memory knob, not a
+different simulation), streaming summaries must agree with the sample-based
+ones, and the throughput table records replications/second for the three
+simulation kinds.  Absolute numbers land in ``BENCH_perf.json`` via
+``benchmarks/run_benchmarks.py``; this bench asserts the invariants that make
+those numbers meaningful.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.montecarlo.engine import MonteCarloEngine
+
+REPLICATIONS = 200_000
+CHUNK = 50_000
+
+
+def test_perf_chunked_is_bitwise_identical(many_faults_model, benchmark):
+    """Chunked == in-memory, bitwise, on the n=200 scenario."""
+    monolithic_engine = MonteCarloEngine(many_faults_model)
+    chunked_engine = MonteCarloEngine(many_faults_model, chunk_size=CHUNK)
+
+    def workload():
+        monolithic = monolithic_engine.simulate_paired(REPLICATIONS, rng=7)
+        chunked = chunked_engine.simulate_paired(REPLICATIONS, rng=7)
+        return monolithic, chunked
+
+    monolithic, chunked = benchmark.pedantic(workload, rounds=1, iterations=1)
+    assert np.array_equal(
+        monolithic.single.pfds.samples, chunked.single.pfds.samples
+    )
+    assert np.array_equal(
+        monolithic.system.pfds.samples, chunked.system.pfds.samples
+    )
+    assert monolithic.risk_ratio() == chunked.risk_ratio()
+
+
+def test_perf_throughput_table(many_faults_model, benchmark):
+    """Replications/second for single, paired and 1-out-of-3 streaming runs."""
+    engine = MonteCarloEngine(many_faults_model, chunk_size=CHUNK)
+
+    def workload():
+        rows = []
+        for label, simulate in (
+            ("single (streaming)", lambda: engine.simulate_single_streaming(REPLICATIONS, rng=7)),
+            ("paired 1oo2 (streaming)", lambda: engine.simulate_paired_streaming(REPLICATIONS, rng=7)),
+            ("1-out-of-3 (streaming)", lambda: engine.simulate_systems_streaming(REPLICATIONS, versions=3, rng=7)),
+        ):
+            start = time.perf_counter()
+            simulate()
+            elapsed = time.perf_counter() - start
+            rows.append([label, REPLICATIONS, elapsed, REPLICATIONS / elapsed])
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_table(
+        "PERF: streaming simulation throughput (n=200 scenario)",
+        ["kind", "replications", "seconds", "replications/s"],
+        rows,
+    )
+    # Sanity floor: the chunked streaming path must stay comfortably above
+    # what the paper-scale experiments need (loose so CI noise cannot trip it).
+    for row in rows:
+        assert row[3] > 20_000
+
+
+def test_perf_streaming_matches_samples(many_faults_model, benchmark):
+    """Streaming accumulators reproduce the sample-based summaries exactly."""
+    engine = MonteCarloEngine(many_faults_model, chunk_size=CHUNK)
+
+    def workload():
+        samples = engine.simulate_paired(REPLICATIONS, rng=11)
+        streamed = engine.simulate_paired_streaming(REPLICATIONS, rng=11)
+        return samples, streamed
+
+    samples, streamed = benchmark.pedantic(workload, rounds=1, iterations=1)
+    # Accumulation order differs (Chan merge vs single-pass np.mean), so agree
+    # to float accumulation accuracy; the zero counts are exact.
+    assert streamed.single.mean_pfd() == pytest.approx(samples.single.mean_pfd(), rel=1e-12)
+    assert streamed.single.std_pfd() == pytest.approx(samples.single.std_pfd(), rel=1e-10)
+    assert streamed.system.prob_any_fault() == samples.system.prob_any_fault()
+
+
+def test_perf_parallel_shards_consistent(many_faults_model, benchmark):
+    """jobs=2 is reproducible and statistically consistent with sequential."""
+    parallel_engine = MonteCarloEngine(many_faults_model, chunk_size=CHUNK, jobs=2)
+    sequential_engine = MonteCarloEngine(many_faults_model, chunk_size=CHUNK)
+
+    def workload():
+        start = time.perf_counter()
+        parallel = parallel_engine.simulate_paired_streaming(REPLICATIONS, rng=13)
+        parallel_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        sequential = sequential_engine.simulate_paired_streaming(REPLICATIONS, rng=13)
+        sequential_elapsed = time.perf_counter() - start
+        return parallel, sequential, parallel_elapsed, sequential_elapsed
+
+    parallel, sequential, parallel_elapsed, sequential_elapsed = benchmark.pedantic(
+        workload, rounds=1, iterations=1
+    )
+    print_table(
+        "PERF: parallel versus sequential paired streaming",
+        ["mode", "seconds", "mean PFD"],
+        [
+            ["jobs=2", parallel_elapsed, parallel.single.mean_pfd()],
+            ["sequential", sequential_elapsed, sequential.single.mean_pfd()],
+        ],
+    )
+    repeat = parallel_engine.simulate_paired_streaming(REPLICATIONS, rng=13)
+    assert repeat.single.mean_pfd() == parallel.single.mean_pfd()
+    # Distinct streams, same distribution: means agree within ~6 standard errors.
+    tolerance = 6 * sequential.single.pfds.standard_error()
+    assert abs(parallel.single.mean_pfd() - sequential.single.mean_pfd()) < tolerance

@@ -1,0 +1,291 @@
+"""Throughput benchmark entry point: emits a ``BENCH_perf.json`` record.
+
+Runs the performance-critical workloads (chunked/streaming Monte Carlo for
+single versions, paired 1-out-of-2 systems and 1-out-of-r systems, plus the
+fast exact-PFD convolution core) and writes one JSON record with
+replications-per-second, wall time and peak RSS per workload, so future
+changes have a perf trajectory to regress against.
+
+Each workload runs in its *own subprocess*: peak RSS (``ru_maxrss``) is a
+process-wide high-water mark, so isolating workloads is the only way to
+attribute memory honestly.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py               # full record -> BENCH_perf.json
+    python benchmarks/run_benchmarks.py --quick       # smaller sizes (CI-friendly)
+    python benchmarks/run_benchmarks.py --output path/to/record.json
+
+``--workload NAME --json`` is the internal per-subprocess mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Timing of the *seed* (pre-fast-core) implementation of
+#: ``exact_pfd_distribution``, measured once on seed commit 2ed04c8 on this
+#: container class; kept as the fixed reference the fast core is compared
+#: against (re-running the seed algorithm at n=2000 takes >6 minutes, which
+#: is the point).
+SEED_CONVOLUTION_REFERENCE = [
+    {"n": 200, "max_support": 4096, "seconds": 38.06},
+    {"n": 500, "max_support": 1024, "seconds": 3.33},
+    {"n": 2000, "max_support": 4096, "seconds": 373.06},
+]
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+# --------------------------------------------------------------------- #
+# Workloads (each runs in a fresh subprocess)
+# --------------------------------------------------------------------- #
+def workload_single(quick: bool) -> dict:
+    """Streaming single-version throughput on the n=200 scenario."""
+    from repro.experiments.scenarios import many_small_faults_scenario
+    from repro.montecarlo.engine import MonteCarloEngine
+
+    replications = 500_000 if quick else 2_000_000
+    engine = MonteCarloEngine(many_small_faults_scenario(n=200), chunk_size=100_000)
+    start = time.perf_counter()
+    result = engine.simulate_single_streaming(replications, rng=7)
+    elapsed = time.perf_counter() - start
+    return {
+        "replications": replications,
+        "n": 200,
+        "chunk_size": 100_000,
+        "seconds": round(elapsed, 3),
+        "replications_per_second": round(replications / elapsed),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "mean_pfd": result.mean_pfd(),
+    }
+
+
+def workload_paired(quick: bool) -> dict:
+    """Chunked ``simulate_paired`` (full sample collection) on the n=200 scenario.
+
+    The full (non-quick) size is the acceptance workload: 10M replications at
+    n=200 must fit a ~500 MB peak-RSS budget; the in-memory path would need
+    three ``(10M, 200)`` float64 uniform matrices (~48 GB transient, >30 GB
+    at once).
+    """
+    from repro.experiments.scenarios import many_small_faults_scenario
+    from repro.montecarlo.engine import MonteCarloEngine
+
+    replications = 1_000_000 if quick else 10_000_000
+    engine = MonteCarloEngine(many_small_faults_scenario(n=200), chunk_size=25_000)
+    start = time.perf_counter()
+    result = engine.simulate_paired(replications, rng=7)
+    elapsed = time.perf_counter() - start
+    return {
+        "replications": replications,
+        "n": 200,
+        "chunk_size": 25_000,
+        "seconds": round(elapsed, 3),
+        "replications_per_second": round(replications / elapsed),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "risk_ratio": result.risk_ratio(),
+    }
+
+
+def workload_paired_streaming(quick: bool) -> dict:
+    """Constant-memory streaming variant of the paired workload."""
+    from repro.experiments.scenarios import many_small_faults_scenario
+    from repro.montecarlo.engine import MonteCarloEngine
+
+    replications = 1_000_000 if quick else 10_000_000
+    engine = MonteCarloEngine(many_small_faults_scenario(n=200), chunk_size=100_000)
+    start = time.perf_counter()
+    result = engine.simulate_paired_streaming(replications, rng=7)
+    elapsed = time.perf_counter() - start
+    return {
+        "replications": replications,
+        "n": 200,
+        "chunk_size": 100_000,
+        "seconds": round(elapsed, 3),
+        "replications_per_second": round(replications / elapsed),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "risk_ratio": result.risk_ratio(),
+    }
+
+
+def workload_one_out_of_r(quick: bool) -> dict:
+    """Streaming 1-out-of-3 system throughput on the n=200 scenario."""
+    from repro.experiments.scenarios import many_small_faults_scenario
+    from repro.montecarlo.engine import MonteCarloEngine
+
+    replications = 500_000 if quick else 2_000_000
+    engine = MonteCarloEngine(many_small_faults_scenario(n=200), chunk_size=100_000)
+    start = time.perf_counter()
+    result = engine.simulate_systems_streaming(replications, versions=3, rng=7)
+    elapsed = time.perf_counter() - start
+    return {
+        "replications": replications,
+        "versions": 3,
+        "n": 200,
+        "chunk_size": 100_000,
+        "seconds": round(elapsed, 3),
+        "replications_per_second": round(replications / elapsed),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "mean_pfd": result.mean_pfd(),
+    }
+
+
+def workload_parallel(quick: bool) -> dict:
+    """Process-parallel streaming paired throughput (jobs=4)."""
+    from repro.experiments.scenarios import many_small_faults_scenario
+    from repro.montecarlo.engine import MonteCarloEngine
+
+    replications = 1_000_000 if quick else 4_000_000
+    engine = MonteCarloEngine(
+        many_small_faults_scenario(n=200), chunk_size=100_000, jobs=4
+    )
+    start = time.perf_counter()
+    engine.simulate_paired_streaming(replications, rng=7)
+    elapsed = time.perf_counter() - start
+    return {
+        "replications": replications,
+        "n": 200,
+        "jobs": 4,
+        "chunk_size": 100_000,
+        "seconds": round(elapsed, 3),
+        "replications_per_second": round(replications / elapsed),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
+def workload_convolution(quick: bool) -> dict:
+    """Fast exact-PFD convolution core across model sizes.
+
+    Also times the tree-based baseline (the seed's algorithm shape, already
+    sped up by this PR's kernels) at n=200 so the record contains a measured
+    same-process comparison in addition to :data:`SEED_CONVOLUTION_REFERENCE`.
+    """
+    from repro.core.moments import pfd_moments
+    from repro.core.pfd_distribution import exact_pfd_distribution
+    from repro.experiments.scenarios import many_small_faults_scenario
+    from repro.stats.discrete import DiscreteDistribution
+
+    sizes = [200, 500, 1000, 2000] if quick else [200, 500, 1000, 2000, 5000]
+    rows = []
+    for n in sizes:
+        model = many_small_faults_scenario(n=n)
+        start = time.perf_counter()
+        distribution = exact_pfd_distribution(model, 1, max_support=4096)
+        elapsed = time.perf_counter() - start
+        moments = pfd_moments(model, 1)
+        rows.append(
+            {
+                "n": n,
+                "max_support": 4096,
+                "seconds": round(elapsed, 4),
+                "support": int(distribution.support.size),
+                "mean_rel_error": abs(distribution.mean() - moments.mean) / moments.mean,
+                "std_rel_error": abs(distribution.std() - moments.std) / moments.std,
+            }
+        )
+    fast_path_peak_rss = round(_peak_rss_mb(), 1)
+    baseline = None
+    if not quick:
+        model = many_small_faults_scenario(n=200)
+        components = [
+            DiscreteDistribution.two_point(float(value), float(probability))
+            for value, probability in zip(model.q, model.p)
+        ]
+        start = time.perf_counter()
+        DiscreteDistribution.convolve_many(components, max_support=4096)
+        baseline = {
+            "algorithm": "pairwise tree (seed shape, current kernels)",
+            "n": 200,
+            "max_support": 4096,
+            "seconds": round(time.perf_counter() - start, 3),
+        }
+    record = {"fast_path": rows, "peak_rss_mb": fast_path_peak_rss}
+    if baseline is not None:
+        record["tree_baseline"] = baseline
+    return record
+
+
+WORKLOADS = {
+    "single": workload_single,
+    "paired": workload_paired,
+    "paired_streaming": workload_paired_streaming,
+    "one_out_of_r": workload_one_out_of_r,
+    "parallel": workload_parallel,
+    "convolution": workload_convolution,
+}
+
+
+# --------------------------------------------------------------------- #
+# Orchestration
+# --------------------------------------------------------------------- #
+def _run_in_subprocess(name: str, quick: bool) -> dict:
+    command = [sys.executable, str(Path(__file__).resolve()), "--workload", name, "--json"]
+    if quick:
+        command.append("--quick")
+    completed = subprocess.run(command, capture_output=True, text=True, timeout=3600)
+    if completed.returncode != 0:
+        return {"error": completed.stderr.strip()[-2000:]}
+    return json.loads(completed.stdout)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_perf.json"))
+    parser.add_argument("--quick", action="store_true", help="smaller, CI-friendly sizes")
+    parser.add_argument("--workload", choices=sorted(WORKLOADS), help="run one workload in-process")
+    parser.add_argument("--json", action="store_true", help="print the single workload as JSON")
+    arguments = parser.parse_args(argv)
+
+    if arguments.workload:
+        record = WORKLOADS[arguments.workload](arguments.quick)
+        print(json.dumps(record, indent=None if arguments.json else 2))
+        return 0
+
+    import numpy
+
+    record = {
+        "schema": "bench-perf-v1",
+        "mode": "quick" if arguments.quick else "full",
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "seed_convolution_reference": SEED_CONVOLUTION_REFERENCE,
+        "workloads": {},
+    }
+    for name in WORKLOADS:
+        print(f"running {name} ...", flush=True)
+        record["workloads"][name] = _run_in_subprocess(name, arguments.quick)
+        print(f"  -> {json.dumps(record['workloads'][name])[:200]}", flush=True)
+    fast = {row["n"]: row["seconds"] for row in record["workloads"]["convolution"].get("fast_path", [])}
+    speedups = [
+        {
+            "n": ref["n"],
+            "max_support": ref["max_support"],
+            "seed_seconds": ref["seconds"],
+            "fast_seconds": fast.get(ref["n"]),
+            "speedup": round(ref["seconds"] / fast[ref["n"]], 1) if fast.get(ref["n"]) else None,
+        }
+        for ref in SEED_CONVOLUTION_REFERENCE
+        if ref["max_support"] == 4096
+    ]
+    record["convolution_speedup_vs_seed"] = speedups
+    output = Path(arguments.output)
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

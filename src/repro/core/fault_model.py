@@ -122,15 +122,67 @@ class FaultModel:
         """Number of potential faults (the paper's ``n``)."""
         return int(self.p.size)
 
+    def _cached(self, key, compute):
+        """Memoise ``compute()`` under ``key`` in the instance cache.
+
+        The model is immutable, so every derived quantity is computed at most
+        once per instance; the cache is excluded from equality and repr.
+        """
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
     @property
     def p_max(self) -> float:
         """``max{p_1 .. p_n}`` -- the quantity driving the paper's bounds."""
-        return float(np.max(self.p))
+        return self._cached("p_max", lambda: float(np.max(self.p)))
 
     @property
     def p_min(self) -> float:
         """``min{p_1 .. p_n}``."""
-        return float(np.min(self.p))
+        return self._cached("p_min", lambda: float(np.min(self.p)))
+
+    @property
+    def total_impact(self) -> float:
+        """``sum(q_i)`` -- the largest PFD any version can attain."""
+        return self._cached("total_impact", lambda: float(np.sum(self.q)))
+
+    def poisson_binomial(self, versions: int = 1):
+        """Memoised Poisson-binomial view of the (common-)fault count.
+
+        ``versions=1`` is the distribution of ``N_1`` (faults in one version);
+        ``versions=r`` the distribution of ``N_r`` (faults common to ``r``
+        independently developed versions, probabilities ``p_i**r``).  Because
+        the :class:`~repro.stats.poisson_binomial.PoissonBinomial` caches its
+        exact PMF, memoising the view here means the ``O(n^2)`` dynamic
+        programming recursion runs at most once per model and exponent.
+        """
+        from repro.stats.poisson_binomial import PoissonBinomial
+
+        if versions < 1:
+            raise ValueError(f"versions must be a positive integer, got {versions}")
+        return self._cached(
+            ("poisson_binomial", versions), lambda: PoissonBinomial(self.p**versions)
+        )
+
+    def powered(self, versions: int) -> "FaultModel":
+        """Memoised model with every ``p_i`` raised to ``versions``.
+
+        This is the "system view" of the model: a fault is present in all
+        ``versions`` independently developed versions with probability
+        ``p_i**versions`` (Section 2.2), so the 1-out-of-r system behaves like
+        a single version developed from the powered model.
+        """
+        if versions < 1:
+            raise ValueError(f"versions must be a positive integer, got {versions}")
+        if versions == 1:
+            return self
+        return self._cached(
+            ("powered", versions),
+            lambda: FaultModel(
+                p=self.p**versions, q=self.q.copy(), names=self.names, strict=self.strict
+            ),
+        )
 
     def fault_classes(self) -> list[FaultClass]:
         """The model as a list of :class:`FaultClass` value objects."""

@@ -110,7 +110,8 @@ def fault_count_distribution(model: FaultModel, versions: int = 1) -> PoissonBin
     ``versions=1`` gives the distribution of ``N_1`` (faults in a single
     version); ``versions=2`` gives ``N_2`` (faults common to an independently
     developed pair); larger values generalise to 1-out-of-r systems.
+
+    The distribution object is memoised on the model, so repeated queries
+    (e.g. across an assessment report) share one exact-PMF computation.
     """
-    if versions < 1:
-        raise ValueError(f"versions must be a positive integer, got {versions}")
-    return PoissonBinomial(model.p**versions)
+    return model.poisson_binomial(versions)

@@ -16,8 +16,10 @@ tractable.  This lets the library:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.fault_model import FaultModel
-from repro.stats.discrete import DiscreteDistribution
+from repro.stats.discrete import DiscreteDistribution, convolve_two_points
 
 __all__ = [
     "exact_pfd_distribution",
@@ -49,12 +51,7 @@ def exact_pfd_distribution(
     """
     if versions < 1:
         raise ValueError(f"versions must be a positive integer, got {versions}")
-    present = model.p ** versions
-    components = [
-        DiscreteDistribution.two_point(float(impact), float(probability))
-        for impact, probability in zip(model.q, present)
-    ]
-    return DiscreteDistribution.convolve_many(components, max_support=max_support)
+    return convolve_two_points(model.q, model.p ** versions, max_support=max_support)
 
 
 def pfd_exceedance_probability(
@@ -100,8 +97,6 @@ def prob_pfd_zero(model: FaultModel, versions: int = 1) -> float:
     ``q_i = 0`` are excluded here because their presence does not affect the
     PFD.
     """
-    import numpy as np
-
     if versions < 1:
         raise ValueError(f"versions must be a positive integer, got {versions}")
     effective = model.q > 0.0

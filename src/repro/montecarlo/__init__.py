@@ -9,11 +9,14 @@ exists).
 from repro.montecarlo.convergence import ConvergenceDiagnostics, running_mean
 from repro.montecarlo.engine import MonteCarloEngine
 from repro.montecarlo.results import PairSimulationResult, SimulationResult
+from repro.montecarlo.streaming import StreamingPairResult, StreamingSimulationResult
 
 __all__ = [
     "ConvergenceDiagnostics",
     "MonteCarloEngine",
     "PairSimulationResult",
     "SimulationResult",
+    "StreamingPairResult",
+    "StreamingSimulationResult",
     "running_mean",
 ]

@@ -4,21 +4,57 @@ The engine repeatedly "develops" versions from a development process (by
 default the paper's independent process), records the PFD and fault count of
 single versions and of 1-out-of-2 (or 1-out-of-r) systems, and packages the
 output for comparison with the analytic results of :mod:`repro.core`.
+
+Three execution strategies share one sampling core:
+
+* **in-memory** (default): one fault matrix per sampling call.  Note that
+  multi-version simulations (``simulate_paired`` / ``simulate_systems``) now
+  draw each version's matrices from a dedicated stream spawned from the
+  caller's generator -- a seeded run therefore differs from releases before
+  the chunked engine, which drew all versions back to back from one stream
+  (``simulate_single_versions`` is unchanged);
+* **chunked** (``chunk_size=...``): fault matrices are drawn in chunks so the
+  peak memory is ``O(chunk_size * n)`` instead of ``O(replications * n)``.
+  Each system's fault matrices come from a dedicated generator spawned from
+  the caller's generator, and every chunk continues the same stream, so the
+  sequential chunked path is bitwise-identical to the in-memory path for the
+  same seed -- chunking is purely a memory knob;
+* **parallel** (``jobs=...``): replications are sharded over worker processes
+  with :func:`repro.stats.rng.spawn_rngs`.  Shard streams are spawned from
+  the caller's generator, so results are reproducible for a fixed
+  ``(seed, jobs)`` pair but form a *distinct* random stream from the
+  sequential path (statistically equivalent, not bitwise-identical).
+
+The ``simulate_*_streaming`` variants summarise chunks into the
+constant-memory accumulators of :mod:`repro.stats.streaming` instead of
+retaining every sample, which is the recommended mode for ``10**7`` and more
+replications (and what the parallel path uses to keep inter-process traffic
+small).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.core.fault_model import FaultModel
 from repro.montecarlo.results import PairSimulationResult, SimulationResult
+from repro.montecarlo.streaming import StreamingPairResult, StreamingSimulationResult
 from repro.stats.empirical import EmpiricalDistribution
-from repro.stats.rng import ensure_rng
-from repro.versions.generation import DevelopmentProcess, IndependentDevelopmentProcess
+from repro.stats.rng import ensure_rng, spawn_rngs
+from repro.stats.streaming import StreamingHistogram, StreamingMoments
+from repro.versions.generation import (
+    DevelopmentProcess,
+    IndependentDevelopmentProcess,
+    matrix_pfds,
+)
 
 __all__ = ["MonteCarloEngine"]
+
+#: Default number of histogram bins for the streaming PFD summaries.
+DEFAULT_STREAM_BINS = 4096
 
 
 @dataclass(frozen=True)
@@ -32,16 +68,31 @@ class MonteCarloEngine:
     process:
         Development process to sample from; defaults to the paper's
         independent process over ``model``.
+    chunk_size:
+        When set, fault matrices are drawn at most ``chunk_size`` rows at a
+        time, bounding peak memory at ``O(chunk_size * n)`` per matrix.  The
+        sequential chunked path produces bitwise-identical results to the
+        default in-memory path for the same seed.
+    jobs:
+        When greater than 1, replications are sharded across this many worker
+        processes (see the module docstring for the reproducibility
+        contract).  Worker shards always run chunked.
     """
 
     model: FaultModel
-    process: DevelopmentProcess = field(default=None)  # type: ignore[assignment]
+    process: Optional[DevelopmentProcess] = None
+    chunk_size: Optional[int] = None
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.process is None:
             object.__setattr__(self, "process", IndependentDevelopmentProcess(self.model))
         elif self.process.model.n != self.model.n:
             raise ValueError("the development process must draw from the engine's fault model")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be a positive integer, got {self.jobs}")
 
     # ------------------------------------------------------------------ #
     # Single-system simulations
@@ -50,13 +101,12 @@ class MonteCarloEngine:
         self, replications: int, rng: np.random.Generator | int | None = None
     ) -> SimulationResult:
         """Develop ``replications`` single versions and record PFD and fault count."""
+        self._validate_replications(replications)
         generator = ensure_rng(rng)
-        matrix = self._sample_matrix(generator, replications)
-        pfds = matrix @ self.model.q
-        counts = np.sum(matrix, axis=1)
+        pfds, counts = self._run(_single_samples, _merge_samples, replications, generator, 1)
         return SimulationResult(
             pfds=EmpiricalDistribution(pfds),
-            fault_counts=EmpiricalDistribution(counts.astype(float)),
+            fault_counts=EmpiricalDistribution(counts),
             replications=replications,
         )
 
@@ -69,15 +119,12 @@ class MonteCarloEngine:
         """Develop ``replications`` independent 1-out-of-``versions`` systems."""
         if versions < 1:
             raise ValueError(f"versions must be a positive integer, got {versions}")
+        self._validate_replications(replications)
         generator = ensure_rng(rng)
-        common = np.ones((replications, self.model.n), dtype=bool)
-        for _ in range(versions):
-            common &= self._sample_matrix(generator, replications)
-        pfds = common @ self.model.q
-        counts = np.sum(common, axis=1)
+        pfds, counts = self._run(_system_samples, _merge_samples, replications, generator, versions)
         return SimulationResult(
             pfds=EmpiricalDistribution(pfds),
-            fault_counts=EmpiricalDistribution(counts.astype(float)),
+            fault_counts=EmpiricalDistribution(counts),
             replications=replications,
         )
 
@@ -91,21 +138,78 @@ class MonteCarloEngine:
         the same developments for both sides gives paired (lower-variance)
         comparisons of the gain measures.
         """
+        self._validate_replications(replications)
         generator = ensure_rng(rng)
-        first = self._sample_matrix(generator, replications)
-        second = self._sample_matrix(generator, replications)
-        common = first & second
+        first_pfds, first_counts, common_pfds, common_counts = self._run(
+            _paired_samples, _merge_samples, replications, generator, 2
+        )
         single = SimulationResult(
-            pfds=EmpiricalDistribution(first @ self.model.q),
-            fault_counts=EmpiricalDistribution(np.sum(first, axis=1).astype(float)),
+            pfds=EmpiricalDistribution(first_pfds),
+            fault_counts=EmpiricalDistribution(first_counts),
             replications=replications,
         )
         system = SimulationResult(
-            pfds=EmpiricalDistribution(common @ self.model.q),
-            fault_counts=EmpiricalDistribution(np.sum(common, axis=1).astype(float)),
+            pfds=EmpiricalDistribution(common_pfds),
+            fault_counts=EmpiricalDistribution(common_counts),
             replications=replications,
         )
         return PairSimulationResult(single=single, system=system)
+
+    # ------------------------------------------------------------------ #
+    # Streaming (constant-memory) simulations
+    # ------------------------------------------------------------------ #
+    def simulate_single_streaming(
+        self,
+        replications: int,
+        rng: np.random.Generator | int | None = None,
+        bins: int = DEFAULT_STREAM_BINS,
+    ) -> StreamingSimulationResult:
+        """Like :meth:`simulate_single_versions` but summarising into accumulators.
+
+        Memory is ``O(chunk_size * n + bins)`` regardless of ``replications``.
+        Moments and zero-probabilities are exact; percentile queries resolve
+        to one histogram bin.
+        """
+        self._validate_replications(replications)
+        generator = ensure_rng(rng)
+        tally = self._run(
+            _single_streaming, _merge_streaming, replications, generator, 1, bins
+        )
+        return _streaming_result(tally, replications)
+
+    def simulate_systems_streaming(
+        self,
+        replications: int,
+        versions: int = 2,
+        rng: np.random.Generator | int | None = None,
+        bins: int = DEFAULT_STREAM_BINS,
+    ) -> StreamingSimulationResult:
+        """Like :meth:`simulate_systems` but summarising into accumulators."""
+        if versions < 1:
+            raise ValueError(f"versions must be a positive integer, got {versions}")
+        self._validate_replications(replications)
+        generator = ensure_rng(rng)
+        tally = self._run(
+            _system_streaming, _merge_streaming, replications, generator, versions, bins
+        )
+        return _streaming_result(tally, replications)
+
+    def simulate_paired_streaming(
+        self,
+        replications: int,
+        rng: np.random.Generator | int | None = None,
+        bins: int = DEFAULT_STREAM_BINS,
+    ) -> StreamingPairResult:
+        """Like :meth:`simulate_paired` but summarising into accumulators."""
+        self._validate_replications(replications)
+        generator = ensure_rng(rng)
+        single_tally, system_tally = self._run(
+            _paired_streaming, _merge_paired_streaming, replications, generator, 2, bins
+        )
+        return StreamingPairResult(
+            single=_streaming_result(single_tally, replications),
+            system=_streaming_result(system_tally, replications),
+        )
 
     # ------------------------------------------------------------------ #
     # Comparison with analytic predictions
@@ -159,7 +263,195 @@ class MonteCarloEngine:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _sample_matrix(self, rng: np.random.Generator, replications: int) -> np.ndarray:
+    @staticmethod
+    def _validate_replications(replications: int) -> None:
         if replications < 1:
             raise ValueError(f"replications must be positive, got {replications}")
-        return self.process.sample_fault_matrix(rng, replications)
+
+    def _run(self, shard_fn, merge_fn, replications, generator, versions, bins=None):
+        """Execute ``shard_fn`` sequentially or across worker processes."""
+        if self.jobs == 1 or replications < 2 * self.jobs:
+            return shard_fn(self.process, replications, generator, self.chunk_size, versions, bins)
+        shard_sizes = _shard_sizes(replications, self.jobs)
+        shard_rngs = spawn_rngs(generator, len(shard_sizes))
+        chunk = self.chunk_size if self.chunk_size is not None else _DEFAULT_PARALLEL_CHUNK
+        arguments = [
+            (shard_fn, self.process, size, shard_rng, chunk, versions, bins)
+            for size, shard_rng in zip(shard_sizes, shard_rngs)
+        ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=len(arguments)) as pool:
+            shards = list(pool.map(_run_shard, arguments))
+        return merge_fn(shards)
+
+
+#: Chunk size used by parallel workers when the engine has no explicit one;
+#: bounds each worker's peak memory without affecting throughput noticeably.
+_DEFAULT_PARALLEL_CHUNK = 65536
+
+
+def _shard_sizes(replications: int, jobs: int) -> list[int]:
+    """Split ``replications`` into at most ``jobs`` near-equal positive shards."""
+    jobs = min(jobs, replications)
+    base, remainder = divmod(replications, jobs)
+    return [base + (1 if index < remainder else 0) for index in range(jobs)]
+
+
+def _run_shard(arguments):
+    shard_fn, process, size, rng, chunk_size, versions, bins = arguments
+    return shard_fn(process, size, rng, chunk_size, versions, bins)
+
+
+def _spawn_version_rngs(generator: np.random.Generator, versions: int):
+    """One independent stream per developed version of a replication.
+
+    Giving each version its own spawned stream (instead of drawing all
+    versions from one stream back to back) is what makes chunked multi-version
+    simulation bitwise-identical to the in-memory path: every chunk simply
+    continues each version's stream where the previous chunk stopped.
+    """
+    return generator.spawn(versions)
+
+
+# --------------------------------------------------------------------- #
+# Sample-collecting shard kernels
+# --------------------------------------------------------------------- #
+def _single_samples(process, replications, generator, chunk_size, versions, bins):
+    q = process.model.q
+    pfds = np.empty(replications, dtype=float)
+    counts = np.empty(replications, dtype=float)
+    offset = 0
+    for matrix in process.iter_fault_matrices(generator, replications, chunk_size):
+        size = matrix.shape[0]
+        pfds[offset : offset + size] = matrix_pfds(matrix, q)
+        counts[offset : offset + size] = np.sum(matrix, axis=1)
+        offset += size
+    return (pfds, counts)
+
+
+def _system_samples(process, replications, generator, chunk_size, versions, bins):
+    q = process.model.q
+    pfds = np.empty(replications, dtype=float)
+    counts = np.empty(replications, dtype=float)
+    streams = _spawn_version_rngs(generator, versions)
+    iterators = [
+        process.iter_fault_matrices(stream, replications, chunk_size) for stream in streams
+    ]
+    offset = 0
+    for matrices in zip(*iterators):
+        common = matrices[0]
+        for matrix in matrices[1:]:
+            common = common & matrix
+        size = common.shape[0]
+        pfds[offset : offset + size] = matrix_pfds(common, q)
+        counts[offset : offset + size] = np.sum(common, axis=1)
+        offset += size
+    return (pfds, counts)
+
+
+def _paired_samples(process, replications, generator, chunk_size, versions, bins):
+    q = process.model.q
+    first_pfds = np.empty(replications, dtype=float)
+    first_counts = np.empty(replications, dtype=float)
+    common_pfds = np.empty(replications, dtype=float)
+    common_counts = np.empty(replications, dtype=float)
+    first_stream, second_stream = _spawn_version_rngs(generator, 2)
+    offset = 0
+    for first, second in zip(
+        process.iter_fault_matrices(first_stream, replications, chunk_size),
+        process.iter_fault_matrices(second_stream, replications, chunk_size),
+    ):
+        size = first.shape[0]
+        common = first & second
+        first_pfds[offset : offset + size] = matrix_pfds(first, q)
+        first_counts[offset : offset + size] = np.sum(first, axis=1)
+        common_pfds[offset : offset + size] = matrix_pfds(common, q)
+        common_counts[offset : offset + size] = np.sum(common, axis=1)
+        offset += size
+    return (first_pfds, first_counts, common_pfds, common_counts)
+
+
+def _merge_samples(shards):
+    return tuple(np.concatenate(parts) for parts in zip(*shards))
+
+
+# --------------------------------------------------------------------- #
+# Streaming shard kernels
+# --------------------------------------------------------------------- #
+def _new_tally(process, bins):
+    top = max(process.model.total_impact, np.finfo(float).tiny)
+    return (StreamingMoments(), StreamingHistogram(0.0, top, bins), StreamingMoments())
+
+
+def _tally_update(tally, pfds, counts):
+    pfd_moments, histogram, count_moments = tally
+    pfd_moments.update(pfds)
+    histogram.update(pfds)
+    count_moments.update(counts)
+
+
+def _single_streaming(process, replications, generator, chunk_size, versions, bins):
+    q = process.model.q
+    tally = _new_tally(process, bins)
+    for matrix in process.iter_fault_matrices(generator, replications, chunk_size):
+        _tally_update(tally, matrix_pfds(matrix, q), np.sum(matrix, axis=1))
+    return tally
+
+
+def _system_streaming(process, replications, generator, chunk_size, versions, bins):
+    q = process.model.q
+    tally = _new_tally(process, bins)
+    streams = _spawn_version_rngs(generator, versions)
+    iterators = [
+        process.iter_fault_matrices(stream, replications, chunk_size) for stream in streams
+    ]
+    for matrices in zip(*iterators):
+        common = matrices[0]
+        for matrix in matrices[1:]:
+            common = common & matrix
+        _tally_update(tally, matrix_pfds(common, q), np.sum(common, axis=1))
+    return tally
+
+
+def _paired_streaming(process, replications, generator, chunk_size, versions, bins):
+    q = process.model.q
+    single_tally = _new_tally(process, bins)
+    system_tally = _new_tally(process, bins)
+    first_stream, second_stream = _spawn_version_rngs(generator, 2)
+    for first, second in zip(
+        process.iter_fault_matrices(first_stream, replications, chunk_size),
+        process.iter_fault_matrices(second_stream, replications, chunk_size),
+    ):
+        common = first & second
+        _tally_update(single_tally, matrix_pfds(first, q), np.sum(first, axis=1))
+        _tally_update(system_tally, matrix_pfds(common, q), np.sum(common, axis=1))
+    return single_tally, system_tally
+
+
+def _merge_tallies(tallies):
+    merged = tallies[0]
+    for tally in tallies[1:]:
+        for accumulator, other in zip(merged, tally):
+            accumulator.merge(other)
+    return merged
+
+
+def _merge_streaming(shards):
+    return _merge_tallies(shards)
+
+
+def _merge_paired_streaming(shards):
+    singles = [shard[0] for shard in shards]
+    systems = [shard[1] for shard in shards]
+    return _merge_tallies(singles), _merge_tallies(systems)
+
+
+def _streaming_result(tally, replications) -> StreamingSimulationResult:
+    pfd_moments, histogram, count_moments = tally
+    return StreamingSimulationResult(
+        pfds=pfd_moments,
+        pfd_histogram=histogram,
+        fault_counts=count_moments,
+        replications=replications,
+    )

@@ -1,0 +1,131 @@
+"""Streaming result containers for chunked / parallel Monte Carlo simulation.
+
+These mirror the sample-based containers in :mod:`repro.montecarlo.results`
+but are backed by the constant-memory accumulators of
+:mod:`repro.stats.streaming` instead of full sample arrays, so they scale to
+arbitrarily many replications.  Summary statistics (means, standard
+deviations, zero-probabilities and the gain ratios built from them) are exact;
+CDF, exceedance and percentile queries come from a fixed-bin histogram and are
+exact to within one bin width (the atom at PFD = 0 is tracked exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.streaming import StreamingHistogram, StreamingMoments
+
+__all__ = ["StreamingSimulationResult", "StreamingPairResult"]
+
+
+@dataclass(frozen=True)
+class StreamingSimulationResult:
+    """Streaming summaries for one kind of system (single version or 1-out-of-r).
+
+    Attributes
+    ----------
+    pfds:
+        Streaming moments (mean, variance, extrema, exact zero count) of the
+        simulated PFD values.
+    pfd_histogram:
+        Fixed-bin histogram of the simulated PFD values over
+        ``[0, sum(q_i)]``.
+    fault_counts:
+        Streaming moments of the simulated (common-)fault counts; its zero
+        count is the number of fault-free replications.
+    replications:
+        Number of simulated developments.
+    """
+
+    pfds: StreamingMoments
+    pfd_histogram: StreamingHistogram
+    fault_counts: StreamingMoments
+    replications: int
+
+    def mean_pfd(self) -> float:
+        """Sample mean of the simulated PFD."""
+        return self.pfds.mean()
+
+    def std_pfd(self) -> float:
+        """Sample standard deviation of the simulated PFD."""
+        return self.pfds.std()
+
+    def prob_any_fault(self) -> float:
+        """Fraction of replications containing at least one fault."""
+        return 1.0 - self.fault_counts.fraction_zero()
+
+    def prob_pfd_zero(self) -> float:
+        """Fraction of replications with PFD exactly zero."""
+        return self.pfds.fraction_zero()
+
+    def prob_pfd_exceeds(self, threshold: float) -> float:
+        """Fraction of replications whose PFD exceeds ``threshold`` (histogram resolution)."""
+        return self.pfd_histogram.exceedance_probability(threshold)
+
+    def pfd_percentile(self, level: float) -> float:
+        """Empirical percentile of the simulated PFD (histogram resolution)."""
+        return self.pfd_histogram.quantile(level)
+
+    def mean_pfd_confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Normal-theory confidence interval for the mean PFD."""
+        from scipy import stats as sps
+
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        half_width = sps.norm.ppf(0.5 + confidence / 2.0) * self.pfds.standard_error()
+        center = self.mean_pfd()
+        return (center - half_width, center + half_width)
+
+
+@dataclass(frozen=True)
+class StreamingPairResult:
+    """Joint streaming results for single versions and the 1-out-of-2 system.
+
+    The same simulated developments feed both sides, so the paired ratios have
+    the same lower-variance property as
+    :class:`repro.montecarlo.results.PairSimulationResult`.
+    """
+
+    single: StreamingSimulationResult
+    system: StreamingSimulationResult
+
+    def mean_ratio(self) -> float:
+        """Simulated ``mu_2 / mu_1``."""
+        denominator = self.single.mean_pfd()
+        if denominator == 0.0:
+            return 1.0
+        return self.system.mean_pfd() / denominator
+
+    def std_ratio(self) -> float:
+        """Simulated ``sigma_2 / sigma_1``."""
+        denominator = self.single.std_pfd()
+        if denominator == 0.0:
+            return 1.0
+        return self.system.std_pfd() / denominator
+
+    def risk_ratio(self) -> float:
+        """Simulated ``P(N_2 > 0) / P(N_1 > 0)`` (eq. (10))."""
+        denominator = self.single.prob_any_fault()
+        if denominator == 0.0:
+            return 1.0
+        return self.system.prob_any_fault() / denominator
+
+    def bound_ratio(self, k: float) -> float:
+        """Simulated ``(mu_2 + k sigma_2) / (mu_1 + k sigma_1)``."""
+        denominator = self.single.mean_pfd() + k * self.single.std_pfd()
+        if denominator == 0.0:
+            return 1.0
+        return (self.system.mean_pfd() + k * self.system.std_pfd()) / denominator
+
+    def summary(self) -> dict:
+        """Dictionary of the headline simulated quantities."""
+        return {
+            "replications": self.single.replications,
+            "mean_single": self.single.mean_pfd(),
+            "mean_system": self.system.mean_pfd(),
+            "std_single": self.single.std_pfd(),
+            "std_system": self.system.std_pfd(),
+            "mean_ratio": self.mean_ratio(),
+            "std_ratio": self.std_ratio(),
+            "risk_ratio": self.risk_ratio(),
+        }

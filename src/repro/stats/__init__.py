@@ -14,6 +14,9 @@ This subpackage provides the probability machinery that the core model in
   Berry-Esseen error bound for judging the approximation quality.
 * :mod:`~repro.stats.empirical` -- empirical CDFs, quantiles and bootstrap
   confidence intervals for Monte Carlo output.
+* :mod:`~repro.stats.streaming` -- single-pass, mergeable accumulators
+  (moments and histograms) for chunked / parallel Monte Carlo at replication
+  counts where storing every sample is impractical.
 * :mod:`~repro.stats.rng` -- reproducible random-generator management.
 """
 
@@ -32,12 +35,15 @@ from repro.stats.normal import (
 )
 from repro.stats.poisson_binomial import PoissonBinomial
 from repro.stats.rng import default_rng, spawn_rngs
+from repro.stats.streaming import StreamingHistogram, StreamingMoments
 
 __all__ = [
     "DiscreteDistribution",
     "EmpiricalDistribution",
     "NormalApproximation",
     "PoissonBinomial",
+    "StreamingHistogram",
+    "StreamingMoments",
     "berry_esseen_bound",
     "bootstrap_confidence_interval",
     "default_rng",

@@ -99,11 +99,12 @@ class PoissonBinomial:
 
         Uses the dynamic-programming recursion: after processing component
         ``i`` the vector holds the distribution of the partial sum.  The result
-        is cached on first use.
+        is cached on first use and returned as a read-only view (no defensive
+        copy per call); use ``pmf().copy()`` if a writable array is needed.
         """
         cached = self._pmf_cache.get("pmf")
         if cached is not None:
-            return cached.copy()
+            return cached
         distribution = np.zeros(self.n + 1, dtype=float)
         distribution[0] = 1.0
         for probability in self.probabilities:
@@ -116,12 +117,18 @@ class PoissonBinomial:
         total = distribution.sum()
         if total > 0:
             distribution = distribution / total
+        distribution.setflags(write=False)
         self._pmf_cache["pmf"] = distribution
-        return distribution.copy()
+        return distribution
 
     def cdf(self) -> np.ndarray:
-        """Exact cumulative distribution function over counts ``0 .. n``."""
-        return np.cumsum(self.pmf())
+        """Exact cumulative distribution function over counts ``0 .. n`` (read-only, cached)."""
+        cached = self._pmf_cache.get("cdf")
+        if cached is None:
+            cached = np.cumsum(self.pmf())
+            cached.setflags(write=False)
+            self._pmf_cache["cdf"] = cached
+        return cached
 
     def prob_zero(self) -> float:
         """``P(count = 0) = prod_i (1 - p_i)`` -- the probability of a fault-free version."""

@@ -1,0 +1,272 @@
+"""Streaming (single-pass, mergeable) summary statistics.
+
+The chunked Monte Carlo path of :mod:`repro.montecarlo` needs summary
+statistics of simulation output whose memory footprint does not grow with the
+number of replications.  This module provides the two accumulators used for
+that purpose:
+
+* :class:`StreamingMoments` -- count, mean, variance, min/max and exact-zero
+  counting via the numerically stable Chan et al. pairwise-update formulas
+  (batched Welford).  Accumulators can be merged, so independent workers can
+  each summarise their own shard of replications and the shards can be
+  combined exactly afterwards.
+* :class:`StreamingHistogram` -- a fixed-bin histogram over a known value
+  range, with exact tracking of the probability mass at zero and of
+  out-of-range values, supporting approximate CDF / quantile / exceedance
+  queries.  Also mergeable (bin edges must match).
+
+Both accumulators are plain mutable objects (unlike the frozen value types in
+the rest of :mod:`repro.stats`) because their whole purpose is in-place
+accumulation; they are cheaply picklable so they can cross process boundaries
+when the engine fans out across workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StreamingMoments", "StreamingHistogram"]
+
+
+class StreamingMoments:
+    """Single-pass mean/variance/extrema accumulator (batched Welford).
+
+    Updates use the Chan-Golub-LeVeque pairwise combination formula, which is
+    numerically stable for both long streams of small batches and merges of
+    large shards.  ``zeros`` counts observations exactly equal to zero, which
+    for PFD samples is the empirical probability of a fault-free product.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "_min", "_max", "zeros")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self.zeros = 0
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of observations into the accumulator."""
+        array = np.asarray(values, dtype=float).ravel()
+        if array.size == 0:
+            return
+        batch_count = int(array.size)
+        batch_mean = float(np.mean(array))
+        batch_m2 = float(np.sum((array - batch_mean) ** 2))
+        self._combine(
+            batch_count,
+            batch_mean,
+            batch_m2,
+            float(np.min(array)),
+            float(np.max(array)),
+            int(np.count_nonzero(array == 0.0)),
+        )
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another accumulator into this one (exact shard combination)."""
+        if other.count == 0:
+            return
+        self._combine(other.count, other._mean, other._m2, other._min, other._max, other.zeros)
+
+    def _combine(
+        self,
+        count: int,
+        mean: float,
+        m2: float,
+        minimum: float,
+        maximum: float,
+        zeros: int,
+    ) -> None:
+        if self.count == 0:
+            self.count, self._mean, self._m2 = count, mean, m2
+            self._min, self._max, self.zeros = minimum, maximum, zeros
+            return
+        total = self.count + count
+        delta = mean - self._mean
+        self._m2 += m2 + delta * delta * (self.count * count / total)
+        self._mean += delta * (count / total)
+        self.count = total
+        self._min = min(self._min, minimum)
+        self._max = max(self._max, maximum)
+        self.zeros += zeros
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def mean(self) -> float:
+        """Sample mean of all observations seen so far."""
+        if self.count == 0:
+            raise ValueError("no observations accumulated")
+        return self._mean
+
+    def variance(self, ddof: int = 1) -> float:
+        """Sample variance (``ddof=1`` by default, matching EmpiricalDistribution)."""
+        if self.count <= ddof:
+            return 0.0
+        return self._m2 / (self.count - ddof)
+
+    def std(self, ddof: int = 1) -> float:
+        """Sample standard deviation."""
+        return float(np.sqrt(self.variance(ddof)))
+
+    def standard_error(self) -> float:
+        """Standard error of the sample mean."""
+        if self.count < 2:
+            return float("inf")
+        return self.std() / float(np.sqrt(self.count))
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation seen."""
+        if self.count == 0:
+            raise ValueError("no observations accumulated")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation seen."""
+        if self.count == 0:
+            raise ValueError("no observations accumulated")
+        return self._max
+
+    def fraction_zero(self) -> float:
+        """Fraction of observations exactly equal to zero."""
+        if self.count == 0:
+            raise ValueError("no observations accumulated")
+        return self.zeros / self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.count == 0:
+            return "StreamingMoments(empty)"
+        return (
+            f"StreamingMoments(count={self.count}, mean={self._mean:.6g}, "
+            f"std={self.std():.6g})"
+        )
+
+
+class StreamingHistogram:
+    """Fixed-bin histogram accumulator over a known value range.
+
+    Parameters
+    ----------
+    low, high:
+        Range covered by the bins.  For PFD samples the natural range is
+        ``[0, sum(q_i)]`` -- the PFD of a version can never exceed the total
+        failure-region probability.
+    bins:
+        Number of equal-width bins.
+
+    Values exactly equal to zero are tracked separately (``zero_count``), so
+    the large atom at PFD = 0 is represented exactly rather than smeared over
+    the first bin.  Values outside ``[low, high]`` are counted in
+    ``underflow`` / ``overflow`` and excluded from the bins.
+    """
+
+    __slots__ = ("edges", "counts", "zero_count", "underflow", "overflow", "total")
+
+    def __init__(self, low: float, high: float, bins: int = 4096) -> None:
+        if not np.isfinite(low) or not np.isfinite(high) or not low < high:
+            raise ValueError(f"need finite low < high, got [{low}, {high}]")
+        if bins < 1:
+            raise ValueError(f"bins must be positive, got {bins}")
+        self.edges = np.linspace(float(low), float(high), int(bins) + 1)
+        self.counts = np.zeros(int(bins), dtype=np.int64)
+        self.zero_count = 0
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of observations into the histogram."""
+        array = np.asarray(values, dtype=float).ravel()
+        if array.size == 0:
+            return
+        self.total += int(array.size)
+        nonzero = array[array != 0.0]
+        self.zero_count += int(array.size - nonzero.size)
+        if nonzero.size == 0:
+            return
+        low, high = self.edges[0], self.edges[-1]
+        self.underflow += int(np.count_nonzero(nonzero < low))
+        self.overflow += int(np.count_nonzero(nonzero > high))
+        in_range = nonzero[(nonzero >= low) & (nonzero <= high)]
+        if in_range.size:
+            index = np.minimum(
+                np.searchsorted(self.edges, in_range, side="right") - 1,
+                self.counts.size - 1,
+            )
+            np.add.at(self.counts, index, 1)
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram into this one (bin edges must match)."""
+        if other.edges.size != self.edges.size or not np.array_equal(other.edges, self.edges):
+            raise ValueError("cannot merge histograms with different bin edges")
+        self.counts += other.counts
+        self.zero_count += other.zero_count
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.total += other.total
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def prob_zero(self) -> float:
+        """Exact fraction of observations equal to zero."""
+        if self.total == 0:
+            raise ValueError("no observations accumulated")
+        return self.zero_count / self.total
+
+    def cdf(self, x: float) -> float:
+        """Approximate ``P(X <= x)`` (exact at bin edges and for the zero atom).
+
+        Observations inside the bin containing ``x`` are attributed by the
+        conservative convention that the whole bin lies at its upper edge, so
+        the returned value is a lower bound on the empirical CDF that becomes
+        exact as ``x`` crosses each bin edge.
+        """
+        if self.total == 0:
+            raise ValueError("no observations accumulated")
+        if x < 0.0:
+            return 0.0
+        covered = self.zero_count
+        # Out-of-range values are treated as sitting just outside the edge
+        # they crossed: underflow just below the low edge, overflow just
+        # above the top edge.
+        if x >= self.edges[0]:
+            covered += self.underflow
+        full_bins = int(np.searchsorted(self.edges[1:], x, side="right"))
+        covered += int(self.counts[:full_bins].sum())
+        if x > self.edges[-1]:
+            covered += self.overflow
+        return covered / self.total
+
+    def exceedance_probability(self, threshold: float) -> float:
+        """Approximate ``P(X > threshold)`` (upper bound; exact at bin edges)."""
+        return 1.0 - self.cdf(threshold)
+
+    def quantile(self, level: float) -> float:
+        """Approximate quantile: upper edge of the bin where the CDF crosses ``level``."""
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"level must be in [0, 1], got {level}")
+        if self.total == 0:
+            raise ValueError("no observations accumulated")
+        target = level * self.total
+        if self.zero_count >= target:
+            return 0.0
+        # Underflow mass sits just below the low edge (see :meth:`cdf`).
+        covered = self.zero_count + self.underflow
+        if covered >= target:
+            return float(self.edges[0])
+        cumulative = covered + np.cumsum(self.counts)
+        index = int(np.searchsorted(cumulative, target, side="left"))
+        if index >= self.counts.size:
+            return float(self.edges[-1])
+        return float(self.edges[index + 1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingHistogram(bins={self.counts.size}, total={self.total}, "
+            f"zero={self.zero_count})"
+        )

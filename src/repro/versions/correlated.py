@@ -90,13 +90,18 @@ class CommonCauseDevelopmentProcess(DevelopmentProcess):
             raise ValueError(f"count must be non-negative, got {count}")
         if count == 0:
             return np.zeros((0, self.model.n), dtype=bool)
-        degraded = rng.random(count) < self.bad_day_weight
+        # One draw per call, consumed row-by-row (column 0 selects the
+        # development state, the rest drive the faults), so chunked sampling
+        # consumes the stream identically to a single monolithic call --
+        # preserving the engine's bitwise chunked-equals-in-memory guarantee.
+        uniforms = rng.random((count, self.model.n + 1))
+        degraded = uniforms[:, 0] < self.bad_day_weight
         probabilities = np.where(
             degraded[:, np.newaxis],
             self._degraded_probabilities()[np.newaxis, :],
             self._careful_probabilities()[np.newaxis, :],
         )
-        return rng.random((count, self.model.n)) < probabilities
+        return uniforms[:, 1:] < probabilities
 
     def sample_pairs(self, rng: np.random.Generator, count: int) -> list[VersionPair]:
         """Develop ``count`` version pairs, honouring ``shared_across_channels``."""
@@ -158,8 +163,11 @@ class CopulaDevelopmentProcess(DevelopmentProcess):
         thresholds = sps.norm.ppf(np.clip(self.model.p, 1e-15, 1.0 - 1e-15))
         loading = np.sqrt(abs(self.correlation))
         residual_scale = np.sqrt(1.0 - abs(self.correlation))
-        factor = rng.standard_normal((count, 1))
-        residuals = rng.standard_normal((count, self.model.n))
+        # One draw per call, consumed row-by-row (column 0 is the shared
+        # factor), so chunked sampling is bitwise-identical to monolithic.
+        normals = rng.standard_normal((count, self.model.n + 1))
+        factor = normals[:, :1]
+        residuals = normals[:, 1:]
         if self.correlation >= 0.0:
             latent = loading * factor + residual_scale * residuals
         else:

@@ -10,13 +10,27 @@ assumption live in :mod:`repro.versions.correlated`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.fault_model import FaultModel
 from repro.versions.version import DevelopedVersion, VersionPair
 
-__all__ = ["DevelopmentProcess", "IndependentDevelopmentProcess"]
+__all__ = ["DevelopmentProcess", "IndependentDevelopmentProcess", "matrix_pfds"]
+
+
+def matrix_pfds(matrix: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """PFD of each row of a fault-presence matrix: ``matrix @ q``, shape-stably.
+
+    Uses ``einsum`` rather than ``@`` because BLAS matrix-vector products are
+    not bitwise row-stable across block sizes (the summation order can change
+    with the number of rows), which would break the guarantee that chunked
+    simulation reproduces the in-memory path exactly.  ``einsum`` reduces each
+    row independently with a fixed order -- and skips the bool-to-float
+    matrix copy, which also makes it several times faster here.
+    """
+    return np.einsum("ij,j->i", matrix, q)
 
 
 class DevelopmentProcess:
@@ -32,6 +46,28 @@ class DevelopmentProcess:
     def sample_fault_matrix(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """Sample a ``(count, n)`` boolean matrix of fault presence indicators."""
         raise NotImplementedError
+
+    def iter_fault_matrices(
+        self, rng: np.random.Generator, count: int, chunk_size: int | None = None
+    ) -> Iterator[np.ndarray]:
+        """Yield fault-presence matrices of at most ``chunk_size`` rows each.
+
+        Because each chunk is drawn from the same generator in sequence, the
+        concatenation of the chunks is bitwise-identical to a single
+        ``sample_fault_matrix(rng, count)`` call with the same starting
+        generator state -- chunking changes the peak memory footprint
+        (``O(chunk_size * n)`` instead of ``O(count * n)``), never the
+        simulated developments.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        remaining = count
+        while remaining > 0:
+            size = remaining if chunk_size is None else min(chunk_size, remaining)
+            yield self.sample_fault_matrix(rng, size)
+            remaining -= size
 
     # ------------------------------------------------------------------ #
     # Shared conveniences
@@ -66,16 +102,26 @@ class DevelopmentProcess:
             for i in range(count)
         ]
 
-    def sample_pfds(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        """Sample ``count`` single-version PFD values without materialising version objects."""
-        matrix = self.sample_fault_matrix(rng, count)
-        return matrix @ self.model.q
+    def sample_pfds(
+        self, rng: np.random.Generator, count: int, chunk_size: int | None = None
+    ) -> np.ndarray:
+        """Sample ``count`` single-version PFD values without materialising version objects.
+
+        ``chunk_size`` bounds the working memory at ``O(chunk_size * n)``
+        without changing the sampled values (see :meth:`iter_fault_matrices`).
+        """
+        pfds = np.empty(count, dtype=float)
+        offset = 0
+        for matrix in self.iter_fault_matrices(rng, count, chunk_size):
+            pfds[offset : offset + matrix.shape[0]] = matrix_pfds(matrix, self.model.q)
+            offset += matrix.shape[0]
+        return pfds
 
     def sample_system_pfds(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """Sample ``count`` 1-out-of-2 system PFD values (independent pairs)."""
         first = self.sample_fault_matrix(rng, count)
         second = self.sample_fault_matrix(rng, count)
-        return (first & second) @ self.model.q
+        return matrix_pfds(first & second, self.model.q)
 
 
 @dataclass(frozen=True)

@@ -90,3 +90,35 @@ class TestParser:
         )
         assert completed.returncode == 0
         assert "0.1005" in completed.stdout
+
+
+class TestSimulateCommand:
+    def test_simulate_json_summary(self, capsys, model_file):
+        assert main(["simulate", "--model", model_file, "--replications", "5000", "--seed", "7"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["replications"] == 5000
+        assert 0.0 <= data["risk_ratio"] <= 1.0
+        assert data["mean_system"] <= data["mean_single"]
+
+    def test_chunk_size_is_bitwise_identical(self, capsys, model_file):
+        assert main(["simulate", "--model", model_file, "--replications", "4000", "--seed", "3"]) == 0
+        monolithic = json.loads(capsys.readouterr().out)
+        assert main([
+            "simulate", "--model", model_file, "--replications", "4000", "--seed", "3",
+            "--chunk-size", "257",
+        ]) == 0
+        chunked = json.loads(capsys.readouterr().out)
+        assert monolithic == chunked
+
+    def test_stream_mode(self, capsys):
+        assert main([
+            "simulate", "--scenario", "high-quality", "--replications", "2000",
+            "--seed", "5", "--stream", "--chunk-size", "500",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["replications"] == 2000
+        assert 0.0 <= data["risk_ratio"] <= 1.0
+
+    def test_rejects_bad_replications(self, model_file):
+        with pytest.raises(ValueError):
+            main(["simulate", "--model", model_file, "--replications", "0"])

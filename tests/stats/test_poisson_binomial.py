@@ -86,11 +86,21 @@ class TestExactPmf:
         assert distribution.prob_exactly(-1) == 0.0
         assert distribution.prob_exactly(5) == 0.0
 
-    def test_pmf_cached_copy_is_safe(self):
+    def test_pmf_cached_view_is_read_only(self):
         distribution = PoissonBinomial(np.array([0.2, 0.4]))
         first = distribution.pmf()
-        first[:] = 0.0
+        with pytest.raises(ValueError):
+            first[:] = 0.0
+        assert distribution.pmf() is first
         assert distribution.pmf().sum() == pytest.approx(1.0)
+
+    def test_cdf_cached_view_is_read_only(self):
+        distribution = PoissonBinomial(np.array([0.2, 0.4]))
+        cdf = distribution.cdf()
+        with pytest.raises(ValueError):
+            cdf[0] = 0.5
+        assert distribution.cdf() is cdf
+        assert cdf[-1] == pytest.approx(1.0)
 
 
 class TestApproximations:

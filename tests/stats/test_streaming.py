@@ -1,0 +1,124 @@
+"""Tests for the streaming accumulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.streaming import StreamingHistogram, StreamingMoments
+
+
+class TestStreamingMoments:
+    def test_matches_numpy_for_batches(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(size=10_000)
+        moments = StreamingMoments()
+        for start in range(0, samples.size, 997):
+            moments.update(samples[start : start + 997])
+        assert moments.count == samples.size
+        assert moments.mean() == pytest.approx(float(np.mean(samples)), rel=1e-12)
+        assert moments.std() == pytest.approx(float(np.std(samples, ddof=1)), rel=1e-10)
+        assert moments.variance() == pytest.approx(float(np.var(samples, ddof=1)), rel=1e-10)
+        assert moments.minimum == float(np.min(samples))
+        assert moments.maximum == float(np.max(samples))
+
+    def test_merge_equals_single_pass(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=5000)
+        whole = StreamingMoments()
+        whole.update(samples)
+        left, right = StreamingMoments(), StreamingMoments()
+        left.update(samples[:1234])
+        right.update(samples[1234:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean() == pytest.approx(whole.mean(), rel=1e-12)
+        assert left.variance() == pytest.approx(whole.variance(), rel=1e-10)
+
+    def test_zero_tracking(self):
+        moments = StreamingMoments()
+        moments.update(np.array([0.0, 1.0, 0.0, 2.0]))
+        assert moments.zeros == 2
+        assert moments.fraction_zero() == pytest.approx(0.5)
+
+    def test_standard_error(self):
+        moments = StreamingMoments()
+        samples = np.arange(100, dtype=float)
+        moments.update(samples)
+        expected = float(np.std(samples, ddof=1) / np.sqrt(samples.size))
+        assert moments.standard_error() == pytest.approx(expected, rel=1e-12)
+
+    def test_empty_accumulator_raises(self):
+        moments = StreamingMoments()
+        with pytest.raises(ValueError):
+            moments.mean()
+        with pytest.raises(ValueError):
+            _ = moments.minimum
+        moments.update(np.array([]))
+        assert moments.count == 0
+
+    def test_merge_empty_is_noop(self):
+        moments = StreamingMoments()
+        moments.update(np.array([1.0, 2.0]))
+        moments.merge(StreamingMoments())
+        assert moments.count == 2
+
+
+class TestStreamingHistogram:
+    def test_cdf_exact_at_edges(self):
+        histogram = StreamingHistogram(0.0, 1.0, bins=10)
+        histogram.update(np.array([0.05, 0.15, 0.15, 0.95]))
+        assert histogram.cdf(0.1) == pytest.approx(0.25)
+        assert histogram.cdf(0.2) == pytest.approx(0.75)
+        assert histogram.cdf(1.0) == pytest.approx(1.0)
+        assert histogram.cdf(-0.5) == 0.0
+
+    def test_zero_atom_tracked_exactly(self):
+        histogram = StreamingHistogram(0.0, 1.0, bins=4)
+        histogram.update(np.array([0.0, 0.0, 0.3]))
+        assert histogram.prob_zero() == pytest.approx(2.0 / 3.0)
+        assert histogram.cdf(0.0) >= 2.0 / 3.0 - 1e-12
+
+    def test_quantile_monotone_and_bounded(self):
+        rng = np.random.default_rng(2)
+        samples = rng.random(10_000)
+        histogram = StreamingHistogram(0.0, 1.0, bins=1000)
+        histogram.update(samples)
+        levels = [0.1, 0.5, 0.9, 0.99]
+        quantiles = [histogram.quantile(level) for level in levels]
+        assert all(a <= b for a, b in zip(quantiles, quantiles[1:]))
+        for level, value in zip(levels, quantiles):
+            assert value == pytest.approx(level, abs=0.01)
+
+    def test_merge_matches_single_pass(self):
+        rng = np.random.default_rng(3)
+        samples = rng.random(2000)
+        whole = StreamingHistogram(0.0, 1.0, bins=64)
+        whole.update(samples)
+        left = StreamingHistogram(0.0, 1.0, bins=64)
+        right = StreamingHistogram(0.0, 1.0, bins=64)
+        left.update(samples[:777])
+        right.update(samples[777:])
+        left.merge(right)
+        np.testing.assert_array_equal(left.counts, whole.counts)
+        assert left.total == whole.total
+
+    def test_merge_rejects_mismatched_edges(self):
+        left = StreamingHistogram(0.0, 1.0, bins=8)
+        right = StreamingHistogram(0.0, 2.0, bins=8)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_out_of_range_counted(self):
+        histogram = StreamingHistogram(0.0, 1.0, bins=4)
+        histogram.update(np.array([-0.5, 0.5, 1.5]))
+        assert histogram.underflow == 1
+        assert histogram.overflow == 1
+        assert histogram.cdf(1.0) == pytest.approx(2.0 / 3.0)
+        assert histogram.cdf(2.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(1.0, 0.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(0.0, 1.0, bins=0)
