@@ -1,0 +1,89 @@
+"""PERF -- study runner: cache effectiveness and parallel correctness.
+
+Bench for the declarative study subsystem: a warm cache must eliminate every
+evaluation (and be much faster than the cold run), the parallel runner must
+produce exactly the sequential records, and editing an axis must recompute
+only the new points.  These are the invariants that make a cached study
+table trustworthy; throughput numbers land in ``BENCH_perf.json`` via
+``benchmarks/run_benchmarks.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import print_table
+from repro.studies import StudySpec, run_study
+
+STUDY = {
+    "name": "bench-study",
+    "base": {"scenario": "many-small-faults"},
+    "sweep": {
+        "grid": [
+            {"name": "n", "values": [50, 100, 200]},
+            {"name": "p_scale", "logspace": [0.25, 1.0, 4]},
+        ]
+    },
+    "methods": [
+        {"name": "moments"},
+        {"name": "bounds"},
+        {"name": "exact", "max_support": 512},
+        {"name": "montecarlo", "replications": 5000},
+    ],
+    "seed": 20010704,
+}
+
+
+def test_perf_warm_cache_eliminates_all_evaluations(tmp_path, benchmark):
+    """Cold run computes every point; warm run computes none, byte-identically."""
+    spec = StudySpec.from_dict(STUDY)
+    cache_dir = str(tmp_path / "cache")
+
+    start = time.perf_counter()
+    cold = run_study(spec, cache_dir=cache_dir, jobs=2)
+    cold_seconds = time.perf_counter() - start
+
+    def warm_run():
+        return run_study(spec, cache_dir=cache_dir, jobs=2)
+
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_start = time.perf_counter()
+    run_study(spec, cache_dir=cache_dir, jobs=2)
+    warm_seconds = time.perf_counter() - warm_start
+
+    print_table(
+        "PERF: study cache (48 points, 4 methods)",
+        ["run", "seconds", "computed", "cached"],
+        [
+            ["cold (jobs=2)", cold_seconds, cold.summary["computed"], cold.summary["cached"]],
+            ["warm (jobs=2)", warm_seconds, warm.summary["computed"], warm.summary["cached"]],
+        ],
+    )
+    assert cold.summary["computed"] == spec.point_count
+    assert warm.summary["computed"] == 0
+    assert warm.records == cold.records
+
+
+def test_perf_parallel_records_equal_sequential(tmp_path, benchmark):
+    """jobs=4 must reproduce the sequential table exactly (content-keyed seeds)."""
+    spec = StudySpec.from_dict(STUDY)
+    sequential = run_study(spec, cache_dir=None, jobs=1)
+
+    def parallel_run():
+        return run_study(spec, cache_dir=None, jobs=4)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    assert parallel.records == sequential.records
+
+
+def test_perf_axis_edit_is_incremental(tmp_path):
+    """Adding one sweep value recomputes only the new points."""
+    cache_dir = str(tmp_path / "cache")
+    cold = run_study(StudySpec.from_dict(STUDY), cache_dir=cache_dir, jobs=2)
+    edited = {**STUDY, "sweep": {"grid": [
+        {"name": "n", "values": [50, 100, 200, 400]},
+        {"name": "p_scale", "logspace": [0.25, 1.0, 4]},
+    ]}}
+    incremental = run_study(StudySpec.from_dict(edited), cache_dir=cache_dir, jobs=2)
+    assert incremental.summary["cached"] == cold.summary["computed"]
+    assert incremental.summary["computed"] == 4 * len(STUDY["methods"])

@@ -218,6 +218,55 @@ def workload_convolution(quick: bool) -> dict:
     return record
 
 
+def workload_study(quick: bool) -> dict:
+    """Declarative study runner: cold (parallel) versus warm (fully cached) pass."""
+    import tempfile
+
+    from repro.studies import StudySpec, run_study
+
+    n_values = [50, 100, 200] if quick else [50, 100, 200, 500]
+    replications = 5_000 if quick else 50_000
+    spec = StudySpec.from_dict(
+        {
+            "name": "bench-study",
+            "base": {"scenario": "many-small-faults"},
+            "sweep": {
+                "grid": [
+                    {"name": "n", "values": n_values},
+                    {"name": "p_scale", "logspace": [0.125, 1.0, 5]},
+                ]
+            },
+            "methods": [
+                {"name": "moments"},
+                {"name": "bounds"},
+                {"name": "exact", "max_support": 1024},
+                {"name": "montecarlo", "replications": replications},
+            ],
+            "seed": 20010704,
+        }
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = f"{tmp}/cache"
+        start = time.perf_counter()
+        cold = run_study(spec, cache_dir=cache_dir, jobs=4)
+        cold_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_study(spec, cache_dir=cache_dir, jobs=4)
+        warm_elapsed = time.perf_counter() - start
+    if warm.summary["computed"] != 0 or warm.records != cold.records:
+        raise RuntimeError("warm study run failed to reproduce the cold run from cache")
+    return {
+        "points": cold.summary["points"],
+        "evaluations": cold.summary["computed"],
+        "jobs": 4,
+        "cold_seconds": round(cold_elapsed, 3),
+        "warm_seconds": round(warm_elapsed, 4),
+        "cold_points_per_second": round(cold.summary["points"] / cold_elapsed, 1),
+        "warm_speedup": round(cold_elapsed / warm_elapsed, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
 WORKLOADS = {
     "single": workload_single,
     "paired": workload_paired,
@@ -225,6 +274,7 @@ WORKLOADS = {
     "one_out_of_r": workload_one_out_of_r,
     "parallel": workload_parallel,
     "convolution": workload_convolution,
+    "study": workload_study,
 }
 
 

@@ -15,11 +15,19 @@ writing any code:
   statistically equivalent random stream); ``--stream`` switches to the
   constant-memory accumulator summaries recommended for very large
   ``--replications``;
-* ``scenarios`` -- list the built-in scenarios.
+* ``study run`` / ``study show`` -- execute (or preview) a declarative
+  parameter-sweep study (:mod:`repro.studies`): a JSON spec names a base
+  scenario or model, sweep axes and methods; the runner evaluates the points
+  in parallel against a content-addressed result cache and writes the tidy
+  result table as JSON/JSONL/CSV;
+* ``scenarios`` -- list the built-in scenarios with their descriptions.
 
 The JSON model format is the output of :meth:`repro.core.fault_model.FaultModel.to_dict`::
 
     {"p": [0.05, 0.02], "q": [1e-4, 5e-4], "names": ["fault a", "fault b"]}
+
+Bad input (a missing or malformed model file, an invalid spec, out-of-range
+parameters) exits with status 2 and a one-line ``error:`` message on stderr.
 """
 
 from __future__ import annotations
@@ -33,15 +41,10 @@ from repro.assessment.report import assess
 from repro.core.bounds import pmax_gain_table
 from repro.core.fault_model import FaultModel
 from repro.core.gain import diversity_gain_summary
-from repro.experiments.scenarios import high_quality_scenario, many_small_faults_scenario
+from repro.experiments.scenarios import SCENARIOS, get_scenario, scenario_names
+from repro.studies.results import TABLE_FORMATS
 
 __all__ = ["main", "build_parser"]
-
-#: Built-in scenarios addressable from the command line.
-SCENARIOS = {
-    "high-quality": high_quality_scenario,
-    "many-small-faults": many_small_faults_scenario,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,7 +121,54 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
-    subparsers.add_parser("scenarios", help="list built-in scenarios")
+    study_parser = subparsers.add_parser(
+        "study", help="run or preview a declarative parameter-sweep study"
+    )
+    study_subparsers = study_parser.add_subparsers(dest="study_command", required=True)
+
+    study_run = study_subparsers.add_parser(
+        "run", help="execute a study spec and write its result table"
+    )
+    study_run.add_argument("spec", help="path to a JSON study spec")
+    study_run.add_argument(
+        "--cache-dir",
+        default=".repro-study-cache",
+        help=(
+            "content-addressed result cache directory (default .repro-study-cache); "
+            "'none' disables caching"
+        ),
+    )
+    study_run.add_argument(
+        "--output-dir",
+        default="study-output",
+        help="directory for the result table and summary (default study-output)",
+    )
+    study_run.add_argument(
+        "--formats",
+        default=",".join(TABLE_FORMATS),
+        help=f"comma-separated table formats to write (default {','.join(TABLE_FORMATS)})",
+    )
+    study_run.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for uncached points (default 1)"
+    )
+    study_run.add_argument(
+        "--force", action="store_true", help="recompute every point even on a cache hit"
+    )
+    study_run.add_argument(
+        "--quiet", action="store_true", help="suppress the progress line on stderr"
+    )
+
+    study_show = study_subparsers.add_parser(
+        "show", help="expand a study spec and print its evaluation plan"
+    )
+    study_show.add_argument("spec", help="path to a JSON study spec")
+    study_show.add_argument(
+        "--points", type=int, default=10, help="number of sample points to print (default 10)"
+    )
+
+    subparsers.add_parser(
+        "scenarios", help="list built-in scenarios with their descriptions"
+    )
     return parser
 
 
@@ -126,64 +176,167 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument("--model", type=str, help="path to a JSON fault-model file")
     group.add_argument(
-        "--scenario", type=str, choices=sorted(SCENARIOS), help="use a built-in scenario"
+        "--scenario", type=str, choices=scenario_names(), help="use a built-in scenario"
     )
 
 
 def _load_model(arguments: argparse.Namespace) -> FaultModel:
     if arguments.scenario is not None:
-        return SCENARIOS[arguments.scenario]()
-    with open(arguments.model, "r", encoding="utf-8") as handle:
-        return FaultModel.from_dict(json.load(handle))
+        return get_scenario(arguments.scenario)
+    try:
+        with open(arguments.model, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"model file {arguments.model!r} is not valid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"model file {arguments.model!r} must contain a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    try:
+        return FaultModel.from_dict(data)
+    except KeyError as error:
+        raise ValueError(
+            f"model file {arguments.model!r} is missing required key {error}"
+        ) from error
+
+
+# --------------------------------------------------------------------- #
+# Command handlers
+# --------------------------------------------------------------------- #
+def _handle_scenarios(arguments: argparse.Namespace) -> int:
+    width = max(len(name) for name in scenario_names())
+    for name in scenario_names():
+        print(f"{name.ljust(width)}  {SCENARIOS[name].description}")
+    return 0
+
+
+def _handle_pmax_table(arguments: argparse.Namespace) -> int:
+    print(f"{'p_max':>10s}  {'bound reduction':>16s}  {'improvement':>12s}")
+    for row in pmax_gain_table(arguments.pmax):
+        print(f"{row.p_max:>10.4g}  {row.gain_factor:>16.4f}  {row.improvement_factor:>11.2f}x")
+    return 0
+
+
+def _handle_assess(arguments: argparse.Namespace) -> int:
+    report = assess(_load_model(arguments), confidence=arguments.confidence)
+    if arguments.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
+def _handle_gain(arguments: argparse.Namespace) -> int:
+    summary = diversity_gain_summary(_load_model(arguments), confidence=arguments.confidence)
+    print(json.dumps(summary.as_dict(), indent=2))
+    return 0
+
+
+def _handle_simulate(arguments: argparse.Namespace) -> int:
+    from repro.montecarlo.engine import MonteCarloEngine
+
+    model = _load_model(arguments)
+    engine = MonteCarloEngine(model, chunk_size=arguments.chunk_size, jobs=arguments.jobs)
+    if arguments.stream:
+        result = engine.simulate_paired_streaming(arguments.replications, rng=arguments.seed)
+    else:
+        result = engine.simulate_paired(arguments.replications, rng=arguments.seed)
+    print(json.dumps(result.summary(), indent=2))
+    return 0
+
+
+def _handle_study(arguments: argparse.Namespace) -> int:
+    from repro.studies import StudySpec, plan_study, run_study
+
+    spec = StudySpec.from_file(arguments.spec)
+    if arguments.study_command == "show":
+        planned = plan_study(spec)
+        distinct = len({entry.digest for entry in planned})
+        print(f"study:       {spec.name}")
+        if spec.description:
+            print(f"description: {spec.description}")
+        base = dict(spec.base)
+        base_label = (
+            f"scenario {base['scenario']!r}"
+            if "scenario" in base
+            else f"inline model ({len(base['model']['p'])} faults)"
+        )
+        print(f"base:        {base_label}")
+        print(f"seed:        {spec.seed}")
+        for axis in spec.grid:
+            print(f"grid axis:   {axis.name} ({len(axis.values)} values: {_preview(axis.values)})")
+        for axis in spec.zipped:
+            print(f"zip axis:    {axis.name} ({len(axis.values)} values: {_preview(axis.values)})")
+        for method in spec.methods:
+            options = ", ".join(f"{key}={value}" for key, value in method.options)
+            print(f"method:      {method.name} ({options})")
+        print(f"points:      {len(planned)} ({distinct} distinct evaluations)")
+        for entry in planned[: arguments.points]:
+            params = ", ".join(f"{key}={value}" for key, value in entry.point.params)
+            print(f"  {entry.digest[:12]}  {entry.point.method.name:<10s}  {params}")
+        if len(planned) > arguments.points:
+            print(f"  ... {len(planned) - arguments.points} more")
+        return 0
+
+    formats = tuple(part.strip() for part in arguments.formats.split(",") if part.strip())
+    unknown = sorted(set(formats) - set(TABLE_FORMATS))
+    if unknown or not formats:
+        # Fail before running the study; discovering this only at save time
+        # would waste the whole evaluation.
+        problem = f"unknown table format(s) {', '.join(unknown)}" if unknown else "no table format given"
+        raise ValueError(f"{problem}; available: {', '.join(TABLE_FORMATS)}")
+    cache_dir = None if arguments.cache_dir.lower() == "none" else arguments.cache_dir
+
+    def progress(done: int, total: int, computed: int) -> None:
+        if not arguments.quiet:
+            print(f"\r{done}/{total} evaluations ({computed} computed)", end="", file=sys.stderr)
+
+    result = run_study(
+        spec, cache_dir=cache_dir, jobs=arguments.jobs, force=arguments.force, progress=progress
+    )
+    if not arguments.quiet:
+        print(file=sys.stderr)
+    written = result.save(arguments.output_dir, formats=formats)
+    summary = dict(result.summary)
+    summary["files"] = {kind: str(path) for kind, path in written.items()}
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _preview(values: Sequence) -> str:
+    rendered = [f"{value:.6g}" if isinstance(value, float) else str(value) for value in values]
+    if len(rendered) <= 4:
+        return ", ".join(rendered)
+    return f"{rendered[0]}, {rendered[1]}, ..., {rendered[-1]}"
+
+
+_HANDLERS = {
+    "scenarios": _handle_scenarios,
+    "pmax-table": _handle_pmax_table,
+    "assess": _handle_assess,
+    "gain": _handle_gain,
+    "simulate": _handle_simulate,
+    "study": _handle_study,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code (0 success, 2 bad input)."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
-
-    if arguments.command == "scenarios":
-        for name in sorted(SCENARIOS):
-            print(name)
-        return 0
-
-    if arguments.command == "pmax-table":
-        print(f"{'p_max':>10s}  {'bound reduction':>16s}  {'improvement':>12s}")
-        for row in pmax_gain_table(arguments.pmax):
-            print(f"{row.p_max:>10.4g}  {row.gain_factor:>16.4f}  {row.improvement_factor:>11.2f}x")
-        return 0
-
-    model = _load_model(arguments)
-    if arguments.command == "assess":
-        report = assess(model, confidence=arguments.confidence)
-        if arguments.json:
-            print(json.dumps(report.to_dict(), indent=2))
-        else:
-            print(report.render())
-        return 0
-
-    if arguments.command == "gain":
-        summary = diversity_gain_summary(model, confidence=arguments.confidence)
-        print(json.dumps(summary.as_dict(), indent=2))
-        return 0
-
-    if arguments.command == "simulate":
-        from repro.montecarlo.engine import MonteCarloEngine
-
-        engine = MonteCarloEngine(
-            model, chunk_size=arguments.chunk_size, jobs=arguments.jobs
-        )
-        if arguments.stream:
-            result = engine.simulate_paired_streaming(
-                arguments.replications, rng=arguments.seed
-            )
-        else:
-            result = engine.simulate_paired(arguments.replications, rng=arguments.seed)
-        print(json.dumps(result.summary(), indent=2))
-        return 0
-
-    parser.error(f"unknown command {arguments.command!r}")
-    return 2
+    handler = _HANDLERS.get(arguments.command)
+    if handler is None:  # unreachable with required=True; defensive
+        print(f"error: unknown command {arguments.command!r}", file=sys.stderr)
+        return 2
+    try:
+        return handler(arguments)
+    except FileNotFoundError as error:
+        print(f"error: file not found: {error.filename or error}", file=sys.stderr)
+        return 2
+    except (IsADirectoryError, PermissionError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -12,19 +12,29 @@
 
 from repro.experiments.knight_leveson import NVersionExperimentResult, SyntheticNVersionExperiment
 from repro.experiments.scenarios import (
+    SCENARIOS,
+    ScenarioEntry,
     fig2_failure_regions,
+    get_scenario,
     high_quality_scenario,
     many_small_faults_scenario,
+    protection_system_model,
     protection_system_scenario,
     ProtectionSystemScenario,
+    scenario_names,
 )
 
 __all__ = [
     "NVersionExperimentResult",
     "ProtectionSystemScenario",
+    "SCENARIOS",
+    "ScenarioEntry",
     "SyntheticNVersionExperiment",
     "fig2_failure_regions",
+    "get_scenario",
     "high_quality_scenario",
     "many_small_faults_scenario",
+    "protection_system_model",
     "protection_system_scenario",
+    "scenario_names",
 ]

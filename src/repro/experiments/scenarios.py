@@ -19,7 +19,10 @@ failure-region layout of Fig. 2:
 
 from __future__ import annotations
 
+import functools
+import inspect
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -43,10 +46,15 @@ from repro.stats.rng import ensure_rng
 
 __all__ = [
     "ProtectionSystemScenario",
+    "ScenarioEntry",
+    "SCENARIOS",
     "fig2_failure_regions",
+    "get_scenario",
     "high_quality_scenario",
     "many_small_faults_scenario",
+    "protection_system_model",
     "protection_system_scenario",
+    "scenario_names",
 ]
 
 
@@ -213,3 +221,90 @@ def protection_system_scenario(
     return ProtectionSystemScenario(
         space=space, profile=profile, regions=tuple(regions), model=model
     )
+
+
+def protection_system_model(rng: int | np.random.Generator | None = 11) -> FaultModel:
+    """The plain :class:`FaultModel` view of :func:`protection_system_scenario`.
+
+    This is the registry-facing entry point: callers that only need the
+    ``(p_i, q_i)`` parameters (the CLI, the study runner) get the fault model
+    without handling the full geometry bundle.
+    """
+    return protection_system_scenario(rng).model
+
+
+# --------------------------------------------------------------------- #
+# Scenario registry
+# --------------------------------------------------------------------- #
+@functools.lru_cache(maxsize=None)
+def factory_signature(factory: Callable) -> inspect.Signature:
+    """Memoised :func:`inspect.signature` (called per point when planning studies)."""
+    return inspect.signature(factory)
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """A named, documented scenario addressable from the CLI and study specs.
+
+    ``factory`` returns the scenario's :class:`FaultModel`; keyword arguments
+    it declares (e.g. ``n`` or ``rng``) may be overridden through
+    :func:`get_scenario`.
+    """
+
+    name: str
+    description: str
+    factory: Callable[..., FaultModel]
+
+    def parameters(self) -> tuple[str, ...]:
+        """Names of the keyword arguments the factory accepts."""
+        return tuple(factory_signature(self.factory).parameters)
+
+
+#: Built-in scenarios, shared by ``repro assess``/``simulate``/``study``,
+#: ``repro scenarios``, the benchmark harness and the examples.
+SCENARIOS: dict[str, ScenarioEntry] = {
+    "high-quality": ScenarioEntry(
+        name="high-quality",
+        description="Section 4 regime: five unlikely faults, versions usually fault-free",
+        factory=high_quality_scenario,
+    ),
+    "many-small-faults": ScenarioEntry(
+        name="many-small-faults",
+        description="Section 5 regime: n log-uniform faults with small individual impact",
+        factory=many_small_faults_scenario,
+    ),
+    "protection-system": ScenarioEntry(
+        name="protection-system",
+        description="Fig. 1 dual-channel plant protection system (fault-model view)",
+        factory=protection_system_model,
+    ),
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def get_scenario(name: str, **overrides) -> FaultModel:
+    """Build the named scenario's fault model, applying factory overrides.
+
+    ``overrides`` must be keyword arguments declared by the scenario's
+    factory (e.g. ``n=500`` for ``many-small-faults``); anything else raises
+    ``ValueError`` naming the accepted parameters, so study specs fail loudly
+    on axes the scenario cannot interpret.
+    """
+    try:
+        entry = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None
+    accepted = entry.parameters()
+    unknown = sorted(set(overrides) - set(accepted))
+    if unknown:
+        raise ValueError(
+            f"scenario {name!r} does not accept parameter(s) {', '.join(unknown)}; "
+            f"accepted: {', '.join(accepted) or '(none)'}"
+        )
+    return entry.factory(**overrides)

@@ -1,0 +1,47 @@
+"""Declarative studies: parameter sweeps, a parallel runner and a result cache.
+
+This subsystem turns a JSON/dict *study spec* into a cached, parallel batch
+of model evaluations:
+
+* :mod:`~repro.studies.spec` -- :class:`StudySpec`: base scenario/model,
+  sweep axes (grid, zipped, lin/log ranges) and the methods to run per point;
+* :mod:`~repro.studies.grid` -- expansion into concrete evaluation points;
+* :mod:`~repro.studies.methods` -- per-point evaluation (exact PFD
+  distribution, normal approximation, moments, guaranteed bounds,
+  Monte Carlo);
+* :mod:`~repro.studies.cache` -- content-addressed on-disk result cache
+  keyed by point content, so re-runs are incremental;
+* :mod:`~repro.studies.runner` -- cache-aware parallel execution with
+  per-point reproducible seeds;
+* :mod:`~repro.studies.results` -- tidy result table with JSON/JSONL/CSV
+  exports and a run summary.
+
+Exposed on the command line as ``python -m repro study run|show``.
+"""
+
+from repro.studies.cache import CACHE_FORMAT_VERSION, ResultCache, canonical_json, payload_digest
+from repro.studies.grid import StudyPoint, expand_points
+from repro.studies.methods import evaluate_point, resolve_model, split_point_params
+from repro.studies.results import StudyResult
+from repro.studies.runner import PlannedPoint, plan_study, point_seed_entropy, run_study
+from repro.studies.spec import MethodSpec, StudySpec, SweepAxis
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "MethodSpec",
+    "PlannedPoint",
+    "ResultCache",
+    "StudyPoint",
+    "StudyResult",
+    "StudySpec",
+    "SweepAxis",
+    "canonical_json",
+    "evaluate_point",
+    "expand_points",
+    "payload_digest",
+    "plan_study",
+    "point_seed_entropy",
+    "resolve_model",
+    "run_study",
+    "split_point_params",
+]

@@ -1,0 +1,48 @@
+"""Expansion of a :class:`~repro.studies.spec.StudySpec` into evaluation points.
+
+One :class:`StudyPoint` is one independent unit of work: a full assignment of
+sweep-axis values plus the method to evaluate there.  The expansion order is
+deterministic (grid axes vary slowest-first in spec order, then the zipped
+rows, then the methods), so result tables are stable across runs and the
+runner can rely on it when assembling output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.studies.spec import MethodSpec, StudySpec
+
+__all__ = ["StudyPoint", "expand_points"]
+
+
+@dataclass(frozen=True)
+class StudyPoint:
+    """A single evaluation: axis assignments + the method to run."""
+
+    params: tuple[tuple[str, Any], ...]
+    method: MethodSpec
+
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+
+def expand_points(spec: StudySpec) -> list[StudyPoint]:
+    """Materialise every evaluation point of the study, in canonical order."""
+    grid_choices = [[(axis.name, value) for value in axis.values] for axis in spec.grid]
+    if spec.zipped:
+        zip_rows = [
+            tuple((axis.name, axis.values[row]) for axis in spec.zipped)
+            for row in range(len(spec.zipped[0].values))
+        ]
+    else:
+        zip_rows = [()]
+    points: list[StudyPoint] = []
+    for grid_assignment in itertools.product(*grid_choices):
+        for zip_assignment in zip_rows:
+            params = tuple(sorted(grid_assignment + zip_assignment))
+            for method in spec.methods:
+                points.append(StudyPoint(params=params, method=method))
+    return points

@@ -1,0 +1,294 @@
+"""Per-point evaluation: resolve the model, run one method, return metrics.
+
+A study point carries axis assignments (``params``) and a method.  Each
+parameter is consumed by exactly one of three layers:
+
+* **base factory parameters** -- keyword arguments of the base scenario's
+  factory (e.g. ``n`` or ``model_seed`` for ``many-small-faults``);
+* **model transforms** -- ``p_scale`` (``FaultModel.scaled``, the Appendix B
+  process-quality knob) and ``q_scale`` (uniform failure-region scaling),
+  applied after the base model is built;
+* **method options** -- anything the point's method accepts
+  (``versions``, ``replications``, ``correlation``, ...); an axis value
+  overrides the method's statically configured option.
+
+Anything else is rejected up front by :func:`split_point_params`, so a typo
+in a sweep axis fails before any evaluation starts.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.fault_model import FaultModel
+from repro.studies.spec import METHOD_OPTION_DEFAULTS, MethodSpec
+
+__all__ = [
+    "MODEL_TRANSFORM_PARAMS",
+    "canonical_model_params",
+    "evaluate_point",
+    "resolve_model",
+    "split_point_params",
+]
+
+#: Parameters applied to the resolved model rather than to its construction,
+#: with the neutral default each is equivalent to when absent.
+MODEL_TRANSFORM_DEFAULTS = {"p_scale": 1.0, "q_scale": 1.0}
+MODEL_TRANSFORM_PARAMS = tuple(MODEL_TRANSFORM_DEFAULTS)
+
+
+def _base_factory_parameters(base: Mapping) -> tuple[str, ...]:
+    if "scenario" not in base:
+        return ()
+    from repro.experiments.scenarios import SCENARIOS
+
+    factory_params = SCENARIOS[base["scenario"]].parameters()
+    # ``rng`` is exposed to specs as ``model_seed`` (an integer, JSON-friendly).
+    return tuple("model_seed" if name == "rng" else name for name in factory_params)
+
+
+def split_point_params(
+    base: Mapping,
+    params: Mapping[str, Any],
+    method: MethodSpec,
+    ignorable: frozenset[str] | set[str] = frozenset(),
+) -> tuple[dict, dict, dict, dict]:
+    """Partition axis assignments into (factory kwargs, transforms, options, ignored).
+
+    ``ignorable`` names parameters that other methods of the same study
+    consume; for this method they are collected into the *ignored* bucket
+    (and excluded from the point's cache key by the runner).  A parameter no
+    layer consumes raises ``ValueError``.
+    """
+    factory_names = _base_factory_parameters(base)
+    method_names = METHOD_OPTION_DEFAULTS[method.name]
+    factory_kwargs: dict[str, Any] = {}
+    transforms: dict[str, Any] = {}
+    method_overrides: dict[str, Any] = {}
+    ignored: dict[str, Any] = {}
+    for name, value in params.items():
+        if name in MODEL_TRANSFORM_PARAMS:
+            transforms[name] = value
+        elif name in factory_names:
+            factory_kwargs["rng" if name == "model_seed" else name] = value
+        elif name in method_names:
+            method_overrides[name] = value
+        elif name in ignorable:
+            ignored[name] = value
+        else:
+            accepted = sorted(set(factory_names) | set(MODEL_TRANSFORM_PARAMS) | set(method_names))
+            raise ValueError(
+                f"parameter {name!r} is not understood by the base "
+                f"({base.get('scenario', 'inline model')}) or method {method.name!r}; "
+                f"accepted here: {', '.join(accepted)}"
+            )
+    return factory_kwargs, transforms, method_overrides, ignored
+
+
+def canonical_model_params(base: Mapping, factory_kwargs: Mapping, transforms: Mapping) -> dict:
+    """Model-level parameters with every default folded in, spec-facing names.
+
+    This is what the cache payload records: scenario-factory defaults (e.g.
+    ``n=200`` for ``many-small-faults`` when no ``n`` axis is swept) and the
+    neutral transform defaults are materialised, so (a) the key covers
+    everything the resolved model depends on -- changing a factory default
+    later cannot serve stale entries -- and (b) a default written out
+    explicitly (a one-value ``n`` axis, ``p_scale: [1.0]``) hashes
+    identically to leaving it implicit.
+    """
+    params = dict(MODEL_TRANSFORM_DEFAULTS)
+    params.update(transforms)
+    if "scenario" in base:
+        from repro.experiments.scenarios import SCENARIOS, factory_signature
+
+        signature = factory_signature(SCENARIOS[base["scenario"]].factory)
+        for name, parameter in signature.parameters.items():
+            key = "model_seed" if name == "rng" else name
+            if name in factory_kwargs:
+                params[key] = factory_kwargs[name]
+            elif parameter.default is not inspect.Parameter.empty:
+                params[key] = parameter.default
+    return params
+
+
+def resolve_model(base: Mapping, factory_kwargs: Mapping, transforms: Mapping) -> FaultModel:
+    """Build the point's fault model from the base and the model-level params."""
+    if "scenario" in base:
+        from repro.experiments.scenarios import get_scenario
+
+        model = get_scenario(base["scenario"], **factory_kwargs)
+    else:
+        model = FaultModel.from_dict(base["model"])
+    if "p_scale" in transforms:
+        model = model.scaled(float(transforms["p_scale"]))
+    if "q_scale" in transforms:
+        scale = float(transforms["q_scale"])
+        if scale < 0.0:
+            raise ValueError(f"q_scale must be non-negative, got {scale}")
+        model = FaultModel(
+            p=model.p.copy(), q=model.q * scale, names=model.names, strict=model.strict
+        )
+    return model
+
+
+def evaluate_point(
+    base: Mapping,
+    params: Mapping[str, Any],
+    method: MethodSpec,
+    seed_entropy: tuple[int, ...],
+) -> dict[str, Any]:
+    """Run one method at one sweep point and return its flat metric record.
+
+    ``params`` must contain only parameters this point consumes (the runner
+    strips other methods' axes before calling).
+    """
+    factory_kwargs, transforms, overrides, _ = split_point_params(base, params, method)
+    model = resolve_model(base, factory_kwargs, transforms)
+    options = {**dict(method.options), **overrides}
+    return _METHODS[method.name](model, options, seed_entropy)
+
+
+# --------------------------------------------------------------------- #
+# Method implementations
+# --------------------------------------------------------------------- #
+def _moments_method(model: FaultModel, options: dict, seed_entropy) -> dict:
+    from repro.core.moments import expected_fault_count, pfd_moments
+    from repro.core.pfd_distribution import prob_pfd_zero
+
+    versions = int(options["versions"])
+    single = pfd_moments(model, 1)
+    system = pfd_moments(model, versions)
+    return {
+        "mean_single": single.mean,
+        "std_single": single.std,
+        "mean_system": system.mean,
+        "std_system": system.std,
+        "mean_ratio": system.mean / single.mean if single.mean else 1.0,
+        "expected_faults_single": expected_fault_count(model, 1),
+        "expected_faults_system": expected_fault_count(model, versions),
+        "prob_pfd_zero_single": prob_pfd_zero(model, 1),
+        "prob_pfd_zero_system": prob_pfd_zero(model, versions),
+    }
+
+
+def _exact_method(model: FaultModel, options: dict, seed_entropy) -> dict:
+    from repro.core.pfd_distribution import exact_pfd_distribution
+
+    versions = int(options["versions"])
+    max_support = options["max_support"]
+    max_support = None if max_support is None else int(max_support)
+    level = float(options["level"])
+    distribution = exact_pfd_distribution(model, versions, max_support=max_support)
+    record = {
+        "exact_mean": distribution.mean(),
+        "exact_std": distribution.std(),
+        "exact_percentile_level": level,
+        "exact_percentile": distribution.quantile(level),
+        "exact_support": int(distribution.support.size),
+    }
+    if options["threshold"] is not None:
+        threshold = float(options["threshold"])
+        record["exact_threshold"] = threshold
+        record["exact_exceedance"] = distribution.survival(threshold)
+    return record
+
+
+def _normal_method(model: FaultModel, options: dict, seed_entropy) -> dict:
+    from repro.core.normal_approximation import (
+        berry_esseen_error,
+        bound_gain_ratio,
+        normal_approximation,
+    )
+    from repro.stats.normal import k_factor_for_confidence
+
+    versions = int(options["versions"])
+    confidence = float(options["confidence"])
+    k = k_factor_for_confidence(confidence)
+    single = normal_approximation(model, 1)
+    system = normal_approximation(model, versions)
+    return {
+        "confidence": confidence,
+        "k_factor": k,
+        "normal_bound_single": single.bound(k),
+        "normal_bound_system": system.bound(k),
+        "normal_bound_ratio": bound_gain_ratio(model, k) if versions == 2 else (
+            system.bound(k) / single.bound(k) if single.bound(k) else 1.0
+        ),
+        "berry_esseen_single": berry_esseen_error(model, 1),
+        "berry_esseen_system": berry_esseen_error(model, versions),
+    }
+
+
+def _bounds_method(model: FaultModel, options: dict, seed_entropy) -> dict:
+    from repro.core.bounds import (
+        confidence_bound_from_moments,
+        mean_gain_factor,
+        std_gain_factor,
+    )
+    from repro.core.moments import pfd_moments
+    from repro.stats.normal import k_factor_for_confidence
+
+    confidence = float(options["confidence"])
+    k = k_factor_for_confidence(confidence)
+    single = pfd_moments(model, 1)
+    single_bound = single.bound(k)
+    guaranteed = confidence_bound_from_moments(single.mean, single.std, model.p_max, k)
+    return {
+        "confidence": confidence,
+        "p_max": model.p_max,
+        "mean_gain_factor": mean_gain_factor(model.p_max),
+        "std_gain_factor": std_gain_factor(model.p_max),
+        "bound_single": single_bound,
+        "guaranteed_bound_system": guaranteed,
+        "guaranteed_bound_ratio": guaranteed / single_bound if single_bound else 1.0,
+    }
+
+
+def _montecarlo_method(model: FaultModel, options: dict, seed_entropy) -> dict:
+    from repro.montecarlo.engine import MonteCarloEngine
+
+    versions = int(options["versions"])
+    replications = int(options["replications"])
+    chunk_size = options["chunk_size"]
+    chunk_size = None if chunk_size is None else int(chunk_size)
+    correlation = float(options["correlation"])
+    process = None
+    if correlation != 0.0:
+        from repro.versions.correlated import CopulaDevelopmentProcess
+
+        process = CopulaDevelopmentProcess(model=model, correlation=correlation)
+    engine = MonteCarloEngine(
+        model, process=process, chunk_size=chunk_size, jobs=int(options["mc_jobs"])
+    )
+    rng = np.random.default_rng(np.random.SeedSequence(list(seed_entropy)))
+    record: dict[str, Any] = {
+        "mc_replications": replications,
+        "mc_correlation": correlation,
+    }
+    if versions == 2:
+        summary = engine.simulate_paired_streaming(replications, rng=rng).summary()
+        summary.pop("replications", None)
+        record.update({f"mc_{key}": value for key, value in summary.items()})
+    else:
+        result = engine.simulate_systems_streaming(replications, versions=versions, rng=rng)
+        record.update(
+            {
+                "mc_mean_system": result.mean_pfd(),
+                "mc_std_system": result.std_pfd(),
+                "mc_prob_any_fault": result.prob_any_fault(),
+                "mc_prob_pfd_zero": result.prob_pfd_zero(),
+            }
+        )
+    return record
+
+
+_METHODS = {
+    "moments": _moments_method,
+    "exact": _exact_method,
+    "normal": _normal_method,
+    "bounds": _bounds_method,
+    "montecarlo": _montecarlo_method,
+}

@@ -1,0 +1,122 @@
+"""Result store for studies: tidy per-point records, exports and summaries.
+
+Every evaluation point contributes one *flat* record (point id, method, axis
+values, metrics), so the whole study is one tidy table ready for pandas /
+spreadsheet / plotting consumption.  Exports are deterministic: records keep
+the canonical expansion order and JSON/JSONL/CSV writers emit stable column
+orders, so a warm (fully cached) re-run produces byte-identical tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["StudyResult", "TABLE_FORMATS"]
+
+#: Table formats :meth:`StudyResult.save` can emit (the single source of
+#: truth; the CLI's ``--formats`` validation reads this too).
+TABLE_FORMATS = ("json", "jsonl", "csv")
+
+#: Columns pinned to the front of the table, in this order.
+_LEADING_COLUMNS = ("point_id", "method")
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """The outcome of a study run: tidy records plus run metadata.
+
+    ``records`` hold only deterministic content (no wall times, no cache-hit
+    flags), so a second run against a warm cache reproduces them exactly;
+    run-dependent bookkeeping lives in ``summary``.
+    """
+
+    name: str
+    records: tuple[Mapping[str, Any], ...]
+    summary: Mapping[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def columns(self) -> list[str]:
+        """Stable column order: point id, method, then sorted remaining keys."""
+        seen: set[str] = set()
+        for record in self.records:
+            seen.update(record)
+        trailing = sorted(seen - set(_LEADING_COLUMNS))
+        return [column for column in _LEADING_COLUMNS if seen and column in seen] + trailing
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Records as plain dicts in canonical order."""
+        return [dict(record) for record in self.records]
+
+    # ------------------------------------------------------------------ #
+    # Exports
+    # ------------------------------------------------------------------ #
+    def write_json(self, path: str | Path) -> Path:
+        """The full table as one JSON array."""
+        path = Path(path)
+        path.write_text(json.dumps(self.rows(), sort_keys=True, indent=2) + "\n", "utf-8")
+        return path
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """One JSON object per line (streaming-friendly)."""
+        path = Path(path)
+        lines = [json.dumps(row, sort_keys=True) for row in self.rows()]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""), "utf-8")
+        return path
+
+    def write_csv(self, path: str | Path) -> Path:
+        """CSV with the union of all record keys as columns."""
+        path = Path(path)
+        columns = self.columns()
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+            writer.writeheader()
+            for row in self.rows():
+                writer.writerow({key: _format_cell(value) for key, value in row.items()})
+        return path
+
+    def save(
+        self,
+        output_dir: str | Path,
+        formats: Sequence[str] = TABLE_FORMATS,
+    ) -> dict[str, Path]:
+        """Write the table in the requested formats plus ``summary.json``.
+
+        Table files are deterministic; the summary (which records how many
+        points were computed versus served from cache) is written separately
+        so it never perturbs table reproducibility.
+        """
+        output_dir = Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        writers = {"json": self.write_json, "jsonl": self.write_jsonl, "csv": self.write_csv}
+        unknown = sorted(set(formats) - set(TABLE_FORMATS))
+        if unknown:
+            raise ValueError(
+                f"unknown table format(s) {', '.join(unknown)}; "
+                f"available: {', '.join(TABLE_FORMATS)}"
+            )
+        written: dict[str, Path] = {}
+        for fmt in formats:
+            written[fmt] = writers[fmt](output_dir / f"{self.name}.{fmt}")
+        summary_path = output_dir / f"{self.name}.summary.json"
+        summary_path.write_text(
+            json.dumps(dict(self.summary), sort_keys=True, indent=2) + "\n", "utf-8"
+        )
+        written["summary"] = summary_path
+        return written
+
+
+def _format_cell(value: Any) -> Any:
+    """CSV cell formatting: ``repr``-round-trippable floats, JSON for nests."""
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(value, sort_keys=True)
+    if value is None:
+        return ""
+    return value

@@ -1,0 +1,250 @@
+"""Parallel, cache-aware execution of a study.
+
+The runner turns a :class:`~repro.studies.spec.StudySpec` into a
+:class:`~repro.studies.results.StudyResult`:
+
+1. expand the spec into points (:mod:`repro.studies.grid`) and validate every
+   axis parameter against the base and methods up front;
+2. compute each point's content-addressed digest and probe the cache --
+   hits are served without any computation;
+3. evaluate the misses, sequentially or across worker processes, each point
+   with its own reproducible random stream;
+4. store fresh metric records in the cache and assemble the tidy result
+   table in canonical point order.
+
+Two properties make re-runs incremental:
+
+* **content-keyed caching** -- a point's cache key covers only what its
+  evaluation depends on: the base model content, the axis values *its
+  method consumes*, the normalised method options, the study seed (for
+  stochastic methods only) and the cache format version.  An axis that only
+  feeds other methods (e.g. a ``confidence`` sweep in a study that also
+  runs ``moments``) does not perturb the keys of the methods that ignore
+  it, and a seed change leaves deterministic methods' entries valid;
+* **content-keyed seeding** -- every point's random stream is a child of the
+  study's single :class:`numpy.random.SeedSequence` root keyed by the
+  point's digest rather than its position in the expansion, so adding or
+  removing a sweep value never shifts any other point's stream.
+
+Together: editing one axis recomputes exactly the new points, and a warm
+re-run recomputes nothing and reproduces the table byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.studies.cache import CACHE_FORMAT_VERSION, ResultCache, payload_digest
+from repro.studies.grid import StudyPoint, expand_points
+from repro.studies.methods import canonical_model_params, evaluate_point, split_point_params
+from repro.studies.results import StudyResult
+from repro.studies.spec import METHOD_OPTION_DEFAULTS, STOCHASTIC_METHODS, StudySpec
+
+__all__ = ["PlannedPoint", "plan_study", "point_seed_entropy", "run_study"]
+
+
+@dataclass(frozen=True)
+class PlannedPoint:
+    """One expanded, validated point with its cache identity."""
+
+    point: StudyPoint
+    consumed_params: tuple[tuple[str, Any], ...]
+    payload: dict
+    digest: str
+
+
+def point_seed_entropy(spec: StudySpec, digest: str) -> tuple[int, int]:
+    """Entropy for the point's ``SeedSequence``: (study seed, content key)."""
+    return (spec.seed, int(digest[:16], 16))
+
+
+def plan_study(spec: StudySpec) -> list[PlannedPoint]:
+    """Expand and validate the study; return the planned points in order.
+
+    Raises ``ValueError`` on the first axis parameter no layer consumes, so a
+    bad spec fails before any evaluation starts.
+    """
+    other_options = {
+        method.name: frozenset(
+            set().union(
+                *(METHOD_OPTION_DEFAULTS[peer.name] for peer in spec.methods)
+            )
+            - set(METHOD_OPTION_DEFAULTS[method.name])
+        )
+        for method in spec.methods
+    }
+    planned: list[PlannedPoint] = []
+    for point in expand_points(spec):
+        factory_kwargs, transforms, overrides, ignored = split_point_params(
+            spec.base, point.param_dict(), point.method, other_options[point.method.name]
+        )
+        consumed = tuple(item for item in point.params if item[0] not in ignored)
+        payload = {
+            "cache": CACHE_FORMAT_VERSION,
+            "base": dict(spec.base),
+            # Every default is materialised -- scenario-factory defaults into
+            # "params", method options (plus any axis overrides, mirroring
+            # evaluate_point's merge) into "method" -- so the key covers
+            # everything the evaluation depends on and a value spelled out
+            # explicitly hashes the same as the implicit default.
+            "params": canonical_model_params(spec.base, factory_kwargs, transforms),
+            "method": {**point.method.to_dict(), **overrides},
+            # Deterministic methods never consume randomness, so their keys
+            # (and cached records) survive a study-seed change.
+            "entropy": spec.seed if point.method.name in STOCHASTIC_METHODS else None,
+        }
+        planned.append(
+            PlannedPoint(
+                point=point,
+                consumed_params=consumed,
+                payload=payload,
+                digest=payload_digest(payload),
+            )
+        )
+    return planned
+
+
+def _evaluate_planned(arguments: tuple) -> tuple[str, Any]:
+    """Worker entry point (module-level for picklability).
+
+    Failures are returned as values rather than raised, so one bad point
+    neither aborts the pool mid-stream nor discards completed evaluations
+    queued behind it.
+    """
+    base, consumed_params, method, seed_entropy = arguments
+    try:
+        return ("ok", evaluate_point(base, dict(consumed_params), method, seed_entropy))
+    except Exception as error:  # noqa: BLE001 - reported with point context by run_study
+        return ("error", f"{type(error).__name__}: {error}")
+
+
+def _assemble_row(planned: PlannedPoint, metrics: dict[str, Any]) -> dict[str, Any]:
+    """One tidy table row: identity, full axis assignment, then metrics."""
+    return {
+        "point_id": planned.digest[:12],
+        "method": planned.point.method.name,
+        **planned.point.param_dict(),
+        **metrics,
+    }
+
+
+def run_study(
+    spec: StudySpec,
+    cache_dir: str | None = None,
+    jobs: int = 1,
+    force: bool = False,
+    progress: Callable[[int, int, int], None] | None = None,
+) -> StudyResult:
+    """Execute the study and return its result table.
+
+    Parameters
+    ----------
+    spec:
+        The validated study specification.
+    cache_dir:
+        Content-addressed result cache directory; ``None`` disables caching.
+    jobs:
+        Worker processes for the uncached points (1 = run in-process).
+    force:
+        Recompute every point even on a cache hit (fresh records still
+        overwrite the cache, keeping it warm for the next run).
+    progress:
+        Optional callback ``(done, total, computed)`` invoked after every
+        resolved evaluation (``total`` counts distinct evaluations, which is
+        fewer than the point count when points differ only in axes their
+        method ignores).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs}")
+    planned = plan_study(spec)
+    distinct = len({entry.digest for entry in planned})
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    metrics_by_digest: dict[str, dict[str, Any]] = {}
+    resolved = 0
+    cached_count = 0
+    # Points whose ignored axes differ share a digest; evaluate each
+    # distinct digest once and fan the metrics out to every point using it.
+    pending: dict[str, int] = {}
+    for index, entry in enumerate(planned):
+        if entry.digest in metrics_by_digest or entry.digest in pending:
+            continue
+        cached = None if (cache is None or force) else cache.load(entry.digest)
+        if cached is not None:
+            metrics_by_digest[entry.digest] = cached["metrics"]
+            cached_count += 1
+            resolved += 1
+            if progress is not None:
+                progress(resolved, distinct, 0)
+        else:
+            pending[entry.digest] = index
+
+    if pending:
+        work = [
+            (
+                dict(spec.base),
+                planned[index].consumed_params,
+                planned[index].point.method,
+                point_seed_entropy(spec, digest),
+            )
+            for digest, index in pending.items()
+        ]
+        executor = None
+        if jobs > 1 and len(pending) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            executor = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+            fresh = executor.map(_evaluate_planned, work)
+        else:
+            fresh = map(_evaluate_planned, work)
+        failures: list[tuple[int, str]] = []
+        try:
+            for (digest, index), (status, outcome) in zip(pending.items(), fresh):
+                if status == "error":
+                    failures.append((index, outcome))
+                    continue
+                metrics_by_digest[digest] = outcome
+                resolved += 1
+                if cache is not None:
+                    cache.store(
+                        digest,
+                        {
+                            "digest": digest,
+                            "payload": planned[index].payload,
+                            "metrics": outcome,
+                        },
+                    )
+                if progress is not None:
+                    progress(resolved, distinct, resolved - cached_count)
+        finally:
+            if executor is not None:
+                executor.shutdown()
+        if failures:
+            index, message = failures[0]
+            entry = planned[index]
+            params = ", ".join(f"{key}={value}" for key, value in entry.point.params) or "(no axes)"
+            salvage = "completed evaluations were cached; " if cache is not None else ""
+            raise ValueError(
+                f"{len(failures)} of {len(pending)} evaluation(s) failed ({salvage}"
+                f"fix the spec and re-run). First failure: point {entry.digest[:12]} "
+                f"(method {entry.point.method.name}, {params}): {message}"
+            )
+
+    axis_sizes = {axis.name: len(axis.values) for axis in spec.grid + spec.zipped}
+    summary = {
+        "study": spec.name,
+        "description": spec.description,
+        "points": len(planned),
+        "evaluations": cached_count + len(pending),
+        "computed": len(pending),
+        "cached": cached_count,
+        "jobs": jobs,
+        "seed": spec.seed,
+        "methods": [method.name for method in spec.methods],
+        "axes": axis_sizes,
+        "cache_dir": cache_dir,
+    }
+    rows = tuple(
+        _assemble_row(entry, metrics_by_digest[entry.digest]) for entry in planned
+    )
+    return StudyResult(name=spec.name, records=rows, summary=summary)

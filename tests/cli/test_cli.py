@@ -24,6 +24,15 @@ class TestScenariosCommand:
         output = capsys.readouterr().out
         assert "high-quality" in output
         assert "many-small-faults" in output
+        assert "protection-system" in output
+
+    def test_lists_descriptions_from_registry(self, capsys):
+        from repro.experiments.scenarios import SCENARIOS
+
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for entry in SCENARIOS.values():
+            assert entry.description in output
 
 
 class TestPmaxTableCommand:
@@ -119,6 +128,125 @@ class TestSimulateCommand:
         assert data["replications"] == 2000
         assert 0.0 <= data["risk_ratio"] <= 1.0
 
-    def test_rejects_bad_replications(self, model_file):
-        with pytest.raises(ValueError):
-            main(["simulate", "--model", model_file, "--replications", "0"])
+    def test_rejects_bad_replications_with_exit_code(self, model_file, capsys):
+        assert main(["simulate", "--model", model_file, "--replications", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Bad input must exit 2 with a one-line message, not a traceback."""
+
+    def test_missing_model_file(self, capsys):
+        assert main(["assess", "--model", "/no/such/model.json"]) == 2
+        error = capsys.readouterr().err
+        assert "error:" in error and "model.json" in error
+
+    def test_malformed_model_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not valid json", encoding="utf-8")
+        assert main(["gain", "--model", str(path)]) == 2
+        error = capsys.readouterr().err
+        assert "error:" in error and "not valid JSON" in error
+
+    def test_invalid_model_content(self, tmp_path, capsys):
+        path = tmp_path / "invalid.json"
+        path.write_text(json.dumps({"p": [2.0], "q": [0.1]}), encoding="utf-8")
+        assert main(["assess", "--model", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_model_missing_required_key(self, tmp_path, capsys):
+        path = tmp_path / "incomplete.json"
+        path.write_text(json.dumps({"p": [0.05]}), encoding="utf-8")  # no "q"
+        assert main(["assess", "--model", str(path)]) == 2
+        error = capsys.readouterr().err
+        assert "error:" in error and "'q'" in error
+
+    def test_model_wrong_json_shape(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[0.05, 0.02]", encoding="utf-8")  # valid JSON, not a dict
+        assert main(["gain", "--model", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_model_and_scenario_mutually_exclusive_exit_code(self, model_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["assess", "--model", model_file, "--scenario", "high-quality"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_command_exit_code(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+
+
+class TestStudyCommand:
+    @pytest.fixture
+    def spec_file(self, tmp_path) -> str:
+        spec = {
+            "name": "cli-study",
+            "base": {"scenario": "many-small-faults"},
+            "sweep": {"grid": [{"name": "n", "values": [10, 20]}]},
+            "methods": [{"name": "moments"}, {"name": "bounds"}],
+            "seed": 3,
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        return str(path)
+
+    def test_show_prints_plan(self, spec_file, capsys):
+        assert main(["study", "show", spec_file]) == 0
+        output = capsys.readouterr().out
+        assert "cli-study" in output
+        assert "points:      4" in output
+        assert "moments" in output and "bounds" in output
+
+    def test_run_writes_tables_and_uses_cache(self, spec_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        output_dir = str(tmp_path / "out")
+        arguments = [
+            "study", "run", spec_file,
+            "--cache-dir", cache_dir, "--output-dir", output_dir, "--quiet",
+        ]
+        assert main(arguments) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["points"] == 4
+        assert cold["computed"] == 4
+        table = (tmp_path / "out" / "cli-study.csv").read_bytes()
+        assert main(arguments) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["computed"] == 0
+        assert warm["cached"] == 4
+        assert (tmp_path / "out" / "cli-study.csv").read_bytes() == table
+        rows = json.loads((tmp_path / "out" / "cli-study.json").read_text(encoding="utf-8"))
+        assert len(rows) == 4
+
+    def test_run_missing_spec(self, capsys):
+        assert main(["study", "run", "/no/such/spec.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_malformed_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2", encoding="utf-8")
+        assert main(["study", "run", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_wrong_shaped_spec(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]", encoding="utf-8")  # valid JSON, not an object
+        assert main(["study", "run", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_format(self, spec_file, capsys):
+        assert main(["study", "run", spec_file, "--formats", "parquet", "--quiet"]) == 2
+        assert "parquet" in capsys.readouterr().err
+
+    def test_run_rejects_empty_formats(self, spec_file, capsys):
+        assert main(["study", "run", spec_file, "--formats", " , ", "--quiet"]) == 2
+        assert "no table format" in capsys.readouterr().err
+
+    def test_run_without_cache(self, spec_file, tmp_path, capsys):
+        assert main([
+            "study", "run", spec_file, "--cache-dir", "none",
+            "--output-dir", str(tmp_path / "out"), "--quiet",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["cache_dir"] is None

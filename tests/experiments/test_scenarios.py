@@ -7,11 +7,16 @@ import pytest
 
 from repro.core.moments import expected_fault_count
 from repro.demandspace.space import ContinuousDemandSpace
+from repro.core.fault_model import FaultModel
 from repro.experiments.scenarios import (
+    SCENARIOS,
     fig2_failure_regions,
+    get_scenario,
     high_quality_scenario,
     many_small_faults_scenario,
+    protection_system_model,
     protection_system_scenario,
+    scenario_names,
 )
 
 
@@ -90,3 +95,34 @@ class TestProtectionSystemScenario:
         first = protection_system_scenario(rng=11)
         second = protection_system_scenario(rng=11)
         np.testing.assert_allclose(first.model.q, second.model.q)
+
+
+class TestScenarioRegistry:
+    def test_every_entry_is_documented(self):
+        assert scenario_names() == tuple(sorted(SCENARIOS))
+        for name, entry in SCENARIOS.items():
+            assert entry.name == name
+            assert len(entry.description) > 10
+
+    def test_get_scenario_builds_fault_models(self):
+        model = get_scenario("high-quality")
+        assert isinstance(model, FaultModel)
+        assert model.n == 5
+
+    def test_get_scenario_passes_factory_overrides(self):
+        model = get_scenario("many-small-faults", n=33, rng=9)
+        assert model.n == 33
+        np.testing.assert_allclose(model.p, many_small_faults_scenario(33, rng=9).p)
+
+    def test_get_scenario_rejects_unknown_name_and_parameter(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("nope")
+        with pytest.raises(ValueError, match="does not accept"):
+            get_scenario("high-quality", n=10)
+
+    def test_protection_system_entry_is_plain_fault_model(self):
+        scenario = protection_system_scenario(rng=11)
+        model = protection_system_model(rng=11)
+        assert isinstance(model, FaultModel)
+        np.testing.assert_allclose(model.p, scenario.model.p)
+        np.testing.assert_allclose(model.q, scenario.model.q)

@@ -20,6 +20,7 @@ def test_examples_directory_has_expected_scripts():
         "process_improvement_study.py",
         "knight_leveson_replication.py",
         "assumption_sensitivity.py",
+        "parameter_sweep_study.py",
     } <= names
 
 

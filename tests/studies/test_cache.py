@@ -1,0 +1,87 @@
+"""Tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.studies import ResultCache, canonical_json, payload_digest
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_float_representation_is_stable(self):
+        value = 0.1 + 0.2  # not exactly 0.3
+        assert canonical_json({"x": value}) == canonical_json({"x": value})
+        assert canonical_json({"x": value}) != canonical_json({"x": 0.3})
+
+
+class TestPayloadDigest:
+    def test_equal_payloads_equal_digests(self):
+        a = {"params": {"n": 10, "p_scale": 0.5}, "method": {"name": "moments"}}
+        b = {"method": {"name": "moments"}, "params": {"p_scale": 0.5, "n": 10}}
+        assert payload_digest(a) == payload_digest(b)
+
+    def test_any_change_changes_digest(self):
+        base = {"params": {"n": 10}, "method": {"name": "moments"}, "entropy": 1}
+        assert payload_digest(base) != payload_digest({**base, "entropy": 2})
+        assert payload_digest(base) != payload_digest({**base, "params": {"n": 11}})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest = payload_digest({"x": 1})
+        assert cache.load(digest) is None
+        assert digest not in cache
+        cache.store(digest, {"digest": digest, "metrics": {"mean": 0.25}})
+        assert digest in cache
+        assert cache.load(digest)["metrics"] == {"mean": 0.25}
+        assert len(cache) == 1
+
+    def test_entries_sharded_by_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest = payload_digest({"y": 2})
+        cache.store(digest, {"metrics": {}})
+        assert cache.path_for(digest).parent.name == digest[:2]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest = payload_digest({"z": 3})
+        cache.store(digest, {"metrics": {}})
+        cache.path_for(digest).write_text("{not json", encoding="utf-8")
+        assert cache.load(digest) is None
+
+    def test_wrong_shaped_entry_is_a_miss(self, tmp_path):
+        # Valid JSON that is not an entry (foreign file, truncated write)
+        # must degrade to recomputation, not crash the runner.
+        cache = ResultCache(tmp_path / "cache")
+        digest = payload_digest({"z": 4})
+        cache.store(digest, {"metrics": {}})
+        cache.path_for(digest).write_text('["oops"]', encoding="utf-8")
+        assert cache.load(digest) is None
+        cache.path_for(digest).write_text('{"payload": {}}', encoding="utf-8")  # no metrics
+        assert cache.load(digest) is None
+
+    def test_store_is_atomic_no_temp_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest = payload_digest({"w": 4})
+        cache.store(digest, {"metrics": {"a": 1}})
+        cache.store(digest, {"metrics": {"a": 2}})  # overwrite
+        assert cache.load(digest)["metrics"] == {"a": 2}
+        leftovers = [p for p in cache.path_for(digest).parent.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_stored_entries_are_valid_json(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest = payload_digest({"v": 5})
+        cache.store(digest, {"metrics": {"x": 1.5}})
+        raw = cache.path_for(digest).read_text(encoding="utf-8")
+        assert json.loads(raw)["metrics"]["x"] == 1.5

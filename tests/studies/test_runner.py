@@ -1,0 +1,198 @@
+"""Tests for the study runner: caching, invalidation, parallelism, seeding."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.studies import StudySpec, plan_study, point_seed_entropy, run_study
+
+
+def base_spec_dict() -> dict:
+    return {
+        "name": "runner-study",
+        "base": {"scenario": "many-small-faults"},
+        "sweep": {
+            "grid": [
+                {"name": "n", "values": [10, 20]},
+                {"name": "p_scale", "values": [0.5, 1.0]},
+            ]
+        },
+        "methods": [
+            {"name": "moments"},
+            {"name": "montecarlo", "replications": 500},
+        ],
+        "seed": 42,
+    }
+
+
+@pytest.fixture
+def spec() -> StudySpec:
+    return StudySpec.from_dict(base_spec_dict())
+
+
+def table_bytes(result, tmp_path, label):
+    directory = tmp_path / label
+    paths = result.save(directory)
+    return {fmt: paths[fmt].read_bytes() for fmt in ("json", "jsonl", "csv")}
+
+
+class TestRunStudy:
+    def test_produces_one_record_per_point(self, spec, tmp_path):
+        result = run_study(spec, cache_dir=str(tmp_path / "cache"))
+        assert len(result) == spec.point_count == 8
+        assert result.summary["computed"] == 8
+        assert result.summary["cached"] == 0
+        methods = {record["method"] for record in result.records}
+        assert methods == {"moments", "montecarlo"}
+
+    def test_warm_run_recomputes_nothing_and_is_byte_identical(self, spec, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_study(spec, cache_dir=cache_dir)
+        warm = run_study(spec, cache_dir=cache_dir)
+        assert warm.summary["computed"] == 0
+        assert warm.summary["cached"] == cold.summary["computed"]
+        assert warm.records == cold.records
+        assert table_bytes(cold, tmp_path, "cold") == table_bytes(warm, tmp_path, "warm")
+
+    def test_axis_edit_recomputes_only_new_points(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        data = base_spec_dict()
+        cold = run_study(StudySpec.from_dict(data), cache_dir=cache_dir)
+        edited = copy.deepcopy(data)
+        edited["sweep"]["grid"][1]["values"] = [0.5, 1.0, 1.5]  # one new p_scale
+        incremental = run_study(StudySpec.from_dict(edited), cache_dir=cache_dir)
+        assert incremental.summary["points"] == 12
+        assert incremental.summary["cached"] == cold.summary["computed"]
+        # only the 2 (n) x 1 (new p_scale) x 2 (methods) new points ran
+        assert incremental.summary["computed"] == 4
+        # the surviving rows are exactly the cold rows
+        cold_ids = {record["point_id"] for record in cold.records}
+        reused = [r for r in incremental.records if r["point_id"] in cold_ids]
+        assert sorted(json.dumps(r, sort_keys=True) for r in reused) == sorted(
+            json.dumps(r, sort_keys=True) for r in cold.records
+        )
+
+    def test_study_rename_does_not_invalidate(self, spec, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_study(spec, cache_dir=cache_dir)
+        renamed = StudySpec.from_dict({**base_spec_dict(), "name": "other-name"})
+        warm = run_study(renamed, cache_dir=cache_dir)
+        assert warm.summary["computed"] == 0
+
+    def test_seed_change_invalidates_only_stochastic_methods(self, spec, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_study(spec, cache_dir=cache_dir)
+        reseeded = StudySpec.from_dict({**base_spec_dict(), "seed": 43})
+        rerun = run_study(reseeded, cache_dir=cache_dir)
+        # montecarlo consumes the seed (4 points recomputed); moments does not.
+        assert rerun.summary["computed"] == 4
+        assert rerun.summary["cached"] == 4
+
+    def test_parallel_equals_sequential(self, spec, tmp_path):
+        sequential = run_study(spec, cache_dir=str(tmp_path / "c1"), jobs=1)
+        parallel = run_study(spec, cache_dir=str(tmp_path / "c2"), jobs=3)
+        assert parallel.records == sequential.records
+
+    def test_no_cache_dir_disables_caching(self, spec):
+        result = run_study(spec, cache_dir=None)
+        assert result.summary["computed"] == result.summary["evaluations"]
+        assert result.summary["cache_dir"] is None
+
+    def test_force_recomputes_but_matches_cache(self, spec, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_study(spec, cache_dir=cache_dir)
+        forced = run_study(spec, cache_dir=cache_dir, force=True)
+        assert forced.summary["computed"] == cold.summary["computed"]
+        assert forced.records == cold.records
+
+    def test_progress_callback_sees_every_evaluation(self, spec, tmp_path):
+        calls = []
+        run_study(
+            spec,
+            cache_dir=str(tmp_path / "cache"),
+            progress=lambda done, total, computed: calls.append((done, total, computed)),
+        )
+        assert calls[-1][0] == calls[-1][1]
+
+    def test_invalid_jobs_rejected(self, spec):
+        with pytest.raises(ValueError, match="jobs"):
+            run_study(spec, jobs=0)
+
+    def test_bad_axis_fails_before_any_evaluation(self, tmp_path):
+        data = base_spec_dict()
+        data["sweep"]["grid"].append({"name": "bogus_knob", "values": [1]})
+        with pytest.raises(ValueError, match="bogus_knob"):
+            run_study(StudySpec.from_dict(data), cache_dir=str(tmp_path / "cache"))
+        assert not (tmp_path / "cache").exists() or not any((tmp_path / "cache").iterdir())
+
+
+class TestSeeding:
+    def test_seeds_are_content_keyed_not_positional(self):
+        # Reversing an axis must not change any point's seed entropy.
+        data = base_spec_dict()
+        forward = {
+            entry.digest: point_seed_entropy(StudySpec.from_dict(data), entry.digest)
+            for entry in plan_study(StudySpec.from_dict(data))
+        }
+        data["sweep"]["grid"][0]["values"] = [20, 10]
+        reversed_spec = StudySpec.from_dict(data)
+        backward = {
+            entry.digest: point_seed_entropy(reversed_spec, entry.digest)
+            for entry in plan_study(reversed_spec)
+        }
+        assert forward == backward
+
+    def test_factory_defaults_and_one_value_axis_hash_identically(self):
+        # Scenario-factory defaults are materialised into the cache key, so
+        # sweeping the default value explicitly changes nothing.
+        common = {"name": "x", "base": {"scenario": "many-small-faults"}, "methods": [{"name": "moments"}]}
+        implicit = StudySpec.from_dict(common)
+        explicit = StudySpec.from_dict(
+            {**common, "sweep": {"grid": [{"name": "n", "values": [200]}, {"name": "p_scale", "values": [1.0]}]}}
+        )
+        assert plan_study(implicit)[0].digest == plan_study(explicit)[0].digest
+
+    def test_evaluation_failure_reports_point_and_keeps_completed(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        data = base_spec_dict()
+        data["sweep"]["grid"][1]["values"] = [0.5, 50.0]  # 50x pushes p_i above 1
+        with pytest.raises(ValueError) as excinfo:
+            run_study(StudySpec.from_dict(data), cache_dir=cache_dir, jobs=2)
+        message = str(excinfo.value)
+        assert "p_scale=50" in message and "point " in message
+        # The good half of the sweep was evaluated and cached despite the failure.
+        data["sweep"]["grid"][1]["values"] = [0.5]
+        salvaged = run_study(StudySpec.from_dict(data), cache_dir=cache_dir)
+        assert salvaged.summary["computed"] == 0
+
+    def test_static_option_and_one_value_axis_hash_identically(self):
+        # The same evaluation expressed two ways must share a cache key.
+        common = {"name": "x", "base": {"scenario": "high-quality"}}
+        as_option = StudySpec.from_dict(
+            {**common, "methods": [{"name": "bounds", "confidence": 0.95}]}
+        )
+        as_axis = StudySpec.from_dict(
+            {
+                **common,
+                "sweep": {"grid": [{"name": "confidence", "values": [0.95]}]},
+                "methods": [{"name": "bounds"}],
+            }
+        )
+        assert plan_study(as_option)[0].digest == plan_study(as_axis)[0].digest
+
+    def test_ignored_axes_share_evaluations(self, tmp_path):
+        # A confidence sweep must not multiply the moments evaluations.
+        data = base_spec_dict()
+        data["sweep"]["zip"] = [{"name": "confidence", "values": [0.9, 0.99]}]
+        data["methods"] = [{"name": "moments"}, {"name": "bounds"}]
+        spec = StudySpec.from_dict(data)
+        result = run_study(spec, cache_dir=str(tmp_path / "cache"))
+        assert result.summary["points"] == 16
+        # moments ignores confidence: 4 grid combos; bounds consumes it: 8.
+        assert result.summary["evaluations"] == 12
+        moments_rows = [r for r in result.records if r["method"] == "moments"]
+        by_confidence = {r["confidence"]: r["point_id"] for r in moments_rows if r["n"] == 10 and r["p_scale"] == 0.5}
+        assert len(set(by_confidence.values())) == 1  # same evaluation, both rows
