@@ -18,6 +18,8 @@ from repro import (
     OneOutOfTwoSystem,
     SingleVersionSystem,
     diversity_gain_summary,
+    evaluate,
+    evaluate_batch,
     pmax_gain_table,
 )
 
@@ -70,6 +72,21 @@ def main() -> None:
             f"  p_max = {row.p_max:<5} -> bound reduction factor {row.gain_factor:.3f} "
             f"({row.improvement_factor:.1f}x better)"
         )
+
+    # The unified evaluation API: every registered method (moments, exact,
+    # normal, bounds, montecarlo, tail-quantile, ...) through one dispatch
+    # path, with typed results.  `python -m repro methods` lists them.
+    print("\n=== Unified evaluation API ===")
+    tail = evaluate(model, "tail-quantile", level=0.999, threshold=1e-4)
+    print(f"  99.9% PFD quantile (exact):    {tail['tail_quantile']:.3e}")
+    print(f"  P(PFD > 1e-4):                 {tail['tail_exceedance']:.3e}")
+    for result in evaluate_batch(
+        model,
+        ["moments", ("montecarlo", {"replications": 50_000})],
+        seed=7,
+    ):
+        print(f"  {result.method:11s} metrics in {result.elapsed_seconds * 1e3:7.1f} ms: "
+              f"{sorted(result.metric_dict())[:3]} ...")
 
 
 if __name__ == "__main__":

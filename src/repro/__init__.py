@@ -8,13 +8,44 @@ results, the substrates needed to exercise it (demand spaces, version
 generation, adjudication, Monte Carlo simulation, the Eckhardt-Lee /
 Littlewood-Miller baselines), and assessor-facing utilities.
 
-Quick start::
+Quick start -- the unified evaluation API::
 
     import numpy as np
-    from repro import FaultModel, OneOutOfTwoSystem, diversity_gain_summary
+    from repro import FaultModel, evaluate, evaluate_batch
 
     model = FaultModel(p=np.array([0.05, 0.02, 0.01]),
                        q=np.array([1e-4, 5e-4, 2e-3]))
+
+    # One dispatch path for every method: moments, exact, normal, bounds,
+    # montecarlo, tail-quantile, ... (``repro methods`` lists them all).
+    result = evaluate(model, "moments")
+    print(result["mean_system"], result["std_system"])
+    print(evaluate(model, "tail-quantile", level=0.999)["tail_quantile"])
+
+    # Many methods on one model, optionally process-parallel (jobs=...),
+    # each returning a typed, JSON-round-trippable EvaluationResult.
+    for res in evaluate_batch(model, ["moments", "bounds",
+                                      ("montecarlo", {"replications": 50_000})],
+                              seed=7, jobs=2):
+        print(res.method, res.metric_dict())
+
+Registering a custom method makes it available everywhere at once -- the
+CLI (``repro evaluate``/``repro methods``), study specs and
+:func:`repro.evaluate`::
+
+    from repro.api import OptionSpec, register_method
+
+    @register_method("mean-only",
+                     options=(OptionSpec("versions", "int", 2),),
+                     description="just the system mean")
+    def _mean_only(model, options, rng):
+        from repro.core.moments import pfd_moments
+        return {"mean": pfd_moments(model, int(options["versions"])).mean}
+
+The lower-level facades remain available for direct use::
+
+    from repro import OneOutOfTwoSystem, diversity_gain_summary
+
     system = OneOutOfTwoSystem(model)
     print(system.mean_pfd(), system.normal_bound(0.99))
     print(diversity_gain_summary(model).as_dict())
@@ -24,6 +55,7 @@ The subpackages map onto the paper as follows:
 ==============================  =====================================================
 Subpackage                      Paper sections
 ==============================  =====================================================
+:mod:`repro.api`                unified evaluation API (registry, typed results)
 :mod:`repro.core`               Sections 2-5, Appendices A-B (the contribution)
 :mod:`repro.stats`              probability machinery (Poisson-binomial, CLT, bounds)
 :mod:`repro.demandspace`        Section 2.1, Fig. 2 (demands, failure regions)
@@ -69,14 +101,30 @@ from repro.core import (
     two_version_mean,
     two_version_std,
 )
+from repro.api import (
+    EvaluationRequest,
+    EvaluationResult,
+    MethodDefinition,
+    MethodRegistry,
+    OptionSpec,
+    default_registry,
+    evaluate,
+    evaluate_batch,
+    register_method,
+)
 from repro.montecarlo import MonteCarloEngine
 from repro.stats import PoissonBinomial
 from repro.versions import IndependentDevelopmentProcess
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DiversityGainSummary",
+    "EvaluationRequest",
+    "EvaluationResult",
+    "MethodDefinition",
+    "MethodRegistry",
+    "OptionSpec",
     "FaultClass",
     "FaultModel",
     "IndependentDevelopmentProcess",
@@ -88,7 +136,10 @@ __all__ = [
     "__version__",
     "confidence_bound_from_bound",
     "confidence_bound_from_moments",
+    "default_registry",
     "diversity_gain_summary",
+    "evaluate",
+    "evaluate_batch",
     "exact_pfd_distribution",
     "fault_count_distribution",
     "mean_gain_factor",
@@ -100,6 +151,7 @@ __all__ = [
     "prob_fault_free_pair",
     "prob_fault_free_version",
     "proportional_improvement_derivative",
+    "register_method",
     "risk_ratio",
     "risk_ratio_partial_derivative",
     "single_fault_reversal_point",

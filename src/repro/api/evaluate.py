@@ -1,0 +1,198 @@
+"""Top-level evaluation entry points: one dispatch path for every consumer.
+
+:func:`evaluate` runs a single registered method against a model and returns
+a typed :class:`~repro.api.results.EvaluationResult`; :func:`evaluate_batch`
+runs many requests against the same model, optionally fanning out across
+worker processes (the same process-parallel pattern as the Monte Carlo
+engine's ``jobs`` and the study runner).  The CLI's ``evaluate`` subcommand
+and the study runner are both thin layers over these functions, so a method
+registered once behaves identically everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.api.registry import MethodDefinition, MethodRegistry, default_registry
+from repro.api.results import EvaluationRequest, EvaluationResult
+from repro.stats.rng import DEFAULT_SEED
+
+__all__ = ["evaluate", "evaluate_batch"]
+
+
+def _normalise_entropy(seed) -> tuple[int, ...] | None:
+    """Turn a seed spelling into SeedSequence entropy (``None`` for a live rng)."""
+    if seed is None:
+        return (DEFAULT_SEED,)
+    if isinstance(seed, (bool, float)):
+        raise ValueError(f"seed must be an integer, a sequence of integers or a Generator, got {seed!r}")
+    if isinstance(seed, (int, np.integer)):
+        return (int(seed),)
+    if isinstance(seed, np.random.Generator):
+        return None
+    if isinstance(seed, Sequence) and seed and all(
+        isinstance(part, (int, np.integer)) and not isinstance(part, bool) for part in seed
+    ):
+        return tuple(int(part) for part in seed)
+    raise ValueError(
+        f"seed must be an integer, a sequence of integers or a Generator, got {seed!r}"
+    )
+
+
+def _run_definition(
+    definition: MethodDefinition,
+    model,
+    resolved: dict,
+    seed,
+) -> EvaluationResult:
+    """Evaluate a resolved method call and wrap the outcome."""
+    rng = None
+    entropy = None
+    if definition.requires_seed:
+        entropy = _normalise_entropy(seed)
+        if entropy is None:
+            rng = seed  # a live Generator; its state cannot be recorded
+        else:
+            # Matches the study runner's historical seeding exactly:
+            # Generator(SeedSequence(list(entropy))) -- cached Monte Carlo
+            # records stay byte-identical across the old and new dispatch.
+            rng = np.random.default_rng(np.random.SeedSequence(list(entropy)))
+    start = time.perf_counter()
+    metrics = definition.evaluate(model, resolved, rng)
+    elapsed = time.perf_counter() - start
+    if not isinstance(metrics, Mapping):
+        raise TypeError(
+            f"method {definition.name!r} must return a mapping of metrics, "
+            f"got {type(metrics).__name__}"
+        )
+    return EvaluationResult(
+        method=definition.name,
+        options=resolved,
+        metrics=dict(metrics),
+        seed_entropy=entropy,
+        elapsed_seconds=elapsed,
+    )
+
+
+def evaluate(
+    model,
+    method: str,
+    *,
+    seed=None,
+    registry: MethodRegistry | None = None,
+    options: Mapping[str, Any] | None = None,
+    **kwargs,
+) -> EvaluationResult:
+    """Evaluate one registered method on a fault model.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.core.fault_model.FaultModel` to evaluate.
+    method:
+        A registered method name (see ``repro methods`` or
+        :meth:`MethodRegistry.names`).
+    seed:
+        Randomness for seed-consuming methods: an integer, a sequence of
+        integers (SeedSequence entropy) or a live
+        :class:`numpy.random.Generator`.  ``None`` uses the library default
+        seed, so "no seed" still means "reproducible".  Deterministic
+        methods ignore it.
+    registry:
+        Registry to dispatch through (default: the library-wide one).
+    options:
+        Method options as a mapping.  Use this spelling for options whose
+        names collide with this function's own parameters (``seed``,
+        ``registry``, ``options``) -- programmatic callers like the CLI
+        always route through it.
+    **kwargs:
+        Method options as keyword arguments (the convenient spelling);
+        merged over ``options``.  Unknown options and wrong types raise
+        ``ValueError``.
+
+    Examples
+    --------
+    >>> from repro import evaluate  # doctest: +SKIP
+    >>> evaluate(model, "tail-quantile", level=0.999)["tail_quantile"]  # doctest: +SKIP
+    """
+    target = registry if registry is not None else default_registry()
+    definition = target.get(method)
+    resolved = target.resolve_options(method, {**dict(options or {}), **kwargs})
+    return _run_definition(definition, model, resolved, seed)
+
+
+def _evaluate_request_worker(arguments: tuple) -> dict:
+    """Module-level worker (picklable) used by the parallel batch path."""
+    model, method, options, seed = arguments
+    return evaluate(model, method, seed=seed, options=options).to_dict()
+
+
+def evaluate_batch(
+    model,
+    requests: Sequence,
+    *,
+    jobs: int = 1,
+    seed=None,
+    registry: MethodRegistry | None = None,
+) -> list[EvaluationResult]:
+    """Evaluate many methods on one model, optionally in parallel.
+
+    Parameters
+    ----------
+    model:
+        The fault model shared by every request.
+    requests:
+        Any mix of method names, ``(method, options)`` pairs, mappings with
+        a ``"method"`` key and :class:`EvaluationRequest` objects.
+    jobs:
+        Worker processes (1 = in-process).  Results are identical for any
+        ``jobs``: each request's random stream is derived from ``(seed,
+        request index)``, never from pool scheduling.  ``jobs > 1`` requires
+        the default registry (a custom ``registry`` object cannot be shipped
+        across the process boundary) and, on spawn-start platforms
+        (macOS/Windows), methods registered at *import* time -- a
+        registration made interactively in ``__main__`` is invisible to
+        spawned workers.
+    seed:
+        Base integer seed for the batch (``None`` = the library default).
+    registry:
+        Registry to dispatch through (default: the library-wide one);
+        incompatible with ``jobs > 1``.
+
+    Returns the results in request order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs}")
+    if jobs > 1 and registry is not None:
+        raise ValueError(
+            "jobs > 1 requires the default registry: a custom registry object "
+            "cannot be shipped to worker processes (run with jobs=1 instead)"
+        )
+    target = registry if registry is not None else default_registry()
+    coerced = [EvaluationRequest.coerce(request) for request in requests]
+    # Validate the whole batch before evaluating anything: one typo must not
+    # waste the expensive requests queued ahead of it.
+    for request in coerced:
+        target.resolve_options(request.method, request.option_dict())
+    base_seed = DEFAULT_SEED if seed is None else seed
+    if _normalise_entropy(base_seed) is None:
+        raise ValueError("evaluate_batch needs an integer seed (per-request streams are derived from it)")
+    work = [
+        (model, request.method, request.option_dict(), (*_normalise_entropy(base_seed), index))
+        for index, request in enumerate(coerced)
+    ]
+    if jobs > 1 and len(work) > 1:
+        # Worker processes re-import the default registry (guaranteed above:
+        # jobs > 1 rejects custom registry objects).
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as executor:
+            payloads = list(executor.map(_evaluate_request_worker, work))
+        return [EvaluationResult.from_dict(payload) for payload in payloads]
+    return [
+        evaluate(model, method, seed=entropy, registry=target, options=options)
+        for model, method, options, entropy in work
+    ]

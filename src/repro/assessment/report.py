@@ -7,19 +7,25 @@ into a single structured report that can be rendered as text or serialised to
 a plain dictionary.  This is the "what would current practice do with these
 results" artefact the paper's Section 7 calls for ("Assessors can use our
 results ... for comparison with their current practice in judging diversity").
+
+The numbers themselves come from the unified evaluation API: ``assess``
+dispatches one :func:`repro.api.evaluate_batch` over the registered
+``moments``, ``exact`` and ``normal`` methods and assembles the report from
+their typed results, so the report, the CLI and study tables can never
+disagree about what a method computes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import evaluate_batch
 from repro.assessment.beta_factor import beta_factor, guaranteed_beta_factor, guaranteed_bound_beta_factor
-from repro.assessment.confidence import ConfidenceClaim, claim_from_system
+from repro.assessment.confidence import ConfidenceClaim
 from repro.assessment.sil import SafetyIntegrityLevel, sil_for_pfd
 from repro.core.fault_model import FaultModel
 from repro.core.gain import DiversityGainSummary, diversity_gain_summary
-from repro.core.normal_approximation import berry_esseen_error
-from repro.core.system import OneOutOfTwoSystem, SingleVersionSystem
+from repro.core.no_common_faults import prob_any_common_fault
 
 __all__ = ["SystemAssessment", "AssessmentReport", "assess"]
 
@@ -115,23 +121,46 @@ class AssessmentReport:
         return "\n".join(lines)
 
 
-def _assess_system(label: str, system, confidence: float) -> SystemAssessment:
-    exact_claim = claim_from_system(system, confidence, method="exact-distribution")
-    normal_claim = claim_from_system(system, confidence, method="normal-approximation")
+def _assess_system(
+    label: str,
+    model: FaultModel,
+    versions: int,
+    confidence: float,
+    moments: dict,
+    exact: dict,
+    normal: dict,
+) -> SystemAssessment:
+    """Assemble one system's assessment from registry-method metrics."""
+    suffix = "single" if versions == 1 else "system"
+    exact_claim = ConfidenceClaim(
+        bound=max(exact["exact_percentile"], 0.0),
+        confidence=confidence,
+        method="exact-distribution",
+    )
+    normal_claim = ConfidenceClaim(
+        bound=max(normal[f"normal_bound_{suffix}"], 0.0),
+        confidence=confidence,
+        method="normal-approximation",
+    )
     return SystemAssessment(
         label=label,
-        mean_pfd=system.mean_pfd(),
-        std_pfd=system.std_pfd(),
-        prob_any_fault=system.prob_any_fault(),
+        mean_pfd=moments[f"mean_{suffix}"],
+        std_pfd=moments[f"std_{suffix}"],
+        prob_any_fault=prob_any_common_fault(model, versions),
         exact_claim=exact_claim,
         normal_claim=normal_claim,
-        normal_error_bound=berry_esseen_error(system.model, system.versions),
+        normal_error_bound=normal[f"berry_esseen_{suffix}"],
         sil=sil_for_pfd(exact_claim.bound),
     )
 
 
 def assess(model: FaultModel, confidence: float = 0.99) -> AssessmentReport:
     """Produce the full assessment report for a fault-creation model.
+
+    The metric values are obtained through the unified evaluation API (one
+    ``evaluate_batch`` over the ``moments``, ``exact`` and ``normal``
+    registered methods), so they are bitwise the numbers ``repro evaluate``
+    and study tables report for the same model and options.
 
     Parameters
     ----------
@@ -143,8 +172,24 @@ def assess(model: FaultModel, confidence: float = 0.99) -> AssessmentReport:
     """
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
-    single = _assess_system("Single version", SingleVersionSystem(model), confidence)
-    pair = _assess_system("1-out-of-2 diverse system", OneOutOfTwoSystem(model), confidence)
+    moments, exact_single, exact_pair, normal = (
+        result.metric_dict()
+        for result in evaluate_batch(
+            model,
+            [
+                ("moments", {"versions": 2}),
+                ("exact", {"versions": 1, "level": confidence}),
+                ("exact", {"versions": 2, "level": confidence}),
+                ("normal", {"versions": 2, "confidence": confidence}),
+            ],
+        )
+    )
+    single = _assess_system(
+        "Single version", model, 1, confidence, moments, exact_single, normal
+    )
+    pair = _assess_system(
+        "1-out-of-2 diverse system", model, 2, confidence, moments, exact_pair, normal
+    )
     return AssessmentReport(
         model=model,
         confidence=confidence,

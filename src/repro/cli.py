@@ -7,14 +7,23 @@ writing any code:
   scenario) and print the full assessment report;
 * ``gain`` -- print the diversity-gain summary as JSON;
 * ``pmax-table`` -- print the Section 5.1 table for arbitrary ``p_max`` values;
-* ``simulate`` -- run the Monte Carlo engine over a model and print the
-  paired single-versus-1-out-of-2 summary as JSON.  ``--chunk-size`` bounds
+* ``simulate`` -- legacy alias (emits a ``DeprecationWarning``; prefer
+  ``evaluate --method montecarlo``): run the Monte Carlo engine over a model
+  and print the paired single-versus-1-out-of-2 summary as JSON.
+  ``--chunk-size`` bounds
   peak memory without changing the sampled values (the chunked path is
   bitwise-identical to the in-memory path for the same ``--seed``);
   ``--jobs`` fans the replications out across worker processes (a distinct,
   statistically equivalent random stream); ``--stream`` switches to the
   constant-memory accumulator summaries recommended for very large
   ``--replications``;
+* ``evaluate`` -- run any registered evaluation method (``repro methods``
+  lists them) on a model and print the typed result as JSON; methods and
+  their options resolve through the :class:`repro.api.MethodRegistry`, so a
+  method registered via :func:`repro.api.register_method` is immediately
+  available here with no CLI changes;
+* ``methods`` -- list the registered evaluation methods with their typed
+  option schemas;
 * ``study run`` / ``study show`` -- execute (or preview) a declarative
   parameter-sweep study (:mod:`repro.studies`): a JSON spec names a base
   scenario or model, sweep axes and methods; the runner evaluates the points
@@ -37,6 +46,8 @@ import json
 import sys
 from typing import Sequence
 
+from repro.api import default_registry
+from repro.api import evaluate as api_evaluate
 from repro.assessment.report import assess
 from repro.core.bounds import pmax_gain_table
 from repro.core.fault_model import FaultModel
@@ -119,6 +130,38 @@ def build_parser() -> argparse.ArgumentParser:
             "summarise into constant-memory streaming accumulators instead of retaining "
             "every sample (recommended for 10^7+ replications)"
         ),
+    )
+
+    evaluate_parser = subparsers.add_parser(
+        "evaluate",
+        help="run one registered evaluation method and print the typed result as JSON",
+    )
+    _add_model_arguments(evaluate_parser)
+    evaluate_parser.add_argument(
+        "--method",
+        required=True,
+        help="registered method name (see 'repro methods')",
+    )
+    evaluate_parser.add_argument(
+        "--set",
+        dest="options",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "method option override (repeatable); VALUE is parsed as JSON "
+            "(so 0.999, 50000, true, null), falling back to a plain string"
+        ),
+    )
+    evaluate_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="random seed for seed-consuming methods (default: the library seed)",
+    )
+
+    subparsers.add_parser(
+        "methods", help="list registered evaluation methods with their option schemas"
     )
 
     study_parser = subparsers.add_parser(
@@ -233,9 +276,76 @@ def _handle_gain(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_option_assignments(assignments: Sequence[str]) -> dict:
+    """Parse repeated ``--set KEY=VALUE`` flags into an option mapping.
+
+    Values are parsed as JSON so numbers, booleans and ``null`` arrive typed;
+    anything that is not valid JSON is kept as a plain string.  Type and name
+    validation is the registry's job, not the parser's.
+    """
+    options: dict = {}
+    for assignment in assignments:
+        key, separator, raw = assignment.partition("=")
+        key = key.strip()
+        if not separator or not key:
+            raise ValueError(
+                f"option {assignment!r} must have the form KEY=VALUE (e.g. level=0.999)"
+            )
+        try:
+            options[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            options[key] = raw
+    return options
+
+
+def _handle_evaluate(arguments: argparse.Namespace) -> int:
+    model = _load_model(arguments)
+    options = _parse_option_assignments(arguments.options)
+    # Pass options as a mapping, not **kwargs: an option named like one of
+    # evaluate()'s own parameters (e.g. "seed") must reach the registry's
+    # "does not accept option" error, not collide with the signature.
+    result = api_evaluate(model, arguments.method, seed=arguments.seed, options=options)
+    print(json.dumps(result.to_dict(), indent=2))
+    return 0
+
+
+def _handle_methods(arguments: argparse.Namespace) -> int:
+    def render_default(value) -> str:
+        return json.dumps(value)
+
+    for definition in default_registry():
+        seed_note = " (consumes the seed)" if definition.requires_seed else ""
+        print(f"{definition.name}{seed_note}")
+        if definition.description:
+            print(f"  {definition.description}")
+        for option in definition.options:
+            kind = option.type + ("|null" if option.allow_none else "")
+            line = f"  --set {option.name}=...  {kind}, default {render_default(option.default)}"
+            if option.help:
+                line += f"  -- {option.help}"
+            print(line)
+    return 0
+
+
 def _handle_simulate(arguments: argparse.Namespace) -> int:
+    import warnings
+
     from repro.montecarlo.engine import MonteCarloEngine
 
+    warnings.warn(
+        "'repro simulate' is a legacy alias; prefer "
+        "'repro evaluate --method montecarlo' (registry-dispatched)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Default warning filters hide DeprecationWarning outside __main__, so
+    # real CLI users would never see the migration hint; say it on stderr
+    # too (stdout stays untouched for JSON consumers).
+    print(
+        "note: 'repro simulate' is a legacy alias; prefer "
+        "'repro evaluate --method montecarlo'",
+        file=sys.stderr,
+    )
     model = _load_model(arguments)
     engine = MonteCarloEngine(model, chunk_size=arguments.chunk_size, jobs=arguments.jobs)
     if arguments.stream:
@@ -316,6 +426,8 @@ _HANDLERS = {
     "pmax-table": _handle_pmax_table,
     "assess": _handle_assess,
     "gain": _handle_gain,
+    "evaluate": _handle_evaluate,
+    "methods": _handle_methods,
     "simulate": _handle_simulate,
     "study": _handle_study,
 }

@@ -6,9 +6,9 @@ of model evaluations:
 * :mod:`~repro.studies.spec` -- :class:`StudySpec`: base scenario/model,
   sweep axes (grid, zipped, lin/log ranges) and the methods to run per point;
 * :mod:`~repro.studies.grid` -- expansion into concrete evaluation points;
-* :mod:`~repro.studies.methods` -- per-point evaluation (exact PFD
-  distribution, normal approximation, moments, guaranteed bounds,
-  Monte Carlo);
+* :mod:`~repro.studies.methods` -- per-point model resolution and dispatch
+  through the unified evaluation API (:mod:`repro.api`), so any method in
+  the :class:`~repro.api.registry.MethodRegistry` is usable in a spec;
 * :mod:`~repro.studies.cache` -- content-addressed on-disk result cache
   keyed by point content, so re-runs are incremental;
 * :mod:`~repro.studies.runner` -- cache-aware parallel execution with
@@ -21,7 +21,12 @@ Exposed on the command line as ``python -m repro study run|show``.
 
 from repro.studies.cache import CACHE_FORMAT_VERSION, ResultCache, canonical_json, payload_digest
 from repro.studies.grid import StudyPoint, expand_points
-from repro.studies.methods import evaluate_point, resolve_model, split_point_params
+from repro.studies.methods import (
+    evaluate_point,
+    evaluate_study_point,
+    resolve_model,
+    split_point_params,
+)
 from repro.studies.results import StudyResult
 from repro.studies.runner import PlannedPoint, plan_study, point_seed_entropy, run_study
 from repro.studies.spec import MethodSpec, StudySpec, SweepAxis
@@ -37,6 +42,7 @@ __all__ = [
     "SweepAxis",
     "canonical_json",
     "evaluate_point",
+    "evaluate_study_point",
     "expand_points",
     "payload_digest",
     "plan_study",

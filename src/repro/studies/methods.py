@@ -1,4 +1,4 @@
-"""Per-point evaluation: resolve the model, run one method, return metrics.
+"""Per-point evaluation: resolve the model, dispatch one method via the API.
 
 A study point carries axis assignments (``params``) and a method.  Each
 parameter is consumed by exactly one of three layers:
@@ -8,28 +8,35 @@ parameter is consumed by exactly one of three layers:
 * **model transforms** -- ``p_scale`` (``FaultModel.scaled``, the Appendix B
   process-quality knob) and ``q_scale`` (uniform failure-region scaling),
   applied after the base model is built;
-* **method options** -- anything the point's method accepts
-  (``versions``, ``replications``, ``correlation``, ...); an axis value
-  overrides the method's statically configured option.
+* **method options** -- anything the point's method accepts per its
+  :class:`~repro.api.registry.MethodRegistry` schema (``versions``,
+  ``replications``, ``correlation``, ...); an axis value overrides the
+  method's statically configured option.
 
 Anything else is rejected up front by :func:`split_point_params`, so a typo
 in a sweep axis fails before any evaluation starts.
+
+The evaluation itself is one :func:`repro.api.evaluate` call -- the study
+subsystem owns *which* points to run and how to cache them, not how any
+method works.
 """
 
 from __future__ import annotations
 
 import inspect
+import warnings
 from typing import Any, Mapping
 
-import numpy as np
-
+from repro.api import evaluate as api_evaluate
+from repro.api.registry import default_registry
 from repro.core.fault_model import FaultModel
-from repro.studies.spec import METHOD_OPTION_DEFAULTS, MethodSpec
+from repro.studies.spec import MethodSpec
 
 __all__ = [
     "MODEL_TRANSFORM_PARAMS",
     "canonical_model_params",
     "evaluate_point",
+    "evaluate_study_point",
     "resolve_model",
     "split_point_params",
 ]
@@ -64,7 +71,7 @@ def split_point_params(
     layer consumes raises ``ValueError``.
     """
     factory_names = _base_factory_parameters(base)
-    method_names = METHOD_OPTION_DEFAULTS[method.name]
+    method_names = default_registry().get(method.name).option_names
     factory_kwargs: dict[str, Any] = {}
     transforms: dict[str, Any] = {}
     method_overrides: dict[str, Any] = {}
@@ -134,7 +141,7 @@ def resolve_model(base: Mapping, factory_kwargs: Mapping, transforms: Mapping) -
     return model
 
 
-def evaluate_point(
+def evaluate_study_point(
     base: Mapping,
     params: Mapping[str, Any],
     method: MethodSpec,
@@ -143,152 +150,32 @@ def evaluate_point(
     """Run one method at one sweep point and return its flat metric record.
 
     ``params`` must contain only parameters this point consumes (the runner
-    strips other methods' axes before calling).
+    strips other methods' axes before calling).  Dispatch goes through
+    :func:`repro.api.evaluate`; the metric record is the result's metrics,
+    exactly what the content-addressed cache stores.
     """
     factory_kwargs, transforms, overrides, _ = split_point_params(base, params, method)
     model = resolve_model(base, factory_kwargs, transforms)
     options = {**dict(method.options), **overrides}
-    return _METHODS[method.name](model, options, seed_entropy)
+    result = api_evaluate(model, method.name, seed=tuple(seed_entropy), **options)
+    return result.metric_dict()
 
 
-# --------------------------------------------------------------------- #
-# Method implementations
-# --------------------------------------------------------------------- #
-def _moments_method(model: FaultModel, options: dict, seed_entropy) -> dict:
-    from repro.core.moments import expected_fault_count, pfd_moments
-    from repro.core.pfd_distribution import prob_pfd_zero
+def evaluate_point(
+    base: Mapping,
+    params: Mapping[str, Any],
+    method: MethodSpec,
+    seed_entropy: tuple[int, ...],
+) -> dict[str, Any]:
+    """Deprecated alias of :func:`evaluate_study_point` (the pre-registry name).
 
-    versions = int(options["versions"])
-    single = pfd_moments(model, 1)
-    system = pfd_moments(model, versions)
-    return {
-        "mean_single": single.mean,
-        "std_single": single.std,
-        "mean_system": system.mean,
-        "std_system": system.std,
-        "mean_ratio": system.mean / single.mean if single.mean else 1.0,
-        "expected_faults_single": expected_fault_count(model, 1),
-        "expected_faults_system": expected_fault_count(model, versions),
-        "prob_pfd_zero_single": prob_pfd_zero(model, 1),
-        "prob_pfd_zero_system": prob_pfd_zero(model, versions),
-    }
-
-
-def _exact_method(model: FaultModel, options: dict, seed_entropy) -> dict:
-    from repro.core.pfd_distribution import exact_pfd_distribution
-
-    versions = int(options["versions"])
-    max_support = options["max_support"]
-    max_support = None if max_support is None else int(max_support)
-    level = float(options["level"])
-    distribution = exact_pfd_distribution(model, versions, max_support=max_support)
-    record = {
-        "exact_mean": distribution.mean(),
-        "exact_std": distribution.std(),
-        "exact_percentile_level": level,
-        "exact_percentile": distribution.quantile(level),
-        "exact_support": int(distribution.support.size),
-    }
-    if options["threshold"] is not None:
-        threshold = float(options["threshold"])
-        record["exact_threshold"] = threshold
-        record["exact_exceedance"] = distribution.survival(threshold)
-    return record
-
-
-def _normal_method(model: FaultModel, options: dict, seed_entropy) -> dict:
-    from repro.core.normal_approximation import (
-        berry_esseen_error,
-        bound_gain_ratio,
-        normal_approximation,
+    Kept so existing callers survive the unified-API refactor; emits a
+    ``DeprecationWarning`` and returns the identical metric record.
+    """
+    warnings.warn(
+        "repro.studies.evaluate_point is deprecated; use "
+        "repro.studies.evaluate_study_point (or repro.evaluate for a resolved model)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    from repro.stats.normal import k_factor_for_confidence
-
-    versions = int(options["versions"])
-    confidence = float(options["confidence"])
-    k = k_factor_for_confidence(confidence)
-    single = normal_approximation(model, 1)
-    system = normal_approximation(model, versions)
-    return {
-        "confidence": confidence,
-        "k_factor": k,
-        "normal_bound_single": single.bound(k),
-        "normal_bound_system": system.bound(k),
-        "normal_bound_ratio": bound_gain_ratio(model, k) if versions == 2 else (
-            system.bound(k) / single.bound(k) if single.bound(k) else 1.0
-        ),
-        "berry_esseen_single": berry_esseen_error(model, 1),
-        "berry_esseen_system": berry_esseen_error(model, versions),
-    }
-
-
-def _bounds_method(model: FaultModel, options: dict, seed_entropy) -> dict:
-    from repro.core.bounds import (
-        confidence_bound_from_moments,
-        mean_gain_factor,
-        std_gain_factor,
-    )
-    from repro.core.moments import pfd_moments
-    from repro.stats.normal import k_factor_for_confidence
-
-    confidence = float(options["confidence"])
-    k = k_factor_for_confidence(confidence)
-    single = pfd_moments(model, 1)
-    single_bound = single.bound(k)
-    guaranteed = confidence_bound_from_moments(single.mean, single.std, model.p_max, k)
-    return {
-        "confidence": confidence,
-        "p_max": model.p_max,
-        "mean_gain_factor": mean_gain_factor(model.p_max),
-        "std_gain_factor": std_gain_factor(model.p_max),
-        "bound_single": single_bound,
-        "guaranteed_bound_system": guaranteed,
-        "guaranteed_bound_ratio": guaranteed / single_bound if single_bound else 1.0,
-    }
-
-
-def _montecarlo_method(model: FaultModel, options: dict, seed_entropy) -> dict:
-    from repro.montecarlo.engine import MonteCarloEngine
-
-    versions = int(options["versions"])
-    replications = int(options["replications"])
-    chunk_size = options["chunk_size"]
-    chunk_size = None if chunk_size is None else int(chunk_size)
-    correlation = float(options["correlation"])
-    process = None
-    if correlation != 0.0:
-        from repro.versions.correlated import CopulaDevelopmentProcess
-
-        process = CopulaDevelopmentProcess(model=model, correlation=correlation)
-    engine = MonteCarloEngine(
-        model, process=process, chunk_size=chunk_size, jobs=int(options["mc_jobs"])
-    )
-    rng = np.random.default_rng(np.random.SeedSequence(list(seed_entropy)))
-    record: dict[str, Any] = {
-        "mc_replications": replications,
-        "mc_correlation": correlation,
-    }
-    if versions == 2:
-        summary = engine.simulate_paired_streaming(replications, rng=rng).summary()
-        summary.pop("replications", None)
-        record.update({f"mc_{key}": value for key, value in summary.items()})
-    else:
-        result = engine.simulate_systems_streaming(replications, versions=versions, rng=rng)
-        record.update(
-            {
-                "mc_mean_system": result.mean_pfd(),
-                "mc_std_system": result.std_pfd(),
-                "mc_prob_any_fault": result.prob_any_fault(),
-                "mc_prob_pfd_zero": result.prob_pfd_zero(),
-            }
-        )
-    return record
-
-
-_METHODS = {
-    "moments": _moments_method,
-    "exact": _exact_method,
-    "normal": _normal_method,
-    "bounds": _bounds_method,
-    "montecarlo": _montecarlo_method,
-}
+    return evaluate_study_point(base, params, method, seed_entropy)

@@ -35,11 +35,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.api.registry import default_registry
 from repro.studies.cache import CACHE_FORMAT_VERSION, ResultCache, payload_digest
 from repro.studies.grid import StudyPoint, expand_points
-from repro.studies.methods import canonical_model_params, evaluate_point, split_point_params
+from repro.studies.methods import canonical_model_params, evaluate_study_point, split_point_params
 from repro.studies.results import StudyResult
-from repro.studies.spec import METHOD_OPTION_DEFAULTS, STOCHASTIC_METHODS, StudySpec
+from repro.studies.spec import StudySpec
 
 __all__ = ["PlannedPoint", "plan_study", "point_seed_entropy", "run_study"]
 
@@ -65,12 +66,13 @@ def plan_study(spec: StudySpec) -> list[PlannedPoint]:
     Raises ``ValueError`` on the first axis parameter no layer consumes, so a
     bad spec fails before any evaluation starts.
     """
+    registry = default_registry()
+    option_names = {
+        method.name: set(registry.get(method.name).option_names) for method in spec.methods
+    }
     other_options = {
         method.name: frozenset(
-            set().union(
-                *(METHOD_OPTION_DEFAULTS[peer.name] for peer in spec.methods)
-            )
-            - set(METHOD_OPTION_DEFAULTS[method.name])
+            set().union(*option_names.values()) - option_names[method.name]
         )
         for method in spec.methods
     }
@@ -84,15 +86,21 @@ def plan_study(spec: StudySpec) -> list[PlannedPoint]:
             "cache": CACHE_FORMAT_VERSION,
             "base": dict(spec.base),
             # Every default is materialised -- scenario-factory defaults into
-            # "params", method options (plus any axis overrides, mirroring
-            # evaluate_point's merge) into "method" -- so the key covers
+            # "params", the registry's canonical resolved options (statically
+            # configured options plus any axis overrides, mirroring the
+            # evaluation's merge) into "method" -- so the key covers
             # everything the evaluation depends on and a value spelled out
             # explicitly hashes the same as the implicit default.
             "params": canonical_model_params(spec.base, factory_kwargs, transforms),
-            "method": {**point.method.to_dict(), **overrides},
+            "method": {
+                "name": point.method.name,
+                **registry.resolve_options(
+                    point.method.name, {**dict(point.method.options), **overrides}
+                ),
+            },
             # Deterministic methods never consume randomness, so their keys
             # (and cached records) survive a study-seed change.
-            "entropy": spec.seed if point.method.name in STOCHASTIC_METHODS else None,
+            "entropy": spec.seed if registry.get(point.method.name).requires_seed else None,
         }
         planned.append(
             PlannedPoint(
@@ -114,7 +122,7 @@ def _evaluate_planned(arguments: tuple) -> tuple[str, Any]:
     """
     base, consumed_params, method, seed_entropy = arguments
     try:
-        return ("ok", evaluate_point(base, dict(consumed_params), method, seed_entropy))
+        return ("ok", evaluate_study_point(base, dict(consumed_params), method, seed_entropy))
     except Exception as error:  # noqa: BLE001 - reported with point context by run_study
         return ("error", f"{type(error).__name__}: {error}")
 

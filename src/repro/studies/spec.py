@@ -37,6 +37,13 @@ a registered scenario (``{"scenario": ...}``), an inline fault model
 (``{"model": {...}}`` in :meth:`repro.core.fault_model.FaultModel.to_dict`
 format) or a model file (``{"model_file": "path.json"}``, inlined at load
 time so cache keys depend on the model *content*, never on the path).
+
+``methods`` entries name any method registered on the
+:class:`repro.api.MethodRegistry` (``moments``, ``exact``, ``normal``,
+``bounds``, ``montecarlo``, ``tail-quantile``, plus custom registrations);
+their options are resolved against the registry's typed schemas at parse
+time, so unknown methods, unknown options and wrong option types all fail
+before any evaluation starts.
 """
 
 from __future__ import annotations
@@ -49,13 +56,10 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.api.registry import default_registry
 from repro.stats.rng import DEFAULT_SEED
 
 __all__ = ["MethodSpec", "StudySpec", "SweepAxis"]
-
-#: Methods whose evaluation consumes randomness; only their cache keys (and
-#: seed entropy) depend on the study seed.
-STOCHASTIC_METHODS = frozenset({"montecarlo"})
 
 
 def _require_mapping(data: Any, what: str) -> Mapping:
@@ -163,47 +167,26 @@ class SweepAxis:
         return {"name": self.name, "values": list(self.values)}
 
 
-#: Method names -> the options each accepts (with their defaults).  Options
-#: are normalised against these at parse time so two specs that mean the same
-#: evaluation hash to the same cache key.
-METHOD_OPTION_DEFAULTS: dict[str, dict[str, Any]] = {
-    "moments": {"versions": 2},
-    "exact": {"versions": 2, "max_support": 4096, "level": 0.99, "threshold": None},
-    "normal": {"versions": 2, "confidence": 0.99},
-    "bounds": {"confidence": 0.99},
-    "montecarlo": {
-        "versions": 2,
-        "replications": 10_000,
-        "chunk_size": None,
-        "mc_jobs": 1,
-        "correlation": 0.0,
-    },
-}
-
-
 @dataclass(frozen=True)
 class MethodSpec:
-    """One evaluation method with its (normalised) options."""
+    """One evaluation method with its (normalised) options.
+
+    Method names and option schemas come from the
+    :class:`~repro.api.registry.MethodRegistry`: options are resolved to the
+    registry's canonical form (every schema default materialised, every
+    override validated) at parse time, so two specs that mean the same
+    evaluation hash to the same cache key -- and a method registered via
+    :func:`repro.api.register_method` is immediately usable in specs.
+    """
 
     name: str
     options: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.name not in METHOD_OPTION_DEFAULTS:
-            raise ValueError(
-                f"unknown method {self.name!r}; available: "
-                f"{', '.join(sorted(METHOD_OPTION_DEFAULTS))}"
-            )
-        defaults = METHOD_OPTION_DEFAULTS[self.name]
-        merged = dict(defaults)
-        for key, value in dict(self.options).items():
-            if key not in defaults:
-                raise ValueError(
-                    f"method {self.name!r} does not accept option {key!r}; "
-                    f"accepted: {', '.join(sorted(defaults))}"
-                )
-            merged[key] = value
-        object.__setattr__(self, "options", tuple(sorted(merged.items())))
+        # Raises "unknown method ..." / "... does not accept option ..." /
+        # wrong-type ValueErrors with the registry's catalogue in the message.
+        resolved = default_registry().resolve_options(self.name, dict(self.options))
+        object.__setattr__(self, "options", tuple(sorted(resolved.items())))
 
     @staticmethod
     def from_dict(data: Mapping) -> "MethodSpec":

@@ -1,0 +1,71 @@
+"""Tests for the typed evaluation result/request value objects."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import EvaluationRequest, EvaluationResult
+
+
+def make_result(**overrides) -> EvaluationResult:
+    payload = dict(
+        method="exact",
+        options={"versions": 2, "max_support": 256, "level": 0.99, "threshold": None},
+        metrics={"exact_mean": 1.5e-5, "exact_support": 32},
+        seed_entropy=None,
+        elapsed_seconds=0.0123,
+    )
+    payload.update(overrides)
+    return EvaluationResult(**payload)
+
+
+class TestEvaluationResult:
+    def test_round_trips_through_dict_and_json(self):
+        result = make_result(seed_entropy=(7, 123))
+        again = EvaluationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert again == result
+
+    def test_options_and_metrics_are_sorted_items(self):
+        result = make_result()
+        assert result.options == tuple(sorted(result.options))
+        assert result.metric_dict()["exact_mean"] == 1.5e-5
+        assert result.option_dict()["max_support"] == 256
+
+    def test_metric_access_by_subscript(self):
+        result = make_result()
+        assert result["exact_support"] == 32
+        with pytest.raises(KeyError, match="no metric 'nope'"):
+            result["nope"]
+
+    def test_from_dict_rejects_unknown_keys_and_wrong_shapes(self):
+        with pytest.raises(ValueError, match="unknown result keys"):
+            EvaluationResult.from_dict({"method": "exact", "bogus": 1})
+        with pytest.raises(ValueError, match="must be a mapping"):
+            EvaluationResult.from_dict([1, 2])
+
+    def test_equal_results_compare_equal_and_hash_equal(self):
+        assert make_result() == make_result()
+        assert hash(make_result()) == hash(make_result())
+
+
+class TestEvaluationRequest:
+    def test_coerce_spellings_agree(self):
+        by_name = EvaluationRequest.coerce("moments")
+        by_pair = EvaluationRequest.coerce(("moments", {}))
+        by_mapping = EvaluationRequest.coerce({"method": "moments"})
+        assert by_name == by_pair == by_mapping
+
+    def test_mapping_options_are_extracted(self):
+        request = EvaluationRequest.coerce({"method": "exact", "level": 0.999})
+        assert request.method == "exact"
+        assert request.option_dict() == {"level": 0.999}
+
+    def test_bad_requests_rejected(self):
+        with pytest.raises(ValueError, match="needs a 'method' key"):
+            EvaluationRequest.coerce({"level": 0.9})
+        with pytest.raises(ValueError, match="must be a method name"):
+            EvaluationRequest.coerce(42)
+        with pytest.raises(ValueError, match="needs a method name"):
+            EvaluationRequest(method="")

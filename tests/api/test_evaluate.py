@@ -1,0 +1,173 @@
+"""Tests for the top-level evaluate / evaluate_batch entry points."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import evaluate, evaluate_batch
+from repro.api import MethodRegistry, OptionSpec, register_method
+from repro.core.moments import pfd_moments
+from repro.core.pfd_distribution import exact_pfd_distribution
+
+
+class TestEvaluate:
+    def test_moments_agree_with_library(self, small_model):
+        result = evaluate(small_model, "moments")
+        assert result["mean_single"] == pfd_moments(small_model, 1).mean
+        assert result["mean_system"] == pfd_moments(small_model, 2).mean
+        assert result.method == "moments"
+        assert result.option_dict() == {"versions": 2}
+        assert result.seed_entropy is None  # deterministic
+        assert result.elapsed_seconds >= 0.0
+
+    def test_tail_quantile_agrees_with_distribution(self, small_model):
+        result = evaluate(
+            small_model, "tail-quantile", level=0.999, threshold=1e-4, max_support=256
+        )
+        distribution = exact_pfd_distribution(small_model, 2, max_support=256)
+        assert result["tail_quantile"] == distribution.quantile(0.999)
+        assert result["tail_exceedance"] == distribution.survival(1e-4)
+        assert result["tail_prob_zero"] == distribution.prob_zero()
+
+    def test_montecarlo_reproducible_per_seed(self, small_model):
+        first = evaluate(small_model, "montecarlo", seed=7, replications=2000)
+        second = evaluate(small_model, "montecarlo", seed=7, replications=2000)
+        different = evaluate(small_model, "montecarlo", seed=8, replications=2000)
+        assert first.metrics == second.metrics
+        assert first.metrics != different.metrics
+        assert first.seed_entropy == (7,)
+
+    def test_no_seed_still_means_reproducible(self, small_model):
+        first = evaluate(small_model, "montecarlo", replications=1000)
+        second = evaluate(small_model, "montecarlo", replications=1000)
+        assert first.metrics == second.metrics
+
+    def test_seed_spellings(self, small_model):
+        by_tuple = evaluate(small_model, "montecarlo", seed=(7,), replications=1000)
+        by_int = evaluate(small_model, "montecarlo", seed=7, replications=1000)
+        assert by_tuple.metrics == by_int.metrics
+        rng = np.random.default_rng(np.random.SeedSequence([7]))
+        by_generator = evaluate(small_model, "montecarlo", seed=rng, replications=1000)
+        assert by_generator.metrics == by_int.metrics
+        assert by_generator.seed_entropy is None  # live generator: unrecordable
+
+    def test_bad_seed_rejected(self, small_model):
+        with pytest.raises(ValueError, match="seed must be"):
+            evaluate(small_model, "montecarlo", seed=1.5)
+
+    def test_unknown_method_and_option_rejected(self, small_model):
+        with pytest.raises(ValueError, match="unknown method"):
+            evaluate(small_model, "frobnicate")
+        with pytest.raises(ValueError, match="does not accept option"):
+            evaluate(small_model, "moments", replications=10)
+
+    def test_custom_registry_dispatch(self, small_model):
+        registry = MethodRegistry()
+
+        @register_method(
+            "mean-only",
+            options=(OptionSpec("versions", "int", 2),),
+            registry=registry,
+        )
+        def mean_only(model, options, rng):
+            return {"mean": pfd_moments(model, int(options["versions"])).mean}
+
+        result = evaluate(small_model, "mean-only", registry=registry, versions=1)
+        assert result["mean"] == pfd_moments(small_model, 1).mean
+        with pytest.raises(ValueError, match="unknown method 'moments'"):
+            evaluate(small_model, "moments", registry=registry)
+
+    def test_non_mapping_metrics_rejected(self, small_model):
+        registry = MethodRegistry()
+
+        @register_method("broken", registry=registry)
+        def broken(model, options, rng):
+            return 3.14
+
+        with pytest.raises(TypeError, match="must return a mapping"):
+            evaluate(small_model, "broken", registry=registry)
+
+
+class TestEvaluateBatch:
+    REQUESTS = [
+        "moments",
+        ("montecarlo", {"replications": 1000}),
+        {"method": "tail-quantile", "level": 0.999},
+    ]
+
+    def test_results_in_request_order(self, small_model):
+        results = evaluate_batch(small_model, self.REQUESTS, seed=5)
+        assert [result.method for result in results] == [
+            "moments", "montecarlo", "tail-quantile",
+        ]
+
+    def test_parallel_equals_sequential(self, small_model):
+        sequential = evaluate_batch(small_model, self.REQUESTS, seed=5, jobs=1)
+        parallel = evaluate_batch(small_model, self.REQUESTS, seed=5, jobs=3)
+        assert [r.metrics for r in sequential] == [r.metrics for r in parallel]
+        assert [r.options for r in sequential] == [r.options for r in parallel]
+
+    def test_streams_are_per_request_index(self, small_model):
+        # Two identical montecarlo requests in one batch must not share a stream.
+        results = evaluate_batch(
+            small_model,
+            [("montecarlo", {"replications": 1000}), ("montecarlo", {"replications": 1000})],
+            seed=5,
+        )
+        assert results[0].metrics != results[1].metrics
+        assert results[0].seed_entropy == (5, 0)
+        assert results[1].seed_entropy == (5, 1)
+
+    def test_whole_batch_validated_before_any_evaluation(self, small_model):
+        with pytest.raises(ValueError, match="does not accept option"):
+            evaluate_batch(
+                small_model,
+                [("montecarlo", {"replications": 10_000_000}), ("moments", {"bogus": 1})],
+            )
+
+    def test_invalid_jobs_and_seed_rejected(self, small_model):
+        with pytest.raises(ValueError, match="jobs"):
+            evaluate_batch(small_model, ["moments"], jobs=0)
+        with pytest.raises(ValueError, match="integer seed"):
+            evaluate_batch(small_model, ["moments"], seed=np.random.default_rng(1))
+
+
+class TestOptionSpellings:
+    def test_options_mapping_equals_kwargs(self, small_model):
+        by_kwargs = evaluate(small_model, "exact", level=0.999, max_support=256)
+        by_mapping = evaluate(
+            small_model, "exact", options={"level": 0.999, "max_support": 256}
+        )
+        assert by_kwargs.metrics == by_mapping.metrics
+        assert by_kwargs.options == by_mapping.options
+
+    def test_kwargs_win_over_mapping(self, small_model):
+        result = evaluate(small_model, "exact", options={"level": 0.9}, level=0.999)
+        assert result.option_dict()["level"] == 0.999
+
+    def test_colliding_option_name_reaches_the_registry(self, small_model):
+        # An option literally named "seed" must produce the registry's
+        # unknown-option ValueError via the mapping spelling, not a TypeError.
+        with pytest.raises(ValueError, match="does not accept option 'seed'"):
+            evaluate(small_model, "moments", options={"seed": 5})
+
+    def test_custom_registry_with_jobs_rejected(self, small_model):
+        registry = MethodRegistry()
+        with pytest.raises(ValueError, match="default registry"):
+            evaluate_batch(small_model, [], jobs=2, registry=registry)
+
+
+class TestUnregister:
+    def test_unregister_roundtrip(self, small_model):
+        registry = MethodRegistry()
+
+        @register_method("temp", registry=registry)
+        def temp(model, options, rng):
+            return {"x": 1}
+
+        definition = registry.unregister("temp")
+        assert definition.evaluate is temp
+        assert "temp" not in registry
+        with pytest.raises(ValueError, match="unknown method 'temp'"):
+            registry.unregister("temp")

@@ -1,0 +1,88 @@
+"""API-surface snapshot: the public names of ``repro`` and ``repro.api``.
+
+Changing either surface is an intentional, reviewable act: update the
+snapshot below in the same commit as the export change.  The test fails on
+*any* drift -- an accidentally removed export breaks downstream users, an
+accidentally added one becomes compatibility baggage.
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.api
+
+REPRO_PUBLIC_NAMES = (
+    "DiversityGainSummary",
+    "EvaluationRequest",
+    "EvaluationResult",
+    "FaultClass",
+    "FaultModel",
+    "IndependentDevelopmentProcess",
+    "MethodDefinition",
+    "MethodRegistry",
+    "MonteCarloEngine",
+    "OneOutOfTwoSystem",
+    "OptionSpec",
+    "PfdMoments",
+    "PoissonBinomial",
+    "SingleVersionSystem",
+    "__version__",
+    "confidence_bound_from_bound",
+    "confidence_bound_from_moments",
+    "default_registry",
+    "diversity_gain_summary",
+    "evaluate",
+    "evaluate_batch",
+    "exact_pfd_distribution",
+    "fault_count_distribution",
+    "mean_gain_factor",
+    "normal_approximation",
+    "pfd_moments",
+    "pmax_gain_table",
+    "prob_any_common_fault",
+    "prob_any_fault",
+    "prob_fault_free_pair",
+    "prob_fault_free_version",
+    "proportional_improvement_derivative",
+    "register_method",
+    "risk_ratio",
+    "risk_ratio_partial_derivative",
+    "single_fault_reversal_point",
+    "single_version_mean",
+    "single_version_std",
+    "std_gain_factor",
+    "success_ratio",
+    "two_fault_reversal_point",
+    "two_version_mean",
+    "two_version_std",
+)
+
+REPRO_API_PUBLIC_NAMES = (
+    "EvaluationRequest",
+    "EvaluationResult",
+    "MethodDefinition",
+    "MethodRegistry",
+    "OptionSpec",
+    "default_registry",
+    "evaluate",
+    "evaluate_batch",
+    "register_method",
+)
+
+
+class TestApiSurface:
+    def test_repro_all_matches_snapshot(self):
+        assert tuple(sorted(repro.__all__)) == REPRO_PUBLIC_NAMES
+
+    def test_repro_api_all_matches_snapshot(self):
+        assert tuple(sorted(repro.api.__all__)) == REPRO_API_PUBLIC_NAMES
+
+    def test_every_advertised_name_exists(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name, None) is not None, name
+
+    def test_no_duplicate_exports(self):
+        assert len(set(repro.__all__)) == len(repro.__all__)
+        assert len(set(repro.api.__all__)) == len(repro.api.__all__)

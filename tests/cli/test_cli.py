@@ -250,3 +250,98 @@ class TestStudyCommand:
         ]) == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["cache_dir"] is None
+
+
+class TestMethodsCommand:
+    def test_lists_every_registered_method_with_schema(self, capsys):
+        from repro.api import default_registry
+
+        assert main(["methods"]) == 0
+        output = capsys.readouterr().out
+        for definition in default_registry():
+            assert definition.name in output
+            for option in definition.options:
+                assert f"--set {option.name}=" in output
+
+    def test_tail_quantile_is_listed(self, capsys):
+        assert main(["methods"]) == 0
+        assert "tail-quantile" in capsys.readouterr().out
+
+
+class TestEvaluateCommand:
+    def test_runs_a_registered_method(self, capsys, model_file):
+        assert main([
+            "evaluate", "--model", model_file, "--method", "moments",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["method"] == "moments"
+        assert data["options"] == {"versions": 2}
+        assert data["metrics"]["mean_system"] <= data["metrics"]["mean_single"]
+        assert data["seed_entropy"] is None
+
+    def test_tail_quantile_from_the_cli(self, capsys):
+        assert main([
+            "evaluate", "--scenario", "high-quality", "--method", "tail-quantile",
+            "--set", "level=0.999", "--set", "threshold=1e-4",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["options"]["level"] == 0.999
+        assert 0.0 <= data["metrics"]["tail_exceedance"] <= 1.0
+
+    def test_montecarlo_seed_is_reproducible(self, capsys, model_file):
+        arguments = [
+            "evaluate", "--model", model_file, "--method", "montecarlo",
+            "--set", "replications=2000", "--seed", "7",
+        ]
+        assert main(arguments) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(arguments) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["metrics"] == second["metrics"]
+        assert first["seed_entropy"] == [7]
+
+    def test_null_option_value_parses(self, capsys):
+        assert main([
+            "evaluate", "--scenario", "high-quality", "--method", "exact",
+            "--set", "max_support=null",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["options"]["max_support"] is None
+
+    def test_unknown_method_exits_2(self, capsys, model_file):
+        assert main(["evaluate", "--model", model_file, "--method", "frobnicate"]) == 2
+        error = capsys.readouterr().err
+        assert "error:" in error and "unknown method" in error
+        assert error.strip().count("\n") == 0  # one line, no traceback
+
+    def test_unknown_option_exits_2(self, capsys, model_file):
+        assert main([
+            "evaluate", "--model", model_file, "--method", "moments", "--set", "bogus=1",
+        ]) == 2
+        assert "does not accept option" in capsys.readouterr().err
+
+    def test_wrong_option_type_exits_2(self, capsys, model_file):
+        assert main([
+            "evaluate", "--model", model_file, "--method", "exact", "--set", "level=high",
+        ]) == 2
+        assert "expects float" in capsys.readouterr().err
+
+    def test_malformed_assignment_exits_2(self, capsys, model_file):
+        assert main([
+            "evaluate", "--model", model_file, "--method", "moments", "--set", "versions",
+        ]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_malformed_model_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert main(["evaluate", "--model", str(path), "--method", "moments"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_reserved_looking_option_name_exits_2_not_traceback(self, capsys, model_file):
+        # "seed" collides with evaluate()'s own parameter; it must surface as
+        # the registry's unknown-option error, not a TypeError traceback.
+        assert main([
+            "evaluate", "--model", model_file, "--method", "moments", "--set", "seed=5",
+        ]) == 2
+        assert "does not accept option 'seed'" in capsys.readouterr().err

@@ -9,7 +9,7 @@ from repro.core.fault_model import FaultModel
 from repro.core.moments import pfd_moments
 from repro.core.pfd_distribution import exact_pfd_distribution
 from repro.experiments.scenarios import many_small_faults_scenario
-from repro.studies import MethodSpec, evaluate_point, resolve_model, split_point_params
+from repro.studies import MethodSpec, evaluate_study_point, resolve_model, split_point_params
 
 SCENARIO_BASE = {"scenario": "many-small-faults"}
 
@@ -69,13 +69,13 @@ class TestResolveModel:
 
 class TestMethods:
     def test_moments_agrees_with_library(self, small_model):
-        record = evaluate_point(inline_base(small_model), {}, MethodSpec(name="moments"), (0, 1))
+        record = evaluate_study_point(inline_base(small_model), {}, MethodSpec(name="moments"), (0, 1))
         assert record["mean_single"] == pfd_moments(small_model, 1).mean
         assert record["mean_system"] == pfd_moments(small_model, 2).mean
         assert record["std_system"] == pfd_moments(small_model, 2).std
 
     def test_exact_agrees_with_distribution(self, small_model):
-        record = evaluate_point(
+        record = evaluate_study_point(
             inline_base(small_model),
             {"max_support": 256},
             MethodSpec(name="exact", options=(("level", 0.95),)),
@@ -86,9 +86,9 @@ class TestMethods:
         assert record["exact_percentile"] == distribution.quantile(0.95)
 
     def test_exact_threshold_metric_is_optional(self, small_model):
-        without = evaluate_point(inline_base(small_model), {}, MethodSpec(name="exact"), (0, 1))
+        without = evaluate_study_point(inline_base(small_model), {}, MethodSpec(name="exact"), (0, 1))
         assert "exact_exceedance" not in without
-        with_threshold = evaluate_point(
+        with_threshold = evaluate_study_point(
             inline_base(small_model),
             {},
             MethodSpec(name="exact", options=(("threshold", 1e-4),)),
@@ -97,8 +97,8 @@ class TestMethods:
         assert 0.0 <= with_threshold["exact_exceedance"] <= 1.0
 
     def test_normal_and_bounds_are_consistent(self, small_model):
-        normal = evaluate_point(inline_base(small_model), {}, MethodSpec(name="normal"), (0, 1))
-        bounds = evaluate_point(inline_base(small_model), {}, MethodSpec(name="bounds"), (0, 1))
+        normal = evaluate_study_point(inline_base(small_model), {}, MethodSpec(name="normal"), (0, 1))
+        bounds = evaluate_study_point(inline_base(small_model), {}, MethodSpec(name="bounds"), (0, 1))
         assert normal["k_factor"] == pytest.approx(2.326, abs=5e-3)
         # The guaranteed (p_max) bound must dominate the direct system bound.
         assert bounds["guaranteed_bound_system"] >= normal["normal_bound_system"] - 1e-15
@@ -106,14 +106,14 @@ class TestMethods:
 
     def test_montecarlo_is_reproducible_per_entropy(self, small_model):
         method = MethodSpec(name="montecarlo", options=(("replications", 2000),))
-        first = evaluate_point(inline_base(small_model), {}, method, (7, 123))
-        second = evaluate_point(inline_base(small_model), {}, method, (7, 123))
-        different = evaluate_point(inline_base(small_model), {}, method, (7, 124))
+        first = evaluate_study_point(inline_base(small_model), {}, method, (7, 123))
+        second = evaluate_study_point(inline_base(small_model), {}, method, (7, 123))
+        different = evaluate_study_point(inline_base(small_model), {}, method, (7, 124))
         assert first == second
         assert first != different
 
     def test_montecarlo_correlation_and_versions(self, small_model):
-        record = evaluate_point(
+        record = evaluate_study_point(
             inline_base(small_model),
             {"correlation": 0.5, "replications": 2000},
             MethodSpec(name="montecarlo"),
@@ -121,7 +121,7 @@ class TestMethods:
         )
         assert record["mc_correlation"] == 0.5
         assert "mc_risk_ratio" in record
-        triple = evaluate_point(
+        triple = evaluate_study_point(
             inline_base(small_model),
             {"versions": 3, "replications": 2000},
             MethodSpec(name="montecarlo"),
@@ -129,3 +129,47 @@ class TestMethods:
         )
         assert "mc_prob_any_fault" in triple
         assert triple["mc_mean_system"] <= record["mc_mean_single"] + 1e-12
+
+
+class TestRegistryExtensibility:
+    """A registered method is usable in studies with no studies/ edits."""
+
+    def test_tail_quantile_runs_in_a_study(self, tmp_path):
+        from repro.studies import StudySpec, run_study
+
+        spec = StudySpec.from_dict(
+            {
+                "name": "tail-study",
+                "base": {"scenario": "high-quality"},
+                "sweep": {"grid": [{"name": "level", "values": [0.9, 0.999]}]},
+                "methods": [{"name": "tail-quantile", "max_support": 256}],
+            }
+        )
+        result = run_study(spec, cache_dir=str(tmp_path / "cache"))
+        assert len(result) == 2
+        for record in result.records:
+            assert record["tail_level"] == record["level"]
+            assert record["tail_quantile"] >= 0.0
+
+    def test_freshly_registered_method_reaches_specs(self, small_model):
+        from repro.api import OptionSpec, default_registry, register_method
+
+        registry = default_registry()
+
+        @register_method(
+            "test-mean-only",
+            options=(OptionSpec("versions", "int", 2),),
+            description="test-only method",
+        )
+        def mean_only(model, options, rng):
+            from repro.core.moments import pfd_moments
+
+            return {"mean": pfd_moments(model, int(options["versions"])).mean}
+
+        try:
+            record = evaluate_study_point(
+                inline_base(small_model), {}, MethodSpec(name="test-mean-only"), (0, 1)
+            )
+            assert record == {"mean": pfd_moments(small_model, 2).mean}
+        finally:
+            registry.unregister("test-mean-only")
