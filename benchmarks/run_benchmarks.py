@@ -14,6 +14,7 @@ Usage::
 
     python benchmarks/run_benchmarks.py               # full record -> BENCH_perf.json
     python benchmarks/run_benchmarks.py --quick       # smaller sizes (CI-friendly)
+    python benchmarks/run_benchmarks.py --quick --check   # CI gate: fail on regressions
     python benchmarks/run_benchmarks.py --output path/to/record.json
 
 ``--workload NAME --json`` is the internal per-subprocess mode.
@@ -101,19 +102,25 @@ def workload_paired(quick: bool) -> dict:
 
 
 def workload_paired_streaming(quick: bool) -> dict:
-    """Constant-memory streaming variant of the paired workload."""
+    """Constant-memory streaming variant of the paired workload.
+
+    Runs at the same chunk size as :func:`workload_paired` so the two
+    numbers isolate the streaming-vs-sample-collection difference (the
+    ``--check`` gate compares their throughputs); chunk size itself is a
+    separate memory knob.
+    """
     from repro.experiments.scenarios import many_small_faults_scenario
     from repro.montecarlo.engine import MonteCarloEngine
 
     replications = 1_000_000 if quick else 10_000_000
-    engine = MonteCarloEngine(many_small_faults_scenario(n=200), chunk_size=100_000)
+    engine = MonteCarloEngine(many_small_faults_scenario(n=200), chunk_size=25_000)
     start = time.perf_counter()
     result = engine.simulate_paired_streaming(replications, rng=7)
     elapsed = time.perf_counter() - start
     return {
         "replications": replications,
         "n": 200,
-        "chunk_size": 100_000,
+        "chunk_size": 25_000,
         "seconds": round(elapsed, 3),
         "replications_per_second": round(replications / elapsed),
         "peak_rss_mb": round(_peak_rss_mb(), 1),
@@ -267,6 +274,58 @@ def workload_study(quick: bool) -> dict:
     }
 
 
+def workload_sweep1000(quick: bool) -> dict:
+    """1000-point sweep: batched (grouped, shared-demand) versus per-point dispatch.
+
+    One ``p_scale`` axis with 500 values evaluated by ``exact`` and
+    ``montecarlo`` (2 x 500 = 1000 points, 100 in quick mode).  The batched
+    path folds the whole exact family through one stacked convolution and
+    scores every Monte Carlo point against one shared demand stream; the
+    ``batch=False`` pass is the old one-task-per-point dispatch over the
+    same spec (fresh cache each, jobs=4).
+    """
+    import tempfile
+
+    from repro.studies import StudySpec, run_study
+
+    points = 50 if quick else 500
+    replications = 2_000 if quick else 10_000
+    spec = StudySpec.from_dict(
+        {
+            "name": "bench-sweep1000",
+            "base": {"scenario": "many-small-faults"},
+            "sweep": {"grid": [{"name": "p_scale", "logspace": [0.05, 1.0, points]}]},
+            "methods": [
+                {"name": "exact", "max_support": 256},
+                {"name": "montecarlo", "replications": replications},
+            ],
+            "seed": 20010704,
+        }
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        batched = run_study(spec, cache_dir=f"{tmp}/batched", jobs=4, batch=True)
+        batched_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        scalar = run_study(spec, cache_dir=f"{tmp}/scalar", jobs=4, batch=False)
+        scalar_elapsed = time.perf_counter() - start
+    if batched.summary["computed"] != scalar.summary["computed"]:
+        raise RuntimeError("batched and scalar passes evaluated different point counts")
+    return {
+        "points": batched.summary["points"],
+        "replications": replications,
+        "jobs": 4,
+        "batched_seconds": round(batched_elapsed, 3),
+        "scalar_seconds": round(scalar_elapsed, 3),
+        "batched_points_per_second": round(batched.summary["points"] / batched_elapsed, 1),
+        "scalar_points_per_second": round(scalar.summary["points"] / scalar_elapsed, 1),
+        "speedup": round(scalar_elapsed / batched_elapsed, 1),
+        "dispatched_tasks_batched": batched.summary["dispatched_tasks"],
+        "dispatched_tasks_scalar": scalar.summary["dispatched_tasks"],
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
 def workload_dispatch(quick: bool) -> dict:
     """Registry-dispatch overhead of ``repro.evaluate`` versus a direct call.
 
@@ -324,8 +383,72 @@ WORKLOADS = {
     "parallel": workload_parallel,
     "convolution": workload_convolution,
     "study": workload_study,
+    "sweep1000": workload_sweep1000,
     "dispatch": workload_dispatch,
 }
+
+
+# --------------------------------------------------------------------- #
+# Regression gate (--check)
+# --------------------------------------------------------------------- #
+def check_record(record: dict) -> list[str]:
+    """Machine-independent throughput invariants for the CI gate.
+
+    Absolute wall-times vary wildly across runners, so every check is a
+    *ratio* within one record: a failure means a relative regression (one
+    path got slower than its sibling), not a slow machine.
+    """
+    workloads = record.get("workloads", {})
+
+    def value(workload: str, key: str):
+        entry = workloads.get(workload, {})
+        if "error" in entry:
+            return None
+        return entry.get(key)
+
+    checks = [
+        # The streaming paired path must not regress behind the
+        # sample-collecting one again (it does strictly less work).
+        (
+            "paired_streaming >= 85% of paired throughput",
+            lambda: value("paired_streaming", "replications_per_second")
+            >= 0.85 * value("paired", "replications_per_second"),
+        ),
+        # 1-out-of-3 does ~3x the per-replication work of a single version;
+        # below a quarter of the single rate the kernel has regressed.
+        (
+            "one_out_of_r >= 25% of single throughput",
+            lambda: value("one_out_of_r", "replications_per_second")
+            >= 0.25 * value("single", "replications_per_second"),
+        ),
+        # The batched sweep fast path must stay well ahead of per-point
+        # dispatch on the 1000-point workload.
+        ("sweep1000 batched >= 3x scalar", lambda: value("sweep1000", "speedup") >= 3.0),
+        # Warm study runs must stay essentially free.  A broken cache makes
+        # warm ~= cold (ratio ~1); the floor sits well above that while
+        # leaving room for the fixed per-run cost (plan + cache probing)
+        # that dominates the now-fast quick-size cold runs.
+        ("study warm_speedup >= 5x", lambda: value("study", "warm_speedup") >= 5.0),
+        # Dispatch overhead sanity: the registry layer adds microseconds to
+        # a ~3 ms evaluation, so the measured percentage is dominated by
+        # scheduler noise (observed spread: roughly -5%..+5% on shared
+        # runners).  The gate therefore only catches a *broken* dispatch
+        # layer -- per-call overhead comparable to the evaluation itself --
+        # while the recorded overhead_percent tracks the fine trajectory.
+        (
+            "dispatch overhead sane (< 25%)",
+            lambda: value("dispatch", "overhead_percent") < 25.0,
+        ),
+    ]
+    failures = []
+    for label, predicate in checks:
+        try:
+            ok = bool(predicate())
+        except TypeError:  # a workload errored out; report it as a failure
+            ok = False
+        if not ok:
+            failures.append(label)
+    return failures
 
 
 # --------------------------------------------------------------------- #
@@ -347,6 +470,14 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="smaller, CI-friendly sizes")
     parser.add_argument("--workload", choices=sorted(WORKLOADS), help="run one workload in-process")
     parser.add_argument("--json", action="store_true", help="print the single workload as JSON")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero when a throughput invariant fails (machine-independent "
+            "ratios within the record; used by CI so perf regressions fail visibly)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.workload:
@@ -384,6 +515,13 @@ def main(argv=None) -> int:
     output = Path(arguments.output)
     output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {output}")
+    if arguments.check:
+        failures = check_record(record)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}")
+        if failures:
+            return 1
+        print("all throughput checks passed")
     return 0
 
 

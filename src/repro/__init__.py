@@ -102,6 +102,7 @@ from repro.core import (
     two_version_std,
 )
 from repro.api import (
+    BatchUnsupported,
     EvaluationRequest,
     EvaluationResult,
     MethodDefinition,
@@ -110,6 +111,8 @@ from repro.api import (
     default_registry,
     evaluate,
     evaluate_batch,
+    evaluate_sweep,
+    register_batch,
     register_method,
 )
 from repro.montecarlo import MonteCarloEngine
@@ -119,6 +122,7 @@ from repro.versions import IndependentDevelopmentProcess
 __version__ = "1.1.0"
 
 __all__ = [
+    "BatchUnsupported",
     "DiversityGainSummary",
     "EvaluationRequest",
     "EvaluationResult",
@@ -140,6 +144,7 @@ __all__ = [
     "diversity_gain_summary",
     "evaluate",
     "evaluate_batch",
+    "evaluate_sweep",
     "exact_pfd_distribution",
     "fault_count_distribution",
     "mean_gain_factor",
@@ -151,6 +156,7 @@ __all__ = [
     "prob_fault_free_pair",
     "prob_fault_free_version",
     "proportional_improvement_derivative",
+    "register_batch",
     "register_method",
     "risk_ratio",
     "risk_ratio_partial_derivative",

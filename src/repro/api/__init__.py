@@ -17,12 +17,14 @@ One extensible surface for every way of evaluating a fault model:
   through.
 """
 
-from repro.api.evaluate import evaluate, evaluate_batch
+from repro.api.evaluate import evaluate, evaluate_batch, evaluate_sweep
 from repro.api.registry import (
+    BatchUnsupported,
     MethodDefinition,
     MethodRegistry,
     OptionSpec,
     default_registry,
+    register_batch,
     register_method,
 )
 from repro.api.results import EvaluationRequest, EvaluationResult
@@ -31,6 +33,7 @@ from repro.api.results import EvaluationRequest, EvaluationResult
 from repro.api import methods as _builtin_methods  # noqa: F401  (import for side effect)
 
 __all__ = [
+    "BatchUnsupported",
     "EvaluationRequest",
     "EvaluationResult",
     "MethodDefinition",
@@ -39,5 +42,7 @@ __all__ = [
     "default_registry",
     "evaluate",
     "evaluate_batch",
+    "evaluate_sweep",
+    "register_batch",
     "register_method",
 ]

@@ -4,8 +4,12 @@
 a typed :class:`~repro.api.results.EvaluationResult`; :func:`evaluate_batch`
 runs many requests against the same model, optionally fanning out across
 worker processes (the same process-parallel pattern as the Monte Carlo
-engine's ``jobs`` and the study runner).  The CLI's ``evaluate`` subcommand
-and the study runner are both thin layers over these functions, so a method
+engine's ``jobs`` and the study runner); :func:`evaluate_sweep` runs *one*
+method across many model variations (``p_scale`` / ``q_scale`` sweep
+points), dispatching to the method's batched kernel when it registered one
+(:func:`~repro.api.registry.register_batch`) and falling back to scalar
+per-variation evaluation otherwise.  The CLI's ``evaluate`` subcommand and
+the study runner are thin layers over these functions, so a method
 registered once behaves identically everywhere.
 """
 
@@ -16,11 +20,16 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.api.registry import MethodDefinition, MethodRegistry, default_registry
+from repro.api.registry import (
+    BatchUnsupported,
+    MethodDefinition,
+    MethodRegistry,
+    default_registry,
+)
 from repro.api.results import EvaluationRequest, EvaluationResult
 from repro.stats.rng import DEFAULT_SEED
 
-__all__ = ["evaluate", "evaluate_batch"]
+__all__ = ["evaluate", "evaluate_batch", "evaluate_sweep"]
 
 
 def _normalise_entropy(seed) -> tuple[int, ...] | None:
@@ -196,3 +205,272 @@ def evaluate_batch(
         evaluate(model, method, seed=entropy, registry=target, options=options)
         for model, method, options, entropy in work
     ]
+
+
+# --------------------------------------------------------------------- #
+# Sweeps: one method, many model variations
+# --------------------------------------------------------------------- #
+def _coerce_variation(variation) -> dict:
+    """Normalise one sweep variation into ``{"p_scale", "q_scale"}`` floats."""
+    if not isinstance(variation, Mapping):
+        raise ValueError(
+            f"a sweep variation must be a mapping with p_scale/q_scale, got {variation!r}"
+        )
+    unknown = sorted(set(variation) - {"p_scale", "q_scale"})
+    if unknown:
+        raise ValueError(
+            f"sweep variations accept only p_scale/q_scale, got {', '.join(unknown)}"
+        )
+    return {
+        "p_scale": float(variation.get("p_scale", 1.0)),
+        "q_scale": float(variation.get("q_scale", 1.0)),
+    }
+
+
+def _variation_error(model, variation: Mapping) -> str | None:
+    """The error a variation would raise when applied to ``model``, if any.
+
+    Mirrors :meth:`FaultModel.rescaled` so batched kernels can report
+    per-variation failures without giving up the whole sweep.
+    """
+    p_scale, q_scale = variation["p_scale"], variation["q_scale"]
+    if not np.isfinite(p_scale) or p_scale < 0.0:
+        return f"k must be non-negative, got {p_scale}"
+    if not np.isfinite(q_scale) or q_scale < 0.0:
+        return f"q_scale must be non-negative, got {q_scale}"
+    scaled_max = p_scale * model.p_max
+    if scaled_max > 1.0:
+        return (
+            f"scaling by k={p_scale} pushes some p_i above 1 "
+            f"(max would be {scaled_max:.4f})"
+        )
+    if model.strict and q_scale * model.total_impact > 1.0 + 1e-9:
+        return (
+            f"sum(q) exceeds 1 after q_scale={q_scale}, violating the "
+            "non-overlapping failure-region assumption"
+        )
+    return None
+
+
+def _sweep_outcome_triples(
+    model,
+    method: str,
+    variations: Sequence,
+    *,
+    options: Mapping[str, Any] | None = None,
+    seed=None,
+    variation_seeds: Sequence | None = None,
+    registry: MethodRegistry | None = None,
+    subset: Sequence[int] | None = None,
+) -> list[tuple[str, Any, tuple[int, ...] | None]]:
+    """Core sweep dispatch: ``(status, payload, entropy)`` per requested variation.
+
+    ``subset`` names the variation positions the caller needs (default:
+    all).  A batched kernel always sees the *whole* sweep -- the shared
+    structure it derives from the scale set (the Monte Carlo demand
+    envelope, the exact kernel's lattice span) must not depend on which
+    points a caller happens to need -- while the scalar path (no kernel, or
+    the kernel declined) evaluates only the requested positions.  The third
+    element records the seed entropy the point's result actually came from
+    (the shared sweep entropy on the batched path, the per-variation stream
+    otherwise; ``None`` for deterministic methods and live generators).
+    """
+    target = registry if registry is not None else default_registry()
+    definition = target.get(method)
+    resolved = target.resolve_options(method, options)
+    coerced = [_coerce_variation(variation) for variation in variations]
+    if variation_seeds is not None and len(variation_seeds) != len(coerced):
+        raise ValueError(
+            f"variation_seeds ({len(variation_seeds)}) must match variations ({len(coerced)})"
+        )
+    wanted = list(range(len(coerced))) if subset is None else [int(i) for i in subset]
+    outcomes: dict[int, tuple[str, Any, tuple[int, ...] | None]] = {}
+    valid: list[int] = []
+    for index, variation in enumerate(coerced):
+        error = _variation_error(model, variation)
+        if error is None:
+            valid.append(index)
+        else:
+            outcomes[index] = ("error", f"ValueError: {error}", None)
+    if valid and definition.supports_batch:
+        entropy = _normalise_entropy(seed)
+        rng = None
+        if definition.requires_seed:
+            rng = seed if entropy is None else np.random.default_rng(
+                np.random.SeedSequence(list(entropy))
+            )
+        try:
+            metric_rows = definition.evaluate_batch(
+                model, tuple(coerced[index] for index in valid), resolved, rng
+            )
+        except BatchUnsupported:
+            metric_rows = None
+        if metric_rows is not None:
+            rows = list(metric_rows)
+            if len(rows) != len(valid):
+                raise TypeError(
+                    f"batched evaluator of {method!r} returned {len(rows)} records "
+                    f"for {len(valid)} variations"
+                )
+            shared = entropy if definition.requires_seed else None
+            for index, metrics in zip(valid, rows):
+                if not isinstance(metrics, Mapping):
+                    raise TypeError(
+                        f"batched evaluator of {method!r} must yield metric mappings, "
+                        f"got {type(metrics).__name__}"
+                    )
+                outcomes[index] = ("ok", dict(metrics), shared)
+            return [outcomes[index] for index in wanted]
+    # Scalar path (no batched kernel, or it declined): one transformed model
+    # per *requested* variation -- unrequested points are never evaluated.
+    entropy = _normalise_entropy(seed) if definition.requires_seed else None
+    for index in wanted:
+        if index in outcomes:
+            continue
+        variation = coerced[index]
+        point_entropy: tuple[int, ...] | None = None
+        if definition.requires_seed:
+            if variation_seeds is not None:
+                point_seed = tuple(int(part) for part in variation_seeds[index])
+                point_entropy = point_seed
+            elif entropy is None:
+                point_seed = seed  # a live Generator, consumed sequentially
+            else:
+                point_seed = (*entropy, index)
+                point_entropy = point_seed
+        else:
+            point_seed = None
+        try:
+            transformed = model.rescaled(variation["p_scale"], variation["q_scale"])
+            result = _run_definition(definition, transformed, resolved, point_seed)
+        except Exception as error:  # noqa: BLE001 - reported per variation
+            outcomes[index] = ("error", f"{type(error).__name__}: {error}", None)
+        else:
+            outcomes[index] = ("ok", result.metric_dict(), point_entropy)
+    return [outcomes[index] for index in wanted]
+
+
+def evaluate_sweep_outcomes(
+    model,
+    method: str,
+    variations: Sequence,
+    *,
+    options: Mapping[str, Any] | None = None,
+    seed=None,
+    variation_seeds: Sequence | None = None,
+    registry: MethodRegistry | None = None,
+    subset: Sequence[int] | None = None,
+) -> list[tuple[str, Any]]:
+    """Per-variation outcomes of a sweep: ``("ok", metrics)`` or ``("error", message)``.
+
+    The salvage-friendly core behind :func:`evaluate_sweep` (which raises on
+    the first error) and the study runner's group dispatch (which must
+    report one bad sweep point without discarding its siblings).
+
+    When the method registered a batched kernel, the *valid* variations are
+    evaluated in one batched call sharing a single random stream derived
+    from ``seed`` -- for stochastic methods this is the common-random-numbers
+    mode: every point scored against the same sampled developments (see
+    :mod:`repro.montecarlo.sweep`).  Otherwise each variation is evaluated
+    on its own transformed model; stochastic methods then draw from
+    ``variation_seeds[i]`` when given (the study runner passes its
+    content-keyed per-point entropies, keeping scalar-mode results bitwise
+    reproducible) and from the child streams ``(seed, i)`` otherwise.
+
+    ``subset`` restricts the *returned* (and, on the scalar path, the
+    evaluated) positions; batched kernels still see the whole sweep so
+    their shared structure is independent of the caller's cache state.
+    Outcomes come back in ``subset`` order.
+    """
+    return [
+        (status, payload)
+        for status, payload, _ in _sweep_outcome_triples(
+            model,
+            method,
+            variations,
+            options=options,
+            seed=seed,
+            variation_seeds=variation_seeds,
+            registry=registry,
+            subset=subset,
+        )
+    ]
+
+
+def evaluate_sweep(
+    model,
+    method: str,
+    variations: Sequence,
+    *,
+    seed=None,
+    registry: MethodRegistry | None = None,
+    options: Mapping[str, Any] | None = None,
+    **kwargs,
+) -> list[EvaluationResult]:
+    """Evaluate one method across many model variations, batched when possible.
+
+    Parameters
+    ----------
+    model:
+        The base :class:`~repro.core.fault_model.FaultModel`; every
+        variation applies on top of it.
+    method:
+        A registered method name.  Methods whose definition carries a
+        batched kernel (``supports_batch``; currently ``exact``,
+        ``tail-quantile`` and ``montecarlo``) evaluate the whole sweep in
+        vectorised passes; any other method falls back to per-variation
+        scalar evaluation with no semantic difference.
+    variations:
+        Sweep points: mappings with optional ``p_scale`` (every ``p_i``
+        multiplied, the Appendix B process-quality knob) and ``q_scale``
+        (every ``q_i`` multiplied) keys, both defaulting to 1.0.
+    seed:
+        Randomness for seed-consuming methods.  Batched stochastic methods
+        share *one* stream derived from it across the whole sweep (common
+        random numbers: every point scored against the same sampled
+        developments -- faster, and cross-point comparisons have lower
+        variance, but points are dependent and the values differ from
+        per-point independent streams).  The scalar fallback derives one
+        child stream per variation from ``(seed, index)``, matching
+        :func:`evaluate_batch`.
+    options, **kwargs:
+        Method options, shared by every variation (same spelling rules as
+        :func:`evaluate`).
+
+    Returns one :class:`EvaluationResult` per variation, in input order;
+    ``elapsed_seconds`` is amortised (total sweep time / points) on the
+    batched path.  Raises on the first invalid variation.
+
+    Examples
+    --------
+    >>> from repro import evaluate_sweep  # doctest: +SKIP
+    >>> results = evaluate_sweep(model, "exact",
+    ...                          [{"p_scale": k} for k in (0.25, 0.5, 1.0)])  # doctest: +SKIP
+    """
+    target = registry if registry is not None else default_registry()
+    definition = target.get(method)
+    resolved = target.resolve_options(method, {**dict(options or {}), **kwargs})
+    start = time.perf_counter()
+    outcomes = _sweep_outcome_triples(
+        model, method, variations, options=resolved, seed=seed, registry=target
+    )
+    elapsed = time.perf_counter() - start
+    results: list[EvaluationResult] = []
+    for index, (status, payload, entropy) in enumerate(outcomes):
+        if status == "error":
+            raise ValueError(f"sweep variation {index}: {payload}")
+        results.append(
+            EvaluationResult(
+                method=definition.name,
+                options=resolved,
+                metrics=dict(payload),
+                # The entropy the point's stream was actually derived from:
+                # the shared sweep entropy on the batched path, the (seed,
+                # index) child on the scalar fallback -- either reproduces
+                # the point via ``evaluate(..., seed=result.seed_entropy)``
+                # or the batched sweep via ``evaluate_sweep(..., seed=...)``.
+                seed_entropy=entropy,
+                elapsed_seconds=elapsed / max(len(outcomes), 1),
+            )
+        )
+    return results

@@ -18,9 +18,33 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.api.registry import OptionSpec, register_method
+import numpy as np
+
+from repro.api.registry import BatchUnsupported, OptionSpec, register_batch, register_method
 
 __all__: list[str] = []
+
+
+def _variation_scales(variations) -> tuple[np.ndarray, np.ndarray]:
+    """Split sweep variations into ``(p_scales, q_scales)`` arrays."""
+    p_scales = np.array([variation["p_scale"] for variation in variations])
+    q_scales = np.array([variation["q_scale"] for variation in variations])
+    return p_scales, q_scales
+
+
+def _prob_pfd_zero_scaled(
+    model, p_scales: np.ndarray, q_scales: np.ndarray, versions: int
+) -> np.ndarray:
+    """Closed-form ``P(PFD = 0)`` per sweep point (faults with ``q > 0`` absent).
+
+    A ``q_scale`` of zero collapses every impact to zero, making the PFD
+    identically zero regardless of which faults are present.
+    """
+    effective = model.q > 0.0
+    if not np.any(effective):
+        return np.ones_like(p_scales)
+    present = (p_scales[:, np.newaxis] * model.p[np.newaxis, effective]) ** versions
+    return np.where(q_scales == 0.0, 1.0, np.prod(1.0 - present, axis=1))
 
 _VERSIONS = OptionSpec(
     "versions", "int", 2, help="number of independently developed versions, combined 1-out-of-r"
@@ -96,6 +120,48 @@ def _exact_method(model, options: dict, rng) -> dict:
         record["exact_threshold"] = threshold
         record["exact_exceedance"] = distribution.survival(threshold)
     return record
+
+
+@register_batch("exact")
+def _exact_batch(model, variations, options: dict, rng) -> list[dict]:
+    """Batched ``exact``: one stacked convolution for the whole sweep.
+
+    Dispatches to :func:`repro.stats.batched.batched_scaled_pfd`; means are
+    exact, standard deviations and quantiles agree with the scalar path to
+    the lattice resolution (``exact_support`` reports the shared lattice
+    size, which may exceed ``max_support`` by the kernel's oversampling
+    factor).  Full-support evaluations (``max_support=null``) have no
+    batched form and fall back to per-point convolutions.
+    """
+    max_support = options["max_support"]
+    if max_support is None:
+        raise BatchUnsupported("full-support exact distributions sweep point by point")
+    from repro.stats.batched import batched_scaled_pfd
+
+    versions = int(options["versions"])
+    level = float(options["level"])
+    p_scales, q_scales = _variation_scales(variations)
+    batch = batched_scaled_pfd(
+        model, p_scales, q_scales, versions=versions, max_support=int(max_support)
+    )
+    means, stds, percentiles = batch.means(), batch.stds(), batch.quantiles(level)
+    exceedances = None
+    if options["threshold"] is not None:
+        exceedances = batch.survival(float(options["threshold"]))
+    records = []
+    for index in range(batch.points):
+        record = {
+            "exact_mean": float(means[index]),
+            "exact_std": float(stds[index]),
+            "exact_percentile_level": level,
+            "exact_percentile": float(percentiles[index]),
+            "exact_support": int(batch.support.size),
+        }
+        if exceedances is not None:
+            record["exact_threshold"] = float(options["threshold"])
+            record["exact_exceedance"] = float(exceedances[index])
+        records.append(record)
+    return records
 
 
 @register_method(
@@ -216,6 +282,59 @@ def _montecarlo_method(model, options: dict, rng) -> dict:
     return record
 
 
+@register_batch("montecarlo")
+def _montecarlo_batch(model, variations, options: dict, rng) -> list[dict]:
+    """Batched ``montecarlo``: shared-demand (common-random-numbers) sweeps.
+
+    One development history is sampled and every sweep point scored against
+    it (:func:`repro.montecarlo.sweep.simulate_scaled_sweep`), so a point's
+    values are *not* the independent-stream values the scalar path produces
+    -- they are an equally valid estimate whose noise is shared across the
+    sweep, which makes cross-point comparisons lower-variance.  ``chunk_size``
+    and ``mc_jobs`` do not apply (the kernel bounds its own memory; the
+    study runner parallelises across sweeps).  Correlated developments and
+    sweeps beyond the sparse kernel's memory budget fall back to per-point
+    simulation.
+    """
+    if float(options["correlation"]) != 0.0:
+        raise BatchUnsupported("correlated developments sweep point by point")
+    from repro.montecarlo.sweep import (
+        MAX_SWEEP_ENTRIES,
+        expected_entry_count,
+        simulate_scaled_sweep,
+    )
+
+    versions = int(options["versions"])
+    replications = int(options["replications"])
+    p_scales, _ = _variation_scales(variations)
+    if expected_entry_count(model, replications, versions, p_scales) > MAX_SWEEP_ENTRIES:
+        raise BatchUnsupported("sweep exceeds the shared-demand memory budget")
+    points = simulate_scaled_sweep(
+        model, replications, variations, versions=versions, rng=rng
+    )
+    records = []
+    for point in points:
+        record: dict[str, Any] = {
+            "mc_replications": replications,
+            "mc_correlation": float(options["correlation"]),
+        }
+        if versions == 2:
+            summary = point.summary()
+            summary.pop("replications", None)
+            record.update({f"mc_{key}": value for key, value in summary.items()})
+        else:
+            record.update(
+                {
+                    "mc_mean_system": point.mean_system,
+                    "mc_std_system": point.std_system,
+                    "mc_prob_any_fault": point.prob_any_fault_system,
+                    "mc_prob_pfd_zero": point.prob_pfd_zero_system,
+                }
+            )
+        records.append(record)
+    return records
+
+
 @register_method(
     "tail-quantile",
     options=(
@@ -261,3 +380,50 @@ def _tail_quantile_method(model, options: dict, rng) -> dict:
         record["tail_threshold"] = threshold
         record["tail_exceedance"] = distribution.survival(threshold)
     return record
+
+
+@register_batch("tail-quantile")
+def _tail_quantile_batch(model, variations, options: dict, rng) -> list[dict]:
+    """Batched ``tail-quantile`` over the stacked exact distributions.
+
+    Same kernel as the batched ``exact`` method; ``tail_prob_zero`` uses the
+    closed form ``prod(1 - (k p_i)^versions)`` (faults with ``q > 0``),
+    which is *more* accurate than the scalar path's readout from the
+    support-capped distribution -- the capped distribution's zero atom is an
+    artifact of support collapsing on either path.
+    """
+    max_support = options["max_support"]
+    if max_support is None:
+        raise BatchUnsupported("full-support exact distributions sweep point by point")
+    from repro.stats.batched import batched_scaled_pfd
+
+    versions = int(options["versions"])
+    level = float(options["level"])
+    p_scales, q_scales = _variation_scales(variations)
+    batch = batched_scaled_pfd(
+        model, p_scales, q_scales, versions=versions, max_support=int(max_support)
+    )
+    quantiles = {
+        label: batch.quantiles(value)
+        for label, value in (("level", level), ("median", 0.5), ("q90", 0.9), ("q99", 0.99))
+    }
+    prob_zero = _prob_pfd_zero_scaled(model, p_scales, q_scales, versions)
+    exceedances = None
+    if options["threshold"] is not None:
+        exceedances = batch.survival(float(options["threshold"]))
+    records = []
+    for index in range(batch.points):
+        record = {
+            "tail_level": level,
+            "tail_quantile": float(quantiles["level"][index]),
+            "tail_median": float(quantiles["median"][index]),
+            "tail_q90": float(quantiles["q90"][index]),
+            "tail_q99": float(quantiles["q99"][index]),
+            "tail_prob_zero": float(prob_zero[index]),
+            "tail_support": int(batch.support.size),
+        }
+        if exceedances is not None:
+            record["tail_threshold"] = float(options["threshold"])
+            record["tail_exceedance"] = float(exceedances[index])
+        records.append(record)
+    return records

@@ -23,12 +23,25 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
 __all__ = [
+    "BatchUnsupported",
     "MethodDefinition",
     "MethodRegistry",
     "OptionSpec",
     "default_registry",
+    "register_batch",
     "register_method",
 ]
+
+
+class BatchUnsupported(Exception):
+    """Raised by a batched evaluator to decline a particular sweep.
+
+    A method can support batching in general but not for every option
+    combination (e.g. Monte Carlo sweeps require the independent development
+    process, and very large sweeps may exceed the kernel's memory budget).
+    Raising this from ``evaluate_batch`` makes :func:`repro.evaluate_sweep`
+    fall back to the scalar per-variation path transparently.
+    """
 
 #: Accepted option value types, by schema name.
 OPTION_TYPES = ("int", "float", "bool", "str")
@@ -121,6 +134,16 @@ class MethodDefinition:
     options: tuple[OptionSpec, ...] = ()
     requires_seed: bool = False
     description: str = ""
+    #: Optional batched sweep evaluator ``(model, variations, options, rng)
+    #: -> sequence of metric mappings`` where ``variations`` is a tuple of
+    #: ``{"p_scale": float, "q_scale": float}`` model transforms.  Methods
+    #: opt in via :func:`register_batch`; see :func:`repro.evaluate_sweep`.
+    evaluate_batch: Callable[..., Any] | None = None
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the method opted into batched sweep evaluation."""
+        return self.evaluate_batch is not None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -183,6 +206,19 @@ class MethodRegistry:
         """
         definition = self.get(name)
         del self._methods[name]
+        return definition
+
+    def attach_batch(self, name: str, evaluate_batch: Callable) -> MethodDefinition:
+        """Attach (or replace) the batched sweep evaluator of a registered method.
+
+        The stored :class:`MethodDefinition` is frozen, so attaching swaps in
+        a copy with ``evaluate_batch`` set; everything else (options, seed
+        requirement, the scalar evaluator) is untouched.
+        """
+        import dataclasses
+
+        definition = dataclasses.replace(self.get(name), evaluate_batch=evaluate_batch)
+        self._methods[name] = definition
         return definition
 
     def get(self, name: str) -> MethodDefinition:
@@ -282,6 +318,32 @@ def register_method(
                 description=description,
             )
         )
+        return function
+
+    return decorator
+
+
+def register_batch(
+    name: str, *, registry: MethodRegistry | None = None
+) -> Callable[[Callable], Callable]:
+    """Decorator: attach a batched sweep evaluator to a registered method.
+
+    The decorated function is called as ``evaluate_batch(model, variations,
+    options, rng)`` with the *base* (untransformed) model, a tuple of
+    ``{"p_scale", "q_scale"}`` variations, the fully resolved options shared
+    by every variation, and one shared random stream (``None`` for
+    deterministic methods).  It must return one metric mapping per
+    variation, in order, or raise :class:`BatchUnsupported` to make the
+    caller fall back to per-variation scalar evaluation::
+
+        @register_batch("exact")
+        def _exact_batch(model, variations, options, rng):
+            ...
+    """
+    target = registry if registry is not None else _DEFAULT_REGISTRY
+
+    def decorator(function: Callable) -> Callable:
+        target.attach_batch(name, function)
         return function
 
     return decorator

@@ -198,6 +198,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true", help="recompute every point even on a cache hit"
     )
     study_run.add_argument(
+        "--no-batch",
+        action="store_true",
+        help=(
+            "dispatch one task per point with per-point independent random streams "
+            "instead of the batched fast path (grouped p_scale/q_scale sweeps sharing "
+            "one demand stream); digests and cache behaviour are identical either way"
+        ),
+    )
+    study_run.add_argument(
         "--quiet", action="store_true", help="suppress the progress line on stderr"
     )
 
@@ -403,7 +412,12 @@ def _handle_study(arguments: argparse.Namespace) -> int:
             print(f"\r{done}/{total} evaluations ({computed} computed)", end="", file=sys.stderr)
 
     result = run_study(
-        spec, cache_dir=cache_dir, jobs=arguments.jobs, force=arguments.force, progress=progress
+        spec,
+        cache_dir=cache_dir,
+        jobs=arguments.jobs,
+        force=arguments.force,
+        progress=progress,
+        batch=not arguments.no_batch,
     )
     if not arguments.quiet:
         print(file=sys.stderr)

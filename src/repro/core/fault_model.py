@@ -322,6 +322,25 @@ class FaultModel:
             )
         return FaultModel(p=scaled_p, q=self.q.copy(), names=self.names, strict=self.strict)
 
+    def rescaled(self, p_scale: float = 1.0, q_scale: float = 1.0) -> "FaultModel":
+        """The model with every ``p_i`` times ``p_scale`` and every ``q_i`` times ``q_scale``.
+
+        This is the sweep-point transform used by study axes and
+        :func:`repro.evaluate_sweep`: :meth:`scaled` (Appendix B process
+        quality) composed with a uniform failure-region scaling.  Neutral
+        scales return ``self`` unchanged, so derived-quantity caches survive.
+        """
+        if q_scale < 0.0:
+            raise ValueError(f"q_scale must be non-negative, got {q_scale}")
+        if p_scale == 1.0 and q_scale == 1.0:
+            return self
+        model = self.scaled(p_scale) if p_scale != 1.0 else self
+        if q_scale == 1.0:
+            return model
+        return FaultModel(
+            p=model.p.copy(), q=model.q * q_scale, names=model.names, strict=model.strict
+        )
+
     def with_probability(self, index: int, probability: float) -> "FaultModel":
         """The model with ``p_index`` replaced (the Section 4.2.1 single-fault change)."""
         if not 0 <= index < self.n:

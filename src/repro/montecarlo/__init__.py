@@ -10,6 +10,7 @@ from repro.montecarlo.convergence import ConvergenceDiagnostics, running_mean
 from repro.montecarlo.engine import MonteCarloEngine
 from repro.montecarlo.results import PairSimulationResult, SimulationResult
 from repro.montecarlo.streaming import StreamingPairResult, StreamingSimulationResult
+from repro.montecarlo.sweep import SweepPointResult, simulate_scaled_sweep
 
 __all__ = [
     "ConvergenceDiagnostics",
@@ -18,5 +19,7 @@ __all__ = [
     "SimulationResult",
     "StreamingPairResult",
     "StreamingSimulationResult",
+    "SweepPointResult",
+    "simulate_scaled_sweep",
     "running_mean",
 ]

@@ -212,6 +212,43 @@ class MonteCarloEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Shared-demand sweeps (common random numbers)
+    # ------------------------------------------------------------------ #
+    def simulate_scaled_sweep(
+        self,
+        replications: int,
+        variations,
+        versions: int = 2,
+        rng: np.random.Generator | int | None = None,
+    ):
+        """Simulate many ``(p_scale, q_scale)`` sweep points against shared demands.
+
+        One development history is sampled and every sweep point is scored
+        against it (common random numbers): faster than per-point simulation
+        and lower-variance for cross-point comparisons, but the points are
+        *dependent* and the sampled values form a distinct stream from the
+        per-point engine paths -- see :mod:`repro.montecarlo.sweep` for the
+        exact semantics and reproducibility contract.  ``chunk_size`` and
+        ``jobs`` do not apply here (memory is bounded internally and the
+        study runner parallelises across sweeps, not within one).
+
+        Only the paper's independent development process supports shared
+        demand streams; engines wrapping a correlated process must sweep
+        point by point.
+        """
+        from repro.montecarlo.sweep import simulate_scaled_sweep
+        from repro.versions.generation import IndependentDevelopmentProcess
+
+        if type(self.process) is not IndependentDevelopmentProcess:
+            raise ValueError(
+                "shared-demand sweeps require the independent development process; "
+                f"got {type(self.process).__name__} (simulate each point separately)"
+            )
+        return simulate_scaled_sweep(
+            self.model, replications, variations, versions=versions, rng=ensure_rng(rng)
+        )
+
+    # ------------------------------------------------------------------ #
     # Comparison with analytic predictions
     # ------------------------------------------------------------------ #
     def compare_with_analytic(
@@ -317,12 +354,39 @@ def _spawn_version_rngs(generator: np.random.Generator, versions: int):
 # --------------------------------------------------------------------- #
 # Sample-collecting shard kernels
 # --------------------------------------------------------------------- #
+def _intersection_buffer(process, replications, chunk_size):
+    """Reusable buffer for the common-fault matrix of multi-version chunks."""
+    rows = replications if chunk_size is None else min(chunk_size, replications)
+    return np.empty((rows, process.model.n), dtype=bool)
+
+
+def _shared_scratch(process, replications, chunk_size):
+    """One float work buffer shared by all version streams of a simulation.
+
+    The per-version iterators are advanced in lockstep (draw, then compare
+    into a per-version presence buffer), so a single uniforms buffer serves
+    every version -- the float working set stays at one chunk no matter how
+    many versions are developed per replication.
+    """
+    rows = replications if chunk_size is None else min(chunk_size, replications)
+    return np.empty((rows, process.model.n))
+
+
+def _intersect(matrices, buffer) -> np.ndarray:
+    """All-versions fault intersection, accumulated into ``buffer`` in place."""
+    common = buffer[: matrices[0].shape[0]]
+    np.logical_and(matrices[0], matrices[1], out=common)
+    for matrix in matrices[2:]:
+        np.logical_and(common, matrix, out=common)
+    return common
+
+
 def _single_samples(process, replications, generator, chunk_size, versions, bins):
     q = process.model.q
     pfds = np.empty(replications, dtype=float)
     counts = np.empty(replications, dtype=float)
     offset = 0
-    for matrix in process.iter_fault_matrices(generator, replications, chunk_size):
+    for matrix in process.stream_fault_matrices(generator, replications, chunk_size):
         size = matrix.shape[0]
         pfds[offset : offset + size] = matrix_pfds(matrix, q)
         counts[offset : offset + size] = np.sum(matrix, axis=1)
@@ -335,14 +399,15 @@ def _system_samples(process, replications, generator, chunk_size, versions, bins
     pfds = np.empty(replications, dtype=float)
     counts = np.empty(replications, dtype=float)
     streams = _spawn_version_rngs(generator, versions)
+    scratch = _shared_scratch(process, replications, chunk_size)
     iterators = [
-        process.iter_fault_matrices(stream, replications, chunk_size) for stream in streams
+        process.stream_fault_matrices(stream, replications, chunk_size, scratch=scratch)
+        for stream in streams
     ]
+    buffer = _intersection_buffer(process, replications, chunk_size)
     offset = 0
     for matrices in zip(*iterators):
-        common = matrices[0]
-        for matrix in matrices[1:]:
-            common = common & matrix
+        common = matrices[0] if len(matrices) == 1 else _intersect(matrices, buffer)
         size = common.shape[0]
         pfds[offset : offset + size] = matrix_pfds(common, q)
         counts[offset : offset + size] = np.sum(common, axis=1)
@@ -357,13 +422,15 @@ def _paired_samples(process, replications, generator, chunk_size, versions, bins
     common_pfds = np.empty(replications, dtype=float)
     common_counts = np.empty(replications, dtype=float)
     first_stream, second_stream = _spawn_version_rngs(generator, 2)
+    scratch = _shared_scratch(process, replications, chunk_size)
+    buffer = _intersection_buffer(process, replications, chunk_size)
     offset = 0
     for first, second in zip(
-        process.iter_fault_matrices(first_stream, replications, chunk_size),
-        process.iter_fault_matrices(second_stream, replications, chunk_size),
+        process.stream_fault_matrices(first_stream, replications, chunk_size, scratch=scratch),
+        process.stream_fault_matrices(second_stream, replications, chunk_size, scratch=scratch),
     ):
         size = first.shape[0]
-        common = first & second
+        common = _intersect((first, second), buffer)
         first_pfds[offset : offset + size] = matrix_pfds(first, q)
         first_counts[offset : offset + size] = np.sum(first, axis=1)
         common_pfds[offset : offset + size] = matrix_pfds(common, q)
@@ -394,7 +461,7 @@ def _tally_update(tally, pfds, counts):
 def _single_streaming(process, replications, generator, chunk_size, versions, bins):
     q = process.model.q
     tally = _new_tally(process, bins)
-    for matrix in process.iter_fault_matrices(generator, replications, chunk_size):
+    for matrix in process.stream_fault_matrices(generator, replications, chunk_size):
         _tally_update(tally, matrix_pfds(matrix, q), np.sum(matrix, axis=1))
     return tally
 
@@ -403,13 +470,14 @@ def _system_streaming(process, replications, generator, chunk_size, versions, bi
     q = process.model.q
     tally = _new_tally(process, bins)
     streams = _spawn_version_rngs(generator, versions)
+    scratch = _shared_scratch(process, replications, chunk_size)
     iterators = [
-        process.iter_fault_matrices(stream, replications, chunk_size) for stream in streams
+        process.stream_fault_matrices(stream, replications, chunk_size, scratch=scratch)
+        for stream in streams
     ]
+    buffer = _intersection_buffer(process, replications, chunk_size)
     for matrices in zip(*iterators):
-        common = matrices[0]
-        for matrix in matrices[1:]:
-            common = common & matrix
+        common = matrices[0] if len(matrices) == 1 else _intersect(matrices, buffer)
         _tally_update(tally, matrix_pfds(common, q), np.sum(common, axis=1))
     return tally
 
@@ -419,11 +487,13 @@ def _paired_streaming(process, replications, generator, chunk_size, versions, bi
     single_tally = _new_tally(process, bins)
     system_tally = _new_tally(process, bins)
     first_stream, second_stream = _spawn_version_rngs(generator, 2)
+    scratch = _shared_scratch(process, replications, chunk_size)
+    buffer = _intersection_buffer(process, replications, chunk_size)
     for first, second in zip(
-        process.iter_fault_matrices(first_stream, replications, chunk_size),
-        process.iter_fault_matrices(second_stream, replications, chunk_size),
+        process.stream_fault_matrices(first_stream, replications, chunk_size, scratch=scratch),
+        process.stream_fault_matrices(second_stream, replications, chunk_size, scratch=scratch),
     ):
-        common = first & second
+        common = _intersect((first, second), buffer)
         _tally_update(single_tally, matrix_pfds(first, q), np.sum(first, axis=1))
         _tally_update(system_tally, matrix_pfds(common, q), np.sum(common, axis=1))
     return single_tally, system_tally

@@ -1,0 +1,352 @@
+"""Batched exact PFD distributions: one convolution pass, many sweep points.
+
+Parameter sweeps over scalar model knobs -- the Appendix B process-quality
+scale ``p_scale`` (every ``p_i`` multiplied by ``k``) and the uniform
+failure-region scale ``q_scale`` -- re-run the same two-point convolution
+with the same impact values ``q_i`` at every sweep point; only the per-fault
+probabilities change.  :func:`batched_two_point_pmf` exploits that shared
+structure by carrying a stacked ``(points, support)`` probability array
+through the convolution core of :mod:`repro.stats.discrete`:
+
+* the **exact phase** merges the support (shared by every point, because the
+  attainable sums depend only on the ``q_i``) once per fault and updates the
+  stacked probabilities with one broadcast multiplication per fault;
+* the **lattice phase** (entered once the exact support would exceed
+  ``max_support``) folds each remaining fault into the stacked array with
+  the same mean-preserving two-point split as the scalar
+  :func:`~repro.stats.discrete.convolve_two_points` fast path -- three
+  vectorised shift-adds per fault, shared across every point.
+
+A ``q_scale`` sweep never convolves at all: scaling every ``q_i`` by ``s``
+scales the support by ``s`` and leaves the probabilities untouched, so it is
+a per-point support multiplier applied at query time
+(:attr:`BatchedPMF.support_scales`).
+
+Accuracy contract: points whose support never exceeds ``max_support`` are
+exact (same support as the scalar path, probabilities equal to float
+rounding); beyond that the lattice phase works at four times the requested
+resolution, preserves each point's mean exactly (up to rounding) and keeps
+the oversampled lattice as the result support instead of collapsing it, so
+the returned support may hold up to ``4 * max_support`` points.  The
+batched-vs-scalar agreement is pinned by
+``tests/properties/test_batched_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.discrete import DiscreteDistribution
+
+__all__ = ["BatchedPMF", "batched_scaled_pfd", "batched_two_point_pmf"]
+
+#: Column-block size for query-time temporaries, so quantile / variance
+#: queries over thousands of points never materialise a (points, support)
+#: float temporary larger than a few tens of megabytes.
+_QUERY_BLOCK = 64
+
+
+@dataclass(frozen=True)
+class BatchedPMF:
+    """A family of finite discrete distributions on one shared support.
+
+    Row ``j`` of ``pmf`` is the probability vector of point ``j`` on
+    ``support * support_scales[j]`` -- the shared grid times the point's
+    support multiplier (1.0 unless the point scales the impacts).  All
+    queries are vectorised across points and return one value per row.
+    """
+
+    support: np.ndarray
+    pmf: np.ndarray
+    support_scales: np.ndarray
+
+    def __post_init__(self) -> None:
+        support = np.asarray(self.support, dtype=float)
+        pmf = np.atleast_2d(np.asarray(self.pmf, dtype=float))
+        scales = np.asarray(self.support_scales, dtype=float)
+        if support.ndim != 1 or pmf.shape[1] != support.size:
+            raise ValueError(
+                f"pmf columns ({pmf.shape[1]}) must match support size ({support.size})"
+            )
+        if scales.shape != (pmf.shape[0],):
+            raise ValueError(
+                f"need one support scale per point, got {scales.shape} for {pmf.shape[0]} points"
+            )
+        if np.any(scales < 0.0):
+            raise ValueError("support scales must be non-negative")
+        object.__setattr__(self, "support", support)
+        object.__setattr__(self, "pmf", pmf)
+        object.__setattr__(self, "support_scales", scales)
+
+    @property
+    def points(self) -> int:
+        """Number of stacked distributions."""
+        return int(self.pmf.shape[0])
+
+    def means(self) -> np.ndarray:
+        """Expected value of every point."""
+        return (self.pmf @ self.support) * self.support_scales
+
+    def variances(self) -> np.ndarray:
+        """Variance of every point (numerically stable, blockwise)."""
+        base_means = self.pmf @ self.support
+        out = np.empty(self.points)
+        for start in range(0, self.points, _QUERY_BLOCK):
+            stop = min(start + _QUERY_BLOCK, self.points)
+            centred = self.support[np.newaxis, :] - base_means[start:stop, np.newaxis]
+            out[start:stop] = np.einsum(
+                "ij,ij->i", self.pmf[start:stop], centred**2
+            )
+        return out * self.support_scales**2
+
+    def stds(self) -> np.ndarray:
+        """Standard deviation of every point."""
+        return np.sqrt(self.variances())
+
+    def quantiles(self, level: float) -> np.ndarray:
+        """Smallest support point with ``P(X <= x) >= level``, per point."""
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"level must be in [0, 1], got {level}")
+        out = np.empty(self.points)
+        for start in range(0, self.points, _QUERY_BLOCK):
+            stop = min(start + _QUERY_BLOCK, self.points)
+            cumulative = np.cumsum(self.pmf[start:stop], axis=1)
+            # Mirrors DiscreteDistribution.quantile's tolerance and clamping.
+            index = np.minimum(
+                (cumulative < level - 1e-15).sum(axis=1), self.support.size - 1
+            )
+            out[start:stop] = self.support[index]
+        return out * self.support_scales
+
+    def survival(self, threshold: float) -> np.ndarray:
+        """``P(X > threshold)`` per point (exceedance of a PFD bound)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            base_thresholds = np.where(
+                self.support_scales > 0.0,
+                threshold / self.support_scales,
+                np.inf if threshold >= 0.0 else -np.inf,
+            )
+        counts = np.searchsorted(self.support, base_thresholds, side="right")
+        out = np.empty(self.points)
+        for start in range(0, self.points, _QUERY_BLOCK):
+            stop = min(start + _QUERY_BLOCK, self.points)
+            cumulative = np.cumsum(self.pmf[start:stop], axis=1)
+            index = counts[start:stop]
+            covered = np.where(
+                index > 0, cumulative[np.arange(stop - start), np.minimum(index, self.support.size) - 1], 0.0
+            )
+            out[start:stop] = 1.0 - covered
+        return out
+
+    def prob_zero(self) -> np.ndarray:
+        """``P(X = 0)`` per point."""
+        zero_columns = self.support == 0.0
+        base = self.pmf[:, zero_columns].sum(axis=1)
+        # A zero support scale collapses the whole distribution onto 0.
+        return np.where(self.support_scales == 0.0, 1.0, base)
+
+    def distribution(self, index: int) -> DiscreteDistribution:
+        """Materialise one point as a scalar :class:`DiscreteDistribution`."""
+        if not 0 <= index < self.points:
+            raise IndexError(f"point index {index} out of range for {self.points} points")
+        scale = float(self.support_scales[index])
+        if scale == 0.0:
+            return DiscreteDistribution.point_mass(0.0)
+        row = self.pmf[index]
+        occupied = row > 0.0
+        probabilities = row[occupied]
+        return DiscreteDistribution._trusted(
+            self.support[occupied] * scale, probabilities / probabilities.sum()
+        )
+
+
+def _exact_phase(
+    values: np.ndarray, probabilities: np.ndarray, max_support: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Fold faults exactly while the shared support fits within ``max_support``.
+
+    Returns the shared support, the stacked probabilities and the number of
+    leading faults consumed.  The support depends only on the fault values,
+    so one merge ordering serves every point; the per-point update is a
+    broadcast multiplication.
+    """
+    points = probabilities.shape[0]
+    support = np.zeros(1)
+    weights = np.ones((points, 1))
+    index = 0
+    while index < values.size and 2 * support.size <= max_support:
+        value = values[index]
+        merged = np.concatenate([support, support + value])
+        order = np.argsort(merged, kind="stable")
+        merged = merged[order]
+        pi = probabilities[:, index][:, np.newaxis]
+        stacked = np.concatenate([weights * (1.0 - pi), weights * pi], axis=1)[:, order]
+        boundaries = np.empty(merged.size, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(merged[1:], merged[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        support = merged[starts]
+        weights = np.add.reduceat(stacked, starts, axis=1)
+        index += 1
+    return support, weights, index
+
+
+def _lattice_phase(
+    support: np.ndarray,
+    weights: np.ndarray,
+    values: np.ndarray,
+    probabilities: np.ndarray,
+    max_support: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold the remaining faults on a fixed mean-preserving lattice.
+
+    The stacked counterpart of :func:`repro.stats.discrete._lattice_fold`:
+    each fault's value splits across the two neighbouring lattice points so
+    every point's mean is preserved exactly, and the split indices are shared
+    across points -- only the fold probabilities differ, entering as one
+    broadcast multiplication per shift.
+    """
+    remaining_means = probabilities @ values
+    remaining_vars = (probabilities * (1.0 - probabilities)) @ (values**2)
+    top = float(support[-1])
+    statistical_span = top + np.max(
+        remaining_means + 40.0 * np.sqrt(remaining_vars)
+    ) + float(values.max())
+    span = min(top + float(values.sum()), statistical_span)
+    resolution = 4 * max_support
+    delta = span / (resolution - 1)
+    work = resolution + 2
+    points = weights.shape[0]
+    lattice = np.zeros((points, work))
+    positions = support / delta
+    lower = np.floor(positions).astype(int)
+    fractions = positions - lower
+    np.add.at(lattice.T, lower, (weights * (1.0 - fractions)).T)
+    np.add.at(lattice.T, lower + 1, (weights * fractions).T)
+    for index in range(values.size):
+        position = values[index] / delta
+        shift = int(position)
+        fraction = position - shift
+        pi = probabilities[:, index]
+        updated = lattice * (1.0 - pi)[:, np.newaxis]
+        for offset, mass in ((shift, pi * (1.0 - fraction)), (shift + 1, pi * fraction)):
+            if not np.any(mass):
+                continue
+            column = mass[:, np.newaxis]
+            if offset < work:
+                updated[:, offset:] += lattice[:, : work - offset] * column
+                tail = lattice[:, work - offset :]
+            else:
+                tail = lattice
+            if tail.shape[1]:
+                updated[:, -1] += tail.sum(axis=1) * mass
+        lattice = updated
+    occupied = np.flatnonzero(lattice.max(axis=0) > 0.0)
+    return occupied * delta, lattice[:, occupied]
+
+
+def batched_two_point_pmf(
+    values: np.ndarray,
+    probabilities: np.ndarray,
+    max_support: int = 4096,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distributions of ``sum_i B_ij`` for a stacked family of two-point sums.
+
+    ``B_ij`` equals ``values[i]`` with probability ``probabilities[j, i]``
+    and 0 otherwise: row ``j`` of ``probabilities`` describes one sweep
+    point's fault-introduction probabilities over the *shared* impact vector
+    ``values``.  Returns ``(support, pmf)`` where ``support`` is the shared
+    grid and ``pmf[j]`` the probability vector of point ``j``.
+
+    This is the batched counterpart of
+    :func:`repro.stats.discrete.convolve_two_points`; see the module
+    docstring for the phase structure and accuracy contract.  Unlike the
+    scalar path, a finite ``max_support`` is required (the stacked kernel
+    has no exact-exponential mode).
+    """
+    values = np.atleast_1d(np.asarray(values, dtype=float))
+    probabilities = np.atleast_2d(np.asarray(probabilities, dtype=float))
+    if values.ndim != 1 or probabilities.ndim != 2 or probabilities.shape[1] != values.size:
+        raise ValueError(
+            "values must be 1-D and probabilities 2-D with one column per value"
+        )
+    if not isinstance(max_support, (int, np.integer)) or max_support < 2:
+        raise ValueError(f"max_support must be an integer >= 2, got {max_support!r}")
+    if np.any(~np.isfinite(values)) or np.any(~np.isfinite(probabilities)):
+        raise ValueError("values and probabilities must be finite")
+    if np.any((probabilities < 0.0) | (probabilities > 1.0)):
+        raise ValueError("all probabilities must lie in [0, 1]")
+    if np.any(values < 0.0):
+        raise ValueError("all values must be non-negative")
+    # Faults that contribute nothing at any point drop out entirely.
+    active = (values != 0.0) & np.any(probabilities > 0.0, axis=0)
+    values = values[active]
+    probabilities = probabilities[:, active]
+    if values.size == 0:
+        return np.zeros(1), np.ones((probabilities.shape[0], 1))
+    # Largest impacts first: they are resolved exactly, mirroring the scalar
+    # fold order, and the small-impact tail lands on the lattice.
+    order = np.argsort(values, kind="stable")[::-1]
+    values = values[order]
+    probabilities = probabilities[:, order]
+    support, weights, consumed = _exact_phase(values, probabilities, max_support)
+    if consumed < values.size:
+        support, weights = _lattice_phase(
+            support, weights, values[consumed:], probabilities[:, consumed:], max_support
+        )
+    totals = weights.sum(axis=1, keepdims=True)
+    return support, weights / totals
+
+
+def batched_scaled_pfd(
+    model,
+    p_scales,
+    q_scales=None,
+    versions: int = 1,
+    max_support: int = 4096,
+) -> BatchedPMF:
+    """Exact PFD distributions of a family of rescaled models, in one pass.
+
+    Point ``j`` is the model with every ``p_i`` multiplied by
+    ``p_scales[j]`` (Appendix B process quality) and every ``q_i`` by
+    ``q_scales[j]``, combined 1-out-of-``versions`` -- exactly what
+    ``exact_pfd_distribution(model.rescaled(...), versions)`` evaluates point
+    by point, but with one convolution pass over the whole family.
+
+    Parameters
+    ----------
+    model:
+        The base :class:`~repro.core.fault_model.FaultModel`.
+    p_scales, q_scales:
+        Per-point scale factors (``q_scales`` defaults to all ones).  Every
+        ``p_scales[j] * max(p)`` must stay within ``[0, 1]``.
+    versions:
+        Number of independently developed versions combined 1-out-of-r.
+    max_support:
+        Support budget per point; see :func:`batched_two_point_pmf` for the
+        accuracy contract.
+    """
+    p_scales = np.atleast_1d(np.asarray(p_scales, dtype=float))
+    if q_scales is None:
+        q_scales = np.ones_like(p_scales)
+    q_scales = np.atleast_1d(np.asarray(q_scales, dtype=float))
+    if p_scales.shape != q_scales.shape or p_scales.ndim != 1:
+        raise ValueError("p_scales and q_scales must be 1-D arrays of equal length")
+    if versions < 1:
+        raise ValueError(f"versions must be a positive integer, got {versions}")
+    if np.any(~np.isfinite(p_scales)) or np.any(p_scales < 0.0):
+        raise ValueError("p_scales must be finite and non-negative")
+    if np.any(~np.isfinite(q_scales)) or np.any(q_scales < 0.0):
+        raise ValueError("q_scales must be finite and non-negative")
+    scaled_max = p_scales * model.p_max
+    if np.any(scaled_max > 1.0):
+        worst = float(p_scales[np.argmax(scaled_max)])
+        raise ValueError(
+            f"scaling by p_scale={worst} pushes some p_i above 1 "
+            f"(max would be {float(scaled_max.max()):.4f})"
+        )
+    probabilities = (p_scales[:, np.newaxis] * model.p[np.newaxis, :]) ** versions
+    support, pmf = batched_two_point_pmf(model.q, probabilities, max_support=max_support)
+    return BatchedPMF(support=support, pmf=pmf, support_scales=q_scales)

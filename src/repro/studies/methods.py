@@ -36,6 +36,7 @@ __all__ = [
     "MODEL_TRANSFORM_PARAMS",
     "canonical_model_params",
     "evaluate_point",
+    "evaluate_study_group",
     "evaluate_study_point",
     "resolve_model",
     "split_point_params",
@@ -129,16 +130,10 @@ def resolve_model(base: Mapping, factory_kwargs: Mapping, transforms: Mapping) -
         model = get_scenario(base["scenario"], **factory_kwargs)
     else:
         model = FaultModel.from_dict(base["model"])
-    if "p_scale" in transforms:
-        model = model.scaled(float(transforms["p_scale"]))
-    if "q_scale" in transforms:
-        scale = float(transforms["q_scale"])
-        if scale < 0.0:
-            raise ValueError(f"q_scale must be non-negative, got {scale}")
-        model = FaultModel(
-            p=model.p.copy(), q=model.q * scale, names=model.names, strict=model.strict
-        )
-    return model
+    return model.rescaled(
+        p_scale=float(transforms.get("p_scale", 1.0)),
+        q_scale=float(transforms.get("q_scale", 1.0)),
+    )
 
 
 def evaluate_study_point(
@@ -159,6 +154,58 @@ def evaluate_study_point(
     options = {**dict(method.options), **overrides}
     result = api_evaluate(model, method.name, seed=tuple(seed_entropy), **options)
     return result.metric_dict()
+
+
+def evaluate_study_group(
+    base: Mapping,
+    shared_params: Mapping[str, Any],
+    method: MethodSpec,
+    variations,
+    group_entropy: tuple[int, ...],
+    point_entropies,
+    wanted=None,
+) -> list[tuple[str, Any]]:
+    """Run one batchable group of sweep points and return per-point outcomes.
+
+    A group shares everything but the model transforms: ``shared_params``
+    are the non-transform axis assignments (factory parameters and method
+    option overrides, identical across the group) and ``variations`` the
+    per-point ``p_scale`` / ``q_scale`` values.  The base model is resolved
+    *once* and the whole group dispatches through
+    :func:`repro.api.evaluate.evaluate_sweep_outcomes`: methods with a
+    batched kernel evaluate every point in vectorised passes (stochastic
+    ones against one shared demand stream seeded from ``group_entropy``);
+    methods without one fall back to per-point evaluation seeded from
+    ``point_entropies`` -- bitwise-identical to the ungrouped runner path.
+
+    ``wanted`` selects the variation positions whose outcomes the caller
+    needs (default: all).  A batched kernel still sees the *whole* sweep --
+    the shared structure it derives from the scale set (demand envelope,
+    lattice span) must not depend on which siblings the runner already had
+    cached -- while the scalar path (no kernel, or the kernel declined)
+    evaluates only the wanted points.
+
+    Returns ``("ok", metrics)`` / ``("error", message)`` per wanted
+    variation, in ``wanted`` order, so one bad sweep point cannot discard
+    its siblings.
+    """
+    from repro.api.evaluate import evaluate_sweep_outcomes
+
+    factory_kwargs, transforms, overrides, _ = split_point_params(base, shared_params, method)
+    if transforms:
+        raise ValueError(
+            f"group parameters must not contain model transforms, got {sorted(transforms)}"
+        )
+    model = resolve_model(base, factory_kwargs, {})
+    return evaluate_sweep_outcomes(
+        model,
+        method.name,
+        variations,
+        options={**dict(method.options), **overrides},
+        seed=tuple(group_entropy),
+        variation_seeds=tuple(point_entropies),
+        subset=wanted,
+    )
 
 
 def evaluate_point(

@@ -38,11 +38,23 @@ from typing import Any, Callable
 from repro.api.registry import default_registry
 from repro.studies.cache import CACHE_FORMAT_VERSION, ResultCache, payload_digest
 from repro.studies.grid import StudyPoint, expand_points
-from repro.studies.methods import canonical_model_params, evaluate_study_point, split_point_params
+from repro.studies.methods import (
+    MODEL_TRANSFORM_PARAMS,
+    canonical_model_params,
+    evaluate_study_group,
+    evaluate_study_point,
+    split_point_params,
+)
 from repro.studies.results import StudyResult
 from repro.studies.spec import StudySpec
 
-__all__ = ["PlannedPoint", "plan_study", "point_seed_entropy", "run_study"]
+__all__ = [
+    "PlannedPoint",
+    "group_seed_entropy",
+    "plan_study",
+    "point_seed_entropy",
+    "run_study",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +69,33 @@ class PlannedPoint:
 
 def point_seed_entropy(spec: StudySpec, digest: str) -> tuple[int, int]:
     """Entropy for the point's ``SeedSequence``: (study seed, content key)."""
+    return (spec.seed, int(digest[:16], 16))
+
+
+def group_digest(payload: dict) -> str:
+    """Content digest of a point's *batch group*: its payload with neutral transforms.
+
+    Points that differ only in the batchable model transforms (``p_scale``,
+    ``q_scale``) share a group; everything else in the payload -- base model,
+    factory parameters, resolved method options, the seed field -- stays in
+    the key, so the group identity is as content-addressed as the point
+    digests themselves.
+    """
+    from repro.studies.methods import MODEL_TRANSFORM_DEFAULTS
+
+    params = dict(payload["params"])
+    for name, neutral in MODEL_TRANSFORM_DEFAULTS.items():
+        params[name] = neutral
+    return payload_digest({**payload, "params": params})
+
+
+def group_seed_entropy(spec: StudySpec, digest: str) -> tuple[int, int]:
+    """Entropy of a batch group's shared demand stream: (study seed, group key).
+
+    Keyed by the group's *content* (not its membership), so a sweep point's
+    shared-demand stream does not depend on which sibling points happened to
+    be cache misses alongside it.
+    """
     return (spec.seed, int(digest[:16], 16))
 
 
@@ -127,6 +166,129 @@ def _evaluate_planned(arguments: tuple) -> tuple[str, Any]:
         return ("error", f"{type(error).__name__}: {error}")
 
 
+def _evaluate_group(arguments: tuple) -> list[tuple[str, Any]]:
+    """Group worker entry point: one pickle per batchable group of points.
+
+    Returns one ``("ok", metrics)`` / ``("error", message)`` outcome per
+    member.  A failure that escapes the per-point handling (e.g. a broken
+    base model) is fanned out to every member so the runner's bookkeeping
+    stays aligned.
+    """
+    base, shared_params, method, variations, group_entropy, point_entropies, wanted = arguments
+    try:
+        return evaluate_study_group(
+            base,
+            dict(shared_params),
+            method,
+            variations,
+            group_entropy,
+            point_entropies,
+            wanted=wanted,
+        )
+    except Exception as error:  # noqa: BLE001 - reported with point context by run_study
+        return [(
+            "error", f"{type(error).__name__}: {error}"
+        )] * len(wanted)
+
+
+def _plan_groups(
+    spec: StudySpec, planned: list[PlannedPoint], pending: dict, jobs: int = 1
+) -> list[tuple]:
+    """Partition the evaluation into batchable groups, heaviest first.
+
+    Each group with at least one cache miss becomes one worker task: points
+    sharing everything except the ``p_scale`` / ``q_scale`` transforms
+    evaluate together against one resolved base model (and, for batched
+    stochastic methods, one shared demand stream).  A group always carries
+    its *full* planned sweep -- cached siblings included -- because batched
+    kernels derive shared structure from the whole scale set (the Monte
+    Carlo demand envelope, the exact kernel's lattice span); deriving it
+    from the cache misses alone would make a point's fresh value depend on
+    which siblings happened to be cached.  The worker only returns the
+    missing points.  Heaviest groups are dispatched first so the process
+    pool drains evenly.
+    """
+    registry = default_registry()
+    batchable = {
+        method.name: registry.get(method.name).supports_batch for method in spec.methods
+    }
+    groups: dict[str, dict] = {}
+    for index, entry in enumerate(planned):
+        key = group_digest(entry.payload)
+        group = groups.get(key)
+        if group is None:
+            shared = tuple(
+                item for item in entry.consumed_params if item[0] not in MODEL_TRANSFORM_PARAMS
+            )
+            group = groups[key] = {
+                "base": dict(spec.base),
+                "shared": shared,
+                "method": entry.point.method,
+                "members": [],
+                "seen": set(),
+                "entropy": group_seed_entropy(spec, key),
+                "weight": int(entry.payload["method"].get("replications", 1)),
+            }
+        if entry.digest not in group["seen"]:
+            group["seen"].add(entry.digest)
+            group["members"].append((entry.digest, index))
+    # A batched kernel needs the whole axis in one task (its shared
+    # structure -- demand envelope, lattice span -- spans the sweep), but a
+    # kernel-less method gains nothing from a single big task and would
+    # serialise its points inside one worker; split those groups into up to
+    # ``jobs`` chunks (per-point digest seeding makes the split invisible
+    # in the results).
+    chunked: list[dict] = []
+    for group in groups.values():
+        if batchable[group["method"].name] or jobs <= 1 or len(group["members"]) <= 1:
+            chunked.append(group)
+            continue
+        parts = min(jobs, len(group["members"]))
+        size, remainder = divmod(len(group["members"]), parts)
+        offset = 0
+        for part in range(parts):
+            take = size + (1 if part < remainder else 0)
+            chunked.append({**group, "members": group["members"][offset : offset + take]})
+            offset += take
+    ordered = sorted(
+        (group for group in chunked if any(d in pending for d, _ in group["members"])),
+        key=lambda group: len(group["members"]) * group["weight"],
+        reverse=True,
+    )
+    work = []
+    for group in ordered:
+        variations = tuple(
+            {
+                "p_scale": planned[index].payload["params"]["p_scale"],
+                "q_scale": planned[index].payload["params"]["q_scale"],
+            }
+            for _, index in group["members"]
+        )
+        entropies = tuple(
+            point_seed_entropy(spec, digest) for digest, _ in group["members"]
+        )
+        wanted = tuple(
+            position
+            for position, (digest, _) in enumerate(group["members"])
+            if digest in pending
+        )
+        work.append(
+            (
+                [group["members"][position] for position in wanted],
+                (
+                    group["base"],
+                    group["shared"],
+                    group["method"],
+                    variations,
+                    group["entropy"],
+                    entropies,
+                    wanted,
+                ),
+            )
+        )
+    return work
+
+
 def _assemble_row(planned: PlannedPoint, metrics: dict[str, Any]) -> dict[str, Any]:
     """One tidy table row: identity, full axis assignment, then metrics."""
     return {
@@ -143,6 +305,7 @@ def run_study(
     jobs: int = 1,
     force: bool = False,
     progress: Callable[[int, int, int], None] | None = None,
+    batch: bool = True,
 ) -> StudyResult:
     """Execute the study and return its result table.
 
@@ -154,6 +317,9 @@ def run_study(
         Content-addressed result cache directory; ``None`` disables caching.
     jobs:
         Worker processes for the uncached points (1 = run in-process).
+        Results are identical for any value; the pool is capped at the
+        machine's CPU count, since extra workers on an oversubscribed
+        machine only add scheduling overhead.
     force:
         Recompute every point even on a cache hit (fresh records still
         overwrite the cache, keeping it warm for the next run).
@@ -162,6 +328,26 @@ def run_study(
         resolved evaluation (``total`` counts distinct evaluations, which is
         fewer than the point count when points differ only in axes their
         method ignores).
+    batch:
+        When true (the default), cache misses are grouped by batchable axis
+        -- points differing only in ``p_scale`` / ``q_scale`` -- and each
+        group is dispatched as *one* task: the base model is resolved once,
+        methods with a batched kernel evaluate the whole group in vectorised
+        passes, and stochastic batched methods score every point against one
+        shared demand stream (common random numbers; see
+        :mod:`repro.montecarlo.sweep`).  Point digests, cache entries and
+        warm-run behaviour are identical in both modes; what can differ are
+        the *fresh* metric values of batch-capable methods -- Monte Carlo
+        points sample a different (shared) stream, and batched exact values
+        agree with the scalar path to kernel resolution rather than bitwise.
+        Methods without a batched kernel produce bitwise-identical results
+        in either mode (their groups are chunked across the workers, so
+        they keep their cross-point parallelism).  One caveat: a sweep a
+        batch-capable method *declines at runtime* (e.g. correlated Monte
+        Carlo) runs point by point inside its single group task; pass
+        ``batch=False`` to spread such sweeps across workers.  ``batch=
+        False`` restores the one-task-per-point dispatch with per-point
+        independent streams everywhere.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be a positive integer, got {jobs}")
@@ -187,27 +373,56 @@ def run_study(
         else:
             pending[entry.digest] = index
 
+    # Worker processes beyond the machine's cores only add scheduling and
+    # fork overhead (results are identical for any ``jobs`` by
+    # construction), so parallelism is capped at the CPU count throughout.
+    import os
+
+    effective_jobs = min(jobs, max(1, os.cpu_count() or 1))
+    # Grouping is only planned when there is work: a fully warm run must not
+    # pay the per-point group hashing.
+    groups = (
+        _plan_groups(spec, planned, pending, effective_jobs) if batch and pending else None
+    )
     if pending:
-        work = [
-            (
-                dict(spec.base),
-                planned[index].consumed_params,
-                planned[index].point.method,
-                point_seed_entropy(spec, digest),
-            )
-            for digest, index in pending.items()
-        ]
+        if groups is not None:
+            tasks = len(groups)
+            work = [arguments for _, arguments in groups]
+            worker = _evaluate_group
+            # One (members, outcomes) pair per finished group.
+            def bind(results):
+                for (members, _), outcomes in zip(groups, results):
+                    yield from zip(members, outcomes)
+        else:
+            tasks = len(pending)
+            work = [
+                (
+                    dict(spec.base),
+                    planned[index].consumed_params,
+                    planned[index].point.method,
+                    point_seed_entropy(spec, digest),
+                )
+                for digest, index in pending.items()
+            ]
+            worker = _evaluate_planned
+
+            def bind(results):
+                yield from zip(pending.items(), results)
+
         executor = None
-        if jobs > 1 and len(pending) > 1:
+        # On a single-core machine (or with one task) the run stays
+        # in-process.
+        workers = min(effective_jobs, tasks)
+        if workers > 1:
             from concurrent.futures import ProcessPoolExecutor
 
-            executor = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
-            fresh = executor.map(_evaluate_planned, work)
+            executor = ProcessPoolExecutor(max_workers=workers)
+            fresh = executor.map(worker, work)
         else:
-            fresh = map(_evaluate_planned, work)
+            fresh = map(worker, work)
         failures: list[tuple[int, str]] = []
         try:
-            for (digest, index), (status, outcome) in zip(pending.items(), fresh):
+            for (digest, index), (status, outcome) in bind(fresh):
                 if status == "error":
                     failures.append((index, outcome))
                     continue
@@ -247,6 +462,8 @@ def run_study(
         "computed": len(pending),
         "cached": cached_count,
         "jobs": jobs,
+        "batch": batch,
+        "dispatched_tasks": (len(groups) if groups is not None else len(pending)) if pending else 0,
         "seed": spec.seed,
         "methods": [method.name for method in spec.methods],
         "axes": axis_sizes,

@@ -69,6 +69,30 @@ class DevelopmentProcess:
             yield self.sample_fault_matrix(rng, size)
             remaining -= size
 
+    def stream_fault_matrices(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        chunk_size: int | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Like :meth:`iter_fault_matrices`, but yielded matrices may share storage.
+
+        Each yielded matrix is only valid until the next iteration: processes
+        that can (see :class:`IndependentDevelopmentProcess`) reuse one
+        internal buffer per iterator instead of allocating a fresh matrix per
+        chunk, which roughly halves the wall time of streaming simulations --
+        at large chunk sizes the allocation and page-faulting of hundreds of
+        megabytes per chunk costs as much as generating the random numbers.
+        ``scratch`` optionally provides a shared float work buffer of shape
+        ``(chunk rows, n)``; iterators drawing from *interleaved* streams
+        (one per developed version, advanced in lockstep) can safely share
+        one, which bounds the float working set at a single chunk regardless
+        of the version count.  The yielded *values* are bitwise-identical to
+        :meth:`iter_fault_matrices` for the same starting generator state.
+        """
+        return self.iter_fault_matrices(rng, count, chunk_size)
+
     # ------------------------------------------------------------------ #
     # Shared conveniences
     # ------------------------------------------------------------------ #
@@ -141,3 +165,31 @@ class IndependentDevelopmentProcess(DevelopmentProcess):
             return np.zeros((0, self.model.n), dtype=bool)
         uniforms = rng.random((count, self.model.n))
         return uniforms < self.model.p[np.newaxis, :]
+
+    def stream_fault_matrices(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        chunk_size: int | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> Iterator[np.ndarray]:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        rows = count if chunk_size is None else min(chunk_size, count)
+        if scratch is not None and scratch.shape == (rows, self.model.n) and scratch.dtype == float:
+            uniforms = scratch
+        else:
+            uniforms = np.empty((rows, self.model.n))
+        presence = np.empty((rows, self.model.n), dtype=bool)
+        remaining = count
+        while remaining > 0:
+            size = min(rows, remaining)
+            # ``random(out=...)`` consumes the stream exactly like
+            # ``random(shape)``, so the values match iter_fault_matrices
+            # bitwise; only the allocations disappear.
+            rng.random(out=uniforms[:size])
+            np.less(uniforms[:size], self.model.p[np.newaxis, :], out=presence[:size])
+            yield presence[:size]
+            remaining -= size

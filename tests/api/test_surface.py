@@ -12,6 +12,7 @@ import repro
 import repro.api
 
 REPRO_PUBLIC_NAMES = (
+    "BatchUnsupported",
     "DiversityGainSummary",
     "EvaluationRequest",
     "EvaluationResult",
@@ -33,6 +34,7 @@ REPRO_PUBLIC_NAMES = (
     "diversity_gain_summary",
     "evaluate",
     "evaluate_batch",
+    "evaluate_sweep",
     "exact_pfd_distribution",
     "fault_count_distribution",
     "mean_gain_factor",
@@ -44,6 +46,7 @@ REPRO_PUBLIC_NAMES = (
     "prob_fault_free_pair",
     "prob_fault_free_version",
     "proportional_improvement_derivative",
+    "register_batch",
     "register_method",
     "risk_ratio",
     "risk_ratio_partial_derivative",
@@ -58,6 +61,7 @@ REPRO_PUBLIC_NAMES = (
 )
 
 REPRO_API_PUBLIC_NAMES = (
+    "BatchUnsupported",
     "EvaluationRequest",
     "EvaluationResult",
     "MethodDefinition",
@@ -66,6 +70,8 @@ REPRO_API_PUBLIC_NAMES = (
     "default_registry",
     "evaluate",
     "evaluate_batch",
+    "evaluate_sweep",
+    "register_batch",
     "register_method",
 )
 

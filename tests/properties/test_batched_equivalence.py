@@ -1,0 +1,217 @@
+"""Batched-vs-scalar equivalence and shared-demand determinism.
+
+Pins the accuracy and reproducibility contracts of the batched sweep fast
+path:
+
+* the stacked exact kernel (:mod:`repro.stats.batched`) matches the scalar
+  :func:`~repro.core.pfd_distribution.exact_pfd_distribution` point by
+  point -- means to float rounding, standard deviations and tail queries to
+  the lattice resolution -- and is *exact* while the support fits;
+* the shared-demand Monte Carlo kernel (:mod:`repro.montecarlo.sweep`) is a
+  deterministic function of ``(seed, model, versions, replications, scale
+  envelope)``: the engine's ``chunk_size`` / ``jobs`` knobs never enter,
+  repeated calls are identical, and its estimates agree with the analytic
+  moments statistically;
+* the study runner's batched dispatch leaves digests, caching and
+  jobs-invariance untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fault_model import FaultModel
+from repro.core.moments import pfd_moments
+from repro.core.no_common_faults import prob_any_common_fault, prob_any_fault
+from repro.core.pfd_distribution import exact_pfd_distribution
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.montecarlo.sweep import simulate_scaled_sweep
+from repro.stats.batched import BatchedPMF, batched_scaled_pfd, batched_two_point_pmf
+
+SCALES = (0.125, 0.35, 0.7, 1.0)
+
+
+def random_model(seed: int, n: int) -> FaultModel:
+    rng = np.random.default_rng(seed)
+    return FaultModel.random(rng, n=n, p_range=(0.005, 0.2), total_impact=0.4)
+
+
+class TestBatchedExactEquivalence:
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_while_support_fits(self, seed, n):
+        # With the support budget never exceeded, the stacked kernel does the
+        # same exact folds as the scalar path: every moment and every tail
+        # query must agree to float rounding.
+        model = random_model(seed, n)
+        batch = batched_scaled_pfd(model, np.array(SCALES), versions=1, max_support=4096)
+        for index, scale in enumerate(SCALES):
+            scalar = exact_pfd_distribution(model.scaled(scale), 1, max_support=4096)
+            assert batch.means()[index] == pytest.approx(scalar.mean(), rel=1e-12, abs=1e-300)
+            assert batch.stds()[index] == pytest.approx(scalar.std(), rel=1e-9, abs=1e-15)
+            assert batch.quantiles(0.99)[index] == pytest.approx(
+                scalar.quantile(0.99), rel=1e-12, abs=1e-15
+            )
+            assert batch.survival(1e-3)[index] == pytest.approx(
+                scalar.survival(1e-3), abs=1e-12
+            )
+
+    @pytest.mark.parametrize("n,versions", [(150, 1), (150, 2), (400, 1)])
+    def test_lattice_regime_matches_to_resolution(self, n, versions):
+        model = random_model(11, n)
+        max_support = 1024
+        batch = batched_scaled_pfd(
+            model, np.array(SCALES), versions=versions, max_support=max_support
+        )
+        lattice_step = float(batch.support[-1]) / batch.support.size
+        for index, scale in enumerate(SCALES):
+            scalar = exact_pfd_distribution(
+                model.scaled(scale), versions, max_support=max_support
+            )
+            # Means are preserved exactly by the mean-preserving split.
+            assert batch.means()[index] == pytest.approx(scalar.mean(), rel=1e-9)
+            assert batch.stds()[index] == pytest.approx(scalar.std(), rel=5e-3)
+            assert batch.quantiles(0.9)[index] == pytest.approx(
+                scalar.quantile(0.9), abs=8 * lattice_step
+            )
+
+    def test_q_scale_is_a_support_rescale(self):
+        model = random_model(3, 60)
+        q_scales = np.array([0.5, 1.0, 1.5])
+        batch = batched_scaled_pfd(
+            model, np.ones(3), q_scales, versions=2, max_support=512
+        )
+        for index, q_scale in enumerate(q_scales):
+            scaled = FaultModel(
+                p=model.p.copy(), q=model.q * q_scale, names=model.names, strict=False
+            )
+            scalar = exact_pfd_distribution(scaled, 2, max_support=512)
+            assert batch.means()[index] == pytest.approx(scalar.mean(), rel=1e-9)
+            assert batch.stds()[index] == pytest.approx(scalar.std(), rel=5e-3)
+
+    def test_single_point_distribution_roundtrip(self):
+        model = random_model(5, 8)
+        batch = batched_scaled_pfd(model, np.array([0.5]), versions=1, max_support=4096)
+        row = batch.distribution(0)
+        scalar = exact_pfd_distribution(model.scaled(0.5), 1, max_support=4096)
+        np.testing.assert_allclose(row.support, scalar.support, rtol=0, atol=0)
+        np.testing.assert_allclose(row.probabilities, scalar.probabilities, atol=1e-14)
+
+    def test_kernel_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="max_support"):
+            batched_two_point_pmf(np.array([0.1]), np.array([[0.5]]), max_support=None)
+        with pytest.raises(ValueError, match="probabilities"):
+            batched_two_point_pmf(np.array([0.1]), np.array([[1.5]]))
+        model = random_model(1, 4)
+        with pytest.raises(ValueError, match="pushes some p_i above 1"):
+            batched_scaled_pfd(model, np.array([50.0]))
+
+    def test_zero_q_scale_collapses_to_point_mass(self):
+        model = random_model(9, 10)
+        batch = batched_scaled_pfd(model, np.ones(2), np.array([0.0, 1.0]), max_support=256)
+        assert batch.means()[0] == 0.0
+        assert batch.prob_zero()[0] == 1.0
+        assert batch.quantiles(0.999)[0] == 0.0
+        assert batch.survival(1e-6)[0] == pytest.approx(0.0, abs=1e-12)
+        assert batch.distribution(0).support.tolist() == [0.0]
+
+
+class TestSharedDemandDeterminism:
+    def test_engine_knobs_do_not_enter(self, small_model):
+        variations = [{"p_scale": scale} for scale in SCALES]
+        reference = MonteCarloEngine(small_model).simulate_scaled_sweep(
+            4000, variations, versions=2, rng=13
+        )
+        for engine in (
+            MonteCarloEngine(small_model, chunk_size=100),
+            MonteCarloEngine(small_model, chunk_size=4000),
+            MonteCarloEngine(small_model, jobs=3),
+        ):
+            assert engine.simulate_scaled_sweep(4000, variations, versions=2, rng=13) == reference
+
+    def test_same_seed_is_bitwise_reproducible(self, small_model):
+        variations = [{"p_scale": 0.5}, {"p_scale": 1.0, "q_scale": 2.0}]
+        first = simulate_scaled_sweep(small_model, 3000, variations, versions=2, rng=7)
+        second = simulate_scaled_sweep(small_model, 3000, variations, versions=2, rng=7)
+        assert first == second
+        different = simulate_scaled_sweep(small_model, 3000, variations, versions=2, rng=8)
+        assert first != different
+
+    def test_scales_are_nested_worlds(self, small_model):
+        # Common random numbers make the sweep monotone path by path: a
+        # fault present at a scale is present at every larger scale, so the
+        # sampled means must be monotone in p_scale (no Monte Carlo noise in
+        # the comparison).
+        variations = [{"p_scale": scale} for scale in SCALES]
+        results = simulate_scaled_sweep(small_model, 5000, variations, versions=2, rng=3)
+        means = [result.mean_single for result in results]
+        assert all(a <= b + 1e-15 for a, b in zip(means, means[1:]))
+        any_fault = [result.prob_any_fault_system for result in results]
+        assert all(a <= b + 1e-15 for a, b in zip(any_fault, any_fault[1:]))
+
+    @pytest.mark.parametrize("versions", [1, 2, 3])
+    def test_statistically_consistent_with_analytic(self, versions):
+        model = random_model(21, 120)
+        replications = 60_000
+        variations = [{"p_scale": scale} for scale in SCALES]
+        results = simulate_scaled_sweep(
+            model, replications, variations, versions=versions, rng=5
+        )
+        for scale, result in zip(SCALES, results):
+            scaled = model.scaled(scale)
+            single = pfd_moments(scaled, 1)
+            system = pfd_moments(scaled, versions)
+            z_single = (result.mean_single - single.mean) / (
+                single.std / np.sqrt(replications)
+            )
+            z_system = (result.mean_system - system.mean) / (
+                max(system.std, 1e-300) / np.sqrt(replications)
+            )
+            assert abs(z_single) < 5.0
+            assert abs(z_system) < 5.0
+            assert result.prob_any_fault_single == pytest.approx(
+                prob_any_fault(scaled), abs=0.02
+            )
+            if versions == 2:
+                assert result.prob_any_fault_system == pytest.approx(
+                    prob_any_common_fault(scaled), abs=0.02
+                )
+
+    def test_marginal_presence_frequencies(self):
+        # Each fault's marginal presence must be k * p_i at every sweep
+        # scale; checked through the mean fault count of the first version
+        # (sum of the marginals).
+        model = random_model(2, 40)
+        replications = 40_000
+        results = simulate_scaled_sweep(
+            model, replications, [{"p_scale": scale} for scale in SCALES], versions=1, rng=9
+        )
+        for scale, result in zip(SCALES, results):
+            probability = 1.0 - float(np.prod(1.0 - scale * model.p))
+            assert result.prob_any_fault_single == pytest.approx(probability, abs=0.02)
+
+    def test_q_scale_scales_pfds_only(self, small_model):
+        base, doubled = simulate_scaled_sweep(
+            small_model, 3000, [{"p_scale": 0.5}, {"p_scale": 0.5, "q_scale": 2.0}], rng=4
+        )
+        assert doubled.mean_single == pytest.approx(2.0 * base.mean_single, rel=1e-12)
+        assert doubled.std_system == pytest.approx(2.0 * base.std_system, rel=1e-12)
+        assert doubled.prob_any_fault_single == base.prob_any_fault_single
+        assert doubled.prob_pfd_zero_system == base.prob_pfd_zero_system
+
+    def test_rejects_bad_sweeps(self, small_model):
+        with pytest.raises(ValueError, match="pushes some p_i above 1"):
+            simulate_scaled_sweep(small_model, 100, [{"p_scale": 1000.0}])
+        with pytest.raises(ValueError, match="replications"):
+            simulate_scaled_sweep(small_model, 0, [{"p_scale": 0.5}])
+        from repro.versions.correlated import CopulaDevelopmentProcess
+
+        engine = MonteCarloEngine(
+            small_model,
+            process=CopulaDevelopmentProcess(model=small_model, correlation=0.4),
+        )
+        with pytest.raises(ValueError, match="independent development process"):
+            engine.simulate_scaled_sweep(100, [{"p_scale": 0.5}])

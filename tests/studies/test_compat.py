@@ -85,6 +85,68 @@ class TestWarmCacheIdentity:
         assert result.summary["computed"] == len(PRE_REGISTRY_DIGESTS)
 
 
+class TestBatchedDispatchCompat:
+    """The batched (grouped) fast path must not disturb cache identity.
+
+    Digests are computed by ``plan_study`` before any dispatch decision, so
+    batch mode cannot change them; these tests pin the consequences -- a
+    warm cache written by either mode is served untouched by the other, and
+    methods without a batched kernel produce byte-identical records in both
+    modes.
+    """
+
+    def test_plan_digests_do_not_depend_on_batch_mode(self):
+        # plan_study is dispatch-agnostic; the recorded pre-registry digests
+        # above are therefore also the batched-mode digests.
+        planned = plan_study(StudySpec.from_dict(COMPAT_SPEC))
+        assert [entry.digest for entry in planned] == [
+            digest for _, digest in PRE_REGISTRY_DIGESTS
+        ]
+
+    def test_cache_written_by_scalar_mode_served_by_batched_mode(self, tmp_path):
+        spec = StudySpec.from_dict(COMPAT_SPEC)
+        cache_dir = str(tmp_path / "cache")
+        scalar_cold = run_study(spec, cache_dir=cache_dir, batch=False)
+        batched_warm = run_study(spec, cache_dir=cache_dir, batch=True)
+        assert batched_warm.summary["computed"] == 0
+        assert batched_warm.records == scalar_cold.records
+
+    def test_cache_written_by_batched_mode_served_by_scalar_mode(self, tmp_path):
+        spec = StudySpec.from_dict(COMPAT_SPEC)
+        cache_dir = str(tmp_path / "cache")
+        batched_cold = run_study(spec, cache_dir=cache_dir, batch=True)
+        scalar_warm = run_study(spec, cache_dir=cache_dir, batch=False)
+        assert scalar_warm.summary["computed"] == 0
+        assert scalar_warm.records == batched_cold.records
+
+    def test_methods_without_batched_kernel_are_bitwise_identical(self, tmp_path):
+        # moments/bounds have no batched kernel: the grouped dispatch runs
+        # the same per-point evaluation with the same content-keyed seeds,
+        # so fresh records must match the scalar mode byte for byte.
+        spec_dict = {**COMPAT_SPEC, "methods": [{"name": "moments"}, {"name": "bounds"}]}
+        spec = StudySpec.from_dict(spec_dict)
+        scalar = run_study(spec, cache_dir=str(tmp_path / "scalar"), batch=False)
+        batched = run_study(spec, cache_dir=str(tmp_path / "batched"), batch=True)
+        assert batched.records == scalar.records
+
+    def test_group_worker_arguments_survive_pickling(self):
+        # jobs > 1 ships one pickle per group; on single-core machines the
+        # pool is skipped, so exercise the pickle boundary directly.
+        import pickle
+
+        from repro.studies.runner import _evaluate_group, _plan_groups
+
+        spec = StudySpec.from_dict(COMPAT_SPEC)
+        planned = plan_study(spec)
+        pending = {entry.digest: index for index, entry in enumerate(planned)}
+        groups = _plan_groups(spec, planned, pending)
+        assert groups, "compat spec must produce at least one group"
+        members, arguments = groups[0]
+        outcomes = _evaluate_group(pickle.loads(pickle.dumps(arguments)))
+        assert len(outcomes) == len(members)
+        assert all(status == "ok" for status, _ in outcomes)
+
+
 class TestDeprecatedShims:
     def test_evaluate_point_warns_and_matches_new_output(self, small_model):
         base = {"model": small_model.to_dict()}

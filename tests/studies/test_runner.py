@@ -129,6 +129,95 @@ class TestRunStudy:
         assert not (tmp_path / "cache").exists() or not any((tmp_path / "cache").iterdir())
 
 
+class TestBatchedDispatch:
+    def test_groups_points_by_batchable_axis(self, spec, tmp_path):
+        # 2 n-values x 2 methods = 4 groups; the p_scale axis batches away.
+        result = run_study(spec, cache_dir=str(tmp_path / "cache"))
+        assert result.summary["batch"] is True
+        assert result.summary["dispatched_tasks"] == 4
+        assert result.summary["computed"] == 8
+
+    def test_no_batch_dispatches_per_point(self, spec, tmp_path):
+        result = run_study(spec, cache_dir=str(tmp_path / "cache"), batch=False)
+        assert result.summary["batch"] is False
+        assert result.summary["dispatched_tasks"] == 8
+
+    def test_batched_results_do_not_depend_on_grouping(self, tmp_path):
+        # A point computed alongside cached siblings (singleton group) must
+        # match the same point computed in a full cold group: group streams
+        # are content-keyed (scale *envelope*, not membership), so the same
+        # developments are sampled either way.  Only float summation order
+        # may differ -- agreement is to ~1e-15 relative, not bitwise.
+        data = base_spec_dict()
+        cold = run_study(StudySpec.from_dict(data), cache_dir=str(tmp_path / "c1"))
+        trimmed = copy.deepcopy(data)
+        trimmed["sweep"]["grid"][1]["values"] = [0.5]  # drop the 1.0 point
+        partial = run_study(StudySpec.from_dict(trimmed), cache_dir=str(tmp_path / "c2"))
+        cold_rows = {row["point_id"]: row for row in cold.records}
+        compared = 0
+        for row in partial.records:
+            if row["method"] != "montecarlo":
+                continue
+            sibling = cold_rows[row["point_id"]]
+            assert set(row) == set(sibling)
+            for key, value in row.items():
+                if isinstance(value, float):
+                    assert value == pytest.approx(sibling[key], rel=1e-12), key
+                else:
+                    assert value == sibling[key], key
+            compared += 1
+        assert compared == 2
+
+    def test_partially_cached_group_reproduces_cold_values(self, tmp_path):
+        # The shared structure a batched kernel derives from the sweep (the
+        # Monte Carlo demand envelope, the exact lattice span) must come
+        # from the *planned* group, not the cache-miss subset: recomputing
+        # one evicted point must reproduce its cold value exactly even when
+        # the scale set spans a power-of-two envelope bracket (p_scale > 1
+        # is where a miss-only envelope would sample a different world).
+        data = base_spec_dict()
+        data["sweep"]["grid"][1]["values"] = [1.5, 3.0]  # envelope bracket 4
+        spec = StudySpec.from_dict(data)
+        cache_dir = tmp_path / "cache"
+        cold = run_study(spec, cache_dir=str(cache_dir))
+        # Evict exactly one montecarlo point's cache entry.
+        evicted = next(
+            entry for entry in plan_study(spec)
+            if entry.point.method.name == "montecarlo"
+            and entry.point.param_dict()["p_scale"] == 3.0
+        )
+        from repro.studies import ResultCache
+
+        ResultCache(cache_dir).path_for(evicted.digest).unlink()
+        partial = run_study(spec, cache_dir=str(cache_dir))
+        assert partial.summary["computed"] == 1
+        assert partial.records == cold.records
+
+    def test_warm_cache_identical_across_modes(self, spec, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        batched = run_study(spec, cache_dir=cache_dir)
+        scalar_warm = run_study(spec, cache_dir=cache_dir, batch=False)
+        assert scalar_warm.summary["computed"] == 0
+        assert scalar_warm.records == batched.records
+
+    def test_cli_no_batch_flag(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.cli import main
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json_module.dumps(base_spec_dict()), encoding="utf-8")
+        arguments = [
+            "study", "run", str(spec_file),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--output-dir", str(tmp_path / "out"),
+            "--quiet", "--no-batch",
+        ]
+        assert main(arguments) == 0
+        summary = json_module.loads(capsys.readouterr().out)
+        assert summary["batch"] is False
+
+
 class TestSeeding:
     def test_seeds_are_content_keyed_not_positional(self):
         # Reversing an axis must not change any point's seed entropy.
