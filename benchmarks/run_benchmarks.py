@@ -326,6 +326,93 @@ def workload_sweep1000(quick: bool) -> dict:
     }
 
 
+def workload_service_throughput(quick: bool) -> dict:
+    """Evaluation service: micro-batched concurrent serving versus a serial loop.
+
+    A sweep-style workload (one montecarlo point per request across a
+    ``p_scale`` axis) fired at a live server three ways: N concurrent
+    clients (grouped by the micro-batcher into shared-demand kernel calls),
+    the same N requests one at a time (each a lone group taking the scalar
+    path -- the serial baseline the ``--check`` gate compares against), and
+    the concurrent burst again (warm: answered from the LRU with zero
+    recomputation, enforced here).
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.experiments.scenarios import many_small_faults_scenario
+    from repro.service import EvaluationServer, ServiceClient, start_in_background
+
+    points = 16 if quick else 32
+    replications = 20_000 if quick else 50_000
+    window_ms = 25.0
+    model = many_small_faults_scenario(n=100)
+    scales = [0.1 + 0.9 * index / (points - 1) for index in range(points)]
+
+    def burst(client: ServiceClient, seed: int) -> float:
+        def one(scale: float):
+            return client.evaluate(
+                model,
+                "montecarlo",
+                options={"replications": replications},
+                seed=seed,
+                p_scale=scale,
+            )
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=points) as pool:
+            list(pool.map(one, scales))
+        return time.perf_counter() - start
+
+    server = EvaluationServer(batch_window_ms=window_ms, lru_size=4 * points)
+    with start_in_background(server) as handle:
+        client = ServiceClient(port=handle.port)
+        batched_elapsed = burst(client, seed=7)
+        after_cold = client.metrics()
+        warm_elapsed = burst(client, seed=7)
+        after_warm = client.metrics()
+    recomputed = after_warm["evaluations_computed"] - after_cold["evaluations_computed"]
+    if recomputed != 0:
+        raise RuntimeError(f"warm burst recomputed {recomputed} evaluations")
+    if after_cold["batched_groups"] < 1:
+        raise RuntimeError("concurrent burst produced no batched group")
+
+    # Serial baseline against a fresh server: same requests, one at a time,
+    # no cache or grouping carry-over.  Window 0 so lone requests dispatch
+    # immediately -- the baseline measures scalar evaluation throughput, not
+    # batching-window latency.
+    serial_server = EvaluationServer(batch_window_ms=0.0, lru_size=4 * points)
+    with start_in_background(serial_server) as handle:
+        client = ServiceClient(port=handle.port)
+        start = time.perf_counter()
+        for scale in scales:
+            client.evaluate(
+                model,
+                "montecarlo",
+                options={"replications": replications},
+                seed=7,
+                p_scale=scale,
+            )
+        serial_elapsed = time.perf_counter() - start
+
+    return {
+        "points": points,
+        "replications": replications,
+        "batch_window_ms": window_ms,
+        "batched_seconds": round(batched_elapsed, 3),
+        "serial_seconds": round(serial_elapsed, 3),
+        "warm_seconds": round(warm_elapsed, 4),
+        "speedup": round(serial_elapsed / batched_elapsed, 1),
+        "warm_speedup": round(serial_elapsed / warm_elapsed, 1),
+        "batched_requests_per_second": round(points / batched_elapsed, 1),
+        "serial_requests_per_second": round(points / serial_elapsed, 1),
+        "batched_groups": after_cold["batched_groups"],
+        "max_group_size": after_cold["max_group_size"],
+        "warm_recomputed": recomputed,
+        "warm_cache_hits": after_warm["cache_hits_lru"] - after_cold["cache_hits_lru"],
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
 def workload_dispatch(quick: bool) -> dict:
     """Registry-dispatch overhead of ``repro.evaluate`` versus a direct call.
 
@@ -384,6 +471,7 @@ WORKLOADS = {
     "convolution": workload_convolution,
     "study": workload_study,
     "sweep1000": workload_sweep1000,
+    "service_throughput": workload_service_throughput,
     "dispatch": workload_dispatch,
 }
 
@@ -424,6 +512,18 @@ def check_record(record: dict) -> list[str]:
         # The batched sweep fast path must stay well ahead of per-point
         # dispatch on the 1000-point workload.
         ("sweep1000 batched >= 3x scalar", lambda: value("sweep1000", "speedup") >= 3.0),
+        # Micro-batched concurrent serving must beat a serial request loop on
+        # the sweep-style workload (the service's reason to exist); the
+        # workload itself already enforces that the warm burst recomputed
+        # nothing and that at least one batched group formed.
+        (
+            "service_throughput batched >= 2x serial",
+            lambda: value("service_throughput", "speedup") >= 2.0,
+        ),
+        (
+            "service_throughput warm pass recomputes nothing",
+            lambda: value("service_throughput", "warm_recomputed") == 0,
+        ),
         # Warm study runs must stay essentially free.  A broken cache makes
         # warm ~= cold (ratio ~1); the floor sits well above that while
         # leaving room for the fixed per-run cost (plan + cache probing)

@@ -159,7 +159,12 @@ def evaluate_batch(
     jobs:
         Worker processes (1 = in-process).  Results are identical for any
         ``jobs``: each request's random stream is derived from ``(seed,
-        request index)``, never from pool scheduling.  ``jobs > 1`` requires
+        request index)``, never from pool scheduling.  Duplicate requests
+        are coalesced -- identical (method, options, derived stream) work
+        items evaluate once and the result fans out to every requester --
+        which cannot change any value: deterministic methods ignore their
+        stream, and stochastic duplicates only share work when their
+        ``(seed, index)`` streams are equal.  ``jobs > 1`` requires
         the default registry (a custom ``registry`` object cannot be shipped
         across the process boundary) and, on spawn-start platforms
         (macOS/Windows), methods registered at *import* time -- a
@@ -193,18 +198,38 @@ def evaluate_batch(
         (model, request.method, request.option_dict(), (*_normalise_entropy(base_seed), index))
         for index, request in enumerate(coerced)
     ]
-    if jobs > 1 and len(work) > 1:
+    # Coalesce duplicates: two requests produce the same result exactly when
+    # they agree on method, options and the random stream their evaluation
+    # consumes -- for deterministic methods the stream is irrelevant, so any
+    # identical (method, options) pair shares one evaluation; stochastic
+    # requests additionally need equal derived entropy.  The computed result
+    # object fans out to every position, preserving request order and
+    # jobs-invariance (the per-request streams never depended on scheduling).
+    positions: list[int] = []
+    unique_work: list[tuple] = []
+    slot_by_key: dict[tuple, int] = {}
+    for request, item in zip(coerced, work):
+        entropy = item[3] if target.get(request.method).requires_seed else None
+        key = (request.method, request.options, entropy)
+        slot = slot_by_key.get(key)
+        if slot is None:
+            slot = slot_by_key[key] = len(unique_work)
+            unique_work.append(item)
+        positions.append(slot)
+    if jobs > 1 and len(unique_work) > 1:
         # Worker processes re-import the default registry (guaranteed above:
         # jobs > 1 rejects custom registry objects).
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as executor:
-            payloads = list(executor.map(_evaluate_request_worker, work))
-        return [EvaluationResult.from_dict(payload) for payload in payloads]
-    return [
-        evaluate(model, method, seed=entropy, registry=target, options=options)
-        for model, method, options, entropy in work
-    ]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(unique_work))) as executor:
+            payloads = list(executor.map(_evaluate_request_worker, unique_work))
+        computed = [EvaluationResult.from_dict(payload) for payload in payloads]
+    else:
+        computed = [
+            evaluate(model, method, seed=entropy, registry=target, options=options)
+            for model, method, options, entropy in unique_work
+        ]
+    return [computed[slot] for slot in positions]
 
 
 # --------------------------------------------------------------------- #

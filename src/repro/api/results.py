@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+import numpy as np
+
 __all__ = ["EvaluationRequest", "EvaluationResult"]
 
 
@@ -20,6 +22,24 @@ def _frozen_items(mapping: Mapping[str, Any], what: str) -> tuple[tuple[str, Any
     if not isinstance(mapping, Mapping):
         raise ValueError(f"{what} must be a mapping, got {type(mapping).__name__}")
     return tuple(sorted(mapping.items()))
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays into pure-JSON Python types.
+
+    Methods are free to return numpy values in their metrics (and callers to
+    pass them as options); ``to_dict`` is the wire boundary, so everything
+    that crosses it must survive ``json.dumps`` unchanged.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return value
 
 
 @dataclass(frozen=True)
@@ -127,13 +147,19 @@ class EvaluationResult:
             ) from None
 
     def to_dict(self) -> dict:
-        """Plain-dictionary (JSON-serialisable) form."""
+        """Plain-dictionary form, with every value a pure JSON type.
+
+        Numpy scalars and arrays in the metrics or options are converted
+        (``np.float64`` -> ``float``, ``np.ndarray`` -> nested lists), so the
+        output always survives ``json.dumps`` -- this is the wire form the
+        evaluation service ships, and :meth:`from_dict` round-trips it.
+        """
         return {
             "method": self.method,
-            "options": self.option_dict(),
-            "metrics": self.metric_dict(),
+            "options": _jsonable(self.option_dict()),
+            "metrics": _jsonable(self.metric_dict()),
             "seed_entropy": None if self.seed_entropy is None else list(self.seed_entropy),
-            "elapsed_seconds": self.elapsed_seconds,
+            "elapsed_seconds": float(self.elapsed_seconds),
         }
 
     @staticmethod

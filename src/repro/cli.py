@@ -29,6 +29,12 @@ writing any code:
   scenario or model, sweep axes and methods; the runner evaluates the points
   in parallel against a content-addressed result cache and writes the tidy
   result table as JSON/JSONL/CSV;
+* ``serve`` -- run the evaluation service (:mod:`repro.service`): an asyncio
+  HTTP server that micro-batches concurrent requests into batched kernel
+  calls, with an LRU response cache optionally layered on a disk cache
+  (``--cache-dir``);
+* ``cache info`` / ``cache clear`` -- inspect or empty a content-addressed
+  result cache directory (shared by ``study run`` and ``serve``);
 * ``scenarios`` -- list the built-in scenarios with their descriptions.
 
 The JSON model format is the output of :meth:`repro.core.fault_model.FaultModel.to_dict`::
@@ -216,6 +222,79 @@ def build_parser() -> argparse.ArgumentParser:
     study_show.add_argument("spec", help="path to a JSON study spec")
     study_show.add_argument(
         "--points", type=int, default=10, help="number of sample points to print (default 10)"
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the evaluation service (async micro-batching HTTP server)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8000, help="TCP port (default 8000)")
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "evaluation worker processes; 0 (the default) evaluates in server-side "
+            "threads instead of a process pool"
+        ),
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help=(
+            "micro-batching window: how long the first request of a batchable group "
+            "waits for companions (added latency ceiling; default 5)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default="none",
+        help=(
+            "disk tier for the response cache (the content-addressed study-cache "
+            "format); 'none' (the default) keeps the cache in memory only"
+        ),
+    )
+    serve_parser.add_argument(
+        "--lru-size",
+        type=int,
+        default=1024,
+        help="in-process response cache capacity in entries (default 1024)",
+    )
+    serve_parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help=(
+            "disable micro-batching: every request takes the scalar repro.evaluate "
+            "path (per-request independent streams, no shared-kernel grouping)"
+        ),
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear a content-addressed result cache directory"
+    )
+    cache_subparsers = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_info = cache_subparsers.add_parser(
+        "info", help="print entry count, total bytes and resolved path as JSON"
+    )
+    cache_info.add_argument(
+        "--cache-dir",
+        default=".repro-study-cache",
+        help="cache directory to inspect (default .repro-study-cache)",
+    )
+    cache_clear = cache_subparsers.add_parser(
+        "clear", help="delete every cache entry (requires --yes)"
+    )
+    cache_clear.add_argument(
+        "--cache-dir",
+        default=".repro-study-cache",
+        help="cache directory to clear (default .repro-study-cache)",
+    )
+    cache_clear.add_argument(
+        "--yes",
+        action="store_true",
+        help="confirm the deletion (refused otherwise)",
     )
 
     subparsers.add_parser(
@@ -428,6 +507,63 @@ def _handle_study(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _handle_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import EvaluationServer
+
+    if not 0 < arguments.port < 65536:
+        raise ValueError(f"port must be in 1..65535, got {arguments.port}")
+    cache_dir = None if arguments.cache_dir.lower() == "none" else arguments.cache_dir
+    server = EvaluationServer(
+        workers=arguments.workers,
+        batch_window_ms=arguments.batch_window_ms,
+        batch=not arguments.no_batch,
+        cache_dir=cache_dir,
+        lru_size=arguments.lru_size,
+    )
+    try:
+        asyncio.run(server.serve_forever(arguments.host, arguments.port))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except OSError as error:
+        raise ValueError(f"cannot bind {arguments.host}:{arguments.port}: {error}") from error
+    return 0
+
+
+def _handle_cache(arguments: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.cache import ResultCache
+
+    directory = Path(arguments.cache_dir)
+    if directory.exists() and not directory.is_dir():
+        raise ValueError(f"{arguments.cache_dir!r} is not a directory")
+    if not directory.exists():
+        # Inspecting or clearing a cache that was never created is fine --
+        # and must not create it as a side effect.
+        if arguments.cache_command == "info":
+            print(json.dumps(
+                {"path": str(directory.resolve()), "entries": 0, "bytes": 0, "exists": False},
+                indent=2,
+            ))
+            return 0
+        raise ValueError(f"cache directory {arguments.cache_dir!r} does not exist")
+    cache = ResultCache(directory)
+    if arguments.cache_command == "info":
+        print(json.dumps({**cache.info(), "exists": True}, indent=2))
+        return 0
+    if not arguments.yes:
+        entries = cache.info()["entries"]
+        raise ValueError(
+            f"refusing to clear {entries} cache entr{'y' if entries == 1 else 'ies'} "
+            f"under {arguments.cache_dir!r} without --yes"
+        )
+    removed = cache.clear()
+    print(json.dumps({"path": str(directory.resolve()), "removed": removed}, indent=2))
+    return 0
+
+
 def _preview(values: Sequence) -> str:
     rendered = [f"{value:.6g}" if isinstance(value, float) else str(value) for value in values]
     if len(rendered) <= 4:
@@ -444,6 +580,8 @@ _HANDLERS = {
     "methods": _handle_methods,
     "simulate": _handle_simulate,
     "study": _handle_study,
+    "serve": _handle_serve,
+    "cache": _handle_cache,
 }
 
 

@@ -1,0 +1,36 @@
+"""The evaluation service: an async micro-batching server over the batched kernels.
+
+A dependency-free (stdlib ``asyncio`` + ``http.client``) serving layer that
+turns concurrent independent evaluation requests into the batched multi-point
+evaluations the sweep kernels make cheap:
+
+* :mod:`~repro.service.protocol` -- the JSON wire protocol: a lossless
+  transport of :class:`~repro.api.EvaluationRequest` /
+  :class:`~repro.api.EvaluationResult` plus the content-addressed request
+  identity (digest and batch-group key, shared with the study runner via
+  :mod:`repro.grouping`);
+* :mod:`~repro.service.batcher` -- the micro-batcher: requests in flight
+  during a short window that share (model digest, method, options, seed) and
+  differ only in the batchable ``p_scale`` / ``q_scale`` axis are dispatched
+  as *one* batched-kernel call;
+* :mod:`~repro.service.worker` -- the picklable execution functions the
+  process worker pool runs, byte-identical to :func:`repro.evaluate` /
+  :func:`repro.evaluate_sweep`;
+* :mod:`~repro.service.cache` -- the in-process LRU response cache layered
+  on the shared on-disk :class:`~repro.cache.ResultCache`;
+* :mod:`~repro.service.server` -- the asyncio HTTP server
+  (``/v1/evaluate``, ``/v1/evaluate/batch``, ``/v1/methods``, ``/healthz``,
+  ``/metrics``) behind ``repro serve``;
+* :mod:`~repro.service.client` -- :class:`ServiceClient`, the stdlib Python
+  client.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import EvaluationServer, start_in_background
+
+__all__ = [
+    "EvaluationServer",
+    "ServiceClient",
+    "ServiceError",
+    "start_in_background",
+]

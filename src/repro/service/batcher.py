@@ -1,0 +1,169 @@
+"""The micro-batcher: concurrent requests become batched kernel calls.
+
+Requests arriving while others are in flight rarely have *nothing* in
+common: a sweep-style client (or several clients scanning the same model)
+issues many requests that agree on everything except the batchable
+``p_scale`` / ``q_scale`` transforms.  The batcher holds each batchable
+request for a short window (``--batch-window-ms``) keyed by its batch-group
+digest -- the same (model content, method, options, seed) grouping the study
+runner uses for cache-miss sweep points -- and dispatches every group as
+*one* :func:`repro.service.worker.evaluate_group` call: one stacked
+convolution or one shared-demand Monte Carlo pass instead of N scalar
+evaluations.
+
+Grouping never changes *whether* an answer is right, only which equally
+valid estimator produced it (see the README's CRN notes): a lone request, a
+group whose kernel declined, and every non-batchable method dispatch through
+the exact scalar :func:`repro.evaluate` path; duplicate requests inside a
+group (same digest) are coalesced -- computed once, fanned out to every
+waiter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+from repro.service import worker
+from repro.service.protocol import ServiceRequest
+
+__all__ = ["MicroBatcher"]
+
+
+@dataclass
+class _Job:
+    request: ServiceRequest
+    digest: str
+    future: asyncio.Future
+
+
+@dataclass
+class _PendingGroup:
+    jobs: list[_Job] = field(default_factory=list)
+    timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatcher:
+    """Collects in-flight batchable requests and dispatches them per group.
+
+    Parameters
+    ----------
+    run_in_pool:
+        ``async (function, arguments) -> result``: how work reaches the
+        executor (the server wraps ``loop.run_in_executor``).
+    window_seconds:
+        How long the *first* request of a group waits for companions.  The
+        window bounds added latency; it does not delay non-batchable
+        requests, which dispatch immediately.
+    batch:
+        ``False`` disables grouping entirely (``repro serve --no-batch``):
+        every request takes the scalar path, byte-identical to
+        :func:`repro.evaluate`.
+    on_group:
+        Optional ``(group_size, unique, batched)`` callback invoked per
+        dispatch, feeding the server's ``/metrics`` counters.
+    """
+
+    def __init__(
+        self,
+        run_in_pool: Callable[..., Awaitable[Any]],
+        *,
+        window_seconds: float = 0.005,
+        batch: bool = True,
+        on_group: Callable[[int, int, bool], None] | None = None,
+    ) -> None:
+        if window_seconds < 0.0:
+            raise ValueError(f"window_seconds must be non-negative, got {window_seconds}")
+        self._run = run_in_pool
+        self.window_seconds = window_seconds
+        self.batch = batch
+        self._on_group = on_group
+        self._pending: dict[str, _PendingGroup] = {}
+        self._flush_tasks: set[asyncio.Task] = set()
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently waiting in an open batching window."""
+        return sum(len(group.jobs) for group in self._pending.values())
+
+    async def submit(self, request: ServiceRequest, digest: str) -> tuple[dict, dict]:
+        """Serve one request; returns ``(wire record, served metadata)``.
+
+        Batchable requests (method registered a kernel, batching enabled)
+        wait up to the window for groupmates; everything else dispatches
+        immediately on the scalar path.
+        """
+        if not (self.batch and request.supports_batch):
+            return await self._dispatch_single(request, group_size=1)
+        loop = asyncio.get_running_loop()
+        job = _Job(request=request, digest=digest, future=loop.create_future())
+        key = request.group_key()
+        group = self._pending.get(key)
+        if group is None:
+            group = self._pending[key] = _PendingGroup()
+            group.timer = loop.call_later(self.window_seconds, self._spawn_flush, key)
+        group.jobs.append(job)
+        return await job.future
+
+    async def flush_all(self) -> None:
+        """Dispatch every open group immediately (shutdown and tests)."""
+        await asyncio.gather(*(self._flush(key) for key in list(self._pending)))
+
+    def _spawn_flush(self, key: str) -> None:
+        task = asyncio.get_running_loop().create_task(self._flush(key))
+        # Keep a strong reference: the loop only holds weak ones.
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+
+    async def _dispatch_single(
+        self, request: ServiceRequest, group_size: int
+    ) -> tuple[dict, dict]:
+        record = await self._run(worker.evaluate_single, request.single_arguments())
+        if self._on_group is not None:
+            self._on_group(group_size, 1, False)
+        return record, {"batched": False, "group_size": group_size}
+
+    async def _flush(self, key: str) -> None:
+        group = self._pending.pop(key, None)
+        if group is None:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+        jobs = group.jobs
+        try:
+            # Coalesce duplicates (same request digest) into one variation
+            # slot, preserving first-seen order -- the batched kernel sees
+            # each distinct point once and every waiter gets its result.
+            slot_by_digest: dict[str, int] = {}
+            variations: list[dict] = []
+            positions: list[int] = []
+            for job in jobs:
+                slot = slot_by_digest.get(job.digest)
+                if slot is None:
+                    slot = slot_by_digest[job.digest] = len(variations)
+                    variations.append(
+                        {"p_scale": job.request.p_scale, "q_scale": job.request.q_scale}
+                    )
+                positions.append(slot)
+            if len(variations) == 1:
+                # A single distinct point gains nothing from the kernel and
+                # must not depend on how many duplicates asked for it.
+                record, meta = await self._dispatch_single(
+                    jobs[0].request, group_size=len(jobs)
+                )
+                records = [record]
+            else:
+                used_batch, records = await self._run(
+                    worker.evaluate_group, jobs[0].request.group_arguments(tuple(variations))
+                )
+                meta = {"batched": used_batch, "group_size": len(jobs)}
+                if self._on_group is not None:
+                    self._on_group(len(jobs), len(variations), used_batch)
+            for job, slot in zip(jobs, positions):
+                if not job.future.done():
+                    job.future.set_result((records[slot], meta))
+        except Exception as error:  # noqa: BLE001 - fanned out to every waiter
+            for job in jobs:
+                if not job.future.done():
+                    job.future.set_exception(error)

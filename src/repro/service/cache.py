@@ -1,0 +1,84 @@
+"""The service response cache: an in-process LRU over the shared disk cache.
+
+Two tiers, probed in order:
+
+* **LRU** -- a bounded in-process mapping from request digest to the exact
+  wire record previously served.  Warm traffic is answered without touching
+  the executor, the disk or even a JSON re-encode of the metrics;
+* **disk** -- the shared content-addressed :class:`repro.cache.ResultCache`
+  (``repro serve --cache-dir``), the same format and key scheme the study
+  runner uses.  Entries written by the service are study-shaped
+  (``{"digest", "payload", "metrics"}``); deterministic-method entries
+  warmed by a study over the same inline model are served to service
+  traffic directly, and survive server restarts.
+
+The digest covers everything a response depends on *except* how it was
+computed -- batched-kernel and scalar values share a key, exactly like study
+cache entries across ``batch=True``/``batch=False`` runs.  A warm hit
+therefore returns whichever equally valid estimate was computed first;
+that is the documented CRN trade, not drift.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Mapping
+
+from repro.cache import ResultCache
+
+__all__ = ["ResponseCache"]
+
+
+class ResponseCache:
+    """Bounded LRU response store with an optional disk tier."""
+
+    def __init__(self, max_entries: int = 1024, disk: ResultCache | None = None) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be a positive integer, got {max_entries}")
+        self.max_entries = max_entries
+        self.disk = disk
+        self._records: OrderedDict[str, dict] = OrderedDict()
+
+    def get_local(self, digest: str) -> dict | None:
+        """The LRU tier: the previously served wire record, freshened."""
+        record = self._records.get(digest)
+        if record is not None:
+            self._records.move_to_end(digest)
+        return record
+
+    def get_disk(self, digest: str) -> dict | None:
+        """The disk tier: the cached entry's metric mapping, or ``None``."""
+        if self.disk is None:
+            return None
+        entry = self.disk.load(digest)
+        if entry is None:
+            return None
+        return entry["metrics"]
+
+    def put_local(self, digest: str, record: Mapping[str, Any]) -> None:
+        self._records[digest] = dict(record)
+        self._records.move_to_end(digest)
+        while len(self._records) > self.max_entries:
+            self._records.popitem(last=False)
+
+    def store_disk(
+        self, digest: str, record: Mapping[str, Any], payload: Mapping[str, Any]
+    ) -> None:
+        """Write the disk-tier entry (a no-op without a disk tier).
+
+        Split out from :meth:`put` so the server can run just the file I/O
+        on an executor while the LRU insert stays on the event loop.
+        """
+        if self.disk is not None:
+            self.disk.store(
+                digest,
+                {"digest": digest, "payload": dict(payload), "metrics": dict(record["metrics"])},
+            )
+
+    def put(self, digest: str, record: Mapping[str, Any], payload: Mapping[str, Any]) -> None:
+        """Store a freshly computed record in both tiers."""
+        self.put_local(digest, record)
+        self.store_disk(digest, record, payload)
+
+    def __len__(self) -> int:
+        return len(self._records)

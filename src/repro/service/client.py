@@ -1,0 +1,141 @@
+""":class:`ServiceClient`: the stdlib Python client for the evaluation service.
+
+A thin, thread-safe wrapper over ``http.client`` that speaks the service's
+JSON protocol and returns the same typed
+:class:`~repro.api.results.EvaluationResult` objects the in-process API
+produces -- swapping ``repro.evaluate(model, ...)`` for
+``client.evaluate(model, ...)`` changes where the work runs, not what comes
+back.  Each call opens its own connection, so one client instance can be
+shared freely across threads (the concurrent-client pattern that triggers
+micro-batching; see ``examples/service_client.py``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.api.results import EvaluationRequest, EvaluationResult
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response: carries the HTTP status and the message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _model_payload(model, scenario: str | None) -> dict:
+    if (model is None) == (scenario is None):
+        raise ValueError("provide exactly one of model and scenario")
+    if scenario is not None:
+        return {"scenario": scenario}
+    if hasattr(model, "to_dict"):
+        return {"model": model.to_dict()}
+    if isinstance(model, Mapping):
+        return {"model": dict(model)}
+    raise ValueError(f"model must be a FaultModel or a mapping, got {type(model).__name__}")
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, verb: str, path: str, payload: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(verb, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as error:
+                raise ServiceError(response.status, f"non-JSON response: {error}") from error
+            if response.status >= 400:
+                message = data.get("error", raw.decode("utf-8", "replace"))
+                raise ServiceError(response.status, message)
+            return data
+        finally:
+            connection.close()
+
+    # ----------------------------------------------------------------- #
+    # Evaluation
+    # ----------------------------------------------------------------- #
+    def evaluate_detail(
+        self,
+        model=None,
+        method: str = "",
+        *,
+        scenario: str | None = None,
+        options: Mapping[str, Any] | None = None,
+        seed: int | None = None,
+        p_scale: float = 1.0,
+        q_scale: float = 1.0,
+    ) -> tuple[EvaluationResult, dict]:
+        """One evaluation, returning ``(result, served)``.
+
+        ``served`` is the server's provenance record: ``cached`` (``None``,
+        ``"lru"`` or ``"disk"``), ``batched`` and ``group_size`` -- how the
+        response was produced, useful for tests and capacity work.
+        """
+        payload: dict[str, Any] = {**_model_payload(model, scenario), "method": method}
+        if options:
+            payload["options"] = dict(options)
+        if seed is not None:
+            payload["seed"] = seed
+        if p_scale != 1.0:
+            payload["p_scale"] = p_scale
+        if q_scale != 1.0:
+            payload["q_scale"] = q_scale
+        data = self._request("POST", "/v1/evaluate", payload)
+        return EvaluationResult.from_dict(data["result"]), data.get("served", {})
+
+    def evaluate(self, model=None, method: str = "", **kwargs) -> EvaluationResult:
+        """One evaluation; the remote analogue of :func:`repro.evaluate`."""
+        result, _ = self.evaluate_detail(model, method, **kwargs)
+        return result
+
+    def evaluate_batch(
+        self,
+        model=None,
+        requests: Sequence | None = None,
+        *,
+        scenario: str | None = None,
+        seed: int | None = None,
+    ) -> list[EvaluationResult]:
+        """Many methods on one model; the remote :func:`repro.evaluate_batch`."""
+        if not requests:
+            raise ValueError("evaluate_batch needs a non-empty sequence of requests")
+        wire: list[Any] = []
+        for request in requests:
+            coerced = EvaluationRequest.coerce(request)
+            wire.append({"method": coerced.method, **coerced.option_dict()})
+        payload: dict[str, Any] = {**_model_payload(model, scenario), "requests": wire}
+        if seed is not None:
+            payload["seed"] = seed
+        data = self._request("POST", "/v1/evaluate/batch", payload)
+        return [EvaluationResult.from_dict(record) for record in data["results"]]
+
+    # ----------------------------------------------------------------- #
+    # Introspection
+    # ----------------------------------------------------------------- #
+    def methods(self) -> list[dict]:
+        """The registry's method schemas (``repro methods`` as JSON)."""
+        return self._request("GET", "/v1/methods")["methods"]
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")

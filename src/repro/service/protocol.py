@@ -1,0 +1,256 @@
+"""The service wire protocol: request parsing, validation and identity.
+
+``POST /v1/evaluate`` bodies look like::
+
+    {"model": {"p": [...], "q": [...]}, "method": "montecarlo",
+     "options": {"replications": 50000}, "seed": 7,
+     "p_scale": 0.5, "q_scale": 1.0}
+
+``"scenario": "<name>"`` may replace ``"model"``; the scenario is resolved
+to its concrete model content immediately, so a scenario-spelled request and
+its inline-model equivalent are the *same* request (same digest, same batch
+group, same cache entry).  ``options`` resolve through the method registry
+exactly like every other surface; ``seed`` defaults to the library seed so
+"no seed" still means "reproducible"; ``p_scale`` / ``q_scale`` are the
+batchable model transforms (:mod:`repro.grouping`) that let concurrent
+requests share one batched-kernel call.
+
+Parsing is strict: unknown keys, unknown methods, unknown options, wrong
+types and transforms the model rejects all raise ``ValueError`` here, which
+the server maps to a 400 response -- nothing invalid ever reaches the worker
+pool.
+
+A parsed request carries its content identity: :meth:`ServiceRequest.digest`
+is the response-cache key (the same canonical-payload scheme as study cache
+keys -- a deterministic-method entry warmed by a study over the same inline
+model is served to service traffic as-is), and :meth:`ServiceRequest.group_key`
+is the micro-batcher's grouping key (the digest with neutral transforms,
+exactly the study runner's group digest).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.registry import default_registry
+from repro.api.results import EvaluationRequest
+from repro.cache import payload_digest
+from repro.core.fault_model import FaultModel
+from repro.grouping import evaluation_payload, group_digest
+from repro.stats.rng import DEFAULT_SEED
+
+__all__ = ["ServiceRequest", "parse_batch_payload", "parse_evaluate_payload"]
+
+_EVALUATE_KEYS = {"model", "scenario", "method", "options", "seed", "p_scale", "q_scale"}
+_BATCH_KEYS = {"model", "scenario", "requests", "seed"}
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One validated ``/v1/evaluate`` request with its content identity."""
+
+    model_data: dict
+    method: str
+    options: dict
+    seed: int
+    p_scale: float = 1.0
+    q_scale: float = 1.0
+    requires_seed: bool = False
+    supports_batch: bool = False
+    #: Computed lazily and memoised: hashing the canonical payload walks the
+    #: whole model content, so each request pays for it at most once.
+    _digests: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def entropy(self) -> list[int] | None:
+        """The payload's seed identity.
+
+        A *list* (unlike the bare study-seed integer in study payloads),
+        because the service seeds streams from the seed directly while the
+        study runner derives digest-keyed child streams -- the spellings must
+        never collide in the shared cache key space.  ``None`` for
+        deterministic methods, whose entries survive seed changes (and are
+        shared with study-warmed entries for the same model content).
+        """
+        return [self.seed] if self.requires_seed else None
+
+    def payload(self) -> dict:
+        """The canonical content payload (the study-compatible cache identity)."""
+        return evaluation_payload(
+            {"model": self.model_data},
+            {"p_scale": self.p_scale, "q_scale": self.q_scale},
+            self.method,
+            self.options,
+            self.entropy,
+        )
+
+    def digest(self) -> str:
+        """Content digest of this request: the response-cache key."""
+        digest = self._digests.get("digest")
+        if digest is None:
+            digest = self._digests["digest"] = payload_digest(self.payload())
+        return digest
+
+    def group_key(self) -> str:
+        """Batch-group digest: the payload with neutral transforms."""
+        key = self._digests.get("group")
+        if key is None:
+            key = self._digests["group"] = group_digest(self.payload())
+        return key
+
+    def result_record(self, metrics: Mapping[str, Any]) -> dict:
+        """Rebuild the wire result record around cached ``metrics``.
+
+        Disk-cache entries store only the metrics (the study-compatible
+        entry shape); method, options and the seed entropy are implied by
+        the request that hashed to the entry's digest.  ``elapsed_seconds``
+        is 0.0 -- nothing was evaluated.
+        """
+        return {
+            "method": self.method,
+            "options": dict(self.options),
+            "metrics": dict(metrics),
+            "seed_entropy": self.entropy,
+            "elapsed_seconds": 0.0,
+        }
+
+    def single_arguments(self) -> tuple:
+        """Arguments for :func:`repro.service.worker.evaluate_single`."""
+        return (
+            self.model_data,
+            self.method,
+            self.options,
+            self.seed,
+            self.p_scale,
+            self.q_scale,
+        )
+
+    def group_arguments(self, variations: tuple) -> tuple:
+        """Arguments for :func:`repro.service.worker.evaluate_group`."""
+        return (self.model_data, self.method, self.options, variations, self.seed)
+
+
+def _require_mapping(payload, what: str) -> Mapping:
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"{what} must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def _reject_unknown(payload: Mapping, accepted: set[str], what: str) -> None:
+    unknown = sorted(str(key) for key in set(payload) - accepted)
+    if unknown:
+        raise ValueError(
+            f"unknown {what} key(s): {', '.join(unknown)}; "
+            f"accepted: {', '.join(sorted(accepted))}"
+        )
+
+
+def _parse_model(payload: Mapping) -> FaultModel:
+    """Resolve the request's model source (inline content XOR scenario)."""
+    has_model = payload.get("model") is not None
+    has_scenario = payload.get("scenario") is not None
+    if has_model == has_scenario:
+        raise ValueError("a request needs exactly one of 'model' and 'scenario'")
+    if has_scenario:
+        from repro.experiments.scenarios import get_scenario
+
+        scenario = payload["scenario"]
+        if not isinstance(scenario, str):
+            raise ValueError(f"'scenario' must be a string, got {scenario!r}")
+        return get_scenario(scenario)
+    data = payload["model"]
+    if not isinstance(data, Mapping):
+        raise ValueError(f"'model' must be a JSON object, got {type(data).__name__}")
+    try:
+        return FaultModel.from_dict(data)
+    except KeyError as error:
+        raise ValueError(f"model is missing required key {error}") from error
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"invalid model: {error}") from error
+
+
+def _parse_seed(value) -> int:
+    if value is None:
+        return DEFAULT_SEED
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"'seed' must be a non-negative integer or null, got {value!r}")
+    if value < 0:
+        raise ValueError(f"'seed' must be non-negative, got {value}")
+    return value
+
+
+def _parse_scale(payload: Mapping, name: str) -> float:
+    value = payload.get(name, 1.0)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"'{name}' must be a number, got {value!r}")
+    scale = float(value)
+    if not math.isfinite(scale) or scale < 0.0:
+        raise ValueError(f"'{name}' must be a finite non-negative number, got {value!r}")
+    return scale
+
+
+def parse_evaluate_payload(payload) -> ServiceRequest:
+    """Validate a ``/v1/evaluate`` body into a :class:`ServiceRequest`.
+
+    Raises ``ValueError`` with a one-line message on any invalid input
+    (mapped to HTTP 400 by the server).
+    """
+    payload = _require_mapping(payload, "an evaluate request")
+    _reject_unknown(payload, _EVALUATE_KEYS, "request")
+    model = _parse_model(payload)
+    method = payload.get("method")
+    if not method or not isinstance(method, str):
+        raise ValueError(f"a request needs a 'method' name, got {method!r}")
+    registry = default_registry()
+    definition = registry.get(method)
+    options = payload.get("options") or {}
+    if not isinstance(options, Mapping):
+        raise ValueError(f"'options' must be a JSON object, got {type(options).__name__}")
+    resolved = registry.resolve_options(method, options)
+    seed = _parse_seed(payload.get("seed"))
+    p_scale = _parse_scale(payload, "p_scale")
+    q_scale = _parse_scale(payload, "q_scale")
+    # Model-dependent transform constraints (p_i pushed above 1, the strict
+    # sum(q) <= 1 invariant) fail here, not in the worker pool.
+    model.rescaled(p_scale, q_scale)
+    return ServiceRequest(
+        model_data=model.to_dict(),
+        method=method,
+        options=resolved,
+        seed=seed,
+        p_scale=p_scale,
+        q_scale=q_scale,
+        requires_seed=definition.requires_seed,
+        supports_batch=definition.supports_batch,
+    )
+
+
+def parse_batch_payload(payload) -> tuple[dict, list[tuple[str, dict]], int]:
+    """Validate a ``/v1/evaluate/batch`` body.
+
+    Returns ``(model_data, requests, seed)`` where ``requests`` is a list of
+    ``(method, options)`` pairs in request order -- exactly what
+    :func:`repro.evaluate_batch` accepts, so the endpoint is a lossless
+    transport of its argument list.  Request elements accept the same
+    spellings as the Python API: a method name or a mapping with a
+    ``"method"`` key and the options flattened alongside it.
+    """
+    payload = _require_mapping(payload, "a batch request")
+    _reject_unknown(payload, _BATCH_KEYS, "batch request")
+    model = _parse_model(payload)
+    seed = _parse_seed(payload.get("seed"))
+    raw = payload.get("requests")
+    if not isinstance(raw, list) or not raw:
+        raise ValueError("'requests' must be a non-empty list of evaluation requests")
+    registry = default_registry()
+    requests: list[tuple[str, dict]] = []
+    for index, element in enumerate(raw):
+        try:
+            request = EvaluationRequest.coerce(element)
+            registry.resolve_options(request.method, request.option_dict())
+        except ValueError as error:
+            raise ValueError(f"request {index}: {error}") from error
+        requests.append((request.method, request.option_dict()))
+    return model.to_dict(), requests, seed

@@ -1,0 +1,411 @@
+"""The asyncio evaluation server behind ``repro serve``.
+
+A minimal, dependency-free HTTP/1.1 server on ``asyncio`` streams -- no web
+framework, no third-party packages -- exposing:
+
+===========================  ========================================================
+Endpoint                     Meaning
+===========================  ========================================================
+``POST /v1/evaluate``        one evaluation (micro-batched with concurrent traffic)
+``POST /v1/evaluate/batch``  one ``repro.evaluate_batch`` call, shipped as one job
+``GET /v1/methods``          the method registry's schemas (``repro methods`` as JSON)
+``GET /healthz``             liveness: ``{"status": "ok", ...}``
+``GET /metrics``             counters: requests, batched groups, cache hits, ...
+===========================  ========================================================
+
+Request handling is fully asynchronous: each connection is a task, each
+``/v1/evaluate`` awaits the micro-batcher, and every evaluation runs on an
+executor (process pool with ``workers >= 1``, a thread pool in-process
+otherwise), so slow evaluations never stall the accept loop, ``/healthz`` or
+``/metrics``.
+
+Responses are JSON; invalid input is HTTP 400 with a one-line ``error``
+message (the same messages the CLI prints), unknown paths 404, wrong verbs
+405, oversized bodies 413 and evaluation failures 500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any
+
+from repro.api.registry import default_registry
+from repro.cache import ResultCache
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import ResponseCache
+from repro.service.protocol import parse_batch_payload, parse_evaluate_payload
+from repro.service import worker
+
+__all__ = ["EvaluationServer", "ServerHandle", "start_in_background"]
+
+#: Largest accepted request body.  A 10k-fault inline model is ~0.5 MB of
+#: JSON; 32 MB leaves two orders of magnitude of headroom while bounding a
+#: misbehaving client's memory impact.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class EvaluationServer:
+    """The evaluation service: batcher + cache + executor + HTTP front.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size for evaluations; ``0`` evaluates in server-side
+        threads (no pickling, fine for tests and small deployments).
+    batch_window_ms:
+        Micro-batching window: how long the first request of a batchable
+        group waits for companions (the added latency ceiling).
+    batch:
+        ``False`` disables micro-batching; every request takes the scalar
+        :func:`repro.evaluate` path.
+    cache_dir:
+        Optional disk tier for the response cache (the shared
+        content-addressed :class:`~repro.cache.ResultCache` format).
+    lru_size:
+        In-process response-cache capacity (entries).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        batch_window_ms: float = 5.0,
+        batch: bool = True,
+        cache_dir: str | None = None,
+        lru_size: int = 1024,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if batch_window_ms < 0.0:
+            raise ValueError(f"batch_window_ms must be >= 0, got {batch_window_ms}")
+        self.workers = workers
+        self.batch_window_ms = batch_window_ms
+        self.batch = batch
+        self.cache_dir = cache_dir
+        self.cache = ResponseCache(
+            max_entries=lru_size,
+            disk=ResultCache(cache_dir) if cache_dir is not None else None,
+        )
+        self._executor = None
+        self._started = time.time()
+        self.batcher = MicroBatcher(
+            self._run_in_pool,
+            window_seconds=batch_window_ms / 1000.0,
+            batch=batch,
+            on_group=self._record_group,
+        )
+        self.metrics: dict[str, Any] = {
+            "requests_total": 0,
+            "errors_total": 0,
+            "evaluate_requests": 0,
+            "batch_endpoint_requests": 0,
+            "batch_endpoint_evaluations": 0,
+            "evaluations_computed": 0,
+            "dispatched_groups": 0,
+            "batched_groups": 0,
+            "batched_group_requests": 0,
+            "coalesced_requests": 0,
+            "max_group_size": 0,
+            "cache_hits_lru": 0,
+            "cache_hits_disk": 0,
+            "cache_misses": 0,
+        }
+
+    # ----------------------------------------------------------------- #
+    # Executor plumbing
+    # ----------------------------------------------------------------- #
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.workers >= 1:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._executor = ThreadPoolExecutor(
+                    max_workers=4, thread_name_prefix="repro-eval"
+                )
+        return self._executor
+
+    async def _run_in_pool(self, function, arguments):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._ensure_executor(), function, arguments)
+
+    def _record_group(self, group_size: int, unique: int, batched: bool) -> None:
+        self.metrics["dispatched_groups"] += 1
+        self.metrics["evaluations_computed"] += unique
+        self.metrics["coalesced_requests"] += group_size - unique
+        self.metrics["max_group_size"] = max(self.metrics["max_group_size"], group_size)
+        if batched and group_size >= 2:
+            self.metrics["batched_groups"] += 1
+            self.metrics["batched_group_requests"] += group_size
+
+    # ----------------------------------------------------------------- #
+    # Endpoint logic
+    # ----------------------------------------------------------------- #
+    async def _serve_evaluate(self, payload) -> dict:
+        request = parse_evaluate_payload(payload)
+        self.metrics["evaluate_requests"] += 1
+        digest = request.digest()
+        record = self.cache.get_local(digest)
+        if record is not None:
+            self.metrics["cache_hits_lru"] += 1
+            return {"result": record, "served": {"cached": "lru", "batched": False, "group_size": 0}}
+        # Disk-tier file I/O runs on the default thread executor: the event
+        # loop (accept loop, /healthz, in-flight responses) must never wait
+        # on a slow disk.
+        loop = asyncio.get_running_loop()
+        metrics = None
+        if self.cache.disk is not None:
+            metrics = await loop.run_in_executor(None, self.cache.get_disk, digest)
+        if metrics is not None:
+            self.metrics["cache_hits_disk"] += 1
+            record = request.result_record(metrics)
+            self.cache.put_local(digest, record)
+            return {"result": record, "served": {"cached": "disk", "batched": False, "group_size": 0}}
+        self.metrics["cache_misses"] += 1
+        record, meta = await self.batcher.submit(request, digest)
+        self.cache.put_local(digest, record)
+        if self.cache.disk is not None:
+            await loop.run_in_executor(
+                None, self.cache.store_disk, digest, record, request.payload()
+            )
+        return {"result": record, "served": {"cached": None, **meta}}
+
+    async def _serve_batch(self, payload) -> dict:
+        model_data, requests, seed = parse_batch_payload(payload)
+        self.metrics["batch_endpoint_requests"] += 1
+        self.metrics["batch_endpoint_evaluations"] += len(requests)
+        records = await self._run_in_pool(
+            worker.evaluate_batch_endpoint, (model_data, requests, seed)
+        )
+        return {"results": records, "served": {"cached": None, "requests": len(requests)}}
+
+    def _serve_methods(self) -> dict:
+        return {"methods": [definition.schema() for definition in default_registry()]}
+
+    def _serve_metrics(self) -> dict:
+        snapshot = dict(self.metrics)
+        snapshot.update(
+            {
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "pending_requests": self.batcher.pending_requests,
+                "lru_entries": len(self.cache),
+                "batch_enabled": self.batch,
+                "batch_window_ms": self.batch_window_ms,
+                "workers": self.workers,
+                "cache_dir": self.cache_dir,
+            }
+        )
+        return snapshot
+
+    async def _route(self, verb: str, path: str, body: bytes) -> tuple[int, dict]:
+        routes = {
+            "/healthz": "GET",
+            "/metrics": "GET",
+            "/v1/methods": "GET",
+            "/v1/evaluate": "POST",
+            "/v1/evaluate/batch": "POST",
+        }
+        expected = routes.get(path)
+        if expected is None:
+            return 404, {"error": f"unknown path {path!r}"}
+        if verb != expected:
+            return 405, {"error": f"{path} expects {expected}, got {verb}"}
+        try:
+            if path == "/healthz":
+                return 200, {
+                    "status": "ok",
+                    "uptime_seconds": round(time.time() - self._started, 3),
+                }
+            if path == "/metrics":
+                return 200, self._serve_metrics()
+            if path == "/v1/methods":
+                return 200, self._serve_methods()
+            try:
+                payload = json.loads(body or b"null")
+            except json.JSONDecodeError as error:
+                return 400, {"error": f"request body is not valid JSON: {error}"}
+            if path == "/v1/evaluate":
+                return 200, await self._serve_evaluate(payload)
+            return 200, await self._serve_batch(payload)
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        except Exception as error:  # noqa: BLE001 - the server must not die
+            return 500, {"error": f"evaluation failed: {type(error).__name__}: {error}"}
+
+    # ----------------------------------------------------------------- #
+    # HTTP front
+    # ----------------------------------------------------------------- #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._respond(writer, 400, {"error": "malformed request line"}, True)
+                    break
+                verb, target, version = parts
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = -1  # non-integer: rejected below with negatives
+                if length < 0:
+                    await self._respond(writer, 400, {"error": "bad Content-Length"}, True)
+                    break
+                if length > MAX_BODY_BYTES:
+                    await self._respond(
+                        writer,
+                        413,
+                        {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"},
+                        True,
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                close = (
+                    headers.get("connection", "").lower() == "close"
+                    or version.upper() == "HTTP/1.0"
+                )
+                self.metrics["requests_total"] += 1
+                path = target.split("?", 1)[0]
+                status, payload = await self._route(verb.upper(), path, body)
+                if status >= 400:
+                    self.metrics["errors_total"] += 1
+                await self._respond(writer, status, payload, close)
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, close: bool
+    ) -> None:
+        data = (json.dumps(payload) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle
+    # ----------------------------------------------------------------- #
+    async def start(self, host: str = "127.0.0.1", port: int = 8000) -> asyncio.AbstractServer:
+        """Bind and start accepting connections; returns the asyncio server."""
+        self._started = time.time()
+        return await asyncio.start_server(self._handle_connection, host=host, port=port)
+
+    async def serve_forever(self, host: str = "127.0.0.1", port: int = 8000) -> None:
+        """Run until cancelled (the ``repro serve`` main loop)."""
+        server = await self.start(host, port)
+        addr = server.sockets[0].getsockname()
+        print(f"repro evaluation service listening on http://{addr[0]}:{addr[1]}", flush=True)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        """Flush pending groups and release the executor."""
+        await self.batcher.flush_all()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+
+class ServerHandle:
+    """A running background server: address, metrics access and shutdown."""
+
+    def __init__(self, server: EvaluationServer, host: str, port: int, thread, loop) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self._thread = thread
+        self._loop = loop
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the loop and join the server thread."""
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_background(
+    server: EvaluationServer, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Run ``server`` on a fresh event loop in a daemon thread.
+
+    ``port=0`` binds an ephemeral port; the returned handle carries the
+    resolved address.  This is the embedding seam tests, benchmarks and the
+    example client use -- production deployments run ``repro serve``.
+    """
+    started = threading.Event()
+    box: dict[str, Any] = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            asyncio_server = loop.run_until_complete(server.start(host, port))
+            box["port"] = asyncio_server.sockets[0].getsockname()[1]
+            box["loop"] = loop
+            started.set()
+            loop.run_forever()
+            # loop.stop() landed: drain the batcher and close sockets.
+            asyncio_server.close()
+            loop.run_until_complete(asyncio_server.wait_closed())
+            loop.run_until_complete(server.aclose())
+        except BaseException as error:  # noqa: BLE001 - surfaced to the caller
+            box["error"] = error
+            started.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-serve", daemon=True)
+    thread.start()
+    started.wait(timeout=30.0)
+    if "error" in box:
+        raise RuntimeError(f"service failed to start: {box['error']}") from box["error"]
+    if "port" not in box:
+        raise RuntimeError("service failed to start within 30s")
+    return ServerHandle(server, host, box["port"], thread, box["loop"])

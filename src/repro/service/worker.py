@@ -1,0 +1,104 @@
+"""Execution functions the service worker pool runs.
+
+Everything here is module-level and takes one picklable argument tuple, so
+the same functions serve the in-process thread executor (``--workers 0``)
+and the process pool (``--workers N``); worker processes re-import the
+default method registry, exactly like the study runner's workers.
+
+The contract that makes the service trustworthy: every record produced here
+is **byte-identical** to what the public API returns for the same inputs --
+
+* :func:`evaluate_single` is ``repro.evaluate(model.rescaled(p, q), method,
+  seed=seed, options=options)``, nothing more;
+* :func:`evaluate_group` matches :func:`repro.evaluate_sweep` for the same
+  ``(model, method, variations, seed)``: the batched kernel sees the whole
+  variation set with one shared stream seeded from the request seed
+  (common-random-numbers semantics for stochastic methods), and when the
+  kernel declines (:class:`~repro.api.registry.BatchUnsupported`) every
+  member falls back to exactly the :func:`evaluate_single` path, so an
+  unbatchable group is indistinguishable from never having been grouped.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.api.evaluate import evaluate as api_evaluate
+from repro.api.evaluate import evaluate_batch as api_evaluate_batch
+from repro.api.registry import BatchUnsupported, default_registry
+from repro.api.results import EvaluationResult
+from repro.core.fault_model import FaultModel
+
+__all__ = ["evaluate_batch_endpoint", "evaluate_group", "evaluate_single"]
+
+
+def evaluate_single(arguments: tuple) -> dict:
+    """One scalar evaluation: the direct ``repro.evaluate`` path."""
+    model_data, method, options, seed, p_scale, q_scale = arguments
+    model = FaultModel.from_dict(model_data).rescaled(p_scale, q_scale)
+    return api_evaluate(model, method, seed=seed, options=options).to_dict()
+
+
+def evaluate_group(arguments: tuple) -> tuple[bool, list[dict]]:
+    """One micro-batched group: the batched kernel over the whole variation set.
+
+    Returns ``(used_batch, records)`` with one wire record per variation, in
+    order.  ``used_batch`` is False when the method's kernel declined the
+    sweep and every member was evaluated on the scalar path instead.
+    """
+    model_data, method, options, variations, seed = arguments
+    registry = default_registry()
+    definition = registry.get(method)
+    resolved = registry.resolve_options(method, options)
+    model = FaultModel.from_dict(model_data)
+    rng = None
+    if definition.requires_seed:
+        # The shared group stream: identical to evaluate_sweep's derivation
+        # for an integer seed (Generator(SeedSequence([seed]))).
+        rng = np.random.default_rng(np.random.SeedSequence([seed]))
+    coerced = tuple(
+        {"p_scale": float(variation["p_scale"]), "q_scale": float(variation["q_scale"])}
+        for variation in variations
+    )
+    start = time.perf_counter()
+    try:
+        rows = list(definition.evaluate_batch(model, coerced, resolved, rng))
+    except BatchUnsupported:
+        return False, [
+            evaluate_single(
+                (model_data, method, options, seed, variation["p_scale"], variation["q_scale"])
+            )
+            for variation in coerced
+        ]
+    elapsed = time.perf_counter() - start
+    if len(rows) != len(coerced):
+        raise TypeError(
+            f"batched evaluator of {method!r} returned {len(rows)} records "
+            f"for {len(coerced)} variations"
+        )
+    entropy = (seed,) if definition.requires_seed else None
+    return True, [
+        EvaluationResult(
+            method=method,
+            options=resolved,
+            metrics=dict(row),
+            seed_entropy=entropy,
+            elapsed_seconds=elapsed / max(len(rows), 1),
+        ).to_dict()
+        for row in rows
+    ]
+
+
+def evaluate_batch_endpoint(arguments: tuple) -> list[dict]:
+    """The ``/v1/evaluate/batch`` job: one ``repro.evaluate_batch`` call.
+
+    Per-request ``(seed, index)`` streams and duplicate-request coalescing
+    are ``evaluate_batch``'s own semantics; the service adds nothing, so the
+    endpoint is byte-identical to calling the function directly.
+    """
+    model_data, requests, seed = arguments
+    model = FaultModel.from_dict(model_data)
+    results = api_evaluate_batch(model, requests, seed=seed)
+    return [result.to_dict() for result in results]

@@ -1,98 +1,17 @@
-"""Content-addressed on-disk cache for study results.
+"""Compatibility re-export: the content-addressed cache moved to :mod:`repro.cache`.
 
-Every evaluation point has a *canonical payload* (base model, axis values,
-normalised method options, study seed, cache format version).  Its SHA-256
-digest is the cache key: two points that mean the same evaluation hash the
-same no matter which spec, axis order or spec file they came from, so
-
-* re-running a study against the same cache directory recomputes nothing;
-* editing one sweep axis leaves every unchanged point's key (and cached
-  record) intact, so only the new points are computed;
-* renaming a study, reordering axes or moving a model file does not
-  invalidate anything.
-
-Entries are one JSON file per digest, sharded by the first two hex digits,
-written atomically (temp file + ``os.replace``) so parallel writers and
-crashed runs never leave a corrupt entry behind.
+The cache started here as a study-runner detail; when the evaluation service
+(:mod:`repro.service`) grew a disk tier sharing the same format, the
+implementation was promoted to :mod:`repro.cache`.  Import from there in new
+code -- this module exists so existing imports (and pickled references) keep
+working.
 """
 
-from __future__ import annotations
-
-import hashlib
-import json
-import os
-import tempfile
-from pathlib import Path
+from repro.cache import (  # noqa: F401  (re-exported names)
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    canonical_json,
+    payload_digest,
+)
 
 __all__ = ["CACHE_FORMAT_VERSION", "ResultCache", "canonical_json", "payload_digest"]
-
-#: Bump to invalidate every existing cache entry (e.g. when a method's
-#: numerical meaning changes without its options changing).
-CACHE_FORMAT_VERSION = 1
-
-
-def canonical_json(payload) -> str:
-    """Serialise ``payload`` into the canonical (hashable) JSON form.
-
-    Keys are sorted, separators are minimal and NaN/Infinity are rejected, so
-    equal payloads always produce equal bytes.
-    """
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
-
-
-def payload_digest(payload) -> str:
-    """SHA-256 hex digest of the canonical form of ``payload``."""
-    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
-
-
-class ResultCache:
-    """A directory of content-addressed per-point result records."""
-
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-
-    def path_for(self, digest: str) -> Path:
-        """Where the entry for ``digest`` lives (whether or not it exists)."""
-        return self.root / digest[:2] / f"{digest}.json"
-
-    def load(self, digest: str) -> dict | None:
-        """Return the cached entry, or ``None`` on miss / unreadable entry.
-
-        A file that parses but is not an entry-shaped object (a truncated or
-        foreign JSON document) is also treated as a miss, so a damaged cache
-        degrades to recomputation rather than crashing the runner.
-        """
-        path = self.path_for(digest)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-        if not isinstance(entry, dict) or not isinstance(entry.get("metrics"), dict):
-            return None
-        return entry
-
-    def store(self, digest: str, entry: dict) -> None:
-        """Atomically write ``entry`` under ``digest``."""
-        path = self.path_for(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-
-    def __contains__(self, digest: str) -> bool:
-        return self.path_for(digest).is_file()
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))

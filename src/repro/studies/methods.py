@@ -30,6 +30,7 @@ from typing import Any, Mapping
 from repro.api import evaluate as api_evaluate
 from repro.api.registry import default_registry
 from repro.core.fault_model import FaultModel
+from repro.grouping import MODEL_TRANSFORM_DEFAULTS, MODEL_TRANSFORM_PARAMS
 from repro.studies.spec import MethodSpec
 
 __all__ = [
@@ -42,10 +43,8 @@ __all__ = [
     "split_point_params",
 ]
 
-#: Parameters applied to the resolved model rather than to its construction,
-#: with the neutral default each is equivalent to when absent.
-MODEL_TRANSFORM_DEFAULTS = {"p_scale": 1.0, "q_scale": 1.0}
-MODEL_TRANSFORM_PARAMS = tuple(MODEL_TRANSFORM_DEFAULTS)
+# MODEL_TRANSFORM_DEFAULTS / MODEL_TRANSFORM_PARAMS moved to repro.grouping
+# (shared with the evaluation service's micro-batcher); re-exported above.
 
 
 def _base_factory_parameters(base: Mapping) -> tuple[str, ...]:

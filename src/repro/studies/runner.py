@@ -36,7 +36,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.api.registry import default_registry
-from repro.studies.cache import CACHE_FORMAT_VERSION, ResultCache, payload_digest
+from repro.cache import ResultCache, payload_digest
+from repro.grouping import evaluation_payload, group_digest
 from repro.studies.grid import StudyPoint, expand_points
 from repro.studies.methods import (
     MODEL_TRANSFORM_PARAMS,
@@ -72,23 +73,6 @@ def point_seed_entropy(spec: StudySpec, digest: str) -> tuple[int, int]:
     return (spec.seed, int(digest[:16], 16))
 
 
-def group_digest(payload: dict) -> str:
-    """Content digest of a point's *batch group*: its payload with neutral transforms.
-
-    Points that differ only in the batchable model transforms (``p_scale``,
-    ``q_scale``) share a group; everything else in the payload -- base model,
-    factory parameters, resolved method options, the seed field -- stays in
-    the key, so the group identity is as content-addressed as the point
-    digests themselves.
-    """
-    from repro.studies.methods import MODEL_TRANSFORM_DEFAULTS
-
-    params = dict(payload["params"])
-    for name, neutral in MODEL_TRANSFORM_DEFAULTS.items():
-        params[name] = neutral
-    return payload_digest({**payload, "params": params})
-
-
 def group_seed_entropy(spec: StudySpec, digest: str) -> tuple[int, int]:
     """Entropy of a batch group's shared demand stream: (study seed, group key).
 
@@ -121,26 +105,23 @@ def plan_study(spec: StudySpec) -> list[PlannedPoint]:
             spec.base, point.param_dict(), point.method, other_options[point.method.name]
         )
         consumed = tuple(item for item in point.params if item[0] not in ignored)
-        payload = {
-            "cache": CACHE_FORMAT_VERSION,
-            "base": dict(spec.base),
-            # Every default is materialised -- scenario-factory defaults into
-            # "params", the registry's canonical resolved options (statically
-            # configured options plus any axis overrides, mirroring the
-            # evaluation's merge) into "method" -- so the key covers
-            # everything the evaluation depends on and a value spelled out
-            # explicitly hashes the same as the implicit default.
-            "params": canonical_model_params(spec.base, factory_kwargs, transforms),
-            "method": {
-                "name": point.method.name,
-                **registry.resolve_options(
-                    point.method.name, {**dict(point.method.options), **overrides}
-                ),
-            },
-            # Deterministic methods never consume randomness, so their keys
-            # (and cached records) survive a study-seed change.
-            "entropy": spec.seed if registry.get(point.method.name).requires_seed else None,
-        }
+        # Every default is materialised -- scenario-factory defaults into
+        # "params", the registry's canonical resolved options (statically
+        # configured options plus any axis overrides, mirroring the
+        # evaluation's merge) into "method" -- so the key covers everything
+        # the evaluation depends on and a value spelled out explicitly
+        # hashes the same as the implicit default.  Deterministic methods
+        # carry no entropy, so their keys (and cached records) survive a
+        # study-seed change.
+        payload = evaluation_payload(
+            spec.base,
+            canonical_model_params(spec.base, factory_kwargs, transforms),
+            point.method.name,
+            registry.resolve_options(
+                point.method.name, {**dict(point.method.options), **overrides}
+            ),
+            spec.seed if registry.get(point.method.name).requires_seed else None,
+        )
         planned.append(
             PlannedPoint(
                 point=point,

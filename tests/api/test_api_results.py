@@ -49,6 +49,34 @@ class TestEvaluationResult:
         assert make_result() == make_result()
         assert hash(make_result()) == hash(make_result())
 
+    def test_to_dict_converts_numpy_values_to_pure_json(self):
+        import numpy as np
+
+        result = make_result(
+            options={"versions": np.int64(2)},
+            metrics={
+                "mean": np.float64(1.5e-5),
+                "count": np.int32(3),
+                "flag": np.bool_(True),
+                "curve": np.array([1.0, 2.0]),
+                "nested": {"inner": np.float32(0.5)},
+            },
+            seed_entropy=(np.int64(7),),
+        )
+        wire = result.to_dict()
+        encoded = json.dumps(wire)  # raises TypeError if anything leaked
+        assert wire["options"]["versions"] == 2
+        assert type(wire["options"]["versions"]) is int
+        assert type(wire["metrics"]["mean"]) is float
+        assert type(wire["metrics"]["count"]) is int
+        assert type(wire["metrics"]["flag"]) is bool
+        assert wire["metrics"]["curve"] == [1.0, 2.0]
+        assert type(wire["metrics"]["nested"]["inner"]) is float
+        assert wire["seed_entropy"] == [7]
+        # The decoded wire form round-trips losslessly from here on.
+        again = EvaluationResult.from_dict(json.loads(encoded))
+        assert again.to_dict() == wire
+
 
 class TestEvaluationRequest:
     def test_coerce_spellings_agree(self):

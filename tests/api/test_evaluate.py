@@ -133,6 +133,62 @@ class TestEvaluateBatch:
             evaluate_batch(small_model, ["moments"], seed=np.random.default_rng(1))
 
 
+class TestBatchCoalescing:
+    """Identical work items compute once; the result fans out per request."""
+
+    def test_deterministic_duplicates_evaluate_once(self, small_model):
+        from repro.api import MethodRegistry, MethodDefinition
+
+        calls = {"count": 0}
+
+        def counting(model, options, rng):
+            calls["count"] += 1
+            return {"value": 1.0}
+
+        registry = MethodRegistry()
+        registry.register(MethodDefinition(name="counted", evaluate=counting))
+        results = evaluate_batch(
+            small_model, ["counted", "counted", "counted"], registry=registry
+        )
+        assert calls["count"] == 1
+        assert len(results) == 3
+        assert results[0] == results[1] == results[2]
+
+    def test_mixed_batch_preserves_order_and_distinct_work(self, small_model):
+        requests = [
+            "moments",
+            {"method": "tail-quantile", "level": 0.999},
+            "moments",  # duplicate of request 0
+            {"method": "tail-quantile", "level": 0.99},  # different options: own work
+        ]
+        results = evaluate_batch(small_model, requests, seed=5)
+        assert [r.method for r in results] == [
+            "moments", "tail-quantile", "moments", "tail-quantile",
+        ]
+        assert results[0] == results[2]
+        assert results[1].option_dict()["level"] == 0.999
+        assert results[3].option_dict()["level"] == 0.99
+        assert results[1].metrics != results[3].metrics
+
+    def test_stochastic_duplicates_keep_their_own_streams(self, small_model):
+        # (seed, index) streams differ, so coalescing must never merge them.
+        results = evaluate_batch(
+            small_model,
+            [("montecarlo", {"replications": 500})] * 2,
+            seed=5,
+        )
+        assert results[0].seed_entropy == (5, 0)
+        assert results[1].seed_entropy == (5, 1)
+        assert results[0].metrics != results[1].metrics
+
+    def test_coalescing_is_jobs_invariant(self, small_model):
+        requests = ["moments", "moments", ("montecarlo", {"replications": 500}), "moments"]
+        sequential = evaluate_batch(small_model, requests, seed=5, jobs=1)
+        parallel = evaluate_batch(small_model, requests, seed=5, jobs=3)
+        assert [r.metrics for r in sequential] == [r.metrics for r in parallel]
+        assert [r.seed_entropy for r in sequential] == [r.seed_entropy for r in parallel]
+
+
 class TestOptionSpellings:
     def test_options_mapping_equals_kwargs(self, small_model):
         by_kwargs = evaluate(small_model, "exact", level=0.999, max_support=256)

@@ -345,3 +345,109 @@ class TestEvaluateCommand:
             "evaluate", "--model", model_file, "--method", "moments", "--set", "seed=5",
         ]) == 2
         assert "does not accept option 'seed'" in capsys.readouterr().err
+
+
+class TestSimulateDeprecationShim:
+    def test_emits_deprecation_warning_and_stderr_note(self, capsys, model_file):
+        with pytest.warns(DeprecationWarning, match="legacy alias"):
+            assert main([
+                "simulate", "--model", model_file, "--replications", "1000", "--seed", "7",
+            ]) == 0
+        captured = capsys.readouterr()
+        assert "legacy alias" in captured.err
+        assert "evaluate --method montecarlo" in captured.err
+        json.loads(captured.out)  # stdout stays pure JSON for consumers
+
+
+class TestCacheCommand:
+    @pytest.fixture
+    def warm_cache(self, tmp_path) -> str:
+        from repro.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        for index in range(3):
+            digest = f"{index:02x}" + "ab" * 31
+            cache.store(digest, {"digest": digest, "payload": {}, "metrics": {"v": index}})
+        return str(tmp_path / "cache")
+
+    def test_info_reports_entries_bytes_and_path(self, warm_cache, capsys):
+        assert main(["cache", "info", "--cache-dir", warm_cache]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["entries"] == 3
+        assert data["bytes"] > 0
+        assert data["exists"] is True
+        assert data["path"].endswith("cache")
+
+    def test_info_on_missing_directory_does_not_create_it(self, tmp_path, capsys):
+        target = tmp_path / "never-created"
+        assert main(["cache", "info", "--cache-dir", str(target)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == {
+            "path": str(target.resolve()), "entries": 0, "bytes": 0, "exists": False,
+        }
+        assert not target.exists()
+
+    def test_clear_refused_without_yes(self, warm_cache, capsys):
+        assert main(["cache", "clear", "--cache-dir", warm_cache]) == 2
+        error = capsys.readouterr().err
+        assert "refusing" in error and "--yes" in error and "3" in error
+        assert main(["cache", "info", "--cache-dir", warm_cache]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 3
+
+    def test_clear_with_yes_removes_entries(self, warm_cache, capsys):
+        assert main(["cache", "clear", "--cache-dir", warm_cache, "--yes"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 3
+        assert main(["cache", "info", "--cache-dir", warm_cache]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_clear_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path / "nope"), "--yes"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_cache_dir_that_is_a_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "file.json"
+        path.write_text("{}", encoding="utf-8")
+        assert main(["cache", "info", "--cache-dir", str(path)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_clear_leaves_foreign_files_alone(self, warm_cache, tmp_path, capsys):
+        from pathlib import Path
+
+        foreign = Path(warm_cache) / "README.txt"
+        foreign.write_text("not a cache entry", encoding="utf-8")
+        assert main(["cache", "clear", "--cache-dir", warm_cache, "--yes"]) == 0
+        assert foreign.exists()
+
+
+class TestServeCommand:
+    """Argument validation: bad input exits 2 before any socket is bound."""
+
+    def test_bad_port_exits_2(self, capsys):
+        assert main(["serve", "--port", "0"]) == 2
+        assert "port must be in 1..65535" in capsys.readouterr().err
+        assert main(["serve", "--port", "70000"]) == 2
+        assert "port" in capsys.readouterr().err
+
+    def test_negative_workers_exits_2(self, capsys):
+        assert main(["serve", "--port", "18099", "--workers", "-1"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_negative_window_exits_2(self, capsys):
+        assert main(["serve", "--port", "18099", "--batch-window-ms", "-5"]) == 2
+        assert "batch_window_ms" in capsys.readouterr().err
+
+    def test_bad_lru_size_exits_2(self, capsys):
+        assert main(["serve", "--port", "18099", "--lru-size", "0"]) == 2
+        assert "max_entries" in capsys.readouterr().err
+
+    def test_occupied_port_exits_2(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 2
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            blocker.close()

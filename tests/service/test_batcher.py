@@ -1,0 +1,193 @@
+"""Tests for the micro-batcher: grouping, coalescing, fallbacks, failures."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import evaluate, evaluate_sweep
+from repro.service import worker
+from repro.service.batcher import MicroBatcher
+from repro.service.protocol import parse_evaluate_payload
+
+
+class Recorder:
+    """A run_in_pool that executes the real worker functions synchronously
+    while recording every dispatch, plus the group-metrics callback feed."""
+
+    def __init__(self) -> None:
+        self.calls: list[tuple[str, tuple]] = []
+        self.groups: list[tuple[int, int, bool]] = []
+
+    async def run(self, function, arguments):
+        self.calls.append((function.__name__, arguments))
+        return function(arguments)
+
+    def on_group(self, group_size: int, unique: int, batched: bool) -> None:
+        self.groups.append((group_size, unique, batched))
+
+
+def _request(model, method="exact", seed=None, p_scale=1.0, **options):
+    payload = {"model": model.to_dict(), "method": method, "p_scale": p_scale}
+    if seed is not None:
+        payload["seed"] = seed
+    if options:
+        payload["options"] = options
+    return parse_evaluate_payload(payload)
+
+
+def _submit_all(batcher, requests):
+    async def run():
+        return await asyncio.gather(
+            *(batcher.submit(request, request.digest()) for request in requests)
+        )
+
+    return asyncio.run(run())
+
+
+class TestGrouping:
+    def test_concurrent_sweep_points_become_one_group(self, small_model):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder.run, window_seconds=0.01, on_group=recorder.on_group)
+        requests = [
+            _request(small_model, p_scale=scale, max_support=256)
+            for scale in (0.25, 0.5, 0.75)
+        ]
+        outcomes = _submit_all(batcher, requests)
+        assert [name for name, _ in recorder.calls] == ["evaluate_group"]
+        assert recorder.groups == [(3, 3, True)]
+        reference = evaluate_sweep(
+            small_model,
+            "exact",
+            [{"p_scale": scale} for scale in (0.25, 0.5, 0.75)],
+            max_support=256,
+        )
+        for (record, meta), expected in zip(outcomes, reference):
+            assert record["metrics"] == expected.to_dict()["metrics"]
+            assert meta == {"batched": True, "group_size": 3}
+
+    def test_duplicates_coalesce_into_one_variation(self, small_model):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder.run, window_seconds=0.01, on_group=recorder.on_group)
+        requests = [_request(small_model, p_scale=0.5, max_support=256)] * 3 + [
+            _request(small_model, p_scale=1.0, max_support=256)
+        ]
+        outcomes = _submit_all(batcher, requests)
+        (name, arguments), = recorder.calls
+        assert name == "evaluate_group"
+        variations = arguments[3]
+        assert variations == (
+            {"p_scale": 0.5, "q_scale": 1.0},
+            {"p_scale": 1.0, "q_scale": 1.0},
+        )
+        assert recorder.groups == [(4, 2, True)]
+        assert outcomes[0][0] == outcomes[1][0] == outcomes[2][0]
+        assert outcomes[3][0] != outcomes[0][0]
+
+    def test_all_duplicates_dispatch_scalar(self, small_model):
+        # One distinct point must not flow through the sweep kernel: its
+        # value cannot depend on how many clients asked for it.
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder.run, window_seconds=0.01, on_group=recorder.on_group)
+        requests = [_request(small_model, p_scale=0.5, max_support=256)] * 2
+        outcomes = _submit_all(batcher, requests)
+        assert [name for name, _ in recorder.calls] == ["evaluate_single"]
+        assert recorder.groups == [(2, 1, False)]
+        expected = evaluate(small_model.rescaled(0.5, 1.0), "exact", max_support=256)
+        assert outcomes[0][0]["metrics"] == expected.to_dict()["metrics"]
+        assert outcomes[0][1] == {"batched": False, "group_size": 2}
+
+    def test_different_seeds_split_groups(self, small_model):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder.run, window_seconds=0.01, on_group=recorder.on_group)
+        requests = [
+            _request(small_model, method="montecarlo", seed=1, p_scale=0.5, replications=500),
+            _request(small_model, method="montecarlo", seed=1, p_scale=1.0, replications=500),
+            _request(small_model, method="montecarlo", seed=2, p_scale=0.5, replications=500),
+        ]
+        _submit_all(batcher, requests)
+        assert sorted(name for name, _ in recorder.calls) == [
+            "evaluate_group",
+            "evaluate_single",
+        ]
+
+    def test_non_batchable_method_dispatches_immediately(self, small_model):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder.run, window_seconds=0.01, on_group=recorder.on_group)
+        requests = [_request(small_model, method="moments", p_scale=s) for s in (0.5, 1.0)]
+        _submit_all(batcher, requests)
+        assert [name for name, _ in recorder.calls] == ["evaluate_single"] * 2
+        assert recorder.groups == [(1, 1, False)] * 2
+
+    def test_batch_disabled_is_all_scalar(self, small_model):
+        recorder = Recorder()
+        batcher = MicroBatcher(
+            recorder.run, window_seconds=0.01, batch=False, on_group=recorder.on_group
+        )
+        requests = [
+            _request(small_model, p_scale=scale, max_support=256) for scale in (0.25, 0.5)
+        ]
+        outcomes = _submit_all(batcher, requests)
+        assert [name for name, _ in recorder.calls] == ["evaluate_single"] * 2
+        for (record, _), scale in zip(outcomes, (0.25, 0.5)):
+            expected = evaluate(small_model.rescaled(scale, 1.0), "exact", max_support=256)
+            assert record["metrics"] == expected.to_dict()["metrics"]
+
+    def test_lone_request_takes_the_scalar_path(self, small_model):
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder.run, window_seconds=0.001, on_group=recorder.on_group)
+        outcomes = _submit_all(batcher, [_request(small_model, p_scale=0.5, max_support=256)])
+        assert [name for name, _ in recorder.calls] == ["evaluate_single"]
+        expected = evaluate(small_model.rescaled(0.5, 1.0), "exact", max_support=256)
+        assert outcomes[0][0]["metrics"] == expected.to_dict()["metrics"]
+
+
+class TestFailures:
+    def test_worker_error_reaches_every_waiter(self, small_model):
+        async def broken(function, arguments):
+            raise RuntimeError("pool exploded")
+
+        batcher = MicroBatcher(broken, window_seconds=0.01)
+        requests = [
+            _request(small_model, p_scale=scale, max_support=256) for scale in (0.25, 0.5)
+        ]
+
+        async def run():
+            outcomes = await asyncio.gather(
+                *(batcher.submit(request, request.digest()) for request in requests),
+                return_exceptions=True,
+            )
+            return outcomes
+
+        outcomes = asyncio.run(run())
+        assert all(isinstance(outcome, RuntimeError) for outcome in outcomes)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MicroBatcher(lambda *a: None, window_seconds=-1.0)
+
+
+class TestFlushAll:
+    def test_flush_all_short_circuits_the_window(self, small_model):
+        recorder = Recorder()
+        # A one-hour window: only flush_all can dispatch.
+        batcher = MicroBatcher(recorder.run, window_seconds=3600.0, on_group=recorder.on_group)
+
+        async def run():
+            tasks = [
+                asyncio.ensure_future(batcher.submit(request, request.digest()))
+                for request in (
+                    _request(small_model, p_scale=0.25, max_support=256),
+                    _request(small_model, p_scale=0.5, max_support=256),
+                )
+            ]
+            await asyncio.sleep(0)  # let the submits register
+            assert batcher.pending_requests == 2
+            await batcher.flush_all()
+            return await asyncio.gather(*tasks)
+
+        outcomes = asyncio.run(run())
+        assert len(outcomes) == 2
+        assert recorder.groups == [(2, 2, True)]
+        assert batcher.pending_requests == 0

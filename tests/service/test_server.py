@@ -1,0 +1,398 @@
+"""End-to-end service tests: HTTP wire, byte-identity, caching, metrics.
+
+The byte-identity pins are the contract the whole subsystem hangs on:
+whatever the transport, batching mode or cache state, a response's metrics
+are exactly what :func:`repro.evaluate` / :func:`repro.evaluate_sweep`
+return for the same ``(model, method, options, seed)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.api import evaluate, evaluate_batch, evaluate_sweep
+from repro.core.fault_model import FaultModel
+from repro.service import EvaluationServer, ServiceClient, ServiceError, start_in_background
+
+
+def _gather_evaluate(server: EvaluationServer, payloads: list[dict]) -> list[dict]:
+    """Drive the endpoint logic directly (deterministic concurrency)."""
+
+    async def run():
+        return await asyncio.gather(
+            *(server._serve_evaluate(payload) for payload in payloads)
+        )
+
+    return asyncio.run(run())
+
+
+def _strip_elapsed(record: dict) -> dict:
+    return {key: value for key, value in record.items() if key != "elapsed_seconds"}
+
+
+class TestByteIdentity:
+    def test_single_request_equals_direct_evaluate(self, small_model):
+        server = EvaluationServer(batch_window_ms=1.0)
+        [response] = _gather_evaluate(
+            server, [{"model": small_model.to_dict(), "method": "moments"}]
+        )
+        assert _strip_elapsed(response["result"]) == _strip_elapsed(
+            evaluate(small_model, "moments").to_dict()
+        )
+
+    def test_transformed_request_equals_rescaled_evaluate(self, small_model):
+        server = EvaluationServer(batch_window_ms=1.0)
+        [response] = _gather_evaluate(
+            server,
+            [
+                {
+                    "model": small_model.to_dict(),
+                    "method": "montecarlo",
+                    "options": {"replications": 1000},
+                    "seed": 11,
+                    "p_scale": 0.5,
+                }
+            ],
+        )
+        direct = evaluate(
+            small_model.rescaled(0.5, 1.0), "montecarlo", seed=11, replications=1000
+        )
+        assert _strip_elapsed(response["result"]) == _strip_elapsed(direct.to_dict())
+
+    def test_concurrent_group_equals_evaluate_sweep(self, small_model):
+        scales = (0.25, 0.5, 0.75, 1.0)
+        server = EvaluationServer(batch_window_ms=50.0)
+        responses = _gather_evaluate(
+            server,
+            [
+                {
+                    "model": small_model.to_dict(),
+                    "method": "montecarlo",
+                    "options": {"replications": 2000},
+                    "seed": 7,
+                    "p_scale": scale,
+                }
+                for scale in scales
+            ],
+        )
+        reference = evaluate_sweep(
+            small_model,
+            "montecarlo",
+            [{"p_scale": scale} for scale in scales],
+            seed=7,
+            replications=2000,
+        )
+        for response, expected in zip(responses, reference):
+            assert response["served"]["batched"] is True
+            assert response["served"]["group_size"] == len(scales)
+            assert _strip_elapsed(response["result"]) == _strip_elapsed(expected.to_dict())
+        assert server.metrics["batched_groups"] == 1
+        assert server.metrics["batched_group_requests"] == len(scales)
+
+    def test_no_batch_mode_equals_direct_evaluate_everywhere(self, small_model):
+        scales = (0.25, 0.5, 0.75)
+        server = EvaluationServer(batch_window_ms=50.0, batch=False)
+        responses = _gather_evaluate(
+            server,
+            [
+                {
+                    "model": small_model.to_dict(),
+                    "method": "montecarlo",
+                    "options": {"replications": 1000},
+                    "seed": 5,
+                    "p_scale": scale,
+                }
+                for scale in scales
+            ],
+        )
+        for response, scale in zip(responses, scales):
+            direct = evaluate(
+                small_model.rescaled(scale, 1.0), "montecarlo", seed=5, replications=1000
+            )
+            assert response["served"]["batched"] is False
+            assert _strip_elapsed(response["result"]) == _strip_elapsed(direct.to_dict())
+        assert server.metrics["batched_groups"] == 0
+
+    def test_unbatchable_sweep_falls_back_to_scalar_values(self, small_model):
+        # correlation != 0 makes the montecarlo kernel decline the sweep;
+        # every member must then match the direct scalar evaluation.
+        scales = (0.5, 1.0)
+        server = EvaluationServer(batch_window_ms=50.0)
+        responses = _gather_evaluate(
+            server,
+            [
+                {
+                    "model": small_model.to_dict(),
+                    "method": "montecarlo",
+                    "options": {"replications": 500, "correlation": 0.3},
+                    "seed": 3,
+                    "p_scale": scale,
+                }
+                for scale in scales
+            ],
+        )
+        for response, scale in zip(responses, scales):
+            direct = evaluate(
+                small_model.rescaled(scale, 1.0),
+                "montecarlo",
+                seed=3,
+                replications=500,
+                correlation=0.3,
+            )
+            assert response["served"]["batched"] is False
+            assert _strip_elapsed(response["result"]) == _strip_elapsed(direct.to_dict())
+
+
+class TestCaching:
+    def test_lru_serves_warm_traffic(self, small_model):
+        server = EvaluationServer(batch_window_ms=1.0)
+        payload = {
+            "model": small_model.to_dict(),
+            "method": "montecarlo",
+            "options": {"replications": 500},
+            "seed": 2,
+        }
+        [cold] = _gather_evaluate(server, [payload])
+        [warm] = _gather_evaluate(server, [payload])
+        assert cold["served"]["cached"] is None
+        assert warm["served"]["cached"] == "lru"
+        assert warm["result"]["metrics"] == cold["result"]["metrics"]
+        assert server.metrics["cache_hits_lru"] == 1
+        assert server.metrics["evaluations_computed"] == 1
+
+    def test_disk_tier_survives_a_restart(self, small_model, tmp_path):
+        payload = {
+            "model": small_model.to_dict(),
+            "method": "montecarlo",
+            "options": {"replications": 500},
+            "seed": 2,
+        }
+        first = EvaluationServer(batch_window_ms=1.0, cache_dir=str(tmp_path / "cache"))
+        [cold] = _gather_evaluate(first, [payload])
+        second = EvaluationServer(batch_window_ms=1.0, cache_dir=str(tmp_path / "cache"))
+        [warm] = _gather_evaluate(second, [payload])
+        assert warm["served"]["cached"] == "disk"
+        assert warm["result"]["metrics"] == cold["result"]["metrics"]
+        assert warm["result"]["seed_entropy"] == cold["result"]["seed_entropy"]
+        assert second.metrics["evaluations_computed"] == 0
+
+    def test_study_warmed_cache_serves_deterministic_requests(self, small_model, tmp_path):
+        from repro.studies.runner import run_study
+        from repro.studies.spec import StudySpec
+
+        spec = StudySpec.from_dict(
+            {
+                "name": "warming",
+                "base": {"model": small_model.to_dict()},
+                "sweep": {"grid": [{"name": "p_scale", "values": [0.5, 1.0]}]},
+                "methods": [{"name": "exact", "max_support": 512}],
+                "seed": 99,
+            }
+        )
+        result = run_study(spec, cache_dir=str(tmp_path / "cache"))
+        server = EvaluationServer(batch_window_ms=1.0, cache_dir=str(tmp_path / "cache"))
+        [response] = _gather_evaluate(
+            server,
+            [
+                {
+                    "model": small_model.to_dict(),
+                    "method": "exact",
+                    "options": {"max_support": 512},
+                    "p_scale": 0.5,
+                }
+            ],
+        )
+        assert response["served"]["cached"] == "disk"
+        assert server.metrics["evaluations_computed"] == 0
+        row = next(r for r in result.records if r["p_scale"] == 0.5)
+        assert response["result"]["metrics"]["exact_mean"] == row["exact_mean"]
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    server = EvaluationServer(batch_window_ms=40.0)
+    with start_in_background(server) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def live_client(live_server):
+    return ServiceClient(port=live_server.port)
+
+
+class TestHttpTransport:
+    def test_health_and_methods(self, live_client):
+        assert live_client.health()["status"] == "ok"
+        from repro.api import default_registry
+
+        schemas = {entry["name"]: entry for entry in live_client.methods()}
+        assert set(schemas) == set(default_registry().names())
+        assert schemas["montecarlo"]["requires_seed"] is True
+
+    def test_wire_result_equals_direct_evaluate(self, live_client, small_model):
+        result, served = live_client.evaluate_detail(
+            small_model, "exact", options={"max_support": 512}
+        )
+        direct = evaluate(small_model, "exact", max_support=512)
+        assert result.metric_dict() == direct.to_dict()["metrics"]
+        assert result.option_dict() == direct.option_dict()
+        assert served["cached"] is None
+
+    def test_concurrent_clients_get_batched(self, live_client, small_model):
+        scales = [0.2, 0.4, 0.6, 0.8]
+        outcomes: list = [None] * len(scales)
+
+        def fire(index: int, scale: float) -> None:
+            outcomes[index] = live_client.evaluate_detail(
+                small_model,
+                "montecarlo",
+                options={"replications": 2000},
+                seed=17,
+                p_scale=scale,
+            )
+
+        threads = [
+            threading.Thread(target=fire, args=(index, scale))
+            for index, scale in enumerate(scales)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        reference = evaluate_sweep(
+            small_model,
+            "montecarlo",
+            [{"p_scale": scale} for scale in scales],
+            seed=17,
+            replications=2000,
+        )
+        served_all = [served for _, served in outcomes]
+        assert any(served["batched"] for served in served_all)
+        if all(served["group_size"] == len(scales) for served in served_all):
+            # The usual case: one window caught all four requests; then the
+            # wire values are exactly the shared-stream sweep's.
+            for (result, _), expected in zip(outcomes, reference):
+                assert result.metric_dict() == expected.to_dict()["metrics"]
+
+    def test_batch_endpoint_equals_evaluate_batch(self, live_client, small_model):
+        requests = ["moments", ("montecarlo", {"replications": 500}), "moments"]
+        remote = live_client.evaluate_batch(small_model, requests, seed=13)
+        direct = evaluate_batch(small_model, requests, seed=13)
+        assert [r.to_dict()["metrics"] for r in remote] == [
+            d.to_dict()["metrics"] for d in direct
+        ]
+        assert [r.seed_entropy for r in remote] == [d.seed_entropy for d in direct]
+
+    def test_http_error_statuses(self, live_server, live_client, small_model):
+        with pytest.raises(ServiceError) as excinfo:
+            live_client.evaluate(small_model, "frobnicate")
+        assert excinfo.value.status == 400
+        assert "unknown method" in excinfo.value.message
+
+        with pytest.raises(ServiceError) as excinfo:
+            live_client._request("GET", "/nowhere")
+        assert excinfo.value.status == 404
+
+        with pytest.raises(ServiceError) as excinfo:
+            live_client._request("GET", "/v1/evaluate")
+        assert excinfo.value.status == 405
+
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            live_client.host, live_client.port, timeout=30
+        )
+        try:
+            connection.request(
+                "POST",
+                "/v1/evaluate",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "not valid JSON" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_negative_content_length_is_400_not_a_dropped_connection(self, live_client):
+        import socket
+
+        with socket.create_connection(
+            (live_client.host, live_client.port), timeout=30
+        ) as raw:
+            raw.sendall(
+                b"POST /v1/evaluate HTTP/1.1\r\n"
+                b"Content-Length: -5\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            response = raw.recv(65536)
+        assert response.startswith(b"HTTP/1.1 400"), response[:80]
+        assert b"Content-Length" in response
+
+    def test_metrics_snapshot(self, live_client):
+        metrics = live_client.metrics()
+        for key in (
+            "requests_total",
+            "batched_groups",
+            "cache_hits_lru",
+            "evaluations_computed",
+            "batch_window_ms",
+            "uptime_seconds",
+        ):
+            assert key in metrics
+        assert metrics["requests_total"] > 0
+        assert metrics["batch_enabled"] is True
+
+    def test_client_rejects_bad_model_spelling(self, live_client):
+        with pytest.raises(ValueError, match="exactly one of"):
+            live_client.evaluate(None, "moments")
+        with pytest.raises(ValueError, match="exactly one of"):
+            live_client.evaluate({"p": [0.1], "q": [0.1]}, "moments", scenario="high-quality")
+
+
+class TestProcessPool:
+    def test_process_workers_serve_identical_results(self, small_model):
+        server = EvaluationServer(workers=2, batch_window_ms=30.0)
+        try:
+            scales = (0.5, 1.0)
+            responses = _gather_evaluate(
+                server,
+                [
+                    {
+                        "model": small_model.to_dict(),
+                        "method": "exact",
+                        "options": {"max_support": 256},
+                        "p_scale": scale,
+                    }
+                    for scale in scales
+                ],
+            )
+            reference = evaluate_sweep(
+                small_model,
+                "exact",
+                [{"p_scale": scale} for scale in scales],
+                max_support=256,
+            )
+            for response, expected in zip(responses, reference):
+                assert _strip_elapsed(response["result"]) == _strip_elapsed(
+                    expected.to_dict()
+                )
+        finally:
+            asyncio.run(server.aclose())
+
+
+class TestScenarioSpelling:
+    def test_scenario_requests_share_the_cache_with_inline_models(self):
+        from repro.experiments.scenarios import get_scenario
+
+        server = EvaluationServer(batch_window_ms=1.0)
+        model = get_scenario("high-quality")
+        [cold] = _gather_evaluate(server, [{"scenario": "high-quality", "method": "moments"}])
+        [warm] = _gather_evaluate(server, [{"model": model.to_dict(), "method": "moments"}])
+        assert cold["served"]["cached"] is None
+        assert warm["served"]["cached"] == "lru"
