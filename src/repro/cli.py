@@ -213,6 +213,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     study_run.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "do not abort on a failing point: finish the study, emit typed error "
+            "rows (status/error_type/error columns) for the failures and report "
+            "their count in the summary; a warm re-run recomputes only the "
+            "failed points"
+        ),
+    )
+    study_run.add_argument(
         "--quiet", action="store_true", help="suppress the progress line on stderr"
     )
 
@@ -268,6 +278,34 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "disable micro-batching: every request takes the scalar repro.evaluate "
             "path (per-request independent streams, no shared-kernel grouping)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help=(
+            "admission control: evaluation requests allowed to run concurrently "
+            "(default 64)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help=(
+            "backpressure: admitted requests allowed to wait for a running slot "
+            "before the server answers 429 with Retry-After (default 256)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--request-timeout-ms",
+        type=float,
+        default=0.0,
+        help=(
+            "default per-request deadline in milliseconds; overrun requests answer "
+            "504 (a request's own timeout_ms overrides this; 0, the default, "
+            "disables the server-wide deadline)"
         ),
     )
 
@@ -497,6 +535,7 @@ def _handle_study(arguments: argparse.Namespace) -> int:
         force=arguments.force,
         progress=progress,
         batch=not arguments.no_batch,
+        keep_going=arguments.keep_going,
     )
     if not arguments.quiet:
         print(file=sys.stderr)
@@ -514,6 +553,11 @@ def _handle_serve(arguments: argparse.Namespace) -> int:
 
     if not 0 < arguments.port < 65536:
         raise ValueError(f"port must be in 1..65535, got {arguments.port}")
+    if arguments.request_timeout_ms < 0.0:
+        raise ValueError(
+            f"--request-timeout-ms must be >= 0 (0 disables the deadline), "
+            f"got {arguments.request_timeout_ms:g}"
+        )
     cache_dir = None if arguments.cache_dir.lower() == "none" else arguments.cache_dir
     server = EvaluationServer(
         workers=arguments.workers,
@@ -521,6 +565,9 @@ def _handle_serve(arguments: argparse.Namespace) -> int:
         batch=not arguments.no_batch,
         cache_dir=cache_dir,
         lru_size=arguments.lru_size,
+        max_inflight=arguments.max_inflight,
+        max_queue=arguments.max_queue,
+        request_timeout_ms=arguments.request_timeout_ms or None,
     )
     try:
         asyncio.run(server.serve_forever(arguments.host, arguments.port))

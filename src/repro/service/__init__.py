@@ -26,11 +26,12 @@ evaluations the sweep kernels make cheap:
 """
 
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.server import EvaluationServer, start_in_background
+from repro.service.server import EvaluationServer, WorkerCrashError, start_in_background
 
 __all__ = [
     "EvaluationServer",
     "ServiceClient",
     "ServiceError",
+    "WorkerCrashError",
     "start_in_background",
 ]

@@ -63,6 +63,10 @@ class MicroBatcher:
     on_group:
         Optional ``(group_size, unique, batched)`` callback invoked per
         dispatch, feeding the server's ``/metrics`` counters.
+    on_fallback:
+        Optional zero-argument callback invoked when a batched group call
+        failed and the group was re-dispatched point by point (the
+        ``group_fallbacks`` metric).
     """
 
     def __init__(
@@ -72,6 +76,7 @@ class MicroBatcher:
         window_seconds: float = 0.005,
         batch: bool = True,
         on_group: Callable[[int, int, bool], None] | None = None,
+        on_fallback: Callable[[], None] | None = None,
     ) -> None:
         if window_seconds < 0.0:
             raise ValueError(f"window_seconds must be non-negative, got {window_seconds}")
@@ -79,6 +84,7 @@ class MicroBatcher:
         self.window_seconds = window_seconds
         self.batch = batch
         self._on_group = on_group
+        self._on_fallback = on_fallback
         self._pending: dict[str, _PendingGroup] = {}
         self._flush_tasks: set[asyncio.Task] = set()
 
@@ -131,39 +137,92 @@ class MicroBatcher:
         if group.timer is not None:
             group.timer.cancel()
         jobs = group.jobs
-        try:
-            # Coalesce duplicates (same request digest) into one variation
-            # slot, preserving first-seen order -- the batched kernel sees
-            # each distinct point once and every waiter gets its result.
-            slot_by_digest: dict[str, int] = {}
-            variations: list[dict] = []
-            positions: list[int] = []
-            for job in jobs:
-                slot = slot_by_digest.get(job.digest)
-                if slot is None:
-                    slot = slot_by_digest[job.digest] = len(variations)
-                    variations.append(
-                        {"p_scale": job.request.p_scale, "q_scale": job.request.q_scale}
-                    )
-                positions.append(slot)
-            if len(variations) == 1:
-                # A single distinct point gains nothing from the kernel and
-                # must not depend on how many duplicates asked for it.
+        # Coalesce duplicates (same request digest) into one variation
+        # slot, preserving first-seen order -- the batched kernel sees
+        # each distinct point once and every waiter gets its result.
+        slot_by_digest: dict[str, int] = {}
+        variations: list[dict] = []
+        positions: list[int] = []
+        for job in jobs:
+            slot = slot_by_digest.get(job.digest)
+            if slot is None:
+                slot = slot_by_digest[job.digest] = len(variations)
+                variations.append(
+                    {"p_scale": job.request.p_scale, "q_scale": job.request.q_scale}
+                )
+            positions.append(slot)
+        if len(variations) == 1:
+            # A single distinct point gains nothing from the kernel and
+            # must not depend on how many duplicates asked for it.
+            try:
                 record, meta = await self._dispatch_single(
                     jobs[0].request, group_size=len(jobs)
                 )
-                records = [record]
-            else:
-                used_batch, records = await self._run(
-                    worker.evaluate_group, jobs[0].request.group_arguments(tuple(variations))
+            except Exception as error:  # noqa: BLE001 - fanned out to every waiter
+                self._fan_exception(jobs, error)
+                return
+            self._fan_result(jobs, record, meta)
+            return
+        try:
+            used_batch, records = await self._run(
+                worker.evaluate_group, jobs[0].request.group_arguments(tuple(variations))
+            )
+            if len(records) != len(variations):
+                raise TypeError(
+                    f"group evaluation returned {len(records)} records "
+                    f"for {len(variations)} variations"
                 )
-                meta = {"batched": used_batch, "group_size": len(jobs)}
-                if self._on_group is not None:
-                    self._on_group(len(jobs), len(variations), used_batch)
-            for job, slot in zip(jobs, positions):
-                if not job.future.done():
-                    job.future.set_result((records[slot], meta))
-        except Exception as error:  # noqa: BLE001 - fanned out to every waiter
-            for job in jobs:
-                if not job.future.done():
-                    job.future.set_exception(error)
+        except Exception:  # noqa: BLE001 - isolated below, point by point
+            # Group isolation: one bad point (or one crashed group job) must
+            # not poison its groupmates.  Re-dispatch every distinct point on
+            # the scalar path -- byte-identical to repro.evaluate, the same
+            # contract as a declined kernel -- so only the genuinely failing
+            # points answer with errors.
+            if self._on_fallback is not None:
+                self._on_fallback()
+            await self._fallback_scalar(jobs, positions)
+            return
+        meta = {"batched": used_batch, "group_size": len(jobs)}
+        if self._on_group is not None:
+            self._on_group(len(jobs), len(variations), used_batch)
+        for job, slot in zip(jobs, positions):
+            if not job.future.done():
+                job.future.set_result((records[slot], meta))
+
+    async def _fallback_scalar(self, jobs: list[_Job], positions: list[int]) -> None:
+        """Per-point scalar re-dispatch after a failed group call.
+
+        Each distinct point is evaluated once (duplicates still coalesce);
+        a point whose scalar evaluation also fails answers only its own
+        waiters with that error.
+        """
+        by_slot: dict[int, list[_Job]] = {}
+        for job, slot in zip(jobs, positions):
+            by_slot.setdefault(slot, []).append(job)
+
+        async def serve_slot(slot_jobs: list[_Job]) -> None:
+            try:
+                record = await self._run(
+                    worker.evaluate_single, slot_jobs[0].request.single_arguments()
+                )
+            except Exception as error:  # noqa: BLE001 - this slot's waiters only
+                self._fan_exception(slot_jobs, error)
+                return
+            meta = {"batched": False, "group_size": len(jobs), "fallback": True}
+            self._fan_result(slot_jobs, record, meta)
+
+        await asyncio.gather(*(serve_slot(slot_jobs) for slot_jobs in by_slot.values()))
+        if self._on_group is not None:
+            self._on_group(len(jobs), len(by_slot), False)
+
+    @staticmethod
+    def _fan_result(jobs: list[_Job], record: dict, meta: dict) -> None:
+        for job in jobs:
+            if not job.future.done():
+                job.future.set_result((record, meta))
+
+    @staticmethod
+    def _fan_exception(jobs: list[_Job], error: BaseException) -> None:
+        for job in jobs:
+            if not job.future.done():
+                job.future.set_exception(error)

@@ -14,20 +14,67 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Mapping, Sequence
+import random
+import time
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.api.results import EvaluationRequest, EvaluationResult
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["RETRYABLE_STATUSES", "ServiceClient", "ServiceError"]
+
+#: Statuses worth retrying: transient server-side saturation (429) and
+#: draining/unavailability (503).  Everything else is either the caller's
+#: fault (4xx) or a typed evaluation failure a retry would only repeat.
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx service response: carries the HTTP status and the message."""
+    """A non-2xx service response, fully typed.
 
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(f"HTTP {status}: {message}")
+    Attributes
+    ----------
+    status:
+        The HTTP status code.
+    code:
+        The machine-readable error code the server attaches to every error
+        body (``"bad_request"``, ``"saturated"``, ``"draining"``,
+        ``"deadline_exceeded"``, ``"worker_crash"``, ``"evaluation_failed"``,
+        ...); ``None`` when the body carried none (e.g. a non-JSON proxy
+        response).
+    detail:
+        The human-readable one-line error message.
+    retry_after:
+        Parsed ``Retry-After`` header in seconds, when the server sent one.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        code: str | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(f"HTTP {status} [{code or 'unknown'}]: {message}")
         self.status = status
         self.message = message
+        self.detail = message
+        self.code = code
+        self.retry_after = retry_after
+
+    @property
+    def retryable(self) -> bool:
+        return self.status in RETRYABLE_STATUSES
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    if value is None:
+        return None
+    try:
+        parsed = float(value)
+    except ValueError:
+        return None  # HTTP-date spelling: ignored, backoff still applies
+    return parsed if parsed >= 0.0 else None
 
 
 def _model_payload(model, scenario: str | None) -> dict:
@@ -43,14 +90,75 @@ def _model_payload(model, scenario: str | None) -> dict:
 
 
 class ServiceClient:
-    """Talk to a running ``repro serve`` instance."""
+    """Talk to a running ``repro serve`` instance.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 120.0) -> None:
+    Transient failures are retried transparently: connection errors (the
+    server is restarting, a worker crash bounced it) and retryable statuses
+    (429 saturated, 503 draining) back off exponentially with jitter --
+    ``backoff_base * 2**attempt`` capped at ``backoff_max``, scaled by a
+    random factor in [0.5, 1.0] -- honouring the server's ``Retry-After``
+    when it is longer.  Retrying is safe because every response is
+    deterministic and content-keyed: a retried request returns the same
+    bytes the first attempt would have.  ``retries=0`` disables retrying.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout: float = 120.0,
+        *,
+        retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] = random.random,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_base <= 0.0 or backoff_max <= 0.0:
+            raise ValueError("backoff_base and backoff_max must be positive")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        # Injection seams for the retry tests: a recorded fake clock and a
+        # pinned jitter make the whole backoff schedule assertable.
+        self._sleep = sleep
+        self._rng = rng
+
+    def backoff_delay(self, attempt: int, retry_after: float | None = None) -> float:
+        """The delay before retry ``attempt`` (0-based), jitter applied."""
+        delay = min(self.backoff_max, self.backoff_base * (2.0**attempt))
+        delay *= 0.5 + 0.5 * self._rng()
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
 
     def _request(self, verb: str, path: str, payload: dict | None = None) -> dict:
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            retry_after = None
+            try:
+                return self._request_once(verb, path, payload)
+            except ServiceError as error:
+                if not error.retryable or attempt >= self.retries:
+                    raise
+                retry_after = error.retry_after
+                last_error = error
+            except (ConnectionError, TimeoutError, OSError) as error:
+                # The connection itself failed (refused, reset, timed out):
+                # nothing reached the evaluation layer, so a retry cannot
+                # duplicate work.
+                if attempt >= self.retries:
+                    raise
+                last_error = error
+            self._sleep(self.backoff_delay(attempt, retry_after))
+        raise last_error  # pragma: no cover - the loop always returns or raises
+
+    def _request_once(self, verb: str, path: str, payload: dict | None = None) -> dict:
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None if payload is None else json.dumps(payload).encode("utf-8")
@@ -61,10 +169,21 @@ class ServiceClient:
             try:
                 data = json.loads(raw) if raw else {}
             except json.JSONDecodeError as error:
-                raise ServiceError(response.status, f"non-JSON response: {error}") from error
+                raise ServiceError(
+                    response.status, f"non-JSON response: {error}"
+                ) from error
             if response.status >= 400:
-                message = data.get("error", raw.decode("utf-8", "replace"))
-                raise ServiceError(response.status, message)
+                if isinstance(data, Mapping):
+                    message = data.get("error", raw.decode("utf-8", "replace"))
+                    code = data.get("code")
+                else:
+                    message, code = raw.decode("utf-8", "replace"), None
+                raise ServiceError(
+                    response.status,
+                    message,
+                    code=code,
+                    retry_after=_parse_retry_after(response.getheader("Retry-After")),
+                )
             return data
         finally:
             connection.close()
@@ -82,12 +201,15 @@ class ServiceClient:
         seed: int | None = None,
         p_scale: float = 1.0,
         q_scale: float = 1.0,
+        timeout_ms: float | None = None,
     ) -> tuple[EvaluationResult, dict]:
         """One evaluation, returning ``(result, served)``.
 
         ``served`` is the server's provenance record: ``cached`` (``None``,
         ``"lru"`` or ``"disk"``), ``batched`` and ``group_size`` -- how the
         response was produced, useful for tests and capacity work.
+        ``timeout_ms`` is the per-request server-side deadline (a 504 with
+        code ``deadline_exceeded`` when overrun).
         """
         payload: dict[str, Any] = {**_model_payload(model, scenario), "method": method}
         if options:
@@ -98,6 +220,8 @@ class ServiceClient:
             payload["p_scale"] = p_scale
         if q_scale != 1.0:
             payload["q_scale"] = q_scale
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
         data = self._request("POST", "/v1/evaluate", payload)
         return EvaluationResult.from_dict(data["result"]), data.get("served", {})
 
@@ -113,6 +237,7 @@ class ServiceClient:
         *,
         scenario: str | None = None,
         seed: int | None = None,
+        timeout_ms: float | None = None,
     ) -> list[EvaluationResult]:
         """Many methods on one model; the remote :func:`repro.evaluate_batch`."""
         if not requests:
@@ -124,6 +249,8 @@ class ServiceClient:
         payload: dict[str, Any] = {**_model_payload(model, scenario), "requests": wire}
         if seed is not None:
             payload["seed"] = seed
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
         data = self._request("POST", "/v1/evaluate/batch", payload)
         return [EvaluationResult.from_dict(record) for record in data["results"]]
 

@@ -41,10 +41,17 @@ from repro.core.fault_model import FaultModel
 from repro.grouping import evaluation_payload, group_digest
 from repro.stats.rng import DEFAULT_SEED
 
-__all__ = ["ServiceRequest", "parse_batch_payload", "parse_evaluate_payload"]
+__all__ = [
+    "ServiceRequest",
+    "parse_batch_payload",
+    "parse_evaluate_payload",
+    "parse_timeout_ms",
+]
 
-_EVALUATE_KEYS = {"model", "scenario", "method", "options", "seed", "p_scale", "q_scale"}
-_BATCH_KEYS = {"model", "scenario", "requests", "seed"}
+_EVALUATE_KEYS = {
+    "model", "scenario", "method", "options", "seed", "p_scale", "q_scale", "timeout_ms",
+}
+_BATCH_KEYS = {"model", "scenario", "requests", "seed", "timeout_ms"}
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,11 @@ class ServiceRequest:
     q_scale: float = 1.0
     requires_seed: bool = False
     supports_batch: bool = False
+    #: Per-request deadline in milliseconds (``None``: the server default).
+    #: Delivery metadata, not content: it never enters the digest, the group
+    #: key or the cache payload, so a request with a deadline hits the same
+    #: cache entry as one without.
+    timeout_ms: float | None = field(default=None, compare=False)
     #: Computed lazily and memoised: hashing the canonical payload walks the
     #: whole model content, so each request pays for it at most once.
     _digests: dict = field(default_factory=dict, repr=False, compare=False)
@@ -181,6 +193,18 @@ def _parse_seed(value) -> int:
     return value
 
 
+def parse_timeout_ms(value) -> float | None:
+    """Validate a ``timeout_ms`` payload value (``None`` means no deadline)."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"'timeout_ms' must be a positive number or null, got {value!r}")
+    timeout = float(value)
+    if not math.isfinite(timeout) or timeout <= 0.0:
+        raise ValueError(f"'timeout_ms' must be a positive finite number, got {value!r}")
+    return timeout
+
+
 def _parse_scale(payload: Mapping, name: str) -> float:
     value = payload.get(name, 1.0)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -224,6 +248,7 @@ def parse_evaluate_payload(payload) -> ServiceRequest:
         q_scale=q_scale,
         requires_seed=definition.requires_seed,
         supports_batch=definition.supports_batch,
+        timeout_ms=parse_timeout_ms(payload.get("timeout_ms")),
     )
 
 
@@ -241,6 +266,7 @@ def parse_batch_payload(payload) -> tuple[dict, list[tuple[str, dict]], int]:
     _reject_unknown(payload, _BATCH_KEYS, "batch request")
     model = _parse_model(payload)
     seed = _parse_seed(payload.get("seed"))
+    parse_timeout_ms(payload.get("timeout_ms"))  # validated; read by the server
     raw = payload.get("requests")
     if not isinstance(raw, list) or not raw:
         raise ValueError("'requests' must be a non-empty list of evaluation requests")

@@ -36,10 +36,14 @@ from repro.api.registry import default_registry
 from repro.cache import ResultCache
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import ResponseCache
-from repro.service.protocol import parse_batch_payload, parse_evaluate_payload
+from repro.service.protocol import (
+    parse_batch_payload,
+    parse_evaluate_payload,
+    parse_timeout_ms,
+)
 from repro.service import worker
 
-__all__ = ["EvaluationServer", "ServerHandle", "start_in_background"]
+__all__ = ["EvaluationServer", "ServerHandle", "WorkerCrashError", "start_in_background"]
 
 #: Largest accepted request body.  A 10k-fault inline model is ~0.5 MB of
 #: JSON; 32 MB leaves two orders of magnitude of headroom while bounding a
@@ -52,8 +56,20 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+
+class WorkerCrashError(RuntimeError):
+    """A request that crashed the worker pool on its retry too.
+
+    Raised after the pool has already been rebuilt once for the same job --
+    the poison-job guard: one crashing request costs at most two pool
+    restarts and then fails *typed*, instead of restart-looping the pool.
+    """
 
 
 class EvaluationServer:
@@ -75,6 +91,15 @@ class EvaluationServer:
         content-addressed :class:`~repro.cache.ResultCache` format).
     lru_size:
         In-process response-cache capacity (entries).
+    max_inflight:
+        Admission control: how many evaluation requests may be *running*
+        concurrently.  Further requests queue.
+    max_queue:
+        How many admitted requests may *wait* for a running slot before the
+        server starts answering 429 with ``Retry-After`` (backpressure).
+    request_timeout_ms:
+        Server-wide default deadline per evaluation request; a request's own
+        ``timeout_ms`` overrides it.  ``None`` disables the default.
     """
 
     def __init__(
@@ -85,26 +110,49 @@ class EvaluationServer:
         batch: bool = True,
         cache_dir: str | None = None,
         lru_size: int = 1024,
+        max_inflight: int = 64,
+        max_queue: int = 256,
+        request_timeout_ms: float | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if batch_window_ms < 0.0:
             raise ValueError(f"batch_window_ms must be >= 0, got {batch_window_ms}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if request_timeout_ms is not None and request_timeout_ms <= 0.0:
+            raise ValueError(
+                f"request_timeout_ms must be positive or None, got {request_timeout_ms}"
+            )
         self.workers = workers
         self.batch_window_ms = batch_window_ms
         self.batch = batch
         self.cache_dir = cache_dir
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.request_timeout_ms = request_timeout_ms
         self.cache = ResponseCache(
             max_entries=lru_size,
             disk=ResultCache(cache_dir) if cache_dir is not None else None,
         )
         self._executor = None
         self._started = time.time()
+        self._draining = False
+        self._running = 0
+        self._queued = 0
+        # Created lazily per event loop: asyncio primitives bind to the loop
+        # that first awaits them, and tests drive one server instance
+        # through several short-lived loops.
+        self._slots: asyncio.Semaphore | None = None
+        self._slots_loop = None
         self.batcher = MicroBatcher(
             self._run_in_pool,
             window_seconds=batch_window_ms / 1000.0,
             batch=batch,
             on_group=self._record_group,
+            on_fallback=self._record_fallback,
         )
         self.metrics: dict[str, Any] = {
             "requests_total": 0,
@@ -121,6 +169,13 @@ class EvaluationServer:
             "cache_hits_lru": 0,
             "cache_hits_disk": 0,
             "cache_misses": 0,
+            "group_fallbacks": 0,
+            "pool_restarts": 0,
+            "retried_jobs": 0,
+            "poison_jobs": 0,
+            "rejected_saturated": 0,
+            "rejected_draining": 0,
+            "deadline_timeouts": 0,
         }
 
     # ----------------------------------------------------------------- #
@@ -140,9 +195,41 @@ class EvaluationServer:
                 )
         return self._executor
 
+    def _discard_executor(self, executor) -> None:
+        """Drop a broken executor (identity-checked: concurrent failures of
+        the same pool must count one restart, not one per in-flight job)."""
+        if self._executor is executor:
+            self._executor = None
+            self.metrics["pool_restarts"] += 1
+        executor.shutdown(wait=False, cancel_futures=True)
+
     async def _run_in_pool(self, function, arguments):
+        from concurrent.futures import BrokenExecutor
+
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._ensure_executor(), function, arguments)
+        for attempt in (0, 1):
+            executor = self._ensure_executor()
+            try:
+                return await loop.run_in_executor(executor, function, arguments)
+            except BrokenExecutor as error:
+                # A worker process died (BrokenProcessPool) mid-job.  Rebuild
+                # the pool and retry the job once -- results are
+                # deterministic, so a retry is safe and byte-identical.
+                self._discard_executor(executor)
+                if attempt:
+                    self.metrics["poison_jobs"] += 1
+                    raise WorkerCrashError(
+                        "evaluation crashed the worker pool twice; "
+                        "the request was not retried again"
+                    ) from error
+                self.metrics["retried_jobs"] += 1
+
+    def _slot_semaphore(self) -> asyncio.Semaphore:
+        loop = asyncio.get_running_loop()
+        if self._slots is None or self._slots_loop is not loop:
+            self._slots = asyncio.Semaphore(self.max_inflight)
+            self._slots_loop = loop
+        return self._slots
 
     def _record_group(self, group_size: int, unique: int, batched: bool) -> None:
         self.metrics["dispatched_groups"] += 1
@@ -152,6 +239,9 @@ class EvaluationServer:
         if batched and group_size >= 2:
             self.metrics["batched_groups"] += 1
             self.metrics["batched_group_requests"] += group_size
+
+    def _record_fallback(self) -> None:
+        self.metrics["group_fallbacks"] += 1
 
     # ----------------------------------------------------------------- #
     # Endpoint logic
@@ -203,16 +293,88 @@ class EvaluationServer:
             {
                 "uptime_seconds": round(time.time() - self._started, 3),
                 "pending_requests": self.batcher.pending_requests,
+                "running_requests": self._running,
+                "queued_requests": self._queued,
+                "draining": self._draining,
                 "lru_entries": len(self.cache),
                 "batch_enabled": self.batch,
                 "batch_window_ms": self.batch_window_ms,
                 "workers": self.workers,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "request_timeout_ms": self.request_timeout_ms,
                 "cache_dir": self.cache_dir,
             }
         )
         return snapshot
 
-    async def _route(self, verb: str, path: str, body: bytes) -> tuple[int, dict]:
+    # ----------------------------------------------------------------- #
+    # Admission control and deadlines
+    # ----------------------------------------------------------------- #
+    async def _admit(self, coroutine, timeout_ms: float | None) -> tuple[int, dict, dict]:
+        """Run an evaluation coroutine under admission control and a deadline.
+
+        Saturation (the wait queue is full) answers 429, draining answers
+        503 -- both with ``Retry-After``, both *before* any work starts, so
+        an overloaded server stays responsive instead of building an
+        unbounded backlog.  A deadline overrun cancels the waiting request
+        and answers 504; groupmates batched with it are unaffected (their
+        futures complete independently).
+        """
+        if self._draining:
+            coroutine.close()
+            self.metrics["rejected_draining"] += 1
+            return (
+                503,
+                {"error": "server is draining before shutdown", "code": "draining"},
+                {"Retry-After": "1"},
+            )
+        if self._queued >= self.max_queue and self._running >= self.max_inflight:
+            coroutine.close()
+            self.metrics["rejected_saturated"] += 1
+            return (
+                429,
+                {
+                    "error": (
+                        f"server saturated: {self._running} running and "
+                        f"{self._queued} queued requests "
+                        f"(max-inflight {self.max_inflight}, max-queue {self.max_queue})"
+                    ),
+                    "code": "saturated",
+                },
+                {"Retry-After": "1"},
+            )
+        effective = timeout_ms if timeout_ms is not None else self.request_timeout_ms
+        timeout = None if effective is None else effective / 1000.0
+        try:
+            payload = await asyncio.wait_for(self._with_slot(coroutine), timeout)
+        except asyncio.TimeoutError:
+            self.metrics["deadline_timeouts"] += 1
+            return (
+                504,
+                {
+                    "error": f"request deadline of {effective:g} ms exceeded",
+                    "code": "deadline_exceeded",
+                },
+                {},
+            )
+        return 200, payload, {}
+
+    async def _with_slot(self, coroutine):
+        semaphore = self._slot_semaphore()
+        self._queued += 1
+        try:
+            await semaphore.acquire()
+        finally:
+            self._queued -= 1
+        self._running += 1
+        try:
+            return await coroutine
+        finally:
+            self._running -= 1
+            semaphore.release()
+
+    async def _route(self, verb: str, path: str, body: bytes) -> tuple[int, dict, dict]:
         routes = {
             "/healthz": "GET",
             "/metrics": "GET",
@@ -222,30 +384,54 @@ class EvaluationServer:
         }
         expected = routes.get(path)
         if expected is None:
-            return 404, {"error": f"unknown path {path!r}"}
+            return 404, {"error": f"unknown path {path!r}", "code": "not_found"}, {}
         if verb != expected:
-            return 405, {"error": f"{path} expects {expected}, got {verb}"}
+            return (
+                405,
+                {"error": f"{path} expects {expected}, got {verb}", "code": "method_not_allowed"},
+                {},
+            )
         try:
             if path == "/healthz":
                 return 200, {
                     "status": "ok",
+                    "draining": self._draining,
                     "uptime_seconds": round(time.time() - self._started, 3),
-                }
+                }, {}
             if path == "/metrics":
-                return 200, self._serve_metrics()
+                return 200, self._serve_metrics(), {}
             if path == "/v1/methods":
-                return 200, self._serve_methods()
+                return 200, self._serve_methods(), {}
             try:
                 payload = json.loads(body or b"null")
             except json.JSONDecodeError as error:
-                return 400, {"error": f"request body is not valid JSON: {error}"}
+                return (
+                    400,
+                    {"error": f"request body is not valid JSON: {error}", "code": "bad_request"},
+                    {},
+                )
+            # The deadline is validated up front (bad spellings are 400s,
+            # not admitted work); full payload validation runs inside the
+            # admitted coroutine.
+            timeout_ms = parse_timeout_ms(
+                payload.get("timeout_ms") if isinstance(payload, dict) else None
+            )
             if path == "/v1/evaluate":
-                return 200, await self._serve_evaluate(payload)
-            return 200, await self._serve_batch(payload)
+                return await self._admit(self._serve_evaluate(payload), timeout_ms)
+            return await self._admit(self._serve_batch(payload), timeout_ms)
         except ValueError as error:
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error), "code": "bad_request"}, {}
+        except WorkerCrashError as error:
+            return 500, {"error": str(error), "code": "worker_crash"}, {}
         except Exception as error:  # noqa: BLE001 - the server must not die
-            return 500, {"error": f"evaluation failed: {type(error).__name__}: {error}"}
+            return (
+                500,
+                {
+                    "error": f"evaluation failed: {type(error).__name__}: {error}",
+                    "code": "evaluation_failed",
+                },
+                {},
+            )
 
     # ----------------------------------------------------------------- #
     # HTTP front
@@ -292,10 +478,10 @@ class EvaluationServer:
                 )
                 self.metrics["requests_total"] += 1
                 path = target.split("?", 1)[0]
-                status, payload = await self._route(verb.upper(), path, body)
+                status, payload, extra_headers = await self._route(verb.upper(), path, body)
                 if status >= 400:
                     self.metrics["errors_total"] += 1
-                await self._respond(writer, status, payload, close)
+                await self._respond(writer, status, payload, close, extra_headers)
                 if close:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
@@ -308,13 +494,22 @@ class EvaluationServer:
                 pass
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict, close: bool
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        close: bool,
+        extra_headers: dict | None = None,
     ) -> None:
         data = (json.dumps(payload) + "\n").encode("utf-8")
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extras}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             "\r\n"
         )
@@ -340,9 +535,20 @@ class EvaluationServer:
         finally:
             await self.aclose()
 
-    async def aclose(self) -> None:
-        """Flush pending groups and release the executor."""
+    async def aclose(self, drain_seconds: float = 5.0) -> None:
+        """Graceful shutdown: stop admitting, drain, then release the executor.
+
+        New evaluation requests answer 503 (``Retry-After``) from here on;
+        every open batching window is flushed and already-admitted requests
+        get up to ``drain_seconds`` to finish before the executor is torn
+        down, so a routine shutdown never truncates accepted work.
+        """
+        self._draining = True
         await self.batcher.flush_all()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_seconds
+        while self._running > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.02)
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
@@ -371,13 +577,21 @@ class ServerHandle:
 
 
 def start_in_background(
-    server: EvaluationServer, host: str = "127.0.0.1", port: int = 0
+    server: EvaluationServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    startup_timeout: float = 30.0,
 ) -> ServerHandle:
     """Run ``server`` on a fresh event loop in a daemon thread.
 
     ``port=0`` binds an ephemeral port; the returned handle carries the
     resolved address.  This is the embedding seam tests, benchmarks and the
     example client use -- production deployments run ``repro serve``.
+
+    Raises ``RuntimeError`` when the server does not come up within
+    ``startup_timeout`` seconds (the background loop is told to stop, so a
+    late bind cannot leave a half-started server behind) or when binding
+    failed outright.
     """
     started = threading.Event()
     box: dict[str, Any] = {}
@@ -385,10 +599,10 @@ def start_in_background(
     def run() -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
+        box["loop"] = loop
         try:
             asyncio_server = loop.run_until_complete(server.start(host, port))
             box["port"] = asyncio_server.sockets[0].getsockname()[1]
-            box["loop"] = loop
             started.set()
             loop.run_forever()
             # loop.stop() landed: drain the batcher and close sockets.
@@ -403,9 +617,17 @@ def start_in_background(
 
     thread = threading.Thread(target=run, name="repro-serve", daemon=True)
     thread.start()
-    started.wait(timeout=30.0)
+    if not started.wait(timeout=startup_timeout):
+        # Never hand back a half-started server: stop the loop (a late bind
+        # would otherwise keep serving invisibly) and fail with a message
+        # that names the bind target and the timeout.
+        loop = box.get("loop")
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        raise RuntimeError(
+            f"service failed to start on {host}:{port} within {startup_timeout:g}s "
+            f"(startup thread {'still running' if thread.is_alive() else 'exited'})"
+        )
     if "error" in box:
         raise RuntimeError(f"service failed to start: {box['error']}") from box["error"]
-    if "port" not in box:
-        raise RuntimeError("service failed to start within 30s")
     return ServerHandle(server, host, box["port"], thread, box["loop"])

@@ -25,6 +25,7 @@ import time
 
 import numpy as np
 
+from repro import faults
 from repro.api.evaluate import evaluate as api_evaluate
 from repro.api.evaluate import evaluate_batch as api_evaluate_batch
 from repro.api.registry import BatchUnsupported, default_registry
@@ -36,6 +37,8 @@ __all__ = ["evaluate_batch_endpoint", "evaluate_group", "evaluate_single"]
 
 def evaluate_single(arguments: tuple) -> dict:
     """One scalar evaluation: the direct ``repro.evaluate`` path."""
+    faults.hit("worker.crash")
+    faults.hit("worker.evaluate")
     model_data, method, options, seed, p_scale, q_scale = arguments
     model = FaultModel.from_dict(model_data).rescaled(p_scale, q_scale)
     return api_evaluate(model, method, seed=seed, options=options).to_dict()
@@ -48,6 +51,8 @@ def evaluate_group(arguments: tuple) -> tuple[bool, list[dict]]:
     order.  ``used_batch`` is False when the method's kernel declined the
     sweep and every member was evaluated on the scalar path instead.
     """
+    faults.hit("worker.crash")
+    faults.hit("worker.group")
     model_data, method, options, variations, seed = arguments
     registry = default_registry()
     definition = registry.get(method)

@@ -27,6 +27,7 @@ import inspect
 import warnings
 from typing import Any, Mapping
 
+from repro import faults
 from repro.api import evaluate as api_evaluate
 from repro.api.registry import default_registry
 from repro.core.fault_model import FaultModel
@@ -148,6 +149,7 @@ def evaluate_study_point(
     :func:`repro.api.evaluate`; the metric record is the result's metrics,
     exactly what the content-addressed cache stores.
     """
+    faults.hit("studies.point")
     factory_kwargs, transforms, overrides, _ = split_point_params(base, params, method)
     model = resolve_model(base, factory_kwargs, transforms)
     options = {**dict(method.options), **overrides}

@@ -287,6 +287,7 @@ def run_study(
     force: bool = False,
     progress: Callable[[int, int, int], None] | None = None,
     batch: bool = True,
+    keep_going: bool = False,
 ) -> StudyResult:
     """Execute the study and return its result table.
 
@@ -329,6 +330,15 @@ def run_study(
         ``batch=False`` to spread such sweeps across workers.  ``batch=
         False`` restores the one-task-per-point dispatch with per-point
         independent streams everywhere.
+    keep_going:
+        When true, a failing point does not abort the study: the run
+        completes, the failed points become typed error rows in the result
+        table (``status="error"`` plus ``error_type`` / ``error`` columns,
+        no metric columns) and the summary records the ``failed`` count.
+        Failures are never cached, so a warm re-run recomputes exactly the
+        failed points -- the natural repair loop for long sweeps.  With the
+        default ``keep_going=False`` the first failure raises (completed
+        evaluations are still cached), preserving the strict behaviour.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be a positive integer, got {jobs}")
@@ -336,6 +346,7 @@ def run_study(
     distinct = len({entry.digest for entry in planned})
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     metrics_by_digest: dict[str, dict[str, Any]] = {}
+    errors_by_digest: dict[str, dict[str, Any]] = {}
     resolved = 0
     cached_count = 0
     # Points whose ignored axes differ share a digest; evaluate each
@@ -401,11 +412,11 @@ def run_study(
             fresh = executor.map(worker, work)
         else:
             fresh = map(worker, work)
-        failures: list[tuple[int, str]] = []
+        failures: list[tuple[str, int, str]] = []
         try:
             for (digest, index), (status, outcome) in bind(fresh):
                 if status == "error":
-                    failures.append((index, outcome))
+                    failures.append((digest, index, outcome))
                     continue
                 metrics_by_digest[digest] = outcome
                 resolved += 1
@@ -423,8 +434,8 @@ def run_study(
         finally:
             if executor is not None:
                 executor.shutdown()
-        if failures:
-            index, message = failures[0]
+        if failures and not keep_going:
+            _, index, message = failures[0]
             entry = planned[index]
             params = ", ".join(f"{key}={value}" for key, value in entry.point.params) or "(no axes)"
             salvage = "completed evaluations were cached; " if cache is not None else ""
@@ -433,6 +444,16 @@ def run_study(
                 f"fix the spec and re-run). First failure: point {entry.digest[:12]} "
                 f"(method {entry.point.method.name}, {params}): {message}"
             )
+        # keep_going: failed points become typed error rows.  Failures are
+        # deliberately *not* cached, so the next (warm) run recomputes only
+        # them -- everything that succeeded serves from the cache.
+        for digest, _, message in failures:
+            error_type, separator, detail = message.partition(": ")
+            errors_by_digest[digest] = {
+                "status": "error",
+                "error_type": error_type if separator else "Error",
+                "error": detail if separator else message,
+            }
 
     axis_sizes = {axis.name: len(axis.values) for axis in spec.grid + spec.zipped}
     summary = {
@@ -444,6 +465,8 @@ def run_study(
         "cached": cached_count,
         "jobs": jobs,
         "batch": batch,
+        "keep_going": keep_going,
+        "failed": len(errors_by_digest),
         "dispatched_tasks": (len(groups) if groups is not None else len(pending)) if pending else 0,
         "seed": spec.seed,
         "methods": [method.name for method in spec.methods],
@@ -451,6 +474,7 @@ def run_study(
         "cache_dir": cache_dir,
     }
     rows = tuple(
-        _assemble_row(entry, metrics_by_digest[entry.digest]) for entry in planned
+        _assemble_row(entry, metrics_by_digest.get(entry.digest) or errors_by_digest[entry.digest])
+        for entry in planned
     )
     return StudyResult(name=spec.name, records=rows, summary=summary)

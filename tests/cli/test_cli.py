@@ -243,6 +243,44 @@ class TestStudyCommand:
         assert main(["study", "run", spec_file, "--formats", " , ", "--quiet"]) == 2
         assert "no table format" in capsys.readouterr().err
 
+    @pytest.fixture
+    def flaky_spec_file(self, tmp_path) -> str:
+        # p_scale=50 pushes probabilities above 1 at evaluation time: one
+        # deterministically failing point among healthy siblings.
+        spec = {
+            "name": "cli-keep-going",
+            "base": {"scenario": "many-small-faults"},
+            "sweep": {"grid": [{"name": "p_scale", "values": [1.0, 50.0]}]},
+            "methods": [{"name": "moments"}],
+            "seed": 3,
+        }
+        path = tmp_path / "flaky.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        return str(path)
+
+    def test_failing_point_aborts_without_keep_going(self, flaky_spec_file, tmp_path, capsys):
+        assert main([
+            "study", "run", flaky_spec_file,
+            "--output-dir", str(tmp_path / "out"), "--quiet",
+        ]) == 2
+        assert "evaluation(s) failed" in capsys.readouterr().err
+
+    def test_keep_going_writes_typed_error_rows(self, flaky_spec_file, tmp_path, capsys):
+        assert main([
+            "study", "run", flaky_spec_file, "--keep-going",
+            "--output-dir", str(tmp_path / "out"), "--quiet",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["keep_going"] is True
+        assert summary["failed"] == 1
+        rows = json.loads(
+            (tmp_path / "out" / "cli-keep-going.json").read_text(encoding="utf-8")
+        )
+        assert len(rows) == 2
+        failed = [row for row in rows if row.get("status") == "error"]
+        assert len(failed) == 1
+        assert failed[0]["error_type"] == "ValueError"
+
     def test_run_without_cache(self, spec_file, tmp_path, capsys):
         assert main([
             "study", "run", spec_file, "--cache-dir", "none",
@@ -439,6 +477,18 @@ class TestServeCommand:
     def test_bad_lru_size_exits_2(self, capsys):
         assert main(["serve", "--port", "18099", "--lru-size", "0"]) == 2
         assert "max_entries" in capsys.readouterr().err
+
+    def test_bad_max_inflight_exits_2(self, capsys):
+        assert main(["serve", "--port", "18099", "--max-inflight", "0"]) == 2
+        assert "max_inflight" in capsys.readouterr().err
+
+    def test_bad_max_queue_exits_2(self, capsys):
+        assert main(["serve", "--port", "18099", "--max-queue", "-1"]) == 2
+        assert "max_queue" in capsys.readouterr().err
+
+    def test_negative_request_timeout_exits_2(self, capsys):
+        assert main(["serve", "--port", "18099", "--request-timeout-ms", "-5"]) == 2
+        assert "--request-timeout-ms must be >= 0" in capsys.readouterr().err
 
     def test_occupied_port_exits_2(self, capsys):
         import socket

@@ -143,6 +143,98 @@ class TestGrouping:
         assert outcomes[0][0]["metrics"] == expected.to_dict()["metrics"]
 
 
+class TestGroupFallback:
+    """Group isolation: a failed batched call re-dispatches point by point."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        from repro import faults
+
+        faults.clear()
+        yield
+        faults.clear()
+
+    def _fallback_batcher(self, recorder):
+        fallbacks = []
+        batcher = MicroBatcher(
+            recorder.run,
+            window_seconds=0.01,
+            on_group=recorder.on_group,
+            on_fallback=lambda: fallbacks.append(1),
+        )
+        return batcher, fallbacks
+
+    def test_failed_group_call_falls_back_byte_identical(self, small_model):
+        from repro import faults
+
+        faults.inject("worker.group", error=RuntimeError, message="kernel died", export_env=False)
+        recorder = Recorder()
+        batcher, fallbacks = self._fallback_batcher(recorder)
+        scales = (0.25, 0.5, 0.75)
+        outcomes = _submit_all(
+            batcher,
+            [_request(small_model, p_scale=scale, max_support=256) for scale in scales],
+        )
+        # One (failed) group dispatch, then one scalar call per distinct point.
+        assert [name for name, _ in recorder.calls] == [
+            "evaluate_group", "evaluate_single", "evaluate_single", "evaluate_single",
+        ]
+        assert fallbacks == [1]
+        assert recorder.groups == [(3, 3, False)]
+        for (record, meta), scale in zip(outcomes, scales):
+            expected = evaluate(small_model.rescaled(scale, 1.0), "exact", max_support=256)
+            assert record["metrics"] == expected.to_dict()["metrics"]
+            assert meta == {"batched": False, "group_size": 3, "fallback": True}
+
+    def test_one_bad_point_answers_alone(self, small_model):
+        from repro import faults
+
+        faults.inject("worker.group", error=RuntimeError, times=1, export_env=False)
+        # The three fallback scalar calls hit "worker.evaluate" 1, 2, 3:
+        # only the second point (p_scale 0.5) fails.
+        faults.inject("worker.evaluate", error=ValueError, message="bad point", every=2, export_env=False)
+        recorder = Recorder()
+        batcher, fallbacks = self._fallback_batcher(recorder)
+        scales = (0.25, 0.5, 0.75)
+        requests = [_request(small_model, p_scale=scale, max_support=256) for scale in scales]
+
+        async def run():
+            return await asyncio.gather(
+                *(batcher.submit(request, request.digest()) for request in requests),
+                return_exceptions=True,
+            )
+
+        outcomes = asyncio.run(run())
+        assert fallbacks == [1]
+        assert isinstance(outcomes[1], ValueError)
+        for index in (0, 2):
+            record, meta = outcomes[index]
+            expected = evaluate(
+                small_model.rescaled(scales[index], 1.0), "exact", max_support=256
+            )
+            assert record["metrics"] == expected.to_dict()["metrics"]
+            assert meta["fallback"] is True
+
+    def test_fallback_still_coalesces_duplicates(self, small_model):
+        from repro import faults
+
+        faults.inject("worker.group", error=RuntimeError, times=1, export_env=False)
+        recorder = Recorder()
+        batcher, fallbacks = self._fallback_batcher(recorder)
+        requests = [_request(small_model, p_scale=0.5, max_support=256)] * 2 + [
+            _request(small_model, p_scale=1.0, max_support=256)
+        ]
+        outcomes = _submit_all(batcher, requests)
+        assert fallbacks == [1]
+        # Two distinct points -> two scalar calls, not three.
+        assert [name for name, _ in recorder.calls] == [
+            "evaluate_group", "evaluate_single", "evaluate_single",
+        ]
+        assert recorder.groups == [(3, 2, False)]
+        assert outcomes[0][0] == outcomes[1][0]
+        assert outcomes[2][0] != outcomes[0][0]
+
+
 class TestFailures:
     def test_worker_error_reaches_every_waiter(self, small_model):
         async def broken(function, arguments):

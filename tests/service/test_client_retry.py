@@ -1,0 +1,130 @@
+"""Client-side retry tests: backoff schedule, typed errors, mocked clock.
+
+No sockets: ``_request_once`` is replaced by a scripted transport and the
+``sleep`` / ``rng`` injection seams record the exact backoff schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+from repro.service.client import RETRYABLE_STATUSES, _parse_retry_after
+
+
+def _scripted_client(failures, *, retries=3, rng=lambda: 1.0, **kwargs):
+    """A client whose transport raises ``failures`` in order, then succeeds."""
+    sleeps: list[float] = []
+    client = ServiceClient(
+        retries=retries,
+        backoff_base=0.1,
+        backoff_max=0.4,
+        sleep=sleeps.append,
+        rng=rng,
+        **kwargs,
+    )
+    script = list(failures)
+    calls = {"count": 0}
+
+    def transport(verb, path, payload=None):
+        calls["count"] += 1
+        if script:
+            raise script.pop(0)
+        return {"ok": True}
+
+    client._request_once = transport
+    return client, sleeps, calls
+
+
+class TestBackoffSchedule:
+    def test_exponential_schedule_with_cap(self):
+        client, sleeps, calls = _scripted_client(
+            [
+                ServiceError(429, "busy", code="saturated"),
+                ServiceError(503, "draining", code="draining"),
+                ConnectionError("refused"),
+            ]
+        )
+        assert client._request("POST", "/v1/evaluate", {}) == {"ok": True}
+        # rng pinned to 1.0: delays are exactly base * 2**attempt, capped.
+        assert sleeps == [0.1, 0.2, 0.4]
+        assert calls["count"] == 4
+
+    def test_retry_after_extends_the_delay(self):
+        client, sleeps, _ = _scripted_client(
+            [ServiceError(429, "busy", code="saturated", retry_after=1.5)]
+        )
+        assert client._request("GET", "/healthz") == {"ok": True}
+        assert sleeps == [1.5]
+
+    def test_jitter_scales_into_the_half_open_band(self):
+        client, _, _ = _scripted_client([], rng=lambda: 0.0)
+        assert client.backoff_delay(0) == pytest.approx(0.05)  # 0.1 * 0.5
+        client, _, _ = _scripted_client([], rng=lambda: 1.0)
+        assert client.backoff_delay(3) == pytest.approx(0.4)  # capped at backoff_max
+
+    def test_non_retryable_status_raises_immediately(self):
+        client, sleeps, calls = _scripted_client(
+            [ServiceError(400, "unknown method", code="bad_request")]
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/v1/evaluate", {})
+        assert excinfo.value.status == 400
+        assert sleeps == []
+        assert calls["count"] == 1
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        client, sleeps, calls = _scripted_client(
+            [ServiceError(503, "draining", code="draining")] * 5, retries=2
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v1/methods")
+        assert excinfo.value.status == 503
+        assert len(sleeps) == 2
+        assert calls["count"] == 3
+
+    def test_zero_retries_disables_retrying(self):
+        client, sleeps, calls = _scripted_client([ConnectionError("refused")], retries=0)
+        with pytest.raises(ConnectionError):
+            client._request("GET", "/healthz")
+        assert sleeps == [] and calls["count"] == 1
+
+    def test_connection_errors_are_retried(self):
+        client, sleeps, calls = _scripted_client(
+            [ConnectionRefusedError("down"), TimeoutError("slow")]
+        )
+        assert client._request("GET", "/healthz") == {"ok": True}
+        assert calls["count"] == 3 and len(sleeps) == 2
+
+    def test_rejects_bad_retry_configuration(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServiceClient(retries=-1)
+        with pytest.raises(ValueError, match="positive"):
+            ServiceClient(backoff_base=0.0)
+
+
+class TestServiceErrorTyping:
+    def test_message_carries_status_and_code(self):
+        error = ServiceError(429, "server saturated", code="saturated", retry_after=2.0)
+        assert str(error) == "HTTP 429 [saturated]: server saturated"
+        assert error.status == 429
+        assert error.detail == "server saturated"
+        assert error.code == "saturated"
+        assert error.retry_after == 2.0
+        assert error.retryable is True
+
+    def test_unknown_code_spelling(self):
+        error = ServiceError(502, "proxy said no")
+        assert str(error) == "HTTP 502 [unknown]: proxy said no"
+        assert error.code is None
+        assert error.retryable is False
+
+    def test_retryable_statuses_are_the_transient_ones(self):
+        assert RETRYABLE_STATUSES == {429, 503}
+
+    def test_retry_after_parsing(self):
+        assert _parse_retry_after(None) is None
+        assert _parse_retry_after("1.5") == 1.5
+        assert _parse_retry_after("0") == 0.0
+        assert _parse_retry_after("-2") is None
+        assert _parse_retry_after("Wed, 21 Oct 2026 07:28:00 GMT") is None

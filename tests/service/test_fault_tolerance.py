@@ -1,0 +1,277 @@
+"""Fault-tolerance tests: crash recovery, backpressure, deadlines, draining.
+
+These drive the server's admission/retry machinery deterministically --
+event-controlled coroutines instead of wall-clock races -- plus two real
+process-pool crash scenarios armed through the failpoint registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import faults
+from repro.api import evaluate, evaluate_sweep
+from repro.service import (
+    EvaluationServer,
+    ServiceClient,
+    ServiceError,
+    WorkerCrashError,
+    start_in_background,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _strip_elapsed(record: dict) -> dict:
+    return {key: value for key, value in record.items() if key != "elapsed_seconds"}
+
+
+class TestPoolRestart:
+    def test_worker_crash_rebuilds_the_pool_and_retries_byte_identical(self, small_model):
+        # Pool of one worker; the crash failpoint fires on its second hit,
+        # so request A succeeds, request B crashes the worker once and its
+        # retry (a fresh process, counting from zero) succeeds.
+        faults.inject("worker.crash", crash=True, every=2)
+        server = EvaluationServer(workers=1, batch_window_ms=1.0)
+        try:
+
+            async def run():
+                first = await server._serve_evaluate(
+                    {"model": small_model.to_dict(), "method": "moments"}
+                )
+                second = await server._serve_evaluate(
+                    {"model": small_model.to_dict(), "method": "moments", "p_scale": 0.5}
+                )
+                return first, second
+
+            first, second = asyncio.run(run())
+            assert server.metrics["pool_restarts"] == 1
+            assert server.metrics["retried_jobs"] == 1
+            assert server.metrics["poison_jobs"] == 0
+            assert _strip_elapsed(first["result"]) == _strip_elapsed(
+                evaluate(small_model, "moments").to_dict()
+            )
+            assert _strip_elapsed(second["result"]) == _strip_elapsed(
+                evaluate(small_model.rescaled(0.5, 1.0), "moments").to_dict()
+            )
+        finally:
+            asyncio.run(server.aclose(drain_seconds=0.0))
+
+    def test_poison_job_fails_typed_after_one_retry(self, small_model):
+        # Crashing on every hit: the job kills the pool, kills the rebuilt
+        # pool on its retry, and must then fail as WorkerCrashError instead
+        # of restart-looping.
+        faults.inject("worker.crash", crash=True)
+        server = EvaluationServer(workers=1, batch_window_ms=1.0)
+        try:
+            with pytest.raises(WorkerCrashError, match="not retried again"):
+                asyncio.run(
+                    server._serve_evaluate(
+                        {"model": small_model.to_dict(), "method": "moments"}
+                    )
+                )
+            assert server.metrics["pool_restarts"] == 2
+            assert server.metrics["retried_jobs"] == 1
+            assert server.metrics["poison_jobs"] == 1
+        finally:
+            asyncio.run(server.aclose(drain_seconds=0.0))
+
+    def test_worker_crash_maps_to_a_typed_500(self, small_model):
+        faults.inject("worker.crash", crash=True)
+        server = EvaluationServer(workers=1, batch_window_ms=1.0)
+        try:
+            body = json.dumps({"model": small_model.to_dict(), "method": "moments"})
+            status, payload, _ = asyncio.run(
+                server._route("POST", "/v1/evaluate", body.encode())
+            )
+            assert status == 500
+            assert payload["code"] == "worker_crash"
+        finally:
+            asyncio.run(server.aclose(drain_seconds=0.0))
+
+
+class TestAdmissionControl:
+    def test_saturation_answers_429_with_retry_after(self):
+        server = EvaluationServer(batch_window_ms=1.0, max_inflight=1, max_queue=0)
+
+        async def run():
+            release = asyncio.Event()
+
+            async def slow():
+                await release.wait()
+                return {"ok": True}
+
+            async def rejected():
+                return {}  # pragma: no cover - closed unawaited
+
+            first = asyncio.ensure_future(server._admit(slow(), None))
+            await asyncio.sleep(0)  # let the first request take the slot
+            overflow = await server._admit(rejected(), None)
+            release.set()
+            return overflow, await first
+
+        (status, payload, headers), (first_status, first_payload, _) = asyncio.run(run())
+        assert status == 429
+        assert payload["code"] == "saturated"
+        assert headers["Retry-After"] == "1"
+        assert server.metrics["rejected_saturated"] == 1
+        assert (first_status, first_payload) == (200, {"ok": True})
+
+    def test_queue_headroom_admits_before_rejecting(self):
+        server = EvaluationServer(batch_window_ms=1.0, max_inflight=1, max_queue=1)
+
+        async def run():
+            release = asyncio.Event()
+
+            async def slow(tag):
+                await release.wait()
+                return {"tag": tag}
+
+            async def rejected():
+                return {}  # pragma: no cover - closed unawaited
+
+            first = asyncio.ensure_future(server._admit(slow("running"), None))
+            await asyncio.sleep(0)
+            second = asyncio.ensure_future(server._admit(slow("queued"), None))
+            await asyncio.sleep(0)  # the second request is now waiting for a slot
+            overflow = await server._admit(rejected(), None)
+            release.set()
+            return overflow, await first, await second
+
+        overflow, first, second = asyncio.run(run())
+        assert overflow[0] == 429
+        assert first[0] == 200 and first[1] == {"tag": "running"}
+        assert second[0] == 200 and second[1] == {"tag": "queued"}
+        assert server.metrics["rejected_saturated"] == 1
+
+    def test_draining_answers_503(self):
+        server = EvaluationServer(batch_window_ms=1.0)
+
+        async def run():
+            await server.aclose(drain_seconds=0.0)
+
+            async def rejected():
+                return {}  # pragma: no cover - closed unawaited
+
+            return await server._admit(rejected(), None)
+
+        status, payload, headers = asyncio.run(run())
+        assert status == 503
+        assert payload["code"] == "draining"
+        assert headers["Retry-After"] == "1"
+        assert server.metrics["rejected_draining"] == 1
+
+
+class TestDeadlines:
+    def test_overrun_answers_504(self):
+        server = EvaluationServer(batch_window_ms=1.0)
+
+        async def hang():
+            await asyncio.sleep(60)
+
+        status, payload, _ = asyncio.run(server._admit(hang(), 30.0))
+        assert status == 504
+        assert payload["code"] == "deadline_exceeded"
+        assert "30 ms" in payload["error"]
+        assert server.metrics["deadline_timeouts"] == 1
+
+    def test_server_default_applies_and_request_overrides(self):
+        server = EvaluationServer(batch_window_ms=1.0, request_timeout_ms=20.0)
+
+        async def hang():
+            await asyncio.sleep(60)
+
+        async def quick():
+            return {"ok": True}
+
+        status, payload, _ = asyncio.run(server._admit(hang(), None))
+        assert (status, payload["code"]) == (504, "deadline_exceeded")
+        # A generous per-request deadline overrides the tight server default.
+        status, payload, _ = asyncio.run(server._admit(quick(), 60_000.0))
+        assert (status, payload) == (200, {"ok": True})
+
+    def test_bad_timeout_spelling_is_400_not_admitted(self, small_model):
+        server = EvaluationServer(batch_window_ms=1.0)
+        body = json.dumps(
+            {"model": small_model.to_dict(), "method": "moments", "timeout_ms": -5}
+        )
+        status, payload, _ = asyncio.run(server._route("POST", "/v1/evaluate", body.encode()))
+        assert status == 400
+        assert payload["code"] == "bad_request"
+        assert "timeout_ms" in payload["error"]
+
+    def test_timed_out_waiter_does_not_poison_its_group(self, small_model):
+        # Two batchable requests share a window; one carries a 1 ms deadline
+        # that fires long before the 60 ms window closes.  The survivor must
+        # still get the full-group batched result.
+        server = EvaluationServer(batch_window_ms=60.0)
+
+        def body(scale, timeout_ms=None):
+            payload = {
+                "model": small_model.to_dict(),
+                "method": "exact",
+                "options": {"max_support": 256},
+                "p_scale": scale,
+            }
+            if timeout_ms is not None:
+                payload["timeout_ms"] = timeout_ms
+            return json.dumps(payload).encode()
+
+        async def run():
+            return await asyncio.gather(
+                server._route("POST", "/v1/evaluate", body(0.5, timeout_ms=1)),
+                server._route("POST", "/v1/evaluate", body(1.0)),
+            )
+
+        (timed_out, survived) = asyncio.run(run())
+        assert timed_out[0] == 504
+        assert survived[0] == 200
+        assert survived[1]["served"]["batched"] is True
+        assert survived[1]["served"]["group_size"] == 2
+        reference = evaluate_sweep(
+            small_model, "exact", [{"p_scale": 0.5}, {"p_scale": 1.0}], max_support=256
+        )
+        assert survived[1]["result"]["metrics"] == reference[1].to_dict()["metrics"]
+        assert server.metrics["deadline_timeouts"] == 1
+
+
+class TestWireRobustness:
+    def test_draining_and_errors_are_typed_on_the_wire(self, small_model):
+        server = EvaluationServer(batch_window_ms=1.0)
+        with start_in_background(server) as handle:
+            client = ServiceClient(port=handle.port, retries=0)
+            assert client.health()["draining"] is False
+            server._draining = True
+            try:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.evaluate(small_model, "moments")
+                error = excinfo.value
+                assert error.status == 503
+                assert error.code == "draining"
+                assert error.retry_after == 1.0
+                assert error.retryable is True
+                # Liveness endpoints keep answering while draining.
+                assert client.health()["draining"] is True
+                assert client.metrics()["rejected_draining"] == 1
+            finally:
+                server._draining = False
+            result = client.evaluate(small_model, "moments")
+            assert result.metric_dict() == evaluate(small_model, "moments").to_dict()["metrics"]
+
+    def test_startup_timeout_raises_instead_of_half_starting(self):
+        server = EvaluationServer(batch_window_ms=1.0)
+
+        async def stalled(host, port):
+            await asyncio.sleep(60)
+
+        server.start = stalled
+        with pytest.raises(RuntimeError, match=r"within 0\.2s"):
+            start_in_background(server, startup_timeout=0.2)

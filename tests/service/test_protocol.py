@@ -6,7 +6,11 @@ import pytest
 
 from repro.core.fault_model import FaultModel
 from repro.experiments.scenarios import get_scenario
-from repro.service.protocol import parse_batch_payload, parse_evaluate_payload
+from repro.service.protocol import (
+    parse_batch_payload,
+    parse_evaluate_payload,
+    parse_timeout_ms,
+)
 from repro.stats.rng import DEFAULT_SEED
 
 
@@ -187,3 +191,30 @@ class TestParseBatch:
         with pytest.raises(ValueError) as excinfo:
             parse_batch_payload(payload)
         assert fragment in str(excinfo.value)
+
+
+class TestTimeoutMs:
+    """``timeout_ms`` is delivery metadata: parsed, validated, never content."""
+
+    def test_timeout_never_enters_the_request_identity(self, small_model):
+        plain = parse_evaluate_payload(_payload(small_model))
+        deadlined = parse_evaluate_payload(_payload(small_model, timeout_ms=250))
+        assert deadlined.timeout_ms == 250.0
+        assert plain.timeout_ms is None
+        assert deadlined.digest() == plain.digest()
+        assert deadlined.group_key() == plain.group_key()
+        assert "timeout_ms" not in str(deadlined.payload())
+
+    def test_parse_timeout_ms_spellings(self):
+        assert parse_timeout_ms(None) is None
+        assert parse_timeout_ms(250) == 250.0
+        assert parse_timeout_ms(0.5) == 0.5
+        for bad in (0, -1, True, "fast", float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="timeout_ms"):
+                parse_timeout_ms(bad)
+
+    def test_batch_payload_validates_the_deadline(self, small_model):
+        payload = {"model": small_model.to_dict(), "requests": ["moments"]}
+        parse_batch_payload({**payload, "timeout_ms": 100})  # accepted
+        with pytest.raises(ValueError, match="timeout_ms"):
+            parse_batch_payload({**payload, "timeout_ms": -3})

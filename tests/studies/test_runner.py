@@ -285,3 +285,93 @@ class TestSeeding:
         moments_rows = [r for r in result.records if r["method"] == "moments"]
         by_confidence = {r["confidence"]: r["point_id"] for r in moments_rows if r["n"] == 10 and r["p_scale"] == 0.5}
         assert len(set(by_confidence.values())) == 1  # same evaluation, both rows
+
+
+class TestKeepGoing:
+    """``keep_going``: failures become typed rows, warm re-runs repair them."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        from repro import faults
+
+        faults.clear()
+        yield
+        faults.clear()
+
+    @pytest.fixture
+    def flaky_spec(self, small_model) -> StudySpec:
+        return StudySpec.from_dict(
+            {
+                "name": "keep-going",
+                "base": {"model": small_model.to_dict()},
+                "sweep": {"grid": [{"name": "p_scale", "values": [0.5, 1.0, 1.5]}]},
+                "methods": [{"name": "moments"}],
+                "seed": 1,
+            }
+        )
+
+    def _arm_second_point_failure(self):
+        from repro import faults
+
+        # Sequential in-process evaluation (batch=False, jobs=1): the second
+        # evaluated point -- and only it -- raises.
+        faults.inject(
+            "studies.point", error=RuntimeError, message="boom", every=2, times=1,
+            export_env=False,
+        )
+
+    def test_strict_mode_still_raises(self, flaky_spec):
+        self._arm_second_point_failure()
+        with pytest.raises(ValueError, match="1 of 3 evaluation\\(s\\) failed"):
+            run_study(flaky_spec, batch=False)
+
+    def test_failures_become_typed_error_rows(self, flaky_spec, tmp_path):
+        self._arm_second_point_failure()
+        result = run_study(
+            flaky_spec, cache_dir=str(tmp_path / "cache"), batch=False, keep_going=True
+        )
+        assert result.summary["keep_going"] is True
+        assert result.summary["failed"] == 1
+        assert len(result) == 3
+        failed = [record for record in result.records if "status" in record]
+        assert len(failed) == 1
+        assert failed[0]["status"] == "error"
+        assert failed[0]["error_type"] == "RuntimeError"
+        assert failed[0]["error"] == "boom"
+        assert "mean_system" not in failed[0]
+        healthy = [record for record in result.records if "status" not in record]
+        assert len(healthy) == 2
+        assert all("mean_system" in record for record in healthy)
+
+    def test_error_rows_round_trip_through_the_table_writers(self, flaky_spec, tmp_path):
+        self._arm_second_point_failure()
+        result = run_study(flaky_spec, batch=False, keep_going=True)
+        paths = result.save(tmp_path / "out")
+        rows = json.loads(paths["json"].read_text(encoding="utf-8"))
+        assert sum(1 for row in rows if row.get("status") == "error") == 1
+        import csv
+
+        with open(paths["csv"], newline="", encoding="utf-8") as handle:
+            table = list(csv.DictReader(handle))
+        assert {"status", "error_type", "error"} <= set(table[0])
+        error_rows = [row for row in table if row["status"] == "error"]
+        assert len(error_rows) == 1
+        assert error_rows[0]["error_type"] == "RuntimeError"
+        assert error_rows[0]["mean_system"] == ""  # no metrics on an error row
+        healthy_rows = [row for row in table if row["status"] == ""]
+        assert all(row["mean_system"] for row in healthy_rows)
+
+    def test_warm_rerun_recomputes_only_the_failed_points(self, flaky_spec, tmp_path):
+        from repro import faults
+
+        cache_dir = str(tmp_path / "cache")
+        self._arm_second_point_failure()
+        broken = run_study(flaky_spec, cache_dir=cache_dir, batch=False, keep_going=True)
+        assert broken.summary["failed"] == 1
+        faults.clear()
+        repaired = run_study(flaky_spec, cache_dir=cache_dir, batch=False, keep_going=True)
+        assert repaired.summary["failed"] == 0
+        assert repaired.summary["cached"] == 2
+        assert repaired.summary["computed"] == 1
+        reference = run_study(flaky_spec, batch=False)
+        assert repaired.records == reference.records

@@ -1,0 +1,148 @@
+"""Tests for the deterministic fault-injection registry."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Every test starts and ends with nothing armed and no exported spec."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestHit:
+    def test_disarmed_hit_is_a_no_op(self):
+        faults.hit("nowhere.registered")  # must not raise
+
+    def test_armed_hit_raises_the_default_error(self):
+        faults.inject("layer.op", export_env=False)
+        with pytest.raises(faults.FaultInjected, match="failpoint 'layer.op' fired"):
+            faults.hit("layer.op")
+
+    def test_other_failpoints_stay_silent(self):
+        faults.inject("layer.op", export_env=False)
+        faults.hit("layer.other")  # armed name differs: no fire
+
+    def test_custom_error_class_and_message(self):
+        faults.inject("layer.op", error=ValueError, message="bad input", export_env=False)
+        with pytest.raises(ValueError, match="bad input"):
+            faults.hit("layer.op")
+
+    def test_error_instance_carries_type_and_message(self):
+        faults.inject("layer.op", error=OSError("disk gone"), export_env=False)
+        with pytest.raises(OSError, match="disk gone"):
+            faults.hit("layer.op")
+
+    def test_error_name_resolves_builtins(self):
+        faults.inject("layer.op", error="TimeoutError", export_env=False)
+        with pytest.raises(TimeoutError):
+            faults.hit("layer.op")
+
+
+class TestSchedule:
+    def test_every_fires_deterministically(self):
+        faults.inject("layer.op", every=3, export_env=False)
+        outcomes = []
+        for _ in range(9):
+            try:
+                faults.hit("layer.op")
+                outcomes.append("ok")
+            except faults.FaultInjected:
+                outcomes.append("fire")
+        assert outcomes == ["ok", "ok", "fire"] * 3
+
+    def test_times_bounds_the_firing(self):
+        faults.inject("layer.op", times=2, export_env=False)
+        fired = 0
+        for _ in range(5):
+            try:
+                faults.hit("layer.op")
+            except faults.FaultInjected:
+                fired += 1
+        assert fired == 2
+
+    def test_reinjection_resets_the_counters(self):
+        faults.inject("layer.op", times=1, export_env=False)
+        with pytest.raises(faults.FaultInjected):
+            faults.hit("layer.op")
+        faults.hit("layer.op")  # exhausted
+        faults.inject("layer.op", times=1, export_env=False)
+        with pytest.raises(faults.FaultInjected):
+            faults.hit("layer.op")
+
+    def test_clear_one_leaves_the_rest_armed(self):
+        faults.inject("layer.a", export_env=False)
+        faults.inject("layer.b", export_env=False)
+        faults.clear("layer.a")
+        faults.hit("layer.a")
+        with pytest.raises(faults.FaultInjected):
+            faults.hit("layer.b")
+
+
+class TestValidation:
+    def test_rejects_bad_every_and_times(self):
+        with pytest.raises(ValueError, match="every"):
+            faults.inject("layer.op", every=0, export_env=False)
+        with pytest.raises(ValueError, match="times"):
+            faults.inject("layer.op", times=0, export_env=False)
+
+    def test_rejects_a_non_exception_error(self):
+        with pytest.raises(ValueError, match="exception class"):
+            faults.inject("layer.op", error=42, export_env=False)
+
+    def test_rejects_an_unknown_error_name(self):
+        with pytest.raises(ValueError, match="unknown exception name"):
+            faults.inject("layer.op", error="NoSuchError", export_env=False)
+
+
+class TestEnvPropagation:
+    """The cross-process seam: ``inject`` exports, workers arm at import."""
+
+    def test_inject_exports_and_clear_removes(self):
+        faults.inject("worker.evaluate", error=RuntimeError, message="boom", every=3)
+        spec = os.environ.get(faults.ENV_VAR, "")
+        assert "worker.evaluate:" in spec
+        assert "error=RuntimeError" in spec and "message=boom" in spec and "every=3" in spec
+        faults.clear()
+        assert faults.ENV_VAR not in os.environ
+
+    def test_spec_round_trips_through_the_parser(self):
+        faults.inject("worker.crash", crash=True, every=2, times=1)
+        faults.inject("studies.point", error=ValueError, message="bad", export_env=True)
+        exported = os.environ[faults.ENV_VAR]
+        parsed = faults._parse_spec(exported)
+        assert set(parsed) == {"worker.crash", "studies.point"}
+        assert parsed["worker.crash"].crash is True
+        assert parsed["worker.crash"].every == 2
+        assert parsed["worker.crash"].times == 1
+        assert parsed["studies.point"].error is ValueError
+        assert parsed["studies.point"].message == "bad"
+
+    def test_load_env_arms_a_fresh_process_registry(self, monkeypatch):
+        # Simulate worker-process startup: empty registry, spec in the
+        # environment, _load_env at import time.
+        monkeypatch.setenv(faults.ENV_VAR, "worker.evaluate:error=RuntimeError,every=2")
+        faults._registry.clear()
+        faults._load_env()
+        faults.hit("worker.evaluate")  # hit 1: silent
+        with pytest.raises(RuntimeError):
+            faults.hit("worker.evaluate")  # hit 2: fires
+
+    def test_malformed_spec_fails_loudly(self):
+        with pytest.raises(ValueError, match="bad failpoint entry"):
+            faults._parse_spec("no-colon-directives")
+        with pytest.raises(ValueError, match="unknown failpoint directive"):
+            faults._parse_spec("layer.op:frequency=3")
+        with pytest.raises(ValueError, match="must be positive"):
+            faults._parse_spec("layer.op:every=0")
+
+    def test_active_reports_specs(self):
+        faults.inject("layer.op", every=4, export_env=False)
+        assert faults.active() == {"layer.op": "layer.op:error=FaultInjected,every=4"}
