@@ -462,6 +462,85 @@ def workload_dispatch(quick: bool) -> dict:
     }
 
 
+def workload_telemetry_overhead(quick: bool) -> dict:
+    """Disabled-telemetry overhead of the instrumented evaluation path.
+
+    The tracer's contract is that an un-configured span costs one ``None``
+    check, so instrumentation can live in hot paths permanently.  Raw
+    wall-clock deltas between "telemetry on" and "telemetry off" runs of a
+    multi-millisecond evaluation drown in scheduler noise, so the gate uses
+    a *computed* ratio instead: measure the per-span disabled-path cost in
+    a tight loop (nanoseconds, very stable), count how many spans one
+    evaluation actually crosses (sink mode), and express their product as a
+    percentage of the evaluation's own wall time.  That percentage is the
+    true price of leaving the instrumentation in, and must stay under the
+    2% budget.
+    """
+    from repro import telemetry
+    from repro.api import evaluate
+    from repro.experiments.scenarios import many_small_faults_scenario
+    from repro.telemetry import tracing
+
+    model = many_small_faults_scenario(n=100)
+    replications = 20_000 if quick else 100_000
+    calls = 10 if quick else 20
+    repeats = 5
+
+    def one():
+        return evaluate(model, "montecarlo", seed=7, replications=replications)
+
+    one()  # warm caches and imports before any timing
+
+    # 1. Per-span cost of the disabled path (shared no-op object).
+    tracing.disable(export_env=False)
+    loops = 200_000
+    start = time.perf_counter()
+    for _ in range(loops):
+        with telemetry.span("bench.noop", key="value"):
+            pass
+    disabled_span_ns = (time.perf_counter() - start) / loops * 1e9
+
+    # 2. Per-span cost when armed (sink mode), for the trajectory record.
+    sunk: list = []
+    tracing.configure(sink=sunk.append)
+    start = time.perf_counter()
+    for _ in range(10_000):
+        with telemetry.span("bench.noop", key="value"):
+            pass
+    enabled_span_us = (time.perf_counter() - start) / 10_000 * 1e6
+
+    # 3. Spans one instrumented evaluation actually crosses.
+    sunk.clear()
+    one()
+    spans_per_evaluate = len(sunk)
+    tracing.disable(export_env=False)
+
+    # 4. The evaluation's own wall time, telemetry disabled (best block).
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            one()
+        best = min(best, time.perf_counter() - start)
+    seconds_per_call = best / calls
+
+    overhead_percent = (
+        spans_per_evaluate * disabled_span_ns / 1e9 / seconds_per_call * 100.0
+    )
+    return {
+        "method": "montecarlo",
+        "n": 100,
+        "replications": replications,
+        "disabled_span_ns": round(disabled_span_ns, 1),
+        "enabled_span_us": round(enabled_span_us, 2),
+        "spans_per_evaluate": spans_per_evaluate,
+        "evaluate_ms_per_call": round(seconds_per_call * 1e3, 3),
+        "overhead_percent": round(overhead_percent, 5),
+        "overhead_budget_percent": 2.0,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
 WORKLOADS = {
     "single": workload_single,
     "paired": workload_paired,
@@ -473,6 +552,7 @@ WORKLOADS = {
     "sweep1000": workload_sweep1000,
     "service_throughput": workload_service_throughput,
     "dispatch": workload_dispatch,
+    "telemetry_overhead": workload_telemetry_overhead,
 }
 
 
@@ -538,6 +618,19 @@ def check_record(record: dict) -> list[str]:
         (
             "dispatch overhead sane (< 25%)",
             lambda: value("dispatch", "overhead_percent") < 25.0,
+        ),
+        # Disabled telemetry must stay near-free: the computed cost of every
+        # span an evaluation crosses (spans x disabled-path ns) within 2% of
+        # the evaluation itself.  A computed ratio, not an on/off wall-clock
+        # diff, so it is immune to scheduler noise yet catches a disabled
+        # path that grew real work.
+        (
+            "telemetry_overhead disabled-path <= 2% of an evaluation",
+            lambda: value("telemetry_overhead", "overhead_percent") <= 2.0,
+        ),
+        (
+            "telemetry_overhead instrumentation covers the kernel",
+            lambda: value("telemetry_overhead", "spans_per_evaluate") >= 1,
         ),
     ]
     failures = []

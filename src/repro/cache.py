@@ -71,33 +71,42 @@ class ResultCache:
         foreign JSON document) is also treated as a miss, so a damaged cache
         degrades to recomputation rather than crashing the caller.
         """
+        from repro import telemetry
+
         path = self.path_for(digest)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-        if not isinstance(entry, dict) or not isinstance(entry.get("metrics"), dict):
-            return None
-        return entry
+        with telemetry.span("cache.read", digest=digest[:12]) as read_span:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                read_span.set(hit=False)
+                return None
+            if not isinstance(entry, dict) or not isinstance(entry.get("metrics"), dict):
+                read_span.set(hit=False)
+                return None
+            read_span.set(hit=True)
+            return entry
 
     def store(self, digest: str, entry: dict) -> None:
         """Atomically write ``entry`` under ``digest``."""
-        path = self.path_for(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
-            os.replace(temp_name, path)
-        except BaseException:
+        from repro import telemetry
+
+        with telemetry.span("cache.write", digest=digest[:12]):
+            path = self.path_for(digest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+            )
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
 
     def info(self) -> dict:
         """Inspect the cache: entry count, total bytes and resolved path.

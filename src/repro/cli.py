@@ -35,6 +35,9 @@ writing any code:
   (``--cache-dir``);
 * ``cache info`` / ``cache clear`` -- inspect or empty a content-addressed
   result cache directory (shared by ``study run`` and ``serve``);
+* ``trace summarize`` -- render per-span timing tables and per-request
+  breakdowns from a telemetry trace capture (``repro serve --trace-file`` /
+  ``repro study run --trace-file``);
 * ``scenarios`` -- list the built-in scenarios with their descriptions.
 
 The JSON model format is the output of :meth:`repro.core.fault_model.FaultModel.to_dict`::
@@ -225,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
     study_run.add_argument(
         "--quiet", action="store_true", help="suppress the progress line on stderr"
     )
+    study_run.add_argument(
+        "--trace-file",
+        default=None,
+        help=(
+            "capture telemetry spans into this JSONL file (exported to worker "
+            "processes; analyse with 'repro trace summarize')"
+        ),
+    )
 
     study_show = study_subparsers.add_parser(
         "show", help="expand a study spec and print its evaluation plan"
@@ -308,6 +319,23 @@ def build_parser() -> argparse.ArgumentParser:
             "disables the server-wide deadline)"
         ),
     )
+    serve_parser.add_argument(
+        "--trace-file",
+        default=None,
+        help=(
+            "capture telemetry spans into this JSONL file (exported to worker "
+            "processes; analyse with 'repro trace summarize')"
+        ),
+    )
+    serve_parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=None,
+        help=(
+            "log any request slower than this many milliseconds to stderr with "
+            "its trace id (default: no slow-request log)"
+        ),
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear a content-addressed result cache directory"
@@ -333,6 +361,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--yes",
         action="store_true",
         help="confirm the deletion (refused otherwise)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="analyse telemetry trace captures (JSONL span files)"
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_subparsers.add_parser(
+        "summarize",
+        help="per-span timing tables and per-request breakdowns from a trace file",
+    )
+    trace_summarize.add_argument(
+        "file", help="trace JSONL file (from 'repro serve --trace-file' or 'repro study run --trace-file')"
+    )
+    trace_summarize.add_argument(
+        "--top", type=int, default=10, help="slowest requests to list (default 10)"
+    )
+    trace_summarize.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON instead of tables"
     )
 
     subparsers.add_parser(
@@ -524,6 +570,13 @@ def _handle_study(arguments: argparse.Namespace) -> int:
         raise ValueError(f"{problem}; available: {', '.join(TABLE_FORMATS)}")
     cache_dir = None if arguments.cache_dir.lower() == "none" else arguments.cache_dir
 
+    if arguments.trace_file is not None:
+        # Exported to the environment so study worker processes trace into
+        # the same file.
+        from repro import telemetry
+
+        telemetry.configure(arguments.trace_file)
+
     def progress(done: int, total: int, computed: int) -> None:
         if not arguments.quiet:
             print(f"\r{done}/{total} evaluations ({computed} computed)", end="", file=sys.stderr)
@@ -558,7 +611,17 @@ def _handle_serve(arguments: argparse.Namespace) -> int:
             f"--request-timeout-ms must be >= 0 (0 disables the deadline), "
             f"got {arguments.request_timeout_ms:g}"
         )
+    if arguments.slow_request_ms is not None and arguments.slow_request_ms < 0.0:
+        raise ValueError(
+            f"--slow-request-ms must be >= 0, got {arguments.slow_request_ms:g}"
+        )
     cache_dir = None if arguments.cache_dir.lower() == "none" else arguments.cache_dir
+    if arguments.trace_file is not None:
+        # Exported to the environment so pool workers trace into the same
+        # file as the server process.
+        from repro import telemetry
+
+        telemetry.configure(arguments.trace_file)
     server = EvaluationServer(
         workers=arguments.workers,
         batch_window_ms=arguments.batch_window_ms,
@@ -568,6 +631,7 @@ def _handle_serve(arguments: argparse.Namespace) -> int:
         max_inflight=arguments.max_inflight,
         max_queue=arguments.max_queue,
         request_timeout_ms=arguments.request_timeout_ms or None,
+        slow_request_ms=arguments.slow_request_ms,
     )
     try:
         asyncio.run(server.serve_forever(arguments.host, arguments.port))
@@ -611,6 +675,19 @@ def _handle_cache(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _handle_trace(arguments: argparse.Namespace) -> int:
+    from repro.telemetry.summarize import format_summary, summarize_file
+
+    if arguments.top < 1:
+        raise ValueError(f"--top must be >= 1, got {arguments.top}")
+    summary = summarize_file(arguments.file)
+    if arguments.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_summary(summary, top=arguments.top))
+    return 0
+
+
 def _preview(values: Sequence) -> str:
     rendered = [f"{value:.6g}" if isinstance(value, float) else str(value) for value in values]
     if len(rendered) <= 4:
@@ -629,6 +706,7 @@ _HANDLERS = {
     "study": _handle_study,
     "serve": _handle_serve,
     "cache": _handle_cache,
+    "trace": _handle_trace,
 }
 
 

@@ -39,6 +39,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.fault_model import FaultModel
 from repro.montecarlo.results import PairSimulationResult, SimulationResult
 from repro.montecarlo.streaming import StreamingPairResult, StreamingSimulationResult
@@ -307,20 +308,28 @@ class MonteCarloEngine:
 
     def _run(self, shard_fn, merge_fn, replications, generator, versions, bins=None):
         """Execute ``shard_fn`` sequentially or across worker processes."""
-        if self.jobs == 1 or replications < 2 * self.jobs:
-            return shard_fn(self.process, replications, generator, self.chunk_size, versions, bins)
-        shard_sizes = _shard_sizes(replications, self.jobs)
-        shard_rngs = spawn_rngs(generator, len(shard_sizes))
-        chunk = self.chunk_size if self.chunk_size is not None else _DEFAULT_PARALLEL_CHUNK
-        arguments = [
-            (shard_fn, self.process, size, shard_rng, chunk, versions, bins)
-            for size, shard_rng in zip(shard_sizes, shard_rngs)
-        ]
-        from concurrent.futures import ProcessPoolExecutor
+        with telemetry.span(
+            "kernel.montecarlo",
+            replications=replications,
+            versions=versions,
+            jobs=self.jobs,
+        ):
+            if self.jobs == 1 or replications < 2 * self.jobs:
+                return shard_fn(
+                    self.process, replications, generator, self.chunk_size, versions, bins
+                )
+            shard_sizes = _shard_sizes(replications, self.jobs)
+            shard_rngs = spawn_rngs(generator, len(shard_sizes))
+            chunk = self.chunk_size if self.chunk_size is not None else _DEFAULT_PARALLEL_CHUNK
+            arguments = [
+                (shard_fn, self.process, size, shard_rng, chunk, versions, bins)
+                for size, shard_rng in zip(shard_sizes, shard_rngs)
+            ]
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=len(arguments)) as pool:
-            shards = list(pool.map(_run_shard, arguments))
-        return merge_fn(shards)
+            with ProcessPoolExecutor(max_workers=len(arguments)) as pool:
+                shards = list(pool.map(_run_shard, arguments))
+            return merge_fn(shards)
 
 
 #: Chunk size used by parallel workers when the engine has no explicit one;

@@ -42,10 +42,12 @@ points or when throughput matters.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.fault_model import FaultModel
 from repro.stats.rng import ensure_rng
 
@@ -382,6 +384,10 @@ def simulate_scaled_sweep(
             f"(max would be {float(scaled_max.max()):.4f})"
         )
     generator = ensure_rng(rng)
+    # Coarse kernel span, emitted via record() at the end: the sampled
+    # compute dominates from here on and re-indenting the whole kernel
+    # under a ``with`` buys nothing.
+    kernel_started = time.perf_counter()
     envelope = _envelope_scale(p_scales)
     grid = np.unique(p_scales)
     grid_size = int(grid.size)
@@ -460,4 +466,11 @@ def simulate_scaled_sweep(
                 prob_pfd_zero_system=float(1.0 if q_scale == 0.0 else zero_system),
             )
         )
+    telemetry.record(
+        "kernel.mc_sweep",
+        time.perf_counter() - kernel_started,
+        points=len(pairs),
+        replications=replications,
+        versions=versions,
+    )
     return results

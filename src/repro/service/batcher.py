@@ -22,11 +22,14 @@ waiter.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
+from repro import telemetry
 from repro.service import worker
 from repro.service.protocol import ServiceRequest
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["MicroBatcher"]
 
@@ -36,6 +39,12 @@ class _Job:
     request: ServiceRequest
     digest: str
     future: asyncio.Future
+    #: Stamped at submit so the flush can report how long this job sat in
+    #: the open batching window -- the latency the window *added*.
+    submitted: float = 0.0
+    #: The submitting request's trace id (contextvars do not survive into
+    #: the flush task for any job but the window opener's).
+    trace: str | None = None
 
 
 @dataclass
@@ -67,6 +76,10 @@ class MicroBatcher:
         Optional zero-argument callback invoked when a batched group call
         failed and the group was re-dispatched point by point (the
         ``group_fallbacks`` metric).
+    metrics:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry` receiving
+        the ``batch_window_wait_seconds`` histogram (how long each batched
+        job sat in its window before dispatch).
     """
 
     def __init__(
@@ -77,6 +90,7 @@ class MicroBatcher:
         batch: bool = True,
         on_group: Callable[[int, int, bool], None] | None = None,
         on_fallback: Callable[[], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if window_seconds < 0.0:
             raise ValueError(f"window_seconds must be non-negative, got {window_seconds}")
@@ -85,6 +99,7 @@ class MicroBatcher:
         self.batch = batch
         self._on_group = on_group
         self._on_fallback = on_fallback
+        self._metrics = metrics
         self._pending: dict[str, _PendingGroup] = {}
         self._flush_tasks: set[asyncio.Task] = set()
 
@@ -103,7 +118,13 @@ class MicroBatcher:
         if not (self.batch and request.supports_batch):
             return await self._dispatch_single(request, group_size=1)
         loop = asyncio.get_running_loop()
-        job = _Job(request=request, digest=digest, future=loop.create_future())
+        job = _Job(
+            request=request,
+            digest=digest,
+            future=loop.create_future(),
+            submitted=time.perf_counter(),
+            trace=telemetry.current_trace_id(),
+        )
         key = request.group_key()
         group = self._pending.get(key)
         if group is None:
@@ -137,6 +158,7 @@ class MicroBatcher:
         if group.timer is not None:
             group.timer.cancel()
         jobs = group.jobs
+        self._record_window_waits(jobs)
         # Coalesce duplicates (same request digest) into one variation
         # slot, preserving first-seen order -- the batched kernel sees
         # each distinct point once and every waiter gets its result.
@@ -164,9 +186,19 @@ class MicroBatcher:
             self._fan_result(jobs, record, meta)
             return
         try:
-            used_batch, records = await self._run(
-                worker.evaluate_group, jobs[0].request.group_arguments(tuple(variations))
-            )
+            # The flush task inherits the window opener's context (the timer
+            # was scheduled from the first submit), so this span lands in the
+            # first job's trace; every job's own trace still gets its
+            # window-wait event above.
+            with telemetry.span(
+                "batcher.dispatch",
+                group_size=len(jobs),
+                unique=len(variations),
+                method=jobs[0].request.method,
+            ):
+                used_batch, records = await self._run(
+                    worker.evaluate_group, jobs[0].request.group_arguments(tuple(variations))
+                )
             if len(records) != len(variations):
                 raise TypeError(
                     f"group evaluation returned {len(records)} records "
@@ -214,6 +246,27 @@ class MicroBatcher:
         await asyncio.gather(*(serve_slot(slot_jobs) for slot_jobs in by_slot.values()))
         if self._on_group is not None:
             self._on_group(len(jobs), len(by_slot), False)
+
+    def _record_window_waits(self, jobs: list[_Job]) -> None:
+        """Report how long each job sat in the batching window.
+
+        Measured at flush (submit-to-dispatch), attributed to each job's own
+        trace -- the interval cannot wrap a ``with`` block, hence
+        :func:`telemetry.record`.
+        """
+        now = time.perf_counter()
+        tracing = telemetry.enabled()
+        for job in jobs:
+            waited = now - job.submitted
+            if self._metrics is not None:
+                self._metrics.observe("batch_window_wait_seconds", waited)
+            if tracing:
+                telemetry.record(
+                    "batcher.window_wait",
+                    waited,
+                    trace_id=job.trace or telemetry.new_trace_id(),
+                    group_size=len(jobs),
+                )
 
     @staticmethod
     def _fan_result(jobs: list[_Job], record: dict, meta: dict) -> None:

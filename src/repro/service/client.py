@@ -45,6 +45,11 @@ class ServiceError(RuntimeError):
         The human-readable one-line error message.
     retry_after:
         Parsed ``Retry-After`` header in seconds, when the server sent one.
+    trace_id:
+        The server's trace id for the failed request (from the error body or
+        the ``x-repro-trace-id`` response header), so a client-side log line
+        can be correlated with the server's trace capture; ``None`` when the
+        response carried none.  Included in ``str(error)``.
     """
 
     def __init__(
@@ -54,13 +59,18 @@ class ServiceError(RuntimeError):
         *,
         code: str | None = None,
         retry_after: float | None = None,
+        trace_id: str | None = None,
     ) -> None:
-        super().__init__(f"HTTP {status} [{code or 'unknown'}]: {message}")
+        rendered = f"HTTP {status} [{code or 'unknown'}]: {message}"
+        if trace_id:
+            rendered += f" (trace {trace_id})"
+        super().__init__(rendered)
         self.status = status
         self.message = message
         self.detail = message
         self.code = code
         self.retry_after = retry_after
+        self.trace_id = trace_id
 
     @property
     def retryable(self) -> bool:
@@ -170,19 +180,23 @@ class ServiceClient:
                 data = json.loads(raw) if raw else {}
             except json.JSONDecodeError as error:
                 raise ServiceError(
-                    response.status, f"non-JSON response: {error}"
+                    response.status,
+                    f"non-JSON response: {error}",
+                    trace_id=response.getheader("x-repro-trace-id"),
                 ) from error
             if response.status >= 400:
                 if isinstance(data, Mapping):
                     message = data.get("error", raw.decode("utf-8", "replace"))
                     code = data.get("code")
+                    trace_id = data.get("trace_id")
                 else:
-                    message, code = raw.decode("utf-8", "replace"), None
+                    message, code, trace_id = raw.decode("utf-8", "replace"), None, None
                 raise ServiceError(
                     response.status,
                     message,
                     code=code,
                     retry_after=_parse_retry_after(response.getheader("Retry-After")),
+                    trace_id=trace_id or response.getheader("x-repro-trace-id"),
                 )
             return data
         finally:

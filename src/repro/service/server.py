@@ -10,7 +10,8 @@ Endpoint                     Meaning
 ``POST /v1/evaluate/batch``  one ``repro.evaluate_batch`` call, shipped as one job
 ``GET /v1/methods``          the method registry's schemas (``repro methods`` as JSON)
 ``GET /healthz``             liveness: ``{"status": "ok", ...}``
-``GET /metrics``             counters: requests, batched groups, cache hits, ...
+``GET /metrics``             counters, gauges and latency histograms (JSON; the
+                             Prometheus text exposition via ``?format=prom``)
 ===========================  ========================================================
 
 Request handling is fully asynchronous: each connection is a task, each
@@ -27,11 +28,15 @@ message (the same messages the CLI prints), unknown paths 404, wrong verbs
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
+import sys
 import threading
 import time
 from typing import Any
+from urllib.parse import parse_qs
 
+from repro import telemetry
 from repro.api.registry import default_registry
 from repro.cache import ResultCache
 from repro.service.batcher import MicroBatcher
@@ -42,8 +47,48 @@ from repro.service.protocol import (
     parse_timeout_ms,
 )
 from repro.service import worker
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    histogram_summary,
+    merge_snapshots,
+    render_prometheus,
+)
 
 __all__ = ["EvaluationServer", "ServerHandle", "WorkerCrashError", "start_in_background"]
+
+#: Every PR-6 counter, pre-registered so ``/metrics`` always exposes the
+#: full catalogue (at zero) from the first scrape -- the schema test pins
+#: these names; removals are breaking, additions are not.
+_COUNTER_NAMES = (
+    "requests_total",
+    "errors_total",
+    "evaluate_requests",
+    "batch_endpoint_requests",
+    "batch_endpoint_evaluations",
+    "evaluations_computed",
+    "dispatched_groups",
+    "batched_groups",
+    "batched_group_requests",
+    "coalesced_requests",
+    "cache_hits_lru",
+    "cache_hits_disk",
+    "cache_misses",
+    "group_fallbacks",
+    "pool_restarts",
+    "retried_jobs",
+    "poison_jobs",
+    "rejected_saturated",
+    "rejected_draining",
+    "deadline_timeouts",
+)
+
+#: Latency histograms the server always populates (cheap fixed-bucket
+#: observations; the JSON exposition derives p50/p95/p99 from the buckets).
+_HISTOGRAM_NAMES = (
+    "request_seconds",
+    "queue_wait_seconds",
+    "batch_window_wait_seconds",
+)
 
 #: Largest accepted request body.  A 10k-fault inline model is ~0.5 MB of
 #: JSON; 32 MB leaves two orders of magnitude of headroom while bounding a
@@ -100,6 +145,10 @@ class EvaluationServer:
     request_timeout_ms:
         Server-wide default deadline per evaluation request; a request's own
         ``timeout_ms`` overrides it.  ``None`` disables the default.
+    slow_request_ms:
+        When set, any request whose total handling time exceeds this many
+        milliseconds is logged to stderr with its trace id (``repro serve
+        --slow-request-ms``).  ``None`` disables the log.
     """
 
     def __init__(
@@ -113,6 +162,7 @@ class EvaluationServer:
         max_inflight: int = 64,
         max_queue: int = 256,
         request_timeout_ms: float | None = None,
+        slow_request_ms: float | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -126,6 +176,10 @@ class EvaluationServer:
             raise ValueError(
                 f"request_timeout_ms must be positive or None, got {request_timeout_ms}"
             )
+        if slow_request_ms is not None and slow_request_ms < 0.0:
+            raise ValueError(
+                f"slow_request_ms must be non-negative or None, got {slow_request_ms}"
+            )
         self.workers = workers
         self.batch_window_ms = batch_window_ms
         self.batch = batch
@@ -133,6 +187,7 @@ class EvaluationServer:
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.request_timeout_ms = request_timeout_ms
+        self.slow_request_ms = slow_request_ms
         self.cache = ResponseCache(
             max_entries=lru_size,
             disk=ResultCache(cache_dir) if cache_dir is not None else None,
@@ -147,36 +202,25 @@ class EvaluationServer:
         # through several short-lived loops.
         self._slots: asyncio.Semaphore | None = None
         self._slots_loop = None
+        # This server's own instruments, plus an accumulator for the metric
+        # deltas pool workers ship back with their job results.  ``metrics``
+        # is the same registry (counters and gauges read by subscript, the
+        # PR-6 dict interface).
+        self.registry = MetricsRegistry()
+        self.registry.register_counters(_COUNTER_NAMES)
+        self.registry.gauge("max_group_size")
+        for name in _HISTOGRAM_NAMES:
+            self.registry.histogram(name)
+        self.metrics = self.registry
+        self._worker_metrics = MetricsRegistry()
         self.batcher = MicroBatcher(
             self._run_in_pool,
             window_seconds=batch_window_ms / 1000.0,
             batch=batch,
             on_group=self._record_group,
             on_fallback=self._record_fallback,
+            metrics=self.registry,
         )
-        self.metrics: dict[str, Any] = {
-            "requests_total": 0,
-            "errors_total": 0,
-            "evaluate_requests": 0,
-            "batch_endpoint_requests": 0,
-            "batch_endpoint_evaluations": 0,
-            "evaluations_computed": 0,
-            "dispatched_groups": 0,
-            "batched_groups": 0,
-            "batched_group_requests": 0,
-            "coalesced_requests": 0,
-            "max_group_size": 0,
-            "cache_hits_lru": 0,
-            "cache_hits_disk": 0,
-            "cache_misses": 0,
-            "group_fallbacks": 0,
-            "pool_restarts": 0,
-            "retried_jobs": 0,
-            "poison_jobs": 0,
-            "rejected_saturated": 0,
-            "rejected_draining": 0,
-            "deadline_timeouts": 0,
-        }
 
     # ----------------------------------------------------------------- #
     # Executor plumbing
@@ -200,29 +244,36 @@ class EvaluationServer:
         the same pool must count one restart, not one per in-flight job)."""
         if self._executor is executor:
             self._executor = None
-            self.metrics["pool_restarts"] += 1
+            self.registry.inc("pool_restarts")
         executor.shutdown(wait=False, cancel_futures=True)
 
     async def _run_in_pool(self, function, arguments):
         from concurrent.futures import BrokenExecutor
 
+        # Jobs cross the executor as a run_job envelope carrying the trace
+        # id out (contextvars stop at the executor boundary) and, for
+        # process pools, the worker's metrics delta back.
+        job = (function, arguments, telemetry.current_trace_id(), self.workers >= 1)
         loop = asyncio.get_running_loop()
         for attempt in (0, 1):
             executor = self._ensure_executor()
             try:
-                return await loop.run_in_executor(executor, function, arguments)
+                result, delta = await loop.run_in_executor(executor, worker.run_job, job)
+                if delta is not None:
+                    self._worker_metrics.merge(delta)
+                return result
             except BrokenExecutor as error:
                 # A worker process died (BrokenProcessPool) mid-job.  Rebuild
                 # the pool and retry the job once -- results are
                 # deterministic, so a retry is safe and byte-identical.
                 self._discard_executor(executor)
                 if attempt:
-                    self.metrics["poison_jobs"] += 1
+                    self.registry.inc("poison_jobs")
                     raise WorkerCrashError(
                         "evaluation crashed the worker pool twice; "
                         "the request was not retried again"
                     ) from error
-                self.metrics["retried_jobs"] += 1
+                self.registry.inc("retried_jobs")
 
     def _slot_semaphore(self) -> asyncio.Semaphore:
         loop = asyncio.get_running_loop()
@@ -232,53 +283,67 @@ class EvaluationServer:
         return self._slots
 
     def _record_group(self, group_size: int, unique: int, batched: bool) -> None:
-        self.metrics["dispatched_groups"] += 1
-        self.metrics["evaluations_computed"] += unique
-        self.metrics["coalesced_requests"] += group_size - unique
-        self.metrics["max_group_size"] = max(self.metrics["max_group_size"], group_size)
+        self.registry.inc("dispatched_groups")
+        self.registry.inc("evaluations_computed", unique)
+        self.registry.inc("coalesced_requests", group_size - unique)
+        self.registry.set_max("max_group_size", group_size)
         if batched and group_size >= 2:
-            self.metrics["batched_groups"] += 1
-            self.metrics["batched_group_requests"] += group_size
+            self.registry.inc("batched_groups")
+            self.registry.inc("batched_group_requests", group_size)
 
     def _record_fallback(self) -> None:
-        self.metrics["group_fallbacks"] += 1
+        self.registry.inc("group_fallbacks")
 
     # ----------------------------------------------------------------- #
     # Endpoint logic
     # ----------------------------------------------------------------- #
+    async def _in_io_thread(self, function, *arguments):
+        """Run blocking cache I/O on the default thread executor.
+
+        The call runs under a copy of the caller's context, so cache-tier
+        spans emitted inside keep the request's trace id (plain
+        ``run_in_executor`` drops contextvars at the thread boundary).
+        """
+        loop = asyncio.get_running_loop()
+        context = contextvars.copy_context()
+        return await loop.run_in_executor(None, lambda: context.run(function, *arguments))
+
     async def _serve_evaluate(self, payload) -> dict:
         request = parse_evaluate_payload(payload)
-        self.metrics["evaluate_requests"] += 1
+        self.registry.inc("evaluate_requests")
         digest = request.digest()
-        record = self.cache.get_local(digest)
-        if record is not None:
-            self.metrics["cache_hits_lru"] += 1
-            return {"result": record, "served": {"cached": "lru", "batched": False, "group_size": 0}}
-        # Disk-tier file I/O runs on the default thread executor: the event
-        # loop (accept loop, /healthz, in-flight responses) must never wait
-        # on a slow disk.
-        loop = asyncio.get_running_loop()
-        metrics = None
-        if self.cache.disk is not None:
-            metrics = await loop.run_in_executor(None, self.cache.get_disk, digest)
-        if metrics is not None:
-            self.metrics["cache_hits_disk"] += 1
-            record = request.result_record(metrics)
-            self.cache.put_local(digest, record)
-            return {"result": record, "served": {"cached": "disk", "batched": False, "group_size": 0}}
-        self.metrics["cache_misses"] += 1
+        with telemetry.span("server.cache_probe") as probe:
+            record = self.cache.get_local(digest)
+            if record is not None:
+                probe.set(tier="lru")
+                self.registry.inc("cache_hits_lru")
+                return {"result": record, "served": {"cached": "lru", "batched": False, "group_size": 0}}
+            # Disk-tier file I/O runs on the default thread executor: the
+            # event loop (accept loop, /healthz, in-flight responses) must
+            # never wait on a slow disk.
+            metrics = None
+            if self.cache.disk is not None:
+                metrics = await self._in_io_thread(self.cache.get_disk, digest)
+            if metrics is not None:
+                probe.set(tier="disk")
+                self.registry.inc("cache_hits_disk")
+                record = request.result_record(metrics)
+                self.cache.put_local(digest, record)
+                return {"result": record, "served": {"cached": "disk", "batched": False, "group_size": 0}}
+            probe.set(tier="miss")
+        self.registry.inc("cache_misses")
         record, meta = await self.batcher.submit(request, digest)
         self.cache.put_local(digest, record)
         if self.cache.disk is not None:
-            await loop.run_in_executor(
-                None, self.cache.store_disk, digest, record, request.payload()
+            await self._in_io_thread(
+                self.cache.store_disk, digest, record, request.payload()
             )
         return {"result": record, "served": {"cached": None, **meta}}
 
     async def _serve_batch(self, payload) -> dict:
         model_data, requests, seed = parse_batch_payload(payload)
-        self.metrics["batch_endpoint_requests"] += 1
-        self.metrics["batch_endpoint_evaluations"] += len(requests)
+        self.registry.inc("batch_endpoint_requests")
+        self.registry.inc("batch_endpoint_evaluations", len(requests))
         records = await self._run_in_pool(
             worker.evaluate_batch_endpoint, (model_data, requests, seed)
         )
@@ -287,26 +352,53 @@ class EvaluationServer:
     def _serve_methods(self) -> dict:
         return {"methods": [definition.schema() for definition in default_registry()]}
 
-    def _serve_metrics(self) -> dict:
-        snapshot = dict(self.metrics)
-        snapshot.update(
-            {
-                "uptime_seconds": round(time.time() - self._started, 3),
-                "pending_requests": self.batcher.pending_requests,
-                "running_requests": self._running,
-                "queued_requests": self._queued,
-                "draining": self._draining,
-                "lru_entries": len(self.cache),
-                "batch_enabled": self.batch,
-                "batch_window_ms": self.batch_window_ms,
-                "workers": self.workers,
-                "max_inflight": self.max_inflight,
-                "max_queue": self.max_queue,
-                "request_timeout_ms": self.request_timeout_ms,
-                "cache_dir": self.cache_dir,
-            }
+    def _metrics_snapshot(self) -> dict:
+        """One consistent registry cut, merged with worker-side observations.
+
+        Operational gauges (queue depth, inflight, LRU size, ...) are set
+        into the registry synchronously on the event loop and then *every*
+        value is read in a single locked pass -- no counter in one response
+        can be newer than a gauge next to it.  Worker metrics arrive from
+        two places with disjoint instrument names: the process-global
+        registry (thread-mode kernels and cache tiers run in this process)
+        and the accumulated deltas pool workers shipped back.
+        """
+        self.registry.set_gauge("uptime_seconds", round(time.time() - self._started, 3))
+        self.registry.set_gauge("pending_requests", self.batcher.pending_requests)
+        self.registry.set_gauge("running_requests", self._running)
+        self.registry.set_gauge("queued_requests", self._queued)
+        self.registry.set_gauge("draining", self._draining)
+        self.registry.set_gauge("lru_entries", len(self.cache))
+        self.registry.set_gauge("batch_enabled", self.batch)
+        self.registry.set_gauge("batch_window_ms", self.batch_window_ms)
+        self.registry.set_gauge("workers", self.workers)
+        self.registry.set_gauge("max_inflight", self.max_inflight)
+        self.registry.set_gauge("max_queue", self.max_queue)
+        self.registry.set_gauge("request_timeout_ms", self.request_timeout_ms)
+        self.registry.set_gauge("cache_dir", self.cache_dir)
+        return merge_snapshots(
+            self.registry.snapshot(),
+            telemetry.global_registry().snapshot(),
+            self._worker_metrics.snapshot(),
         )
-        return snapshot
+
+    def _serve_metrics(self) -> dict:
+        """The ``/metrics`` JSON body: the PR-6 flat schema plus histograms.
+
+        Counters and gauges stay flat top-level keys (a strict superset of
+        the old hand-rolled dict); histograms are additive under one new
+        ``"histograms"`` key, each with derived p50/p95/p99.
+        """
+        snapshot = self._metrics_snapshot()
+        body: dict[str, Any] = {**snapshot["counters"], **snapshot["gauges"]}
+        body["histograms"] = {
+            name: histogram_summary(data) for name, data in snapshot["histograms"].items()
+        }
+        return body
+
+    def _serve_metrics_prometheus(self) -> str:
+        """The ``/metrics?format=prom`` text body (Prometheus exposition)."""
+        return render_prometheus(self._metrics_snapshot())
 
     # ----------------------------------------------------------------- #
     # Admission control and deadlines
@@ -323,7 +415,7 @@ class EvaluationServer:
         """
         if self._draining:
             coroutine.close()
-            self.metrics["rejected_draining"] += 1
+            self.registry.inc("rejected_draining")
             return (
                 503,
                 {"error": "server is draining before shutdown", "code": "draining"},
@@ -331,7 +423,7 @@ class EvaluationServer:
             )
         if self._queued >= self.max_queue and self._running >= self.max_inflight:
             coroutine.close()
-            self.metrics["rejected_saturated"] += 1
+            self.registry.inc("rejected_saturated")
             return (
                 429,
                 {
@@ -349,7 +441,7 @@ class EvaluationServer:
         try:
             payload = await asyncio.wait_for(self._with_slot(coroutine), timeout)
         except asyncio.TimeoutError:
-            self.metrics["deadline_timeouts"] += 1
+            self.registry.inc("deadline_timeouts")
             return (
                 504,
                 {
@@ -363,10 +455,14 @@ class EvaluationServer:
     async def _with_slot(self, coroutine):
         semaphore = self._slot_semaphore()
         self._queued += 1
+        waited_from = time.perf_counter()
         try:
             await semaphore.acquire()
         finally:
             self._queued -= 1
+        waited = time.perf_counter() - waited_from
+        self.registry.observe("queue_wait_seconds", waited)
+        telemetry.record("server.queue_wait", waited)
         self._running += 1
         try:
             return await coroutine
@@ -374,7 +470,9 @@ class EvaluationServer:
             self._running -= 1
             semaphore.release()
 
-    async def _route(self, verb: str, path: str, body: bytes) -> tuple[int, dict, dict]:
+    async def _route(
+        self, verb: str, path: str, body: bytes, query: str = ""
+    ) -> tuple[int, dict | str, dict]:
         routes = {
             "/healthz": "GET",
             "/metrics": "GET",
@@ -399,6 +497,18 @@ class EvaluationServer:
                     "uptime_seconds": round(time.time() - self._started, 3),
                 }, {}
             if path == "/metrics":
+                wanted = parse_qs(query).get("format", ["json"])[-1]
+                if wanted == "prom":
+                    return 200, self._serve_metrics_prometheus(), {}
+                if wanted != "json":
+                    return (
+                        400,
+                        {
+                            "error": f"unknown metrics format {wanted!r}; use 'json' or 'prom'",
+                            "code": "bad_request",
+                        },
+                        {},
+                    )
                 return 200, self._serve_metrics(), {}
             if path == "/v1/methods":
                 return 200, self._serve_methods(), {}
@@ -476,11 +586,41 @@ class EvaluationServer:
                     headers.get("connection", "").lower() == "close"
                     or version.upper() == "HTTP/1.0"
                 )
-                self.metrics["requests_total"] += 1
-                path = target.split("?", 1)[0]
-                status, payload, extra_headers = await self._route(verb.upper(), path, body)
+                self.registry.inc("requests_total")
+                path, _, query = target.partition("?")
+                # Every request gets a trace id -- the client's own when it
+                # sent one (x-repro-trace-id), so multi-hop callers
+                # correlate; echoed on the response either way.
+                trace_id = headers.get("x-repro-trace-id") or telemetry.new_trace_id()
+                trace_token = telemetry.set_trace_id(trace_id)
+                handled_from = time.perf_counter()
+                try:
+                    with telemetry.span(
+                        "server.request", trace_id=trace_id, path=path, verb=verb.upper()
+                    ) as request_span:
+                        status, payload, extra_headers = await self._route(
+                            verb.upper(), path, body, query
+                        )
+                        request_span.set(status=status)
+                finally:
+                    trace_token.var.reset(trace_token)
+                elapsed = time.perf_counter() - handled_from
+                self.registry.observe("request_seconds", elapsed)
+                if (
+                    self.slow_request_ms is not None
+                    and elapsed * 1000.0 > self.slow_request_ms
+                ):
+                    print(
+                        f"slow request: {verb.upper()} {path} -> {status} "
+                        f"in {elapsed * 1000.0:.1f} ms (trace {trace_id})",
+                        file=sys.stderr,
+                        flush=True,
+                    )
                 if status >= 400:
-                    self.metrics["errors_total"] += 1
+                    self.registry.inc("errors_total")
+                    if isinstance(payload, dict) and "error" in payload:
+                        payload.setdefault("trace_id", trace_id)
+                extra_headers = {**(extra_headers or {}), "x-repro-trace-id": trace_id}
                 await self._respond(writer, status, payload, close, extra_headers)
                 if close:
                     break
@@ -497,17 +637,24 @@ class EvaluationServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | str,
         close: bool,
         extra_headers: dict | None = None,
     ) -> None:
-        data = (json.dumps(payload) + "\n").encode("utf-8")
+        # A str payload is pre-rendered text (the Prometheus exposition);
+        # everything else is JSON.
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = (json.dumps(payload) + "\n").encode("utf-8")
+            content_type = "application/json"
         extras = "".join(
             f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
         )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"{extras}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"

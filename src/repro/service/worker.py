@@ -25,14 +25,47 @@ import time
 
 import numpy as np
 
-from repro import faults
+from repro import faults, telemetry
 from repro.api.evaluate import evaluate as api_evaluate
 from repro.api.evaluate import evaluate_batch as api_evaluate_batch
 from repro.api.registry import BatchUnsupported, default_registry
 from repro.api.results import EvaluationResult
 from repro.core.fault_model import FaultModel
+from repro.telemetry.metrics import subtract_snapshots
 
-__all__ = ["evaluate_batch_endpoint", "evaluate_group", "evaluate_single"]
+__all__ = ["evaluate_batch_endpoint", "evaluate_group", "evaluate_single", "run_job"]
+
+
+def run_job(arguments: tuple) -> tuple:
+    """Run one pool job under telemetry; the server's executor entry point.
+
+    ``arguments`` is ``(function, function_arguments, trace_id, collect)``.
+    The wrapper exists because neither trace context nor metrics cross the
+    executor boundary on their own (``run_in_executor`` does not propagate
+    contextvars, and a pool worker's registry lives in another process):
+
+    * the request's trace id rides in explicitly and scopes a
+      ``worker.kernel`` span, so worker-side events land in the right trace;
+    * with ``collect`` (process pools), the delta of this process's global
+      metrics registry across the job rides back with the result, for the
+      server to merge -- in thread mode the observations are already in the
+      server process's registry and ``None`` comes back instead.
+
+    Returns ``(result, metrics_delta_or_None)``.  Everything in the job
+    tuple is picklable (module-level function + plain data), so the same
+    wrapper serves thread and process executors.
+    """
+    function, function_arguments, trace_id, collect = arguments
+    registry = telemetry.global_registry()
+    before = registry.snapshot() if collect else None
+    start = time.perf_counter()
+    try:
+        with telemetry.span("worker.kernel", trace_id=trace_id, job=function.__name__):
+            result = function(function_arguments)
+    finally:
+        registry.observe("kernel_seconds", time.perf_counter() - start)
+    delta = subtract_snapshots(registry.snapshot(), before) if collect else None
+    return result, delta
 
 
 def evaluate_single(arguments: tuple) -> dict:

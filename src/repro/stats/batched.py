@@ -38,6 +38,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
+
 from repro.stats.discrete import DiscreteDistribution
 
 __all__ = ["BatchedPMF", "batched_scaled_pfd", "batched_two_point_pmf"]
@@ -291,13 +293,18 @@ def batched_two_point_pmf(
     order = np.argsort(values, kind="stable")[::-1]
     values = values[order]
     probabilities = probabilities[:, order]
-    support, weights, consumed = _exact_phase(values, probabilities, max_support)
-    if consumed < values.size:
-        support, weights = _lattice_phase(
-            support, weights, values[consumed:], probabilities[:, consumed:], max_support
-        )
-    totals = weights.sum(axis=1, keepdims=True)
-    return support, weights / totals
+    with telemetry.span(
+        "kernel.batched_pmf",
+        points=int(probabilities.shape[0]),
+        faults=int(values.size),
+    ):
+        support, weights, consumed = _exact_phase(values, probabilities, max_support)
+        if consumed < values.size:
+            support, weights = _lattice_phase(
+                support, weights, values[consumed:], probabilities[:, consumed:], max_support
+            )
+        totals = weights.sum(axis=1, keepdims=True)
+        return support, weights / totals
 
 
 def batched_scaled_pfd(

@@ -32,9 +32,11 @@ re-run recomputes nothing and reproduces the table byte for byte.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.api.registry import default_registry
 from repro.cache import ResultCache, payload_digest
 from repro.grouping import evaluation_payload, group_digest
@@ -142,7 +144,11 @@ def _evaluate_planned(arguments: tuple) -> tuple[str, Any]:
     """
     base, consumed_params, method, seed_entropy = arguments
     try:
-        return ("ok", evaluate_study_point(base, dict(consumed_params), method, seed_entropy))
+        with telemetry.span("study.point", method=method.name):
+            return (
+                "ok",
+                evaluate_study_point(base, dict(consumed_params), method, seed_entropy),
+            )
     except Exception as error:  # noqa: BLE001 - reported with point context by run_study
         return ("error", f"{type(error).__name__}: {error}")
 
@@ -157,15 +163,21 @@ def _evaluate_group(arguments: tuple) -> list[tuple[str, Any]]:
     """
     base, shared_params, method, variations, group_entropy, point_entropies, wanted = arguments
     try:
-        return evaluate_study_group(
-            base,
-            dict(shared_params),
-            method,
-            variations,
-            group_entropy,
-            point_entropies,
-            wanted=wanted,
-        )
+        with telemetry.span(
+            "study.group",
+            method=method.name,
+            group_size=len(variations),
+            wanted=len(wanted),
+        ):
+            return evaluate_study_group(
+                base,
+                dict(shared_params),
+                method,
+                variations,
+                group_entropy,
+                point_entropies,
+                wanted=wanted,
+            )
     except Exception as error:  # noqa: BLE001 - reported with point context by run_study
         return [(
             "error", f"{type(error).__name__}: {error}"
@@ -342,7 +354,8 @@ def run_study(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be a positive integer, got {jobs}")
-    planned = plan_study(spec)
+    with telemetry.span("study.plan", study=spec.name):
+        planned = plan_study(spec)
     distinct = len({entry.digest for entry in planned})
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     metrics_by_digest: dict[str, dict[str, Any]] = {}
@@ -352,6 +365,7 @@ def run_study(
     # Points whose ignored axes differ share a digest; evaluate each
     # distinct digest once and fan the metrics out to every point using it.
     pending: dict[str, int] = {}
+    probe_started = time.perf_counter()
     for index, entry in enumerate(planned):
         if entry.digest in metrics_by_digest or entry.digest in pending:
             continue
@@ -364,6 +378,13 @@ def run_study(
                 progress(resolved, distinct, 0)
         else:
             pending[entry.digest] = index
+    telemetry.record(
+        "study.cache_probe",
+        time.perf_counter() - probe_started,
+        points=len(planned),
+        hits=cached_count,
+        misses=len(pending),
+    )
 
     # Worker processes beyond the machine's cores only add scheduling and
     # fork overhead (results are identical for any ``jobs`` by
@@ -402,6 +423,7 @@ def run_study(
                 yield from zip(pending.items(), results)
 
         executor = None
+        dispatch_started = time.perf_counter()
         # On a single-core machine (or with one task) the run stays
         # in-process.
         workers = min(effective_jobs, tasks)
@@ -434,6 +456,13 @@ def run_study(
         finally:
             if executor is not None:
                 executor.shutdown()
+            telemetry.record(
+                "study.dispatch",
+                time.perf_counter() - dispatch_started,
+                tasks=tasks,
+                workers=workers,
+                batch=groups is not None,
+            )
         if failures and not keep_going:
             _, index, message = failures[0]
             entry = planned[index]
@@ -473,8 +502,11 @@ def run_study(
         "axes": axis_sizes,
         "cache_dir": cache_dir,
     }
-    rows = tuple(
-        _assemble_row(entry, metrics_by_digest.get(entry.digest) or errors_by_digest[entry.digest])
-        for entry in planned
-    )
-    return StudyResult(name=spec.name, records=rows, summary=summary)
+    with telemetry.span("study.aggregate", study=spec.name, points=len(planned)):
+        rows = tuple(
+            _assemble_row(
+                entry, metrics_by_digest.get(entry.digest) or errors_by_digest[entry.digest]
+            )
+            for entry in planned
+        )
+        return StudyResult(name=spec.name, records=rows, summary=summary)

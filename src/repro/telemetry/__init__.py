@@ -1,0 +1,88 @@
+"""Observability for the reproduction: metrics, tracing spans, summaries.
+
+Two independent facilities with one design contract -- **deterministic-safe
+and near-free when idle**:
+
+* :mod:`repro.telemetry.metrics` -- typed counters, gauges and fixed-bucket
+  latency histograms in a lock-consistent :class:`MetricsRegistry`;
+  snapshots merge across processes, so pool workers ship their kernel
+  timings back with their job results.
+* :mod:`repro.telemetry.tracing` -- named spans emitting JSONL trace
+  events with propagated trace ids; one ``None`` check when disabled
+  (the :func:`repro.faults.hit` idiom), armed via
+  ``configure(trace_file=...)`` or the ``REPRO_TRACE_FILE`` env var that
+  :func:`configure` exports to spawned worker pools.
+
+Neither facility ever touches a seeded RNG stream or a result payload:
+with telemetry on or off, every evaluation produces byte-identical results
+and cache digests (pinned in ``tests/telemetry/test_determinism.py``).
+
+Besides per-server registries (each :class:`~repro.service.server.EvaluationServer`
+owns one), the module keeps a **process-global registry** for code that has
+no registry in scope -- kernel spans, cache tiers, the study runner.  In a
+pool worker, deltas of this registry are what travel back to the parent.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    histogram_quantile,
+    histogram_summary,
+    merge_snapshots,
+    parse_prometheus,
+    render_prometheus,
+    subtract_snapshots,
+)
+from repro.telemetry.tracing import (
+    Span,
+    configure,
+    current_trace_id,
+    disable,
+    enabled,
+    new_trace_id,
+    record,
+    set_trace_id,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Span",
+    "configure",
+    "current_trace_id",
+    "disable",
+    "enabled",
+    "global_registry",
+    "histogram_quantile",
+    "histogram_summary",
+    "merge_snapshots",
+    "new_trace_id",
+    "parse_prometheus",
+    "record",
+    "render_prometheus",
+    "reset_global_registry",
+    "set_trace_id",
+    "span",
+    "subtract_snapshots",
+]
+
+_global_registry = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-global registry (kernel, cache and study instrumentation).
+
+    In the server process its snapshot is merged into ``/metrics``; in a
+    pool worker, per-job deltas of it are shipped back with job results.
+    """
+    return _global_registry
+
+
+def reset_global_registry() -> MetricsRegistry:
+    """Replace the process-global registry with a fresh one (tests only)."""
+    global _global_registry
+    _global_registry = MetricsRegistry()
+    return _global_registry

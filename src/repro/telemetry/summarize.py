@@ -1,0 +1,187 @@
+"""Offline trace analysis: turn a JSONL trace capture into timing breakdowns.
+
+Reads the event stream written by :mod:`repro.telemetry.tracing` (from
+``repro serve --trace-file`` or ``repro study run --trace-file``) and
+renders two views:
+
+* a **per-span-name table** -- count, total, mean, p50/p95/p99 and max
+  duration for every span name in the capture (exact percentiles: the
+  raw durations are all on disk, no bucketing needed offline);
+* a **per-request breakdown** -- for each trace that contains a root
+  ``server.request`` span, where its wall-clock went: queue wait,
+  batch-window wait, worker kernel time, cache probes and writes.
+
+Everything here is read-only analysis over plain dicts, shared by the
+``repro trace summarize`` CLI and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+from typing import Any, Iterable, Mapping
+
+__all__ = ["format_summary", "load_events", "summarize_events", "summarize_file"]
+
+#: Span names folded into the per-request breakdown columns.  Each column
+#: sums every matching span within the request's trace.
+_REQUEST_COMPONENTS = {
+    "queue_wait_ms": ("server.queue_wait",),
+    "window_wait_ms": ("batcher.window_wait",),
+    "kernel_ms": ("worker.kernel",),
+    "cache_ms": ("server.cache_probe", "cache.read", "cache.write"),
+}
+
+
+def load_events(path: str | os.PathLike) -> list[dict]:
+    """Parse a JSONL trace file, skipping blank or malformed lines.
+
+    Malformed lines are tolerated (a torn multi-process write loses one
+    event, not the analysis) but counted: the returned list's events are
+    valid dicts only.
+    """
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict) and "name" in event and "dur_ms" in event:
+                events.append(event)
+    return events
+
+
+def _percentile(durations: list[float], quantile: float) -> float:
+    """Exact percentile by linear interpolation over sorted raw durations."""
+    if len(durations) == 1:
+        return durations[0]
+    position = quantile * (len(durations) - 1)
+    lower = int(position)
+    fraction = position - lower
+    if lower + 1 >= len(durations):
+        return durations[-1]
+    return durations[lower] + (durations[lower + 1] - durations[lower]) * fraction
+
+
+def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict:
+    """Aggregate parsed trace events into span tables and request breakdowns."""
+    events = list(events)
+    by_name: dict[str, list[float]] = defaultdict(list)
+    by_trace: dict[str, list[Mapping[str, Any]]] = defaultdict(list)
+    for event in events:
+        by_name[str(event["name"])].append(float(event["dur_ms"]))
+        trace = event.get("trace")
+        if trace:
+            by_trace[str(trace)].append(event)
+
+    spans = {}
+    for name, durations in sorted(by_name.items()):
+        durations.sort()
+        total = sum(durations)
+        spans[name] = {
+            "count": len(durations),
+            "total_ms": total,
+            "mean_ms": total / len(durations),
+            "p50_ms": _percentile(durations, 0.50),
+            "p95_ms": _percentile(durations, 0.95),
+            "p99_ms": _percentile(durations, 0.99),
+            "max_ms": durations[-1],
+        }
+
+    requests = []
+    for trace, trace_events in by_trace.items():
+        roots = [event for event in trace_events if event["name"] == "server.request"]
+        if not roots:
+            continue
+        root = roots[0]
+        attrs = root.get("attrs") or {}
+        breakdown: dict[str, Any] = {
+            "trace": trace,
+            "dur_ms": float(root["dur_ms"]),
+            "path": attrs.get("path"),
+            "status": attrs.get("status"),
+        }
+        for column, names in _REQUEST_COMPONENTS.items():
+            breakdown[column] = sum(
+                float(event["dur_ms"]) for event in trace_events if event["name"] in names
+            )
+        requests.append(breakdown)
+    requests.sort(key=lambda entry: entry["dur_ms"], reverse=True)
+
+    return {
+        "events": len(events),
+        "traces": len(by_trace),
+        "spans": spans,
+        "requests": requests,
+    }
+
+
+def summarize_file(path: str | os.PathLike) -> dict:
+    return summarize_events(load_events(path))
+
+
+def _row(columns: Iterable[Any], widths: Iterable[int]) -> str:
+    cells = []
+    for value, width in zip(columns, widths):
+        text = f"{value:.3f}" if isinstance(value, float) else str(value)
+        cells.append(text.rjust(width) if isinstance(value, (int, float)) else text.ljust(width))
+    return "  ".join(cells).rstrip()
+
+
+def format_summary(summary: Mapping[str, Any], *, top: int = 10) -> str:
+    """Render a summary as the ``repro trace summarize`` report text."""
+    lines = [f"events: {summary['events']}    traces: {summary['traces']}", ""]
+    spans = summary["spans"]
+    if spans:
+        header = ("span", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+        name_width = max(len(header[0]), *(len(name) for name in spans))
+        widths = (name_width, 7, 10, 9, 9, 9, 9, 9)
+        lines.append(_row(header, widths))
+        for name, stats in spans.items():
+            lines.append(
+                _row(
+                    (
+                        name,
+                        stats["count"],
+                        stats["total_ms"],
+                        stats["mean_ms"],
+                        stats["p50_ms"],
+                        stats["p95_ms"],
+                        stats["p99_ms"],
+                        stats["max_ms"],
+                    ),
+                    widths,
+                )
+            )
+    requests = summary["requests"]
+    if requests:
+        lines.append("")
+        lines.append(f"slowest requests (top {min(top, len(requests))} of {len(requests)}):")
+        header = (
+            "trace", "dur_ms", "queue_wait_ms", "window_wait_ms", "kernel_ms",
+            "cache_ms", "status", "path",
+        )
+        widths = (16, 9, 13, 14, 9, 9, 6, 24)
+        lines.append(_row(header, widths))
+        for entry in requests[:top]:
+            lines.append(
+                _row(
+                    (
+                        entry["trace"],
+                        entry["dur_ms"],
+                        entry["queue_wait_ms"],
+                        entry["window_wait_ms"],
+                        entry["kernel_ms"],
+                        entry["cache_ms"],
+                        "" if entry["status"] is None else entry["status"],
+                        entry["path"] or "",
+                    ),
+                    widths,
+                )
+            )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""The overhead contract: telemetry must never change a computed result.
+
+With tracing armed and metrics recording, every evaluation must produce
+byte-identical canonical JSON and the exact same content-addressed cache
+digests as with telemetry fully disabled.  Instrumentation that consumed a
+seeded RNG draw, reordered work, or leaked into a payload would show up
+here as a digest mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.api import evaluate, evaluate_sweep
+from repro.cache import canonical_json
+from repro.experiments.scenarios import many_small_faults_scenario
+from repro.studies import StudySpec, run_study
+from repro.telemetry import tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    tracing.disable()
+    telemetry.reset_global_registry()
+    yield
+    tracing.disable()
+    telemetry.reset_global_registry()
+
+
+def _stable_bytes(result) -> str:
+    payload = {
+        key: value
+        for key, value in result.to_dict().items()
+        if key != "elapsed_seconds"
+    }
+    return canonical_json(payload)
+
+
+def _study_spec() -> StudySpec:
+    return StudySpec.from_dict(
+        {
+            "name": "determinism-probe",
+            "base": {"scenario": "many-small-faults"},
+            "sweep": {"grid": [{"name": "p_scale", "values": [0.5, 1.0]}]},
+            "methods": [
+                {"name": "moments"},
+                {"name": "montecarlo", "replications": 2000},
+            ],
+            "seed": 321,
+        }
+    )
+
+
+class TestResultBytes:
+    def test_seeded_montecarlo_bytes_identical_with_tracing_on(self):
+        model = many_small_faults_scenario(n=50)
+        baseline = _stable_bytes(evaluate(model, "montecarlo", seed=7, replications=3000))
+
+        events: list[dict] = []
+        tracing.configure(sink=events.append)
+        traced = _stable_bytes(evaluate(model, "montecarlo", seed=7, replications=3000))
+        assert traced == baseline
+        assert events, "tracing was armed but the kernel emitted no spans"
+
+    def test_sweep_bytes_identical_with_tracing_on(self):
+        model = many_small_faults_scenario(n=50)
+        variations = [{"p_scale": scale} for scale in (0.25, 1.0)]
+        baseline = [
+            _stable_bytes(result)
+            for result in evaluate_sweep(model, "montecarlo", variations, seed=9, replications=2000)
+        ]
+        tracing.configure(sink=lambda event: None)
+        traced = [
+            _stable_bytes(result)
+            for result in evaluate_sweep(model, "montecarlo", variations, seed=9, replications=2000)
+        ]
+        assert traced == baseline
+
+    def test_metrics_recording_does_not_perturb_exact_results(self):
+        model = many_small_faults_scenario(n=50)
+        baseline = _stable_bytes(evaluate(model, "exact", max_support=512))
+        registry = telemetry.reset_global_registry()
+        registry.observe("kernel_seconds", 0.001)
+        with_metrics = _stable_bytes(evaluate(model, "exact", max_support=512))
+        assert with_metrics == baseline
+
+
+class TestCacheDigests:
+    def test_study_cache_digests_identical_with_tracing_on(self, tmp_path):
+        """Same spec, traced and untraced: same records, same digest set."""
+        plain = run_study(_study_spec(), cache_dir=tmp_path / "plain", jobs=1)
+
+        tracing.configure(tmp_path / "study.trace.jsonl", export_env=False)
+        traced = run_study(_study_spec(), cache_dir=tmp_path / "traced", jobs=1)
+        tracing.disable()
+
+        assert traced.records == plain.records
+        digests = lambda root: sorted(p.name for p in root.rglob("*.json"))
+        assert digests(tmp_path / "traced") == digests(tmp_path / "plain")
+
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "study.trace.jsonl").read_text().splitlines()
+        ]
+        names = {event["name"] for event in events}
+        # Parent-process spans are always captured; point/group spans may run
+        # in pool workers, which only trace when the env var is exported.
+        assert {"study.plan", "study.cache_probe", "study.dispatch", "study.aggregate"} <= names

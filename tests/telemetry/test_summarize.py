@@ -1,0 +1,130 @@
+"""Trace summarizer: span tables, per-request breakdowns, report rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.summarize import (
+    format_summary,
+    load_events,
+    summarize_events,
+    summarize_file,
+)
+
+
+def _event(name, trace, dur_ms, attrs=None, **overrides):
+    event = {
+        "ts": 1.0,
+        "name": name,
+        "trace": trace,
+        "span": f"span-{name}-{dur_ms}",
+        "parent": None,
+        "dur_ms": dur_ms,
+        "pid": 1,
+        "attrs": attrs or {},
+    }
+    event.update(overrides)
+    return event
+
+
+def _request_events(trace, total, queue, window, kernel, cache, path="/v1/evaluate"):
+    return [
+        _event("server.queue_wait", trace, queue),
+        _event("batcher.window_wait", trace, window),
+        _event("worker.kernel", trace, kernel),
+        _event("cache.write", trace, cache),
+        _event("server.request", trace, total, attrs={"path": path, "status": 200}),
+    ]
+
+
+class TestSummarize:
+    def test_span_table_has_exact_percentiles(self):
+        events = [_event("kernel.montecarlo", f"t{i}", float(i + 1)) for i in range(100)]
+        summary = summarize_events(events)
+        stats = summary["spans"]["kernel.montecarlo"]
+        assert stats["count"] == 100
+        assert stats["mean_ms"] == pytest.approx(50.5)
+        assert stats["p50_ms"] == pytest.approx(50.5)
+        assert stats["p95_ms"] == pytest.approx(95.05)
+        assert stats["p99_ms"] == pytest.approx(99.01)
+        assert stats["max_ms"] == 100.0
+
+    def test_request_breakdown_reports_waits_and_kernel_time(self):
+        events = _request_events("aaa", 20.0, queue=2.0, window=5.0, kernel=10.0, cache=1.0)
+        summary = summarize_events(events)
+        [request] = summary["requests"]
+        assert request["trace"] == "aaa"
+        assert request["dur_ms"] == 20.0
+        assert request["queue_wait_ms"] == 2.0
+        assert request["window_wait_ms"] == 5.0
+        assert request["kernel_ms"] == 10.0
+        assert request["cache_ms"] == 1.0
+        assert request["path"] == "/v1/evaluate"
+        assert request["status"] == 200
+
+    def test_requests_sort_slowest_first_and_ignore_rootless_traces(self):
+        events = (
+            _request_events("fast", 5.0, queue=0.0, window=1.0, kernel=3.0, cache=0.0)
+            + _request_events("slow", 50.0, queue=4.0, window=9.0, kernel=30.0, cache=2.0)
+            + [_event("study.point", "rootless", 8.0)]
+        )
+        summary = summarize_events(events)
+        assert [request["trace"] for request in summary["requests"]] == ["slow", "fast"]
+        assert summary["traces"] == 3
+        assert summary["events"] == len(events)
+
+    def test_component_spans_within_a_trace_accumulate(self):
+        events = [
+            _event("cache.read", "t", 1.0),
+            _event("cache.write", "t", 2.0),
+            _event("server.cache_probe", "t", 3.0),
+            _event("server.request", "t", 10.0, attrs={"path": "/x", "status": 200}),
+        ]
+        [request] = summarize_events(events)["requests"]
+        assert request["cache_ms"] == 6.0
+
+
+class TestLoadEvents:
+    def test_malformed_and_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = _event("server.request", "t", 4.0, attrs={"path": "/x", "status": 200})
+        path.write_text(
+            json.dumps(good) + "\n"
+            + "{torn write\n"
+            + "\n"
+            + json.dumps({"no": "name"}) + "\n"
+            + json.dumps(_event("worker.kernel", "t", 2.0)) + "\n"
+        )
+        events = load_events(path)
+        assert [event["name"] for event in events] == ["server.request", "worker.kernel"]
+        summary = summarize_file(path)
+        assert summary["events"] == 2
+        assert summary["requests"][0]["kernel_ms"] == 2.0
+
+
+class TestFormatSummary:
+    def test_report_lists_spans_and_slowest_requests(self):
+        events = _request_events("abcd1234", 20.0, queue=2.0, window=5.0, kernel=10.0, cache=1.0)
+        text = format_summary(summarize_events(events), top=5)
+        assert "events: 5" in text
+        assert "server.request" in text
+        assert "worker.kernel" in text
+        assert "slowest requests (top 1 of 1):" in text
+        assert "window_wait_ms" in text
+        assert "abcd1234" in text
+
+    def test_top_limits_the_request_table(self):
+        events = []
+        for index in range(8):
+            events += _request_events(f"trace{index}", float(index + 1), 0.0, 0.0, 0.0, 0.0)
+        text = format_summary(summarize_events(events), top=3)
+        assert "slowest requests (top 3 of 8):" in text
+        # Only the three slowest traces appear.
+        assert "trace7" in text and "trace5" in text
+        assert "trace0" not in text
+
+    def test_empty_capture_renders_without_tables(self):
+        text = format_summary(summarize_events([]))
+        assert "events: 0" in text
