@@ -1,0 +1,102 @@
+"""Load-generator entry point: drive a live endpoint or a local cluster.
+
+Thin CLI over :mod:`repro.cluster.loadgen`.  Two modes:
+
+* point it at something already running (``--host``/``--port``: a
+  ``repro serve`` shard or a ``repro route`` router -- same protocol);
+* let it self-host (``--local-shards N``): N single-worker shards plus a
+  router are started in-process, loaded, and torn down, so one command
+  demonstrates the scale-out path on a laptop.
+
+Prints the phase report as JSON (throughput and p50/p95/p99 latency per
+phase, plus cache-tier provenance counts).  Deterministic per ``--seed``.
+
+Usage::
+
+    python benchmarks/loadgen.py --port 8760              # existing endpoint
+    python benchmarks/loadgen.py --local-shards 2 --quick # self-hosted demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _run_against_local_cluster(shards: int, options: dict) -> dict:
+    from repro.cluster import ShardRouter
+    from repro.service import EvaluationServer, start_in_background
+
+    handles = []
+    try:
+        servers = [
+            EvaluationServer(workers=1, batch_window_ms=0.0) for _ in range(shards)
+        ]
+        handles = [start_in_background(server) for server in servers]
+        router = ShardRouter([f"127.0.0.1:{handle.port}" for handle in handles])
+        with start_in_background(router) as routed:
+            from repro.cluster.loadgen import run_loadgen
+
+            record = run_loadgen(port=routed.port, **options)
+        record["topology"] = {
+            "shards": shards,
+            "shard_computed": [
+                server.registry["evaluations_computed"] for server in servers
+            ],
+        }
+        return record
+    finally:
+        for handle in handles:
+            handle.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8760)
+    parser.add_argument(
+        "--local-shards",
+        type=int,
+        default=0,
+        help="self-host N shards behind a router instead of targeting --host/--port",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--distinct", type=int, default=16)
+    parser.add_argument("--duplicate-factor", type=int, default=4)
+    parser.add_argument("--rate", type=float, default=50.0, help="offered requests/second")
+    parser.add_argument("--workers", type=int, default=8, help="concurrent client threads")
+    parser.add_argument("--replications", type=int, default=2_000)
+    parser.add_argument("--quick", action="store_true", help="smaller workload")
+    parser.add_argument(
+        "--phases",
+        default="cold,warm,duplicates",
+        help="comma-separated subset of cold,warm,duplicates",
+    )
+    arguments = parser.parse_args(argv)
+
+    from repro.cluster.loadgen import run_loadgen
+
+    options = {
+        "seed": arguments.seed,
+        "distinct": 8 if arguments.quick else arguments.distinct,
+        "duplicate_factor": arguments.duplicate_factor,
+        "rate": arguments.rate,
+        "workers": arguments.workers,
+        "replications": 1_000 if arguments.quick else arguments.replications,
+        "phases": tuple(phase for phase in arguments.phases.split(",") if phase),
+    }
+    if arguments.local_shards > 0:
+        record = _run_against_local_cluster(arguments.local_shards, options)
+    else:
+        record = run_loadgen(arguments.host, arguments.port, **options)
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -146,6 +146,7 @@ def evaluate_batch(
     jobs: int = 1,
     seed=None,
     registry: MethodRegistry | None = None,
+    stream_indices: Sequence[int] | None = None,
 ) -> list[EvaluationResult]:
     """Evaluate many methods on one model, optionally in parallel.
 
@@ -175,6 +176,15 @@ def evaluate_batch(
     registry:
         Registry to dispatch through (default: the library-wide one);
         incompatible with ``jobs > 1``.
+    stream_indices:
+        The per-request stream indices, overriding the default positions
+        ``0..len(requests)-1``.  This is how a caller that *split* a batch
+        (the cluster router fanning one ``evaluate_batch`` out across
+        shards) keeps every request's ``(seed, index)`` stream -- and
+        therefore its result, byte for byte -- identical to the unsplit
+        call: each sub-batch is sent with its requests' original global
+        indices.  Must match ``requests`` in length; duplicates are legal
+        (they coalesce exactly like duplicated requests).
 
     Returns the results in request order.
     """
@@ -194,9 +204,27 @@ def evaluate_batch(
     base_seed = DEFAULT_SEED if seed is None else seed
     if _normalise_entropy(base_seed) is None:
         raise ValueError("evaluate_batch needs an integer seed (per-request streams are derived from it)")
+    if stream_indices is None:
+        indices = list(range(len(coerced)))
+    else:
+        if len(stream_indices) != len(coerced):
+            raise ValueError(
+                f"stream_indices ({len(stream_indices)}) must match requests ({len(coerced)})"
+            )
+        indices = []
+        for position in stream_indices:
+            if isinstance(position, bool) or not isinstance(position, (int, np.integer)):
+                raise ValueError(
+                    f"stream_indices must be non-negative integers, got {position!r}"
+                )
+            if position < 0:
+                raise ValueError(
+                    f"stream_indices must be non-negative integers, got {position!r}"
+                )
+            indices.append(int(position))
     work = [
         (model, request.method, request.option_dict(), (*_normalise_entropy(base_seed), index))
-        for index, request in enumerate(coerced)
+        for index, request in zip(indices, coerced)
     ]
     # Coalesce duplicates: two requests produce the same result exactly when
     # they agree on method, options and the random stream their evaluation

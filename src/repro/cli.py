@@ -32,7 +32,14 @@ writing any code:
 * ``serve`` -- run the evaluation service (:mod:`repro.service`): an asyncio
   HTTP server that micro-batches concurrent requests into batched kernel
   calls, with an LRU response cache optionally layered on a disk cache
-  (``--cache-dir``);
+  (``--cache-dir``) and on other shards' caches (``--cache-peer``);
+* ``route`` -- run the shard router (:mod:`repro.cluster`): a consistent-hash
+  front that spreads traffic across several ``serve`` shards, fails over
+  around dead or saturated ones and fans batches out with order-preserving
+  reassembly;
+* ``loadgen`` -- drive a ``serve`` or ``route`` endpoint with deterministic
+  open-loop traffic (cold/warm/duplicate-heavy phases) and print throughput
+  and latency percentiles as JSON;
 * ``cache info`` / ``cache clear`` -- inspect or empty a content-addressed
   result cache directory (shared by ``study run`` and ``serve``);
 * ``trace summarize`` -- render per-span timing tables and per-request
@@ -336,6 +343,95 @@ def build_parser() -> argparse.ArgumentParser:
             "its trace id (default: no slow-request log)"
         ),
     )
+    serve_parser.add_argument(
+        "--cache-peer",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "another shard whose GET /v1/cache/<digest> surface backs this "
+            "server's response cache (repeatable); on a local LRU + disk miss "
+            "the peers are probed in order before computing"
+        ),
+    )
+
+    route_parser = subparsers.add_parser(
+        "route",
+        help="run the shard router (consistent-hash front for 'repro serve' shards)",
+    )
+    route_parser.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="a backend 'repro serve' instance (repeatable; at least one required)",
+    )
+    route_parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    route_parser.add_argument("--port", type=int, default=8100, help="TCP port (default 8100)")
+    route_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the hash ring (default 64)",
+    )
+    route_parser.add_argument(
+        "--probe-interval-ms",
+        type=float,
+        default=500.0,
+        help=(
+            "how often ejected shards are probed via /healthz; also the "
+            "saturation cooldown when a shard sends no Retry-After (default 500)"
+        ),
+    )
+    route_parser.add_argument(
+        "--lru-size",
+        type=int,
+        default=1024,
+        help="router-side read-through cache capacity in entries (default 1024)",
+    )
+    route_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra full ring walks before giving up on a request (default 2)",
+    )
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="drive a service or router with deterministic open-loop traffic",
+    )
+    loadgen_parser.add_argument("--host", default="127.0.0.1", help="target address (default 127.0.0.1)")
+    loadgen_parser.add_argument("--port", type=int, default=8000, help="target port (default 8000)")
+    loadgen_parser.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    loadgen_parser.add_argument(
+        "--distinct",
+        type=int,
+        default=16,
+        help="distinct payloads (each its own batch group; default 16)",
+    )
+    loadgen_parser.add_argument(
+        "--duplicate-factor",
+        type=int,
+        default=4,
+        help="repeats per payload in the duplicate-heavy phase (default 4)",
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=50.0, help="offered requests per second (default 50)"
+    )
+    loadgen_parser.add_argument(
+        "--workers", type=int, default=8, help="concurrent client threads (default 8)"
+    )
+    loadgen_parser.add_argument(
+        "--replications",
+        type=int,
+        default=2_000,
+        help="Monte Carlo replications per payload (default 2000)",
+    )
+    loadgen_parser.add_argument(
+        "--phases",
+        default="cold,warm,duplicates",
+        help="comma-separated subset of cold,warm,duplicates (default all three)",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear a content-addressed result cache directory"
@@ -632,6 +728,7 @@ def _handle_serve(arguments: argparse.Namespace) -> int:
         max_queue=arguments.max_queue,
         request_timeout_ms=arguments.request_timeout_ms or None,
         slow_request_ms=arguments.slow_request_ms,
+        cache_peers=tuple(arguments.cache_peer or ()),
     )
     try:
         asyncio.run(server.serve_forever(arguments.host, arguments.port))
@@ -639,6 +736,60 @@ def _handle_serve(arguments: argparse.Namespace) -> int:
         print("shutting down", file=sys.stderr)
     except OSError as error:
         raise ValueError(f"cannot bind {arguments.host}:{arguments.port}: {error}") from error
+    return 0
+
+
+def _handle_route(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import ShardRouter
+
+    if not arguments.shard:
+        raise ValueError("route needs at least one --shard HOST:PORT")
+    if not 0 < arguments.port < 65536:
+        raise ValueError(f"port must be in 1..65535, got {arguments.port}")
+    if arguments.probe_interval_ms <= 0.0:
+        raise ValueError(
+            f"--probe-interval-ms must be positive, got {arguments.probe_interval_ms:g}"
+        )
+    if arguments.retries < 0:
+        raise ValueError(f"--retries must be >= 0, got {arguments.retries}")
+    router = ShardRouter(
+        arguments.shard,
+        replicas=arguments.replicas,
+        probe_interval_ms=arguments.probe_interval_ms,
+        lru_size=arguments.lru_size,
+        retries=arguments.retries,
+    )
+    try:
+        asyncio.run(router.serve_forever(arguments.host, arguments.port))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except OSError as error:
+        raise ValueError(f"cannot bind {arguments.host}:{arguments.port}: {error}") from error
+    return 0
+
+
+def _handle_loadgen(arguments: argparse.Namespace) -> int:
+    from repro.cluster.loadgen import run_loadgen
+
+    if not 0 < arguments.port < 65536:
+        raise ValueError(f"port must be in 1..65535, got {arguments.port}")
+    phases = tuple(phase.strip() for phase in arguments.phases.split(",") if phase.strip())
+    if not phases:
+        raise ValueError("--phases needs at least one of cold,warm,duplicates")
+    record = run_loadgen(
+        arguments.host,
+        arguments.port,
+        seed=arguments.seed,
+        distinct=arguments.distinct,
+        duplicate_factor=arguments.duplicate_factor,
+        rate=arguments.rate,
+        workers=arguments.workers,
+        replications=arguments.replications,
+        phases=phases,
+    )
+    print(json.dumps(record, indent=2))
     return 0
 
 
@@ -705,6 +856,8 @@ _HANDLERS = {
     "simulate": _handle_simulate,
     "study": _handle_study,
     "serve": _handle_serve,
+    "route": _handle_route,
+    "loadgen": _handle_loadgen,
     "cache": _handle_cache,
     "trace": _handle_trace,
 }

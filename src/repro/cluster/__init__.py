@@ -1,0 +1,44 @@
+"""The cluster layer: scale the evaluation service past one process.
+
+A dependency-free scale-out tier over :mod:`repro.service`:
+
+* :mod:`~repro.cluster.ring` -- consistent hashing with virtual nodes:
+  batch-group digests map to shards, groupmates stay together, ejection
+  spills a key range to the next shard without rehashing anything else;
+* :mod:`~repro.cluster.health` -- ejection/readmission state: dead shards
+  stay out until a ``/healthz`` probe succeeds, saturated ones (429/503)
+  sit out a ``Retry-After``-sized cooldown;
+* :mod:`~repro.cluster.transport` -- keep-alive asyncio connections to
+  each shard, reconnect-on-stale;
+* :mod:`~repro.cluster.router` -- :class:`ShardRouter` behind
+  ``repro route``: terminates the service protocol, routes ``/v1/evaluate``
+  by batch-group digest, fans ``/v1/evaluate/batch`` out per shard with
+  order-preserving reassembly, carries a read-through LRU, and propagates
+  ``x-repro-trace-id`` and ``Retry-After`` end to end;
+* :mod:`~repro.cluster.loadgen` -- the deterministic open-loop load
+  generator behind ``repro loadgen`` and the cluster benchmark gate.
+
+Shards share a cache tier among themselves (``repro serve --cache-peer``):
+on a local LRU + disk miss a shard asks its peers' ``GET /v1/cache/<digest>``
+surface, so a shard warmed by studies or earlier traffic answers for a cold
+one (see :mod:`repro.service.cache`).
+
+The router embeds exactly like the server::
+
+    from repro.cluster import ShardRouter
+    from repro.service.server import start_in_background
+
+    handle = start_in_background(ShardRouter(["127.0.0.1:8001", "127.0.0.1:8002"]))
+"""
+
+from repro.cluster.health import ShardHealth
+from repro.cluster.ring import ConsistentHashRing
+from repro.cluster.router import ShardRouter
+from repro.cluster.transport import ShardTransport
+
+__all__ = [
+    "ConsistentHashRing",
+    "ShardHealth",
+    "ShardRouter",
+    "ShardTransport",
+]

@@ -1,0 +1,93 @@
+"""Shard health state: ejection, cooldowns and readmission.
+
+The router never mutates its hash ring; it tracks *exclusions* here and
+passes them to ring lookups, so a shard's key range spills to its clockwise
+neighbour while it is out and snaps back exactly on readmission.
+
+Two ejection flavours, matching how shards fail:
+
+* **until-probe** (``cooldown=None``): the shard refused or dropped a
+  connection -- it stays excluded until a ``/healthz`` probe succeeds and
+  the router calls :meth:`readmit`;
+* **cooldown** (``cooldown=seconds``): the shard answered 429/503
+  (saturated or draining) -- it is excluded for the given window (the
+  server's ``Retry-After`` when sent) and readmits itself when the window
+  lapses, no probe required.  Saturation is expected to clear on its own;
+  a probe would read a healthy ``/healthz`` immediately anyway.
+
+The clock is injectable so rebalance tests can eject, advance time and
+observe readmission deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Sequence
+
+__all__ = ["ShardHealth"]
+
+
+class ShardHealth:
+    """Exclusion bookkeeping for a fixed shard set (single event loop)."""
+
+    def __init__(
+        self, shards: Sequence[str], clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.shards = tuple(str(shard) for shard in shards)
+        self._clock = clock
+        #: shard -> moment its exclusion lapses (math.inf = until readmit()).
+        self._ejected_until: dict[str, float] = {}
+        self.ejections = 0
+        self.readmissions = 0
+
+    def eject(self, shard: str, cooldown: float | None = None) -> None:
+        """Exclude ``shard``: until :meth:`readmit` (``None``) or for ``cooldown`` s."""
+        if shard not in self.shards:
+            raise ValueError(f"unknown shard {shard!r}")
+        until = math.inf if cooldown is None else self._clock() + cooldown
+        # An until-probe ejection must not be shortened by a later cooldown
+        # ejection racing in: keep the furthest deadline.
+        previous = self._ejected_until.get(shard, -math.inf)
+        if until > previous:
+            self._ejected_until[shard] = until
+        if previous < self._clock():
+            self.ejections += 1
+
+    def readmit(self, shard: str) -> bool:
+        """Clear ``shard``'s exclusion (a probe succeeded); True if it was out."""
+        was_out = self.is_excluded(shard)
+        self._ejected_until.pop(shard, None)
+        if was_out:
+            self.readmissions += 1
+        return was_out
+
+    def is_excluded(self, shard: str) -> bool:
+        return self._ejected_until.get(shard, -math.inf) > self._clock()
+
+    def excluded(self) -> frozenset[str]:
+        """The currently excluded shards; lapsed cooldowns readmit lazily."""
+        now = self._clock()
+        lapsed = [
+            shard for shard, until in self._ejected_until.items() if until <= now
+        ]
+        for shard in lapsed:
+            self._ejected_until.pop(shard, None)
+            self.readmissions += 1
+        return frozenset(self._ejected_until)
+
+    def needs_probe(self) -> list[str]:
+        """Shards ejected until-probe: only a live ``/healthz`` readmits them."""
+        return [
+            shard
+            for shard, until in self._ejected_until.items()
+            if math.isinf(until)
+        ]
+
+    def snapshot(self) -> dict:
+        """Per-shard state for the router's ``/healthz`` body."""
+        excluded = self.excluded()
+        return {
+            shard: {"healthy": shard not in excluded, "ejected": shard in excluded}
+            for shard in self.shards
+        }

@@ -1,0 +1,237 @@
+"""Deterministic open-loop load generator for the service and cluster tiers.
+
+Drives a live endpoint (a single ``repro serve`` shard or a ``repro route``
+router -- the wire protocol is identical) with a reproducible traffic
+pattern and reports throughput and latency percentiles from the telemetry
+histograms.
+
+Three phases, matching how the cluster is exercised in practice:
+
+* **cold** -- every distinct payload once; on a router this spreads across
+  shards by batch-group digest, so it measures scale-out compute throughput;
+* **warm** -- the same payloads again; every answer must come from a cache
+  tier (router LRU, shard LRU/disk, or a peer via the remote tier), which
+  the benchmark gate checks by diffing ``evaluations_computed``;
+* **duplicates** -- a small payload subset repeated many times and issued
+  concurrently, stressing request coalescing and the duplicate-race path.
+
+**Open-loop** means arrivals follow a fixed schedule (``rate`` requests per
+second) regardless of completions, and each latency is measured from the
+request's *scheduled* arrival, not its actual send -- a slow server shows
+up as growing latency instead of silently throttling the generator
+(no coordinated omission).
+
+Everything is derived from one integer seed via :class:`random.Random`:
+same seed, same models, same schedule, same duplicate subset.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.telemetry.metrics import MetricsRegistry, histogram_summary
+
+__all__ = ["LoadGenerator", "build_workload", "run_loadgen"]
+
+#: ``served["cached"]`` values the service/router emit, plus ``None``
+#: (freshly computed); anything new still gets counted, under its own name.
+_KNOWN_TIERS = ("computed", "lru", "disk", "remote", "router")
+
+
+def build_workload(
+    seed: int,
+    distinct: int = 16,
+    *,
+    n_faults: int = 40,
+    replications: int = 2_000,
+    method: str = "montecarlo",
+) -> list[dict]:
+    """``distinct`` evaluation payloads, reproducible from ``seed``.
+
+    Each payload gets its own model (a fresh ``many-small-faults`` draw) and
+    its own evaluation seed, so every payload lands in its own batch group
+    -- the shard-parallel regime a router spreads across the ring.  Options
+    are small on purpose: the generator measures serving behaviour, not
+    kernel throughput.
+    """
+    from repro.experiments.scenarios import many_small_faults_scenario
+
+    if distinct < 1:
+        raise ValueError("build_workload needs distinct >= 1")
+    rng = random.Random(seed)
+    payloads = []
+    for index in range(distinct):
+        model_rng = rng.randrange(2**31)
+        payloads.append(
+            {
+                "model": many_small_faults_scenario(n=n_faults, rng=model_rng),
+                "method": method,
+                "options": {"replications": replications},
+                "seed": rng.randrange(2**31),
+                "p_scale": round(rng.uniform(0.25, 1.0), 6),
+            }
+        )
+    return payloads
+
+
+def duplicate_schedule(
+    seed: int, payloads: Sequence[Mapping[str, Any]], factor: int = 4
+) -> list[Mapping[str, Any]]:
+    """The duplicate-heavy phase: a quarter of the payloads, ``factor`` times
+    each, in a deterministic shuffle (derived from ``seed``, offset so it
+    never mirrors the workload draw)."""
+    rng = random.Random(f"{seed}:duplicates")
+    subset = list(payloads[: max(1, len(payloads) // 4)])
+    schedule = [item for item in subset for _ in range(max(1, factor))]
+    rng.shuffle(schedule)
+    return schedule
+
+
+class LoadGenerator:
+    """Open-loop traffic against one endpoint, phase by phase.
+
+    The generator owns a :class:`~repro.telemetry.metrics.MetricsRegistry`;
+    each phase records into its own ``loadgen_<phase>_seconds`` histogram,
+    and the phase report derives p50/p95/p99 from that snapshot via
+    :func:`~repro.telemetry.metrics.histogram_summary`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8760,
+        *,
+        rate: float = 50.0,
+        workers: int = 8,
+        timeout: float = 120.0,
+        registry: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive (requests per second)")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.rate = float(rate)
+        self.workers = int(workers)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock
+        self.client = ServiceClient(
+            host=host, port=port, timeout=timeout, retries=0
+        )
+
+    def _one(self, item: Mapping[str, Any]) -> tuple[float, dict | None, int | None]:
+        """Issue one request; returns ``(done_at, served, error_status)``."""
+        try:
+            _, served = self.client.evaluate_detail(
+                item["model"],
+                item["method"],
+                options=item.get("options"),
+                seed=item.get("seed"),
+                p_scale=item.get("p_scale", 1.0),
+                q_scale=item.get("q_scale", 1.0),
+            )
+        except ServiceError as error:
+            return self._clock(), None, error.status
+        return self._clock(), served, None
+
+    def run_phase(self, name: str, schedule: Sequence[Mapping[str, Any]]) -> dict:
+        """Run one phase over ``schedule`` and return its report."""
+        if not schedule:
+            raise ValueError(f"phase {name!r} has an empty schedule")
+        histogram = self.registry.histogram(f"loadgen_{name}_seconds")
+        served_counts = {tier: 0 for tier in _KNOWN_TIERS}
+        errors = 0
+        statuses: dict[int, int] = {}
+        outcomes: list[tuple[float, float, dict | None, int | None]] = []
+        start = self._clock()
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            pending = []
+            for index, item in enumerate(schedule):
+                target = start + index / self.rate
+                delay = target - self._clock()
+                if delay > 0:
+                    time.sleep(delay)
+                pending.append((target, pool.submit(self._one, item)))
+            for target, future in pending:
+                done_at, served, status = future.result()
+                outcomes.append((target, done_at, served, status))
+        finished = max(done for _, done, _, _ in outcomes)
+        for target, done_at, served, status in outcomes:
+            self.registry.observe(histogram.name, max(0.0, done_at - target))
+            if status is not None:
+                errors += 1
+                statuses[status] = statuses.get(status, 0) + 1
+                continue
+            tier = (served or {}).get("cached") or "computed"
+            served_counts[tier] = served_counts.get(tier, 0) + 1
+        elapsed = max(finished - start, 1e-9)
+        summary = histogram_summary(histogram.snapshot())
+        report = {
+            "phase": name,
+            "requests": len(schedule),
+            "errors": errors,
+            "offered_rate_rps": round(self.rate, 1),
+            "seconds": round(elapsed, 4),
+            "throughput_rps": round(len(schedule) / elapsed, 1),
+            "latency_ms": {
+                key: None if summary[key] is None else round(summary[key] * 1e3, 2)
+                for key in ("p50", "p95", "p99", "max")
+            },
+            "served": served_counts,
+        }
+        if statuses:
+            report["error_statuses"] = {str(code): count for code, count in sorted(statuses.items())}
+        return report
+
+    def close(self) -> None:
+        self.client.close()
+
+
+def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = 8760,
+    *,
+    seed: int = 0,
+    distinct: int = 16,
+    duplicate_factor: int = 4,
+    rate: float = 50.0,
+    workers: int = 8,
+    replications: int = 2_000,
+    n_faults: int = 40,
+    phases: Sequence[str] = ("cold", "warm", "duplicates"),
+) -> dict:
+    """The standard cold/warm/duplicate-heavy run against one endpoint.
+
+    Returns a JSON-safe record: one report per phase plus the workload
+    parameters, so two runs with the same seed are comparable line by line.
+    """
+    payloads = build_workload(
+        seed, distinct, n_faults=n_faults, replications=replications
+    )
+    schedules = {
+        "cold": list(payloads),
+        "warm": list(payloads),
+        "duplicates": duplicate_schedule(seed, payloads, duplicate_factor),
+    }
+    unknown = [phase for phase in phases if phase not in schedules]
+    if unknown:
+        raise ValueError(f"unknown phases {unknown}; choose from {sorted(schedules)}")
+    generator = LoadGenerator(host, port, rate=rate, workers=workers)
+    try:
+        reports = [generator.run_phase(phase, schedules[phase]) for phase in phases]
+    finally:
+        generator.close()
+    return {
+        "seed": seed,
+        "distinct": distinct,
+        "duplicate_factor": duplicate_factor,
+        "rate_rps": rate,
+        "workers": workers,
+        "replications": replications,
+        "n_faults": n_faults,
+        "phases": reports,
+    }

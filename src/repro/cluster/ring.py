@@ -1,0 +1,76 @@
+"""The consistent-hash ring that assigns batch groups to shards.
+
+Each shard contributes ``replicas`` virtual nodes -- SHA-256 points derived
+from ``"{shard}#{i}"`` -- interleaved around a 64-bit ring, so load spreads
+evenly even with two or three shards and adding a shard moves only ~1/N of
+the key space.  Keys are the service's batch-group digests
+(:func:`repro.grouping.group_digest`): every groupmate of a batch hashes to
+the same key, lands on the same shard, and still coalesces in that shard's
+micro-batcher.
+
+Failover is a property of *lookup*, not of ring mutation: the ring always
+holds every configured shard, and :meth:`ConsistentHashRing.owner` takes an
+exclusion set -- an ejected shard's key range spills to the next distinct
+shard clockwise, and readmission restores the original assignment exactly
+(no rehash, no key churn for unaffected shards).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _point(label: str) -> int:
+    """A 64-bit ring position from a label's SHA-256."""
+    return int.from_bytes(hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Virtual-node consistent hashing over a fixed shard set."""
+
+    def __init__(self, shards: Sequence[str], replicas: int = 64) -> None:
+        names = [str(shard) for shard in shards]
+        if not names:
+            raise ValueError("a hash ring needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ValueError(f"shard names must be unique, got {names}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.shards = tuple(names)
+        self.replicas = replicas
+        points = sorted(
+            (_point(f"{shard}#{index}"), shard)
+            for shard in names
+            for index in range(replicas)
+        )
+        self._points = points
+        self._positions = [position for position, _ in points]
+
+    def candidates(self, key: str) -> list[str]:
+        """Every shard, in ring order starting at ``key``'s position.
+
+        The first element is the key's owner; each subsequent element is the
+        next *distinct* shard clockwise -- the spill order when owners are
+        ejected.  Deterministic for a given ring and key.
+        """
+        start = bisect_right(self._positions, _point(key)) % len(self._points)
+        seen: list[str] = []
+        for offset in range(len(self._points)):
+            shard = self._points[(start + offset) % len(self._points)][1]
+            if shard not in seen:
+                seen.append(shard)
+                if len(seen) == len(self.shards):
+                    break
+        return seen
+
+    def owner(self, key: str, excluded: Iterable[str] = ()) -> str | None:
+        """The shard owning ``key``, skipping ``excluded``; ``None`` if all are."""
+        skip = set(excluded)
+        for shard in self.candidates(key):
+            if shard not in skip:
+                return shard
+        return None

@@ -1,0 +1,579 @@
+"""The shard router behind ``repro route``: one address over many shards.
+
+Terminates the exact service protocol (:mod:`repro.service.http` framing,
+same endpoints, same error bodies) and forwards each request to a backend
+``repro serve`` shard:
+
+* ``POST /v1/evaluate`` routes by consistent hash of the request's
+  **batch-group digest** (:meth:`ServiceRequest.group_key`), so all
+  groupmates of a batch land on the same shard and its micro-batcher still
+  coalesces them into one kernel call.  The original body bytes are
+  forwarded untouched -- the router parses only to validate and route --
+  so shard-side digests, and therefore cache keys and results, are
+  byte-identical to a direct call;
+* ``POST /v1/evaluate/batch`` fans out per-shard: elements are grouped by
+  their own route key, each sub-batch ships with its elements' original
+  positions as ``stream_indices`` (keeping every ``(seed, index)`` random
+  stream, and so every byte of every result, identical to the unsplit
+  call), and responses reassemble in request order;
+* a router-side **read-through LRU** answers repeat ``/v1/evaluate``
+  traffic without a hop (``served.cached == "router"``).
+
+Failover: an unreachable shard is ejected until a ``/healthz`` probe
+succeeds; a saturated one (429/503) is ejected for the server's
+``Retry-After`` (or one probe interval) and readmits itself.  Ejected
+shards' key ranges spill to the next ring candidate; when every candidate
+is out, the last upstream 429/503 propagates -- ``Retry-After`` included --
+so the client's typed-retry machinery keeps working through the router.
+Per-hop retries reuse :class:`repro.service.client.BackoffPolicy`, and
+``x-repro-trace-id`` propagates end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import sys
+import time
+from typing import Any, Sequence
+
+from repro import telemetry
+from repro.cluster.health import ShardHealth
+from repro.cluster.ring import ConsistentHashRing
+from repro.cluster.transport import ShardTransport
+from repro.grouping import evaluation_payload, group_digest
+from repro.service.cache import ResponseCache
+from repro.service.client import BackoffPolicy, _parse_retry_after
+from repro.service.http import read_request, write_response
+from repro.service.protocol import (
+    parse_batch_payload,
+    parse_evaluate_payload,
+)
+from repro.telemetry.metrics import MetricsRegistry, histogram_summary, render_prometheus
+
+__all__ = ["ShardRouter"]
+
+_COUNTER_NAMES = (
+    "requests_total",
+    "errors_total",
+    "routed_requests",
+    "fanout_requests",
+    "fanout_subrequests",
+    "router_cache_hits",
+    "failovers",
+    "shard_ejects",
+    "shard_readmits",
+    "hop_retries",
+    "no_healthy_shards",
+)
+
+
+class ShardRouter:
+    """Route service traffic across ``repro serve`` shards.
+
+    Parameters
+    ----------
+    shards:
+        Backend base URLs (``host:port`` or ``http://host:port``), one per
+        ``repro serve`` instance.  At least one; names must be unique.
+    replicas:
+        Virtual nodes per shard on the hash ring.
+    probe_interval_ms:
+        How often ejected shards are probed via ``/healthz`` (also the
+        saturation cooldown when a shard sends no ``Retry-After``).
+    lru_size:
+        Router-side read-through cache capacity (entries).
+    retries:
+        Full ring walks to attempt per request beyond the first, with
+        :class:`BackoffPolicy` delays between walks.
+    timeout:
+        Per-hop budget in seconds for forwarded requests.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[str],
+        *,
+        replicas: int = 64,
+        probe_interval_ms: float = 500.0,
+        lru_size: int = 1024,
+        retries: int = 2,
+        timeout: float = 120.0,
+        backoff: BackoffPolicy | None = None,
+    ) -> None:
+        if probe_interval_ms <= 0.0:
+            raise ValueError(f"probe_interval_ms must be positive, got {probe_interval_ms}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.ring = ConsistentHashRing(shards, replicas=replicas)
+        self.health = ShardHealth(self.ring.shards)
+        self.transports = {
+            shard: ShardTransport(shard, timeout=timeout) for shard in self.ring.shards
+        }
+        self.probe_interval = probe_interval_ms / 1000.0
+        self.probe_timeout = min(2.0, max(0.25, self.probe_interval * 4.0))
+        self.retries = retries
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.cache = ResponseCache(max_entries=lru_size)
+        self.registry = MetricsRegistry()
+        self.registry.register_counters(_COUNTER_NAMES)
+        self.registry.histogram("request_seconds")
+        self.registry.histogram("hop_seconds")
+        self.metrics = self.registry
+        self._started = time.time()
+        self._probe_task: asyncio.Task | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # ----------------------------------------------------------------- #
+    # Health probing
+    # ----------------------------------------------------------------- #
+    async def _probe_once(self) -> None:
+        """One probe pass: readmit recovered shards, eject newly dead ones.
+
+        Cooldown (saturation) ejections are deliberately *not* cut short by
+        a healthy probe -- ``/healthz`` bypasses admission control, so a
+        saturated shard reads healthy while still rejecting work.
+        """
+        awaiting_probe = set(self.health.needs_probe())
+        for shard in self.ring.shards:
+            try:
+                response = await self.transports[shard].request(
+                    "GET", "/healthz", timeout=self.probe_timeout
+                )
+                alive = response.status == 200
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                alive = False
+            if alive and shard in awaiting_probe:
+                if self.health.readmit(shard):
+                    self.registry.inc("shard_readmits")
+            elif not alive and not self.health.is_excluded(shard):
+                self.health.eject(shard)
+                self.registry.inc("shard_ejects")
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.probe_interval)
+            try:
+                await self._probe_once()
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 - probing must not die
+                print(f"router probe pass failed: {error}", file=sys.stderr, flush=True)
+
+    # ----------------------------------------------------------------- #
+    # Forwarding with failover
+    # ----------------------------------------------------------------- #
+    async def _forward(
+        self, key: str, verb: str, path: str, body: bytes
+    ) -> tuple[int, Any, dict]:
+        """Send one request to ``key``'s shard, spilling across the ring.
+
+        Returns ``(status, parsed_json, response_headers)``.  Non-retryable
+        shard responses (400s, 500s) propagate as-is -- the shard answered;
+        the router adds nothing.  429/503 eject the shard for its
+        ``Retry-After`` (or one probe interval) and spill to the next
+        candidate; connection failures eject until a probe succeeds.  When
+        every candidate is out, the ring walk repeats up to ``retries``
+        times with backoff, then the last upstream 429/503 (or a router 503
+        ``no_healthy_shards``) comes back.
+        """
+        trace_id = telemetry.current_trace_id()
+        headers = {"x-repro-trace-id": trace_id} if trace_id else {}
+        last_retryable: tuple[int, Any, dict] | None = None
+        attempt = 0
+        while True:
+            excluded = set(self.health.excluded())
+            for shard in self.ring.candidates(key):
+                if shard in excluded:
+                    continue
+                hop_from = time.perf_counter()
+                try:
+                    response = await self.transports[shard].request(
+                        verb, path, body, headers
+                    )
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    # The shard is unreachable: out until a probe sees it
+                    # alive, its key range spills to the next candidate.
+                    self.health.eject(shard)
+                    self.registry.inc("shard_ejects")
+                    self.registry.inc("failovers")
+                    excluded.add(shard)
+                    continue
+                finally:
+                    self.registry.observe(
+                        "hop_seconds", time.perf_counter() - hop_from
+                    )
+                if response.status in (429, 503):
+                    retry_after = _parse_retry_after(
+                        response.headers.get("retry-after")
+                    )
+                    cooldown = (
+                        retry_after if retry_after is not None else self.probe_interval
+                    )
+                    self.health.eject(shard, cooldown)
+                    self.registry.inc("shard_ejects")
+                    self.registry.inc("failovers")
+                    excluded.add(shard)
+                    last_retryable = (
+                        response.status,
+                        response.json(),
+                        response.headers,
+                    )
+                    continue
+                data = response.json()
+                if data is None and response.body:
+                    # Garbage where JSON should be: treat like a dead shard.
+                    self.health.eject(shard)
+                    self.registry.inc("shard_ejects")
+                    self.registry.inc("failovers")
+                    excluded.add(shard)
+                    continue
+                return response.status, data, response.headers
+            if attempt >= self.retries:
+                break
+            self.registry.inc("hop_retries")
+            retry_after = None
+            if last_retryable is not None:
+                retry_after = _parse_retry_after(last_retryable[2].get("retry-after"))
+            await asyncio.sleep(self.backoff.delay(attempt, retry_after))
+            attempt += 1
+        if last_retryable is not None:
+            status, data, response_headers = last_retryable
+            if not isinstance(data, dict):
+                data = {
+                    "error": "every shard is saturated or draining",
+                    "code": "saturated",
+                }
+            return status, data, response_headers
+        self.registry.inc("no_healthy_shards")
+        return (
+            503,
+            {"error": "no healthy shards for this key", "code": "no_healthy_shards"},
+            {"retry-after": "1"},
+        )
+
+    @staticmethod
+    def _retry_extra(status: int, response_headers: dict) -> dict:
+        """``Retry-After`` propagated to the client for retryable statuses."""
+        if status not in (429, 503):
+            return {}
+        value = response_headers.get("retry-after")
+        return {"Retry-After": value if value else "1"}
+
+    # ----------------------------------------------------------------- #
+    # Endpoints
+    # ----------------------------------------------------------------- #
+    async def _route_evaluate(self, body: bytes) -> tuple[int, dict, dict]:
+        try:
+            payload = json.loads(body or b"null")
+        except json.JSONDecodeError as error:
+            return (
+                400,
+                {"error": f"request body is not valid JSON: {error}", "code": "bad_request"},
+                {},
+            )
+        try:
+            request = parse_evaluate_payload(payload)
+        except ValueError as error:
+            # Invalid requests die here with the shard's exact error text;
+            # nothing malformed crosses a hop.
+            return 400, {"error": str(error), "code": "bad_request"}, {}
+        digest = request.digest()
+        record = self.cache.get_local(digest)
+        if record is not None:
+            self.registry.inc("router_cache_hits")
+            return (
+                200,
+                {
+                    "result": record,
+                    "served": {"cached": "router", "batched": False, "group_size": 0},
+                },
+                {},
+            )
+        self.registry.inc("routed_requests")
+        # Forward the ORIGINAL bytes: the shard re-derives the same digest
+        # from the same payload, so caching and results are exactly those of
+        # a direct call.
+        status, data, response_headers = await self._forward(
+            request.group_key(), "POST", "/v1/evaluate", bytes(body)
+        )
+        if status == 200 and isinstance(data, dict) and isinstance(data.get("result"), dict):
+            self.cache.put_local(digest, data["result"])
+        if not isinstance(data, dict):
+            data = {"error": "shard returned an empty response", "code": "bad_gateway"}
+            status = 502
+        return status, data, self._retry_extra(status, response_headers)
+
+    def _batch_route_key(self, model_data: dict, method: str, options: dict) -> str:
+        """The ring key of one batch element: its batch-group identity.
+
+        Entropy is left out (batch streams derive from positions, which
+        must not affect placement), transforms are neutral -- elements of
+        one method+options family stay together, distinct families spread.
+        """
+        return group_digest(
+            evaluation_payload({"model": model_data}, {}, method, options, None)
+        )
+
+    async def _route_batch(self, body: bytes) -> tuple[int, dict, dict]:
+        try:
+            payload = json.loads(body or b"null")
+        except json.JSONDecodeError as error:
+            return (
+                400,
+                {"error": f"request body is not valid JSON: {error}", "code": "bad_request"},
+                {},
+            )
+        try:
+            model_data, requests, seed, stream_indices = parse_batch_payload(payload)
+        except ValueError as error:
+            return 400, {"error": str(error), "code": "bad_request"}, {}
+        self.registry.inc("fanout_requests")
+        positions = (
+            stream_indices
+            if stream_indices is not None
+            else list(range(len(requests)))
+        )
+        # Group element positions by their owner shard's *key* (not the
+        # shard itself: _forward re-resolves owners per sub-batch, so a
+        # mid-flight ejection spills the whole sub-batch consistently).
+        groups: dict[str, list[int]] = {}
+        keys = [
+            self._batch_route_key(model_data, method, options)
+            for method, options in requests
+        ]
+        owner_keys: dict[str, str] = {}
+        for index, key in enumerate(keys):
+            owner = self.ring.candidates(key)[0]
+            owner_keys.setdefault(owner, key)
+            groups.setdefault(owner, []).append(index)
+        timeout_ms = payload.get("timeout_ms")
+
+        async def send(owner: str, members: list[int]) -> tuple[int, Any, dict]:
+            sub: dict[str, Any] = {
+                "model": model_data,
+                "requests": [
+                    {"method": requests[i][0], **requests[i][1]} for i in members
+                ],
+                "seed": seed,
+                "stream_indices": [positions[i] for i in members],
+            }
+            if timeout_ms is not None:
+                sub["timeout_ms"] = timeout_ms
+            self.registry.inc("fanout_subrequests")
+            return await self._forward(
+                owner_keys[owner],
+                "POST",
+                "/v1/evaluate/batch",
+                json.dumps(sub).encode("utf-8"),
+            )
+        members_by_owner = list(groups.items())
+        outcomes = await asyncio.gather(
+            *(send(owner, members) for owner, members in members_by_owner)
+        )
+        records: list[Any] = [None] * len(requests)
+        for (owner, members), (status, data, response_headers) in zip(
+            members_by_owner, outcomes
+        ):
+            if status != 200 or not isinstance(data, dict) or "results" not in data:
+                # One failed sub-batch fails the whole request, typed: a
+                # partial batch response would be a new protocol.
+                if not isinstance(data, dict):
+                    data = {
+                        "error": "shard returned an empty response",
+                        "code": "bad_gateway",
+                    }
+                    status = 502
+                return status, data, self._retry_extra(status, response_headers)
+            for index, record in zip(members, data["results"]):
+                records[index] = record
+        return (
+            200,
+            {
+                "results": records,
+                "served": {
+                    "cached": None,
+                    "requests": len(requests),
+                    "shards": len(members_by_owner),
+                },
+            },
+            {},
+        )
+
+    def _serve_metrics(self) -> dict:
+        self.registry.set_gauge("uptime_seconds", round(time.time() - self._started, 3))
+        self.registry.set_gauge("shards", len(self.ring.shards))
+        self.registry.set_gauge(
+            "healthy_shards", len(self.ring.shards) - len(self.health.excluded())
+        )
+        self.registry.set_gauge("lru_entries", len(self.cache))
+        snapshot = self.registry.snapshot()
+        body: dict[str, Any] = {**snapshot["counters"], **snapshot["gauges"]}
+        body["histograms"] = {
+            name: histogram_summary(data)
+            for name, data in snapshot["histograms"].items()
+        }
+        return body
+
+    def _serve_metrics_prometheus(self) -> str:
+        self._serve_metrics()  # refresh gauges
+        return render_prometheus(self.registry.snapshot())
+
+    def _serve_health(self) -> dict:
+        return {
+            "status": "ok",
+            "role": "router",
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "shards": self.health.snapshot(),
+        }
+
+    async def _route(
+        self, verb: str, path: str, body: bytes, query: str = ""
+    ) -> tuple[int, dict | str, dict]:
+        try:
+            if path == "/healthz" and verb == "GET":
+                return 200, self._serve_health(), {}
+            if path == "/metrics" and verb == "GET":
+                from urllib.parse import parse_qs
+
+                wanted = parse_qs(query).get("format", ["json"])[-1]
+                if wanted == "prom":
+                    return 200, self._serve_metrics_prometheus(), {}
+                if wanted != "json":
+                    return (
+                        400,
+                        {
+                            "error": f"unknown metrics format {wanted!r}; use 'json' or 'prom'",
+                            "code": "bad_request",
+                        },
+                        {},
+                    )
+                return 200, self._serve_metrics(), {}
+            if path == "/v1/methods" and verb == "GET":
+                status, data, response_headers = await self._forward(
+                    "/v1/methods", "GET", "/v1/methods", b""
+                )
+                if not isinstance(data, dict):
+                    data = {"error": "shard returned an empty response", "code": "bad_gateway"}
+                    status = 502
+                return status, data, self._retry_extra(status, response_headers)
+            if path == "/v1/evaluate" and verb == "POST":
+                return await self._route_evaluate(body)
+            if path == "/v1/evaluate/batch" and verb == "POST":
+                return await self._route_batch(body)
+            known = {"/healthz", "/metrics", "/v1/methods", "/v1/evaluate", "/v1/evaluate/batch"}
+            if path in known:
+                return (
+                    405,
+                    {"error": f"wrong verb {verb} for {path}", "code": "method_not_allowed"},
+                    {},
+                )
+            return 404, {"error": f"unknown path {path!r}", "code": "not_found"}, {}
+        except Exception as error:  # noqa: BLE001 - the router must not die
+            return (
+                500,
+                {
+                    "error": f"routing failed: {type(error).__name__}: {error}",
+                    "code": "routing_failed",
+                },
+                {},
+            )
+
+    # ----------------------------------------------------------------- #
+    # HTTP front (same framing as the shard server)
+    # ----------------------------------------------------------------- #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await read_request(reader)
+                if request is None:
+                    break
+                if request.error is not None:
+                    status, message = request.error
+                    await write_response(writer, status, {"error": message}, True)
+                    break
+                self.registry.inc("requests_total")
+                headers = request.headers or {}
+                trace_id = headers.get("x-repro-trace-id") or telemetry.new_trace_id()
+                trace_token = telemetry.set_trace_id(trace_id)
+                handled_from = time.perf_counter()
+                try:
+                    with telemetry.span(
+                        "router.request",
+                        trace_id=trace_id,
+                        path=request.path,
+                        verb=request.verb,
+                    ) as request_span:
+                        status, payload, extra_headers = await self._route(
+                            request.verb, request.path, request.body, request.query
+                        )
+                        request_span.set(status=status)
+                finally:
+                    trace_token.var.reset(trace_token)
+                self.registry.observe(
+                    "request_seconds", time.perf_counter() - handled_from
+                )
+                if status >= 400:
+                    self.registry.inc("errors_total")
+                    if isinstance(payload, dict) and "error" in payload:
+                        payload.setdefault("trace_id", trace_id)
+                extra_headers = {**(extra_headers or {}), "x-repro-trace-id": trace_id}
+                await write_response(
+                    writer, status, payload, request.close, extra_headers
+                )
+                if request.close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-request
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle (duck-compatible with service.server.start_in_background)
+    # ----------------------------------------------------------------- #
+    async def start(self, host: str = "127.0.0.1", port: int = 8100) -> asyncio.AbstractServer:
+        """Bind, start the probe loop and begin accepting connections."""
+        self._started = time.time()
+        self._probe_task = asyncio.get_running_loop().create_task(self._probe_loop())
+        return await asyncio.start_server(self._handle_connection, host=host, port=port)
+
+    async def serve_forever(self, host: str = "127.0.0.1", port: int = 8100) -> None:
+        """Run until cancelled (the ``repro route`` main loop)."""
+        server = await self.start(host, port)
+        addr = server.sockets[0].getsockname()
+        print(
+            f"repro shard router listening on http://{addr[0]}:{addr[1]} "
+            f"({len(self.ring.shards)} shard(s))",
+            flush=True,
+        )
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop probing, close client and pooled shard connections."""
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._probe_task
+            self._probe_task = None
+        # Close kept-alive client connections so parked handler tasks end
+        # via EOF, not cancellation (same shutdown contract as the server).
+        for writer in list(self._connections):
+            writer.close()
+        deadline = asyncio.get_running_loop().time() + 1.0
+        while self._connections and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.01)
+        for transport in self.transports.values():
+            await transport.aclose()

@@ -1,0 +1,167 @@
+"""Asyncio keep-alive HTTP/1.1 client connections to one backend shard.
+
+The router-side mirror of :class:`repro.service.client.ServiceClient`'s
+per-thread keep-alive: each shard gets a small pool of persistent
+connections multiplexed across concurrent router requests, so a hop costs a
+round trip, not a TCP handshake.  A pooled connection the shard closed
+between uses is detected on reuse (EOF where the status line should be) and
+replaced transparently, counted in ``stats["reconnects"]``.
+
+Transport failures raise ``ConnectionError``/``OSError``/``TimeoutError``
+-- the router's signal to eject the shard and spill its keys; HTTP-level
+failures (any parsed status) are returned, not raised, because they are the
+shard *answering*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+__all__ = ["ShardTransport", "TransportResponse"]
+
+
+@dataclass
+class TransportResponse:
+    """One parsed shard response."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        try:
+            return json.loads(self.body) if self.body else None
+        except json.JSONDecodeError:
+            return None
+
+
+def split_base_url(base: str) -> tuple[str, int]:
+    """``host, port`` from a shard spelling (``host:port`` or ``http://...``)."""
+    parts = urlsplit(base if "//" in base else f"http://{base}")
+    if not parts.hostname:
+        raise ValueError(f"shard URL {base!r} has no host")
+    return parts.hostname, parts.port or 80
+
+
+class ShardTransport:
+    """A keep-alive connection pool to one shard."""
+
+    def __init__(self, base: str, timeout: float = 120.0) -> None:
+        self.base = base
+        self.host, self.port = split_base_url(base)
+        self.timeout = timeout
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._closed = False
+        self.stats = {"connections_opened": 0, "reconnects": 0}
+
+    async def _connect(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self.stats["connections_opened"] += 1
+        return reader, writer
+
+    @staticmethod
+    def _close_pair(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:  # noqa: BLE001 - already torn down
+            pass
+
+    def _render(self, verb: str, path: str, body: bytes, headers: dict) -> bytes:
+        lines = [
+            f"{verb} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+        ]
+        if body:
+            lines.append("Content-Type: application/json")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + body
+
+    async def request(
+        self,
+        verb: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict | None = None,
+        timeout: float | None = None,
+    ) -> TransportResponse:
+        """One round trip; raises ``OSError``-family on transport failure."""
+        budget = self.timeout if timeout is None else timeout
+        return await asyncio.wait_for(
+            self._request_inner(verb, path, body, headers or {}), budget
+        )
+
+    async def _request_inner(
+        self, verb: str, path: str, body: bytes, headers: dict
+    ) -> TransportResponse:
+        payload = self._render(verb, path, body, headers)
+        reused = bool(self._idle)
+        reader, writer = self._idle.pop() if reused else await self._connect()
+        try:
+            writer.write(payload)
+            await writer.drain()
+            status_line = await reader.readline()
+        except (ConnectionError, OSError):
+            self._close_pair(writer)
+            if not reused:
+                raise
+            status_line = b""
+        if not status_line:
+            # EOF where the status line should be: the shard closed this
+            # kept-alive connection between uses.  Retry once on a fresh
+            # connection; a fresh connection going straight to EOF is the
+            # shard actually being down, and raises.
+            self._close_pair(writer)
+            if not reused:
+                raise ConnectionError(f"shard {self.base} closed the connection")
+            self.stats["reconnects"] += 1
+            reader, writer = await self._connect()
+            writer.write(payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            if not status_line:
+                self._close_pair(writer)
+                raise ConnectionError(f"shard {self.base} closed the connection")
+        try:
+            response = await self._read_response(reader, status_line)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:
+            self._close_pair(writer)
+            raise ConnectionError(
+                f"shard {self.base} died mid-response: {error}"
+            ) from error
+        if self._closed or response.headers.get("connection", "").lower() == "close":
+            self._close_pair(writer)
+        else:
+            self._idle.append((reader, writer))
+        return response
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader, status_line: bytes
+    ) -> TransportResponse:
+        parts = status_line.decode("latin-1").strip().split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length > 0 else b""
+        return TransportResponse(status=status, headers=headers, body=body)
+
+    async def aclose(self) -> None:
+        """Close every pooled connection; in-flight exchanges finish and drop."""
+        self._closed = True
+        while self._idle:
+            _, writer = self._idle.pop()
+            self._close_pair(writer)

@@ -16,19 +16,23 @@ evaluations the sweep kernels make cheap:
 * :mod:`~repro.service.worker` -- the picklable execution functions the
   process worker pool runs, byte-identical to :func:`repro.evaluate` /
   :func:`repro.evaluate_sweep`;
-* :mod:`~repro.service.cache` -- the in-process LRU response cache layered
-  on the shared on-disk :class:`~repro.cache.ResultCache`;
+* :mod:`~repro.service.cache` -- the response cache tiers: in-process LRU,
+  the shared on-disk :class:`~repro.cache.ResultCache`, and the cluster's
+  remote tier (peer shards' ``/v1/cache`` surface);
+* :mod:`~repro.service.http` -- the shared asyncio HTTP/1.1 framing used by
+  both this server and the cluster shard router;
 * :mod:`~repro.service.server` -- the asyncio HTTP server
-  (``/v1/evaluate``, ``/v1/evaluate/batch``, ``/v1/methods``, ``/healthz``,
-  ``/metrics``) behind ``repro serve``;
+  (``/v1/evaluate``, ``/v1/evaluate/batch``, ``/v1/methods``, ``/v1/cache``,
+  ``/healthz``, ``/metrics``) behind ``repro serve``;
 * :mod:`~repro.service.client` -- :class:`ServiceClient`, the stdlib Python
-  client.
+  client (per-thread keep-alive connections, typed retries).
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import BackoffPolicy, ServiceClient, ServiceError
 from repro.service.server import EvaluationServer, WorkerCrashError, start_in_background
 
 __all__ = [
+    "BackoffPolicy",
     "EvaluationServer",
     "ServiceClient",
     "ServiceError",

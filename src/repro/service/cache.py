@@ -1,6 +1,6 @@
-"""The service response cache: an in-process LRU over the shared disk cache.
+"""The service response cache: an in-process LRU over disk and remote tiers.
 
-Two tiers, probed in order:
+Three tiers, probed in order:
 
 * **LRU** -- a bounded in-process mapping from request digest to the exact
   wire record previously served.  Warm traffic is answered without touching
@@ -10,7 +10,12 @@ Two tiers, probed in order:
   runner uses.  Entries written by the service are study-shaped
   (``{"digest", "payload", "metrics"}``); deterministic-method entries
   warmed by a study over the same inline model are served to service
-  traffic directly, and survive server restarts.
+  traffic directly, and survive server restarts;
+* **remote** -- the shared cluster tier (``repro serve --cache-peer URL``):
+  on a local miss, peer shards are asked over their ``GET /v1/cache/<digest>``
+  surface.  Peers answer from their *local* tiers only (never their own
+  peers), so probes cannot recurse; a hit back-fills this shard's LRU and
+  disk, so a warm shard answers for a cold one exactly once per key.
 
 The digest covers everything a response depends on *except* how it was
 computed -- batched-kernel and scalar values share a key, exactly like study
@@ -21,22 +26,108 @@ that is the documented CRN trade, not drift.
 
 from __future__ import annotations
 
+import http.client
+import json
 from collections import OrderedDict
 from typing import Any, Mapping
+from urllib.parse import urlsplit
 
 from repro.cache import ResultCache
 
-__all__ = ["ResponseCache"]
+__all__ = ["RemoteCacheClient", "ResponseCache", "record_from_entry"]
+
+
+def record_from_entry(entry: Mapping[str, Any]) -> dict | None:
+    """Rebuild a wire result record from a study-shaped cache entry.
+
+    The canonical payload carries the method name, its resolved options and
+    the seed entropy (``payload["method"]`` is ``{"name": ..., **options}``),
+    so a full :class:`~repro.api.results.EvaluationResult` record can be
+    reconstituted from the entry alone -- which is what lets a ``PUT
+    /v1/cache/<digest>`` populate the receiving shard's LRU, not just its
+    disk.  Returns ``None`` for entries without a usable payload (legacy or
+    foreign files); those still serve through the metrics-only path.
+    """
+    payload = entry.get("payload")
+    metrics = entry.get("metrics")
+    if not isinstance(payload, Mapping) or not isinstance(metrics, Mapping):
+        return None
+    method = payload.get("method")
+    if not isinstance(method, Mapping) or "name" not in method:
+        return None
+    options = {key: value for key, value in method.items() if key != "name"}
+    return {
+        "method": method["name"],
+        "options": options,
+        "metrics": dict(metrics),
+        "seed_entropy": payload.get("entropy"),
+        "elapsed_seconds": 0.0,
+    }
+
+
+class RemoteCacheClient:
+    """Blocking client for peer shards' ``/v1/cache/<digest>`` surface.
+
+    Runs on the server's I/O thread executor (never the event loop).  A
+    peer that is down, slow or answering garbage is a cache *miss*, not an
+    error -- the remote tier degrades to recomputation, the same contract as
+    a damaged disk entry.  ``timeout`` is deliberately short: a dead peer
+    must cost milliseconds, not a request deadline.
+    """
+
+    def __init__(self, peers: tuple[str, ...], timeout: float = 2.0) -> None:
+        self.peers = tuple(peers)
+        self.timeout = timeout
+
+    @staticmethod
+    def _split(peer: str) -> tuple[str, int]:
+        parts = urlsplit(peer if "//" in peer else f"http://{peer}")
+        if not parts.hostname:
+            raise ValueError(f"cache peer {peer!r} has no host")
+        return parts.hostname, parts.port or 80
+
+    def get(self, digest: str) -> dict | None:
+        """Probe every peer in order; the first hit's entry wins."""
+        for peer in self.peers:
+            entry = self._get_one(peer, digest)
+            if entry is not None:
+                return entry
+        return None
+
+    def _get_one(self, peer: str, digest: str) -> dict | None:
+        try:
+            host, port = self._split(peer)
+            connection = http.client.HTTPConnection(host, port, timeout=self.timeout)
+            try:
+                connection.request("GET", f"/v1/cache/{digest}")
+                response = connection.getresponse()
+                raw = response.read()
+            finally:
+                connection.close()
+            if response.status != 200:
+                return None
+            entry = json.loads(raw)
+        except (OSError, ValueError, http.client.HTTPException):
+            return None
+        if not isinstance(entry, dict) or not isinstance(entry.get("metrics"), dict):
+            return None
+        return entry
 
 
 class ResponseCache:
-    """Bounded LRU response store with an optional disk tier."""
+    """Bounded LRU response store with optional disk and remote tiers."""
 
-    def __init__(self, max_entries: int = 1024, disk: ResultCache | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        disk: ResultCache | None = None,
+        remote: RemoteCacheClient | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be a positive integer, got {max_entries}")
         self.max_entries = max_entries
         self.disk = disk
+        self.remote = remote
         self._records: OrderedDict[str, dict] = OrderedDict()
 
     def get_local(self, digest: str) -> dict | None:
@@ -54,6 +145,38 @@ class ResponseCache:
         if entry is None:
             return None
         return entry["metrics"]
+
+    def get_remote(self, digest: str) -> dict | None:
+        """The remote tier: a peer shard's entry metrics, or ``None``.
+
+        Blocking network I/O -- the server calls this off the event loop,
+        exactly like the disk tier.
+        """
+        if self.remote is None:
+            return None
+        entry = self.remote.get(digest)
+        if entry is None:
+            return None
+        return entry["metrics"]
+
+    def entry_for(self, digest: str) -> dict | None:
+        """The full study-shaped entry for ``digest`` from the *local* tiers.
+
+        This is what ``GET /v1/cache/<digest>`` serves to peers: the disk
+        entry when one exists (it carries the canonical payload), otherwise
+        an entry rebuilt from the LRU record (metrics only -- still enough
+        for the probing peer, which rebuilds the wire record from its own
+        request context).  Peers are never probed here, so two shards
+        pointing at each other cannot ping-pong a miss.
+        """
+        if self.disk is not None:
+            entry = self.disk.load(digest)
+            if entry is not None:
+                return {"digest": digest, **entry} if "digest" not in entry else entry
+        record = self.get_local(digest)
+        if record is not None:
+            return {"digest": digest, "metrics": dict(record["metrics"])}
+        return None
 
     def put_local(self, digest: str, record: Mapping[str, Any]) -> None:
         self._records[digest] = dict(record)
@@ -75,8 +198,36 @@ class ResponseCache:
                 {"digest": digest, "payload": dict(payload), "metrics": dict(record["metrics"])},
             )
 
+    def store_entry(self, digest: str, entry: Mapping[str, Any]) -> bool:
+        """Accept a pushed entry (``PUT /v1/cache/<digest>``) into local tiers.
+
+        The LRU is filled when the entry's payload is rich enough to rebuild
+        a wire record; the disk tier is filled when it exists and the entry
+        carries its payload (the study-compatible shape).  Returns whether
+        anything was stored.
+        """
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, Mapping):
+            return False
+        stored = False
+        record = record_from_entry(entry)
+        if record is not None:
+            self.put_local(digest, record)
+            stored = True
+        if self.disk is not None and isinstance(entry.get("payload"), Mapping):
+            self.disk.store(
+                digest,
+                {
+                    "digest": digest,
+                    "payload": dict(entry["payload"]),
+                    "metrics": dict(metrics),
+                },
+            )
+            stored = True
+        return stored
+
     def put(self, digest: str, record: Mapping[str, Any], payload: Mapping[str, Any]) -> None:
-        """Store a freshly computed record in both tiers."""
+        """Store a freshly computed record in both local tiers."""
         self.put_local(digest, record)
         self.store_disk(digest, record, payload)
 

@@ -5,9 +5,12 @@ JSON protocol and returns the same typed
 :class:`~repro.api.results.EvaluationResult` objects the in-process API
 produces -- swapping ``repro.evaluate(model, ...)`` for
 ``client.evaluate(model, ...)`` changes where the work runs, not what comes
-back.  Each call opens its own connection, so one client instance can be
-shared freely across threads (the concurrent-client pattern that triggers
-micro-batching; see ``examples/service_client.py``).
+back.  Connections are kept alive *per thread*: each thread reuses one
+``http.client`` connection across calls (reconnecting transparently when the
+server closed it between calls), so one client instance can be shared
+freely across threads (the concurrent-client pattern that triggers
+micro-batching; see ``examples/service_client.py``) without paying a TCP
+handshake per request.
 """
 
 from __future__ import annotations
@@ -15,12 +18,13 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import threading
 import time
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.api.results import EvaluationRequest, EvaluationResult
 
-__all__ = ["RETRYABLE_STATUSES", "ServiceClient", "ServiceError"]
+__all__ = ["BackoffPolicy", "RETRYABLE_STATUSES", "ServiceClient", "ServiceError"]
 
 #: Statuses worth retrying: transient server-side saturation (429) and
 #: draining/unavailability (503).  Everything else is either the caller's
@@ -77,6 +81,38 @@ class ServiceError(RuntimeError):
         return self.status in RETRYABLE_STATUSES
 
 
+class BackoffPolicy:
+    """Exponential backoff with jitter, honouring ``Retry-After``.
+
+    ``base * 2**attempt`` capped at ``maximum``, scaled by a random factor
+    in [0.5, 1.0]; a server-sent ``Retry-After`` sets the floor.  Shared by
+    :class:`ServiceClient` (per-call retries) and the cluster router
+    (per-hop retries, :mod:`repro.cluster.router`) so the two layers cannot
+    drift apart in retry behaviour.  ``rng`` is the injection seam that
+    makes a whole backoff schedule assertable in tests.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        maximum: float = 2.0,
+        rng: Callable[[], float] = random.random,
+    ) -> None:
+        if base <= 0.0 or maximum <= 0.0:
+            raise ValueError("backoff base and maximum must be positive")
+        self.base = base
+        self.maximum = maximum
+        self.rng = rng
+
+    def delay(self, attempt: int, retry_after: float | None = None) -> float:
+        """The delay before retry ``attempt`` (0-based), jitter applied."""
+        delay = min(self.maximum, self.base * (2.0**attempt))
+        delay *= 0.5 + 0.5 * self.rng()
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
+
+
 def _parse_retry_after(value: str | None) -> float | None:
     if value is None:
         return None
@@ -126,26 +162,104 @@ class ServiceClient:
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
-        if backoff_base <= 0.0 or backoff_max <= 0.0:
-            raise ValueError("backoff_base and backoff_max must be positive")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
+        self.backoff = BackoffPolicy(backoff_base, backoff_max, rng=rng)
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         # Injection seams for the retry tests: a recorded fake clock and a
         # pinned jitter make the whole backoff schedule assertable.
         self._sleep = sleep
         self._rng = rng
+        # One keep-alive connection per thread (http.client connections are
+        # not thread-safe); client-side transport stats behind one lock.
+        self._local = threading.local()
+        self._stats_lock = threading.Lock()
+        self._stats = {"connections_opened": 0, "reconnects": 0}
 
     def backoff_delay(self, attempt: int, retry_after: float | None = None) -> float:
         """The delay before retry ``attempt`` (0-based), jitter applied."""
-        delay = min(self.backoff_max, self.backoff_base * (2.0**attempt))
-        delay *= 0.5 + 0.5 * self._rng()
-        if retry_after is not None:
-            delay = max(delay, retry_after)
-        return delay
+        return self.backoff.delay(attempt, retry_after)
+
+    # ----------------------------------------------------------------- #
+    # Transport: per-thread keep-alive connections
+    # ----------------------------------------------------------------- #
+    @property
+    def stats(self) -> dict:
+        """Client-side transport counters, copied under the lock.
+
+        ``connections_opened`` counts fresh TCP connections (one per thread
+        in the steady state), ``reconnects`` counts kept-alive connections
+        found stale on reuse (the server closed them between calls).
+        """
+        with self._stats_lock:
+            return dict(self._stats)
+
+    def _count(self, name: str) -> None:
+        with self._stats_lock:
+            self._stats[name] += 1
+
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's connection and whether it is being *reused*."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection, True
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        self._local.connection = connection
+        self._count("connections_opened")
+        return connection, False
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        self._local.connection = None
+        if connection is not None:
+            connection.close()
+
+    def close(self) -> None:
+        """Close *this thread's* kept-alive connection (idempotent).
+
+        Other threads' connections close when their thread ends (or are
+        reaped with the client object); a closed client remains usable --
+        the next call simply opens a fresh connection.
+        """
+        self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _exchange(self, verb: str, path: str, body: bytes | None, headers: dict):
+        """One request/response over this thread's connection.
+
+        A *reused* connection that fails at the transport layer is presumed
+        stale -- the server closed it between calls, which HTTP/1.1
+        keep-alive explicitly allows -- so it is dropped and the exchange
+        retried once on a fresh connection (counted in ``reconnects``).  A
+        *fresh* connection failing the same way is a real transport error
+        and propagates to the retry loop.
+        """
+        connection, reused = self._connection()
+        try:
+            connection.request(verb, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response, response.read()
+        except (http.client.HTTPException, ConnectionError, TimeoutError, OSError):
+            self._drop_connection()
+            if not reused:
+                raise
+            self._count("reconnects")
+        connection, _ = self._connection()
+        try:
+            connection.request(verb, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response, response.read()
+        except (http.client.HTTPException, ConnectionError, TimeoutError, OSError):
+            self._drop_connection()
+            raise
 
     def _request(self, verb: str, path: str, payload: dict | None = None) -> dict:
         last_error: Exception | None = None
@@ -169,38 +283,32 @@ class ServiceClient:
         raise last_error  # pragma: no cover - the loop always returns or raises
 
     def _request_once(self, verb: str, path: str, payload: dict | None = None) -> dict:
-        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        response, raw = self._exchange(verb, path, body, headers)
         try:
-            body = None if payload is None else json.dumps(payload).encode("utf-8")
-            headers = {"Content-Type": "application/json"} if body is not None else {}
-            connection.request(verb, path, body=body, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-            try:
-                data = json.loads(raw) if raw else {}
-            except json.JSONDecodeError as error:
-                raise ServiceError(
-                    response.status,
-                    f"non-JSON response: {error}",
-                    trace_id=response.getheader("x-repro-trace-id"),
-                ) from error
-            if response.status >= 400:
-                if isinstance(data, Mapping):
-                    message = data.get("error", raw.decode("utf-8", "replace"))
-                    code = data.get("code")
-                    trace_id = data.get("trace_id")
-                else:
-                    message, code, trace_id = raw.decode("utf-8", "replace"), None, None
-                raise ServiceError(
-                    response.status,
-                    message,
-                    code=code,
-                    retry_after=_parse_retry_after(response.getheader("Retry-After")),
-                    trace_id=trace_id or response.getheader("x-repro-trace-id"),
-                )
-            return data
-        finally:
-            connection.close()
+            data = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as error:
+            raise ServiceError(
+                response.status,
+                f"non-JSON response: {error}",
+                trace_id=response.getheader("x-repro-trace-id"),
+            ) from error
+        if response.status >= 400:
+            if isinstance(data, Mapping):
+                message = data.get("error", raw.decode("utf-8", "replace"))
+                code = data.get("code")
+                trace_id = data.get("trace_id")
+            else:
+                message, code, trace_id = raw.decode("utf-8", "replace"), None, None
+            raise ServiceError(
+                response.status,
+                message,
+                code=code,
+                retry_after=_parse_retry_after(response.getheader("Retry-After")),
+                trace_id=trace_id or response.getheader("x-repro-trace-id"),
+            )
+        return data
 
     # ----------------------------------------------------------------- #
     # Evaluation

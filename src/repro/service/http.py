@@ -1,0 +1,147 @@
+"""The shared asyncio HTTP/1.1 front: request framing and response writing.
+
+Both serving layers -- the evaluation server (:mod:`repro.service.server`)
+and the cluster shard router (:mod:`repro.cluster.router`) -- speak the same
+minimal, dependency-free HTTP/1.1 over ``asyncio`` streams: Content-Length
+framed bodies, keep-alive by default, JSON payloads (or pre-rendered text
+for the Prometheus exposition).  The framing lives here so the two fronts
+cannot drift: a request the server accepts is a request the router can
+terminate, byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "REASONS",
+    "HttpRequest",
+    "read_request",
+    "render_response",
+    "write_response",
+]
+
+#: Largest accepted request body.  A 10k-fault inline model is ~0.5 MB of
+#: JSON; 32 MB leaves two orders of magnitude of headroom while bounding a
+#: misbehaving client's memory impact.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One framed request off the wire (or the framing error it produced)."""
+
+    verb: str = ""
+    path: str = ""
+    query: str = ""
+    headers: dict[str, str] | None = None
+    body: bytes = b""
+    close: bool = False
+    #: ``(status, message)`` when framing failed; the connection handler
+    #: answers it and closes.  ``None`` for a well-formed request.
+    error: tuple[int, str] | None = None
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Read one request off ``reader``; ``None`` at a clean end of stream.
+
+    Framing failures (malformed request line, bad Content-Length, oversized
+    body) come back as a request whose ``error`` is set -- the caller
+    responds with it and drops the connection, because the stream position
+    is no longer trustworthy.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        return HttpRequest(error=(400, "malformed request line"), close=True)
+    verb, target, version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        length = -1  # non-integer: rejected below with negatives
+    if length < 0:
+        return HttpRequest(error=(400, "bad Content-Length"), close=True)
+    if length > MAX_BODY_BYTES:
+        return HttpRequest(
+            error=(413, f"request body exceeds {MAX_BODY_BYTES} bytes"), close=True
+        )
+    body = await reader.readexactly(length) if length else b""
+    close = (
+        headers.get("connection", "").lower() == "close" or version.upper() == "HTTP/1.0"
+    )
+    path, _, query = target.partition("?")
+    return HttpRequest(
+        verb=verb.upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+        close=close,
+    )
+
+
+def render_response(
+    status: int,
+    payload: dict | list | str,
+    close: bool,
+    extra_headers: dict | None = None,
+) -> bytes:
+    """Render a full response (head + body) ready to write.
+
+    A ``str`` payload is pre-rendered text (the Prometheus exposition);
+    everything else is JSON.
+    """
+    if isinstance(payload, str):
+        data = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        data = (json.dumps(payload) + "\n").encode("utf-8")
+        content_type = "application/json"
+    extras = "".join(
+        f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+    )
+    head = (
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(data)}\r\n"
+        f"{extras}"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + data
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict | list | str,
+    close: bool,
+    extra_headers: dict | None = None,
+) -> None:
+    writer.write(render_response(status, payload, close, extra_headers))
+    await writer.drain()

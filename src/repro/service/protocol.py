@@ -51,7 +51,7 @@ __all__ = [
 _EVALUATE_KEYS = {
     "model", "scenario", "method", "options", "seed", "p_scale", "q_scale", "timeout_ms",
 }
-_BATCH_KEYS = {"model", "scenario", "requests", "seed", "timeout_ms"}
+_BATCH_KEYS = {"model", "scenario", "requests", "seed", "timeout_ms", "stream_indices"}
 
 
 @dataclass(frozen=True)
@@ -252,15 +252,22 @@ def parse_evaluate_payload(payload) -> ServiceRequest:
     )
 
 
-def parse_batch_payload(payload) -> tuple[dict, list[tuple[str, dict]], int]:
+def parse_batch_payload(
+    payload,
+) -> tuple[dict, list[tuple[str, dict]], int, list[int] | None]:
     """Validate a ``/v1/evaluate/batch`` body.
 
-    Returns ``(model_data, requests, seed)`` where ``requests`` is a list of
-    ``(method, options)`` pairs in request order -- exactly what
-    :func:`repro.evaluate_batch` accepts, so the endpoint is a lossless
-    transport of its argument list.  Request elements accept the same
-    spellings as the Python API: a method name or a mapping with a
+    Returns ``(model_data, requests, seed, stream_indices)`` where
+    ``requests`` is a list of ``(method, options)`` pairs in request order --
+    exactly what :func:`repro.evaluate_batch` accepts, so the endpoint is a
+    lossless transport of its argument list.  Request elements accept the
+    same spellings as the Python API: a method name or a mapping with a
     ``"method"`` key and the options flattened alongside it.
+
+    ``stream_indices`` (optional) carries each request's *global* position
+    when the batch is a slice of a larger one -- the cluster router sends it
+    so a fanned-out sub-batch derives the same ``(seed, index)`` streams,
+    and therefore the same bytes, as the unsplit call.
     """
     payload = _require_mapping(payload, "a batch request")
     _reject_unknown(payload, _BATCH_KEYS, "batch request")
@@ -279,4 +286,26 @@ def parse_batch_payload(payload) -> tuple[dict, list[tuple[str, dict]], int]:
         except ValueError as error:
             raise ValueError(f"request {index}: {error}") from error
         requests.append((request.method, request.option_dict()))
-    return model.to_dict(), requests, seed
+    stream_indices = _parse_stream_indices(payload.get("stream_indices"), len(requests))
+    return model.to_dict(), requests, seed, stream_indices
+
+
+def _parse_stream_indices(raw, count: int) -> list[int] | None:
+    if raw is None:
+        return None
+    if not isinstance(raw, list):
+        raise ValueError(
+            f"'stream_indices' must be a list of non-negative integers, got {type(raw).__name__}"
+        )
+    if len(raw) != count:
+        raise ValueError(
+            f"'stream_indices' ({len(raw)}) must match 'requests' ({count})"
+        )
+    indices: list[int] = []
+    for position in raw:
+        if isinstance(position, bool) or not isinstance(position, int) or position < 0:
+            raise ValueError(
+                f"'stream_indices' must be non-negative integers, got {position!r}"
+            )
+        indices.append(position)
+    return indices

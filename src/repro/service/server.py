@@ -9,10 +9,18 @@ Endpoint                     Meaning
 ``POST /v1/evaluate``        one evaluation (micro-batched with concurrent traffic)
 ``POST /v1/evaluate/batch``  one ``repro.evaluate_batch`` call, shipped as one job
 ``GET /v1/methods``          the method registry's schemas (``repro methods`` as JSON)
+``GET /v1/cache/<digest>``   the shared cache surface: this shard's cached entry
+                             for a digest (local tiers only), or 404
+``PUT /v1/cache/<digest>``   push a study-shaped entry into this shard's cache
 ``GET /healthz``             liveness: ``{"status": "ok", ...}``
 ``GET /metrics``             counters, gauges and latency histograms (JSON; the
                              Prometheus text exposition via ``?format=prom``)
 ===========================  ========================================================
+
+The ``/v1/cache`` surface is the cluster's shared cache tier
+(:mod:`repro.cluster`): shards started with ``--cache-peer URL`` probe each
+other's entries after a local LRU + disk miss, so a shard warmed by studies
+or earlier traffic answers for a cold one without recomputation.
 
 Request handling is fully asynchronous: each connection is a task, each
 ``/v1/evaluate`` awaits the micro-batcher, and every evaluation runs on an
@@ -30,17 +38,19 @@ from __future__ import annotations
 import asyncio
 import contextvars
 import json
+import string
 import sys
 import threading
 import time
-from typing import Any
+from typing import Any, Sequence
 from urllib.parse import parse_qs
 
 from repro import telemetry
 from repro.api.registry import default_registry
 from repro.cache import ResultCache
 from repro.service.batcher import MicroBatcher
-from repro.service.cache import ResponseCache
+from repro.service.cache import RemoteCacheClient, ResponseCache, record_from_entry
+from repro.service.http import read_request, write_response
 from repro.service.protocol import (
     parse_batch_payload,
     parse_evaluate_payload,
@@ -80,6 +90,11 @@ _COUNTER_NAMES = (
     "rejected_saturated",
     "rejected_draining",
     "deadline_timeouts",
+    "cache_hits_remote",
+    "remote_cache_probes",
+    "cache_endpoint_hits",
+    "cache_endpoint_misses",
+    "cache_endpoint_stores",
 )
 
 #: Latency histograms the server always populates (cheap fixed-bucket
@@ -90,22 +105,7 @@ _HISTOGRAM_NAMES = (
     "batch_window_wait_seconds",
 )
 
-#: Largest accepted request body.  A 10k-fault inline model is ~0.5 MB of
-#: JSON; 32 MB leaves two orders of magnitude of headroom while bounding a
-#: misbehaving client's memory impact.
-MAX_BODY_BYTES = 32 * 1024 * 1024
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
+_HEX_DIGITS = frozenset(string.hexdigits.lower())
 
 
 class WorkerCrashError(RuntimeError):
@@ -136,6 +136,11 @@ class EvaluationServer:
         content-addressed :class:`~repro.cache.ResultCache` format).
     lru_size:
         In-process response-cache capacity (entries).
+    cache_peers:
+        Base URLs of peer shards whose ``/v1/cache/<digest>`` surface is
+        probed after a local LRU + disk miss (``repro serve --cache-peer``).
+        A hit back-fills the local tiers, so a warm peer answers for this
+        shard exactly once per key; a dead or slow peer is just a miss.
     max_inflight:
         Admission control: how many evaluation requests may be *running*
         concurrently.  Further requests queue.
@@ -159,6 +164,7 @@ class EvaluationServer:
         batch: bool = True,
         cache_dir: str | None = None,
         lru_size: int = 1024,
+        cache_peers: Sequence[str] = (),
         max_inflight: int = 64,
         max_queue: int = 256,
         request_timeout_ms: float | None = None,
@@ -184,6 +190,7 @@ class EvaluationServer:
         self.batch_window_ms = batch_window_ms
         self.batch = batch
         self.cache_dir = cache_dir
+        self.cache_peers = tuple(cache_peers)
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.request_timeout_ms = request_timeout_ms
@@ -191,10 +198,14 @@ class EvaluationServer:
         self.cache = ResponseCache(
             max_entries=lru_size,
             disk=ResultCache(cache_dir) if cache_dir is not None else None,
+            remote=RemoteCacheClient(self.cache_peers) if self.cache_peers else None,
         )
         self._executor = None
         self._started = time.time()
         self._draining = False
+        # Open client connections (kept alive between requests); closed at
+        # aclose() so parked handler tasks end via EOF, not cancellation.
+        self._connections: set[asyncio.StreamWriter] = set()
         self._running = 0
         self._queued = 0
         # Created lazily per event loop: asyncio primitives bind to the loop
@@ -330,6 +341,23 @@ class EvaluationServer:
                 record = request.result_record(metrics)
                 self.cache.put_local(digest, record)
                 return {"result": record, "served": {"cached": "disk", "batched": False, "group_size": 0}}
+            # The shared remote tier: peer shards' /v1/cache surface, probed
+            # only after both local tiers missed (network I/O, also off the
+            # event loop).  A hit back-fills LRU and disk so each key is
+            # fetched from a peer at most once.
+            if self.cache.remote is not None:
+                self.registry.inc("remote_cache_probes")
+                metrics = await self._in_io_thread(self.cache.get_remote, digest)
+            if metrics is not None:
+                probe.set(tier="remote")
+                self.registry.inc("cache_hits_remote")
+                record = request.result_record(metrics)
+                self.cache.put_local(digest, record)
+                if self.cache.disk is not None:
+                    await self._in_io_thread(
+                        self.cache.store_disk, digest, record, request.payload()
+                    )
+                return {"result": record, "served": {"cached": "remote", "batched": False, "group_size": 0}}
             probe.set(tier="miss")
         self.registry.inc("cache_misses")
         record, meta = await self.batcher.submit(request, digest)
@@ -341,16 +369,82 @@ class EvaluationServer:
         return {"result": record, "served": {"cached": None, **meta}}
 
     async def _serve_batch(self, payload) -> dict:
-        model_data, requests, seed = parse_batch_payload(payload)
+        model_data, requests, seed, stream_indices = parse_batch_payload(payload)
         self.registry.inc("batch_endpoint_requests")
         self.registry.inc("batch_endpoint_evaluations", len(requests))
         records = await self._run_in_pool(
-            worker.evaluate_batch_endpoint, (model_data, requests, seed)
+            worker.evaluate_batch_endpoint, (model_data, requests, seed, stream_indices)
         )
         return {"results": records, "served": {"cached": None, "requests": len(requests)}}
 
     def _serve_methods(self) -> dict:
         return {"methods": [definition.schema() for definition in default_registry()]}
+
+    # ----------------------------------------------------------------- #
+    # The shared cache surface (the cluster's remote tier)
+    # ----------------------------------------------------------------- #
+    async def _serve_cache_get(self, digest: str) -> tuple[int, dict]:
+        """``GET /v1/cache/<digest>``: this shard's entry, local tiers only.
+
+        The LRU is probed on the event loop (cheap dict access), the disk
+        tier on the I/O executor.  Peers are deliberately *not* probed --
+        two shards pointing at each other must not ping-pong a miss -- and
+        no admission control applies: peers keep reading from a draining or
+        saturated shard.
+        """
+        record = self.cache.get_local(digest)
+        if record is not None:
+            self.registry.inc("cache_endpoint_hits")
+            return 200, {"digest": digest, "metrics": dict(record["metrics"])}
+        if self.cache.disk is not None:
+            entry = await self._in_io_thread(self.cache.disk.load, digest)
+            if entry is not None:
+                self.registry.inc("cache_endpoint_hits")
+                return 200, {"digest": digest, **entry}
+        self.registry.inc("cache_endpoint_misses")
+        return 404, {"error": f"no cache entry for digest {digest[:12]}...", "code": "cache_miss"}
+
+    async def _serve_cache_put(self, digest: str, body: bytes) -> tuple[int, dict]:
+        """``PUT /v1/cache/<digest>``: accept a pushed study-shaped entry.
+
+        The LRU fills when the entry's payload is rich enough to rebuild a
+        wire record (:func:`record_from_entry`); the disk tier fills when it
+        exists and the entry carries its payload.  The pushed bytes are
+        trusted exactly as far as a disk entry would be -- the digest keys
+        them, the content-addressed scheme makes collisions a non-concern.
+        """
+        try:
+            entry = json.loads(body or b"null")
+        except json.JSONDecodeError as error:
+            return 400, {"error": f"cache entry is not valid JSON: {error}", "code": "bad_request"}
+        if not isinstance(entry, dict) or not isinstance(entry.get("metrics"), dict):
+            return 400, {
+                "error": "a cache entry needs a 'metrics' object (study entry shape)",
+                "code": "bad_request",
+            }
+        stored = False
+        record = record_from_entry(entry)
+        if record is not None:
+            self.cache.put_local(digest, record)
+            stored = True
+        if self.cache.disk is not None and isinstance(entry.get("payload"), dict):
+            await self._in_io_thread(
+                self.cache.disk.store,
+                digest,
+                {"digest": digest, "payload": dict(entry["payload"]), "metrics": dict(entry["metrics"])},
+            )
+            stored = True
+        if stored:
+            self.registry.inc("cache_endpoint_stores")
+        return 200, {"digest": digest, "stored": stored}
+
+    @staticmethod
+    def _cache_digest(path: str) -> str | None:
+        """The digest component of a ``/v1/cache/<digest>`` path, validated."""
+        digest = path[len("/v1/cache/"):]
+        if len(digest) == 64 and set(digest) <= _HEX_DIGITS:
+            return digest
+        return None
 
     def _metrics_snapshot(self) -> dict:
         """One consistent registry cut, merged with worker-side observations.
@@ -412,6 +506,15 @@ class EvaluationServer:
         unbounded backlog.  A deadline overrun cancels the waiting request
         and answers 504; groupmates batched with it are unaffected (their
         futures complete independently).
+
+        Admission accounting is *atomic with the saturation check*: the
+        queued counter (and its gauge) is bumped here, synchronously, before
+        the first ``await`` -- not inside the queued coroutine, which only
+        starts on a later event-loop tick.  Without that, a burst arriving
+        in one tick would all pass the saturation check against stale
+        counters (over-admission beyond ``max_queue``), and a ``/metrics``
+        snapshot taken between admission and enqueue would under-report
+        ``queued_requests``.
         """
         if self._draining:
             coroutine.close()
@@ -421,7 +524,11 @@ class EvaluationServer:
                 {"error": "server is draining before shutdown", "code": "draining"},
                 {"Retry-After": "1"},
             )
-        if self._queued >= self.max_queue and self._running >= self.max_inflight:
+        # One combined capacity check: a reservation counts against the queue
+        # until its slot is acquired, so comparing the *sum* keeps the check
+        # exact even for a same-tick burst where nothing has started running
+        # yet (separate comparisons would admit against a stale running=0).
+        if self._queued + self._running >= self.max_queue + self.max_inflight:
             coroutine.close()
             self.registry.inc("rejected_saturated")
             return (
@@ -436,6 +543,11 @@ class EvaluationServer:
                 },
                 {"Retry-After": "1"},
             )
+        # Reserve the queue slot NOW, before the first await: the wait_for
+        # task below only starts on a later loop tick, and every concurrent
+        # admission this tick must see this request counted.
+        self._queued += 1
+        self._set_admission_gauges()
         effective = timeout_ms if timeout_ms is not None else self.request_timeout_ms
         timeout = None if effective is None else effective / 1000.0
         try:
@@ -452,27 +564,85 @@ class EvaluationServer:
             )
         return 200, payload, {}
 
+    def _set_admission_gauges(self) -> None:
+        """Publish the admission counters as gauges, synchronously.
+
+        Called at every queued/running transition so a ``/metrics`` snapshot
+        taken mid-burst reads the same numbers admission control does --
+        not values from one loop tick ago.
+        """
+        self.registry.set_gauge("queued_requests", self._queued)
+        self.registry.set_gauge("running_requests", self._running)
+
     async def _with_slot(self, coroutine):
+        # The caller (_admit) already took the queued reservation; this
+        # coroutine releases it once a running slot is acquired.  A deadline
+        # cancellation lands inside acquire() -- after this task's first
+        # step, which the event loop always runs before a positive wait_for
+        # timer -- so the finally below cannot be skipped.
         semaphore = self._slot_semaphore()
-        self._queued += 1
         waited_from = time.perf_counter()
         try:
             await semaphore.acquire()
+        except asyncio.CancelledError:
+            # The deadline fired while this request was still queued: the
+            # evaluation coroutine never started, so close it here instead
+            # of leaking it un-awaited.
+            coroutine.close()
+            raise
         finally:
             self._queued -= 1
+            self._set_admission_gauges()
         waited = time.perf_counter() - waited_from
         self.registry.observe("queue_wait_seconds", waited)
         telemetry.record("server.queue_wait", waited)
         self._running += 1
+        self._set_admission_gauges()
         try:
             return await coroutine
         finally:
             self._running -= 1
+            self._set_admission_gauges()
             semaphore.release()
 
     async def _route(
         self, verb: str, path: str, body: bytes, query: str = ""
     ) -> tuple[int, dict | str, dict]:
+        if path.startswith("/v1/cache/"):
+            # The shared cache surface: no admission control (peers keep
+            # reading from a draining or saturated shard) and no fixed
+            # route-table entry (the digest is part of the path).
+            digest = self._cache_digest(path)
+            if digest is None:
+                return (
+                    404,
+                    {
+                        "error": "cache paths are /v1/cache/<64 lowercase hex digest chars>",
+                        "code": "not_found",
+                    },
+                    {},
+                )
+            if verb not in ("GET", "PUT"):
+                return (
+                    405,
+                    {"error": f"{path} expects GET or PUT, got {verb}", "code": "method_not_allowed"},
+                    {},
+                )
+            try:
+                if verb == "GET":
+                    status, payload = await self._serve_cache_get(digest)
+                else:
+                    status, payload = await self._serve_cache_put(digest, body)
+                return status, payload, {}
+            except Exception as error:  # noqa: BLE001 - the server must not die
+                return (
+                    500,
+                    {
+                        "error": f"cache operation failed: {type(error).__name__}: {error}",
+                        "code": "cache_failed",
+                    },
+                    {},
+                )
         routes = {
             "/healthz": "GET",
             "/metrics": "GET",
@@ -549,45 +719,18 @@ class EvaluationServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
-                request_line = await reader.readline()
-                if not request_line:
+                request = await read_request(reader)
+                if request is None:
                     break
-                parts = request_line.decode("latin-1").strip().split()
-                if len(parts) != 3:
-                    await self._respond(writer, 400, {"error": "malformed request line"}, True)
+                if request.error is not None:
+                    status, message = request.error
+                    await write_response(writer, status, {"error": message}, True)
                     break
-                verb, target, version = parts
-                headers: dict[str, str] = {}
-                while True:
-                    line = await reader.readline()
-                    if line in (b"\r\n", b"\n", b""):
-                        break
-                    name, _, value = line.decode("latin-1").partition(":")
-                    headers[name.strip().lower()] = value.strip()
-                try:
-                    length = int(headers.get("content-length", "0") or "0")
-                except ValueError:
-                    length = -1  # non-integer: rejected below with negatives
-                if length < 0:
-                    await self._respond(writer, 400, {"error": "bad Content-Length"}, True)
-                    break
-                if length > MAX_BODY_BYTES:
-                    await self._respond(
-                        writer,
-                        413,
-                        {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"},
-                        True,
-                    )
-                    break
-                body = await reader.readexactly(length) if length else b""
-                close = (
-                    headers.get("connection", "").lower() == "close"
-                    or version.upper() == "HTTP/1.0"
-                )
                 self.registry.inc("requests_total")
-                path, _, query = target.partition("?")
+                headers = request.headers or {}
                 # Every request gets a trace id -- the client's own when it
                 # sent one (x-repro-trace-id), so multi-hop callers
                 # correlate; echoed on the response either way.
@@ -596,10 +739,13 @@ class EvaluationServer:
                 handled_from = time.perf_counter()
                 try:
                     with telemetry.span(
-                        "server.request", trace_id=trace_id, path=path, verb=verb.upper()
+                        "server.request",
+                        trace_id=trace_id,
+                        path=request.path,
+                        verb=request.verb,
                     ) as request_span:
                         status, payload, extra_headers = await self._route(
-                            verb.upper(), path, body, query
+                            request.verb, request.path, request.body, request.query
                         )
                         request_span.set(status=status)
                 finally:
@@ -611,7 +757,7 @@ class EvaluationServer:
                     and elapsed * 1000.0 > self.slow_request_ms
                 ):
                     print(
-                        f"slow request: {verb.upper()} {path} -> {status} "
+                        f"slow request: {request.verb} {request.path} -> {status} "
                         f"in {elapsed * 1000.0:.1f} ms (trace {trace_id})",
                         file=sys.stderr,
                         flush=True,
@@ -621,47 +767,18 @@ class EvaluationServer:
                     if isinstance(payload, dict) and "error" in payload:
                         payload.setdefault("trace_id", trace_id)
                 extra_headers = {**(extra_headers or {}), "x-repro-trace-id": trace_id}
-                await self._respond(writer, status, payload, close, extra_headers)
-                if close:
+                await write_response(writer, status, payload, request.close, extra_headers)
+                if request.close:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-request; nothing to answer
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
-
-    async def _respond(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: dict | str,
-        close: bool,
-        extra_headers: dict | None = None,
-    ) -> None:
-        # A str payload is pre-rendered text (the Prometheus exposition);
-        # everything else is JSON.
-        if isinstance(payload, str):
-            data = payload.encode("utf-8")
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        else:
-            data = (json.dumps(payload) + "\n").encode("utf-8")
-            content_type = "application/json"
-        extras = "".join(
-            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
-        )
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(data)}\r\n"
-            f"{extras}"
-            f"Connection: {'close' if close else 'keep-alive'}\r\n"
-            "\r\n"
-        )
-        writer.write(head.encode("latin-1") + data)
-        await writer.drain()
 
     # ----------------------------------------------------------------- #
     # Lifecycle
@@ -696,6 +813,13 @@ class EvaluationServer:
         deadline = loop.time() + drain_seconds
         while self._running > 0 and loop.time() < deadline:
             await asyncio.sleep(0.02)
+        # Close kept-alive client connections: their parked handler tasks
+        # see EOF and exit cleanly (cancelling them instead trips a noisy
+        # CPython 3.11 streams callback on every cancelled handler).
+        for writer in list(self._connections):
+            writer.close()
+        while self._connections and loop.time() < deadline + 1.0:
+            await asyncio.sleep(0.01)
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
@@ -756,6 +880,17 @@ def start_in_background(
             asyncio_server.close()
             loop.run_until_complete(asyncio_server.wait_closed())
             loop.run_until_complete(server.aclose())
+            # Kept-alive client connections leave their handler tasks
+            # parked in read_request(); cancel them while the loop can
+            # still run their cleanup, or closing the loop strands them
+            # (unraisable GeneratorExit at garbage collection).
+            pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
         except BaseException as error:  # noqa: BLE001 - surfaced to the caller
             box["error"] = error
             started.set()

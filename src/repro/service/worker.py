@@ -135,8 +135,13 @@ def evaluate_batch_endpoint(arguments: tuple) -> list[dict]:
     Per-request ``(seed, index)`` streams and duplicate-request coalescing
     are ``evaluate_batch``'s own semantics; the service adds nothing, so the
     endpoint is byte-identical to calling the function directly.
+    ``stream_indices`` (sent by the cluster router for fanned-out
+    sub-batches) passes straight through, keeping each request's stream tied
+    to its position in the *original* batch.
     """
-    model_data, requests, seed = arguments
+    model_data, requests, seed, stream_indices = arguments
     model = FaultModel.from_dict(model_data)
-    results = api_evaluate_batch(model, requests, seed=seed)
+    results = api_evaluate_batch(
+        model, requests, seed=seed, stream_indices=stream_indices
+    )
     return [result.to_dict() for result in results]

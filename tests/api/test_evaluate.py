@@ -227,3 +227,59 @@ class TestUnregister:
         assert "temp" not in registry
         with pytest.raises(ValueError, match="unknown method 'temp'"):
             registry.unregister("temp")
+
+
+class TestStreamIndices:
+    """``stream_indices``: a sub-batch reproduces its slice of a full batch.
+
+    This is the router's fan-out contract -- a batch split across shards,
+    each sub-batch carrying its members' original positions, must be
+    byte-identical to the unsplit call.
+    """
+
+    REQUESTS = [
+        ("montecarlo", {"replications": 1000}),
+        "moments",
+        ("montecarlo", {"replications": 1000}),
+        ("tail-quantile", {"level": 0.999}),
+    ]
+
+    def test_split_batch_equals_unsplit(self, small_model):
+        whole = evaluate_batch(small_model, self.REQUESTS, seed=5)
+        left = evaluate_batch(
+            small_model, [self.REQUESTS[0], self.REQUESTS[3]], seed=5,
+            stream_indices=[0, 3],
+        )
+        right = evaluate_batch(
+            small_model, [self.REQUESTS[1], self.REQUESTS[2]], seed=5,
+            stream_indices=[1, 2],
+        )
+        def strip(result):
+            return {
+                key: value
+                for key, value in result.to_dict().items()
+                if key != "elapsed_seconds"
+            }
+
+        reassembled = [left[0], right[0], right[1], left[1]]
+        assert [strip(r) for r in reassembled] == [strip(r) for r in whole]
+
+    def test_default_indices_are_positions(self, small_model):
+        explicit = evaluate_batch(
+            small_model, self.REQUESTS, seed=5, stream_indices=[0, 1, 2, 3]
+        )
+        implicit = evaluate_batch(small_model, self.REQUESTS, seed=5)
+        assert [r.metrics for r in explicit] == [r.metrics for r in implicit]
+        assert [r.seed_entropy for r in explicit] == [r.seed_entropy for r in implicit]
+
+    def test_validation(self, small_model):
+        with pytest.raises(ValueError, match="match"):
+            evaluate_batch(small_model, self.REQUESTS, seed=5, stream_indices=[0])
+        with pytest.raises(ValueError, match="non-negative"):
+            evaluate_batch(
+                small_model, self.REQUESTS, seed=5, stream_indices=[0, 1, 2, -1]
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            evaluate_batch(
+                small_model, self.REQUESTS, seed=5, stream_indices=[0, 1, 2, True]
+            )

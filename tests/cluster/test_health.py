@@ -1,0 +1,94 @@
+"""Shard health bookkeeping: ejection flavours, cooldowns, readmission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.health import ShardHealth
+
+SHARDS = ["a:1", "b:2", "c:3"]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def health(clock: FakeClock) -> ShardHealth:
+    return ShardHealth(SHARDS, clock=clock)
+
+
+class TestUntilProbe:
+    def test_stays_out_forever_without_readmit(self, health, clock):
+        health.eject("a:1")
+        clock.now = 1e9
+        assert health.is_excluded("a:1")
+        assert health.excluded() == {"a:1"}
+        assert health.needs_probe() == ["a:1"]
+
+    def test_readmit_clears_and_counts(self, health, clock):
+        health.eject("a:1")
+        assert health.readmit("a:1") is True
+        assert not health.is_excluded("a:1")
+        assert health.readmissions == 1
+        # Readmitting a healthy shard is a no-op, not a second readmission.
+        assert health.readmit("a:1") is False
+        assert health.readmissions == 1
+
+
+class TestCooldown:
+    def test_lapses_by_clock_without_probe(self, health, clock):
+        health.eject("b:2", cooldown=5.0)
+        clock.now = 4.9
+        assert health.excluded() == {"b:2"}
+        assert health.needs_probe() == []  # saturation never needs a probe
+        clock.now = 5.0
+        assert health.excluded() == frozenset()
+        assert health.readmissions == 1
+
+    def test_cooldown_cannot_shorten_until_probe(self, health, clock):
+        """A dead shard answering nothing stays dead even if a racing request
+        saw a stale 429 and tried a cooldown ejection."""
+        health.eject("a:1")  # until-probe
+        health.eject("a:1", cooldown=0.5)
+        clock.now = 100.0
+        assert health.is_excluded("a:1")
+        assert health.needs_probe() == ["a:1"]
+
+    def test_longer_cooldown_extends(self, health, clock):
+        health.eject("b:2", cooldown=1.0)
+        health.eject("b:2", cooldown=10.0)
+        clock.now = 5.0
+        assert health.is_excluded("b:2")
+        clock.now = 10.0
+        assert not health.is_excluded("b:2")
+
+    def test_reejection_while_out_counts_once(self, health, clock):
+        health.eject("b:2", cooldown=5.0)
+        health.eject("b:2", cooldown=5.0)
+        assert health.ejections == 1
+        clock.now = 6.0
+        health.eject("b:2", cooldown=5.0)
+        assert health.ejections == 2
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, health, clock):
+        health.eject("c:3")
+        snapshot = health.snapshot()
+        assert set(snapshot) == set(SHARDS)
+        assert snapshot["c:3"] == {"healthy": False, "ejected": True}
+        assert snapshot["a:1"] == {"healthy": True, "ejected": False}
+
+    def test_unknown_shard_rejected(self, health):
+        with pytest.raises(ValueError):
+            health.eject("nope:0")

@@ -1,0 +1,78 @@
+"""Consistent-hash ring: determinism, spill-and-snap-back, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import ConsistentHashRing
+
+SHARDS = ["127.0.0.1:8001", "127.0.0.1:8002", "127.0.0.1:8003"]
+KEYS = [f"key-{index:04d}" for index in range(400)]
+
+
+class TestDeterminism:
+    def test_same_shards_same_assignment(self):
+        first = ConsistentHashRing(SHARDS)
+        second = ConsistentHashRing(list(SHARDS))
+        assert [first.owner(key) for key in KEYS] == [second.owner(key) for key in KEYS]
+
+    def test_shard_order_does_not_matter(self):
+        """Ring positions hash shard *names*; listing order is irrelevant."""
+        forward = ConsistentHashRing(SHARDS)
+        backward = ConsistentHashRing(list(reversed(SHARDS)))
+        assert [forward.owner(key) for key in KEYS] == [
+            backward.owner(key) for key in KEYS
+        ]
+
+    def test_every_shard_owns_keys(self):
+        ring = ConsistentHashRing(SHARDS)
+        owners = {ring.owner(key) for key in KEYS}
+        assert owners == set(SHARDS)
+
+
+class TestFailoverSpill:
+    def test_exclusion_spills_to_next_candidate(self):
+        ring = ConsistentHashRing(SHARDS)
+        for key in KEYS[:50]:
+            first, second = ring.candidates(key)[:2]
+            assert ring.owner(key) == first
+            assert ring.owner(key, excluded={first}) == second
+
+    def test_readmission_snaps_back_exactly(self):
+        """Only the ejected shard's keys move; everything else is untouched,
+        and clearing the exclusion restores the original assignment."""
+        ring = ConsistentHashRing(SHARDS)
+        before = {key: ring.owner(key) for key in KEYS}
+        ejected = SHARDS[1]
+        during = {key: ring.owner(key, excluded={ejected}) for key in KEYS}
+        for key in KEYS:
+            if before[key] == ejected:
+                assert during[key] != ejected
+            else:
+                assert during[key] == before[key]
+        after = {key: ring.owner(key) for key in KEYS}
+        assert after == before
+
+    def test_candidates_are_distinct_and_complete(self):
+        ring = ConsistentHashRing(SHARDS)
+        for key in KEYS[:20]:
+            candidates = ring.candidates(key)
+            assert sorted(candidates) == sorted(SHARDS)
+
+    def test_all_excluded_returns_none(self):
+        ring = ConsistentHashRing(SHARDS)
+        assert ring.owner("key", excluded=set(SHARDS)) is None
+
+
+class TestValidation:
+    def test_empty_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+
+    def test_duplicate_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["a:1", "a:1"])
+
+    def test_replicas_floor(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(SHARDS, replicas=0)

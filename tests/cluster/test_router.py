@@ -1,0 +1,290 @@
+"""Router edge cases: failover, rebalance, duplicate races, Retry-After.
+
+Real sockets throughout: shards are live :class:`EvaluationServer` instances
+on ephemeral ports, the router fronts them, and a stock
+:class:`ServiceClient` talks to the router -- the same path production
+traffic takes.  Shard names embed ephemeral ports, so ring placement varies
+between runs; tests that need a key on a *specific* shard search for one
+(``_payload_owned_by``) instead of assuming.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import threading
+from contextlib import contextmanager, suppress
+
+import pytest
+
+from repro.api import evaluate_batch
+from repro.cluster import ShardRouter
+from repro.core.fault_model import FaultModel
+from repro.service import EvaluationServer, ServiceClient, ServiceError, start_in_background
+from repro.service.protocol import parse_evaluate_payload
+
+MODEL = {"p": [0.05, 0.02, 0.01], "q": [1e-4, 5e-4, 2e-3]}
+
+
+@contextmanager
+def cluster(shards: int = 2, probe_interval_ms: float = 10_000.0, **server_kw):
+    """``shards`` live servers behind a live router; yields the moving parts.
+
+    The probe interval defaults high so tests control ejection/readmission
+    deterministically instead of racing the probe loop.
+    """
+    server_kw.setdefault("batch_window_ms", 1.0)
+    servers = [EvaluationServer(**server_kw) for _ in range(shards)]
+    handles = [start_in_background(server) for server in servers]
+    router = ShardRouter(
+        [f"127.0.0.1:{handle.port}" for handle in handles],
+        probe_interval_ms=probe_interval_ms,
+        retries=2,
+    )
+    front = start_in_background(router)
+    try:
+        yield servers, handles, router, front
+    finally:
+        front.stop()
+        for handle in handles:
+            # Tests kill shards mid-run; stopping one again is a no-op.
+            with suppress(RuntimeError):
+                handle.stop()
+
+
+def _computed(servers) -> list[int]:
+    return [server.registry["evaluations_computed"] for server in servers]
+
+
+def _payload_owned_by(router: ShardRouter, shard: str, exclude_seeds=()) -> dict:
+    """A /v1/evaluate payload whose route key lands on ``shard``."""
+    for seed in range(1000):
+        if seed in exclude_seeds:
+            continue
+        payload = {
+            "model": MODEL,
+            "method": "montecarlo",
+            "options": {"replications": 500},
+            "seed": seed,
+        }
+        key = parse_evaluate_payload(payload).group_key()
+        if router.ring.owner(key) == shard:
+            return payload
+    raise AssertionError(f"no seed in 0..999 hashed to {shard}")  # pragma: no cover
+
+
+def _on_router_loop(front, call) -> None:
+    """Run ``call`` on the router's event loop and wait for it."""
+    done = threading.Event()
+
+    def step():
+        call()
+        done.set()
+
+    front._loop.call_soon_threadsafe(step)
+    assert done.wait(5.0)
+
+
+def _strip_elapsed(record: dict) -> dict:
+    return {key: value for key, value in record.items() if key != "elapsed_seconds"}
+
+
+class TestFailover:
+    def test_batch_survives_shard_death_byte_identically(self):
+        """A fanned-out batch matches the direct API before AND after one of
+        the two shards dies -- failover changes placement, never bytes."""
+        requests = [
+            {"method": "moments"},
+            {"method": "montecarlo", "replications": 500},
+            {"method": "bounds"},
+            {"method": "exact", "max_support": 256},
+        ]
+        model = FaultModel.from_dict(MODEL)
+        direct = [
+            _strip_elapsed(result.to_dict())
+            for result in evaluate_batch(model, requests, seed=7)
+        ]
+        with cluster(2) as (servers, handles, router, front):
+            client = ServiceClient(port=front.port)
+            before = [
+                _strip_elapsed(result.to_dict())
+                for result in client.evaluate_batch(model, requests, seed=7)
+            ]
+            assert before == direct
+            handles[1].stop()  # one shard dies with its LRU still warm
+            after = [
+                _strip_elapsed(result.to_dict())
+                for result in client.evaluate_batch(model, requests, seed=7)
+            ]
+            assert after == direct
+            health = client.health()
+            assert health["role"] == "router"
+
+    def test_all_shards_dead_is_a_typed_503(self):
+        with cluster(1) as (servers, handles, router, front):
+            client = ServiceClient(port=front.port, retries=0)
+            handles[0].stop()
+            with pytest.raises(ServiceError) as excinfo:
+                client.evaluate(FaultModel.from_dict(MODEL), "moments")
+            assert excinfo.value.status == 503
+            assert excinfo.value.code == "no_healthy_shards"
+            assert excinfo.value.retry_after is not None
+
+
+class TestRebalance:
+    def test_eject_spills_and_readmit_snaps_back(self):
+        """An ejected shard's keys spill to its neighbour; readmission puts
+        new traffic for its range right back."""
+        with cluster(2) as (servers, handles, router, front):
+            client = ServiceClient(port=front.port)
+            target = router.ring.shards[0]
+            other_index = 1 if target.endswith(str(handles[0].port)) else 0
+            target_index = 1 - other_index
+
+            first = _payload_owned_by(router, target)
+            client.evaluate_detail(**_as_kwargs(first))
+            assert _computed(servers)[target_index] == 1
+
+            _on_router_loop(front, lambda: router.health.eject(target))
+            second = _payload_owned_by(router, target, exclude_seeds={first["seed"]})
+            _, served = client.evaluate_detail(**_as_kwargs(second))
+            assert served["cached"] is None
+            counts = _computed(servers)
+            assert counts[other_index] == 1  # spilled to the healthy shard
+            assert counts[target_index] == 1  # untouched while ejected
+
+            _on_router_loop(front, lambda: router.health.readmit(target))
+            third = _payload_owned_by(
+                router, target, exclude_seeds={first["seed"], second["seed"]}
+            )
+            client.evaluate_detail(**_as_kwargs(third))
+            assert _computed(servers)[target_index] == 2  # snapped back
+            assert router.health.readmissions >= 1
+
+    def test_unaffected_keys_never_move_during_ejection(self):
+        with cluster(2) as (servers, handles, router, front):
+            client = ServiceClient(port=front.port)
+            survivor = router.ring.shards[1]
+            survivor_index = 0 if survivor.endswith(str(handles[0].port)) else 1
+            payload = _payload_owned_by(router, survivor)
+            client.evaluate_detail(**_as_kwargs(payload))
+            assert _computed(servers)[survivor_index] == 1
+            _on_router_loop(front, lambda: router.health.eject(router.ring.shards[0]))
+            repeat = dict(payload, seed=payload["seed"])  # identical request
+            # Identical repeat: the router LRU answers it; a *fresh* key owned
+            # by the survivor still computes on the survivor.
+            fresh = _payload_owned_by(router, survivor, exclude_seeds={payload["seed"]})
+            client.evaluate_detail(**_as_kwargs(repeat))
+            client.evaluate_detail(**_as_kwargs(fresh))
+            assert _computed(servers)[survivor_index] == 2
+
+
+class TestDuplicateRace:
+    def test_concurrent_identical_requests_compute_once(self):
+        """Two clients race the same request through the router: one compute
+        total across the cluster, identical answers for both.
+
+        The shard window is widened so both arrivals land inside one
+        batching window even on a loaded machine -- the coalescing
+        contract, not scheduler luck, is what's under test.
+        """
+        with cluster(2, batch_window_ms=250.0) as (servers, handles, router, front):
+            results = []
+            errors = []
+            barrier = threading.Barrier(2)
+
+            def one():
+                client = ServiceClient(port=front.port)
+                try:
+                    barrier.wait(5.0)
+                    result, served = client.evaluate_detail(
+                        FaultModel.from_dict(MODEL),
+                        "montecarlo",
+                        options={"replications": 2000},
+                        seed=42,
+                    )
+                    results.append((_strip_elapsed(result.to_dict()), served))
+                except ServiceError as error:  # pragma: no cover - fails the test
+                    errors.append(error)
+
+            threads = [threading.Thread(target=one) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            assert not errors
+            assert len(results) == 2
+            assert results[0][0] == results[1][0]
+            assert sum(_computed(servers)) == 1
+
+
+def _as_kwargs(payload: dict) -> dict:
+    return {
+        "model": FaultModel.from_dict(payload["model"]),
+        "method": payload["method"],
+        "options": payload.get("options"),
+        "seed": payload.get("seed"),
+    }
+
+
+class _SaturatedShard(http.server.BaseHTTPRequestHandler):
+    """A fake shard: healthy ``/healthz``, everything else 429 + Retry-After.
+
+    Models a real saturated shard exactly: ``/healthz`` bypasses admission
+    control, so probes read healthy while work is rejected.
+    """
+
+    protocol_version = "HTTP/1.1"
+
+    def _send(self, status: int, body: dict, extra=()) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        for name, value in extra:
+            self.send_header(name, value)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self):
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        else:
+            self._send(404, {"error": "not found", "code": "not_found"})
+
+    def do_POST(self):
+        self.rfile.read(int(self.headers.get("Content-Length", "0") or "0"))
+        self._send(
+            429,
+            {"error": "server saturated", "code": "saturated"},
+            extra=[("Retry-After", "7")],
+        )
+
+    def log_message(self, *args):  # noqa: D102 - silence test output
+        pass
+
+
+class TestRetryAfterPropagation:
+    def test_upstream_retry_after_reaches_the_client(self):
+        """A saturated shard's 429 -- Retry-After header included -- comes
+        back through the router once every candidate is out."""
+        stub = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _SaturatedShard)
+        thread = threading.Thread(target=stub.serve_forever, daemon=True)
+        thread.start()
+        router = ShardRouter(
+            [f"127.0.0.1:{stub.server_address[1]}"],
+            probe_interval_ms=10_000.0,
+            retries=1,
+        )
+        front = start_in_background(router)
+        try:
+            client = ServiceClient(port=front.port, retries=0)
+            with pytest.raises(ServiceError) as excinfo:
+                client.evaluate(FaultModel.from_dict(MODEL), "moments")
+            assert excinfo.value.status == 429
+            assert excinfo.value.code == "saturated"
+            assert excinfo.value.retry_after == pytest.approx(7.0)
+        finally:
+            front.stop()
+            stub.shutdown()
+            thread.join(5.0)

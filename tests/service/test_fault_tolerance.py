@@ -275,3 +275,74 @@ class TestWireRobustness:
         server.start = stalled
         with pytest.raises(RuntimeError, match=r"within 0\.2s"):
             start_in_background(server, startup_timeout=0.2)
+
+
+class TestAdmissionAtomicity:
+    """Admission accounting is synchronous with the saturation check.
+
+    The queued reservation happens before the first ``await`` and the check
+    compares the combined total, so a burst arriving in ONE event-loop tick
+    -- when nothing has started running yet and a stale per-counter check
+    would admit everything -- still admits exactly
+    ``max_inflight + max_queue`` requests, and a ``/metrics`` snapshot taken
+    mid-burst reads the same numbers admission control used.
+    """
+
+    def test_same_tick_burst_admits_exactly_capacity(self):
+        server = EvaluationServer(batch_window_ms=1.0, max_inflight=2, max_queue=2)
+
+        async def run():
+            release = asyncio.Event()
+
+            async def slow():
+                await release.wait()
+                return {}
+
+            futures = [
+                asyncio.ensure_future(server._admit(slow(), None)) for _ in range(5)
+            ]
+            await asyncio.sleep(0)  # every admission check ran in one tick
+            mid_burst = (
+                server.registry["queued_requests"],
+                server.registry["running_requests"],
+            )
+            release.set()
+            results = await asyncio.gather(*futures)
+            after = (
+                server.registry["queued_requests"],
+                server.registry["running_requests"],
+            )
+            return results, mid_burst, after
+
+        results, mid_burst, after = asyncio.run(run())
+        statuses = sorted(status for status, _, _ in results)
+        assert statuses == [200, 200, 200, 200, 429]
+        assert server.metrics["rejected_saturated"] == 1
+        # The gauges a concurrent /metrics scrape would have read mid-burst:
+        # two running, two queued -- never over capacity, never stale zeros.
+        assert mid_burst == (2, 2)
+        assert after == (0, 0)
+
+    def test_gauges_return_to_zero_after_deadline_cancellation(self):
+        server = EvaluationServer(batch_window_ms=1.0, max_inflight=1, max_queue=1)
+
+        async def run():
+            release = asyncio.Event()
+
+            async def slow():
+                await release.wait()
+                return {}
+
+            first = asyncio.ensure_future(server._admit(slow(), None))
+            await asyncio.sleep(0)
+            # Queued behind the running request, with a deadline that fires
+            # while it is still waiting for a slot.
+            timed_out = await server._admit(slow(), timeout_ms=10.0)
+            release.set()
+            await first
+            return timed_out
+
+        timed_out = asyncio.run(run())
+        assert timed_out[0] == 504
+        assert server.registry["queued_requests"] == 0
+        assert server.registry["running_requests"] == 0

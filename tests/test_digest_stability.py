@@ -1,0 +1,147 @@
+"""Golden pins for the content-digest scheme.
+
+Every cache tier in the system -- the study disk cache, the service LRU,
+the shared ``/v1/cache`` surface, the router's read-through LRU and its
+routing decisions -- keys on :func:`repro.grouping.payload_digest` /
+:func:`repro.grouping.group_digest`.  A change to the canonical payload
+shape or its serialisation silently invalidates every existing cache
+directory and reshuffles every router ring assignment, so the exact
+SHA-256 values are pinned here: if one of these tests fails, the digest
+scheme changed, and that is a breaking-change decision, not a refactor.
+
+The pinned hexes were computed from the implementation at the commit that
+introduced this file; they must never be *updated* casually.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.grouping import (
+    evaluation_payload,
+    group_digest,
+    group_payload,
+    payload_digest,
+)
+from repro.service.protocol import parse_evaluate_payload
+
+_MODEL = {
+    "p": [0.05, 0.02, 0.01],
+    "q": [1e-4, 5e-4, 2e-3],
+    "names": ["alpha", "beta", "gamma"],
+}
+
+
+class TestGoldenDigests:
+    def test_deterministic_moments_payload(self):
+        payload = evaluation_payload({"model": _MODEL}, {}, "moments", {}, None)
+        assert (
+            payload_digest(payload)
+            == "7df7764518ab5c1de73f06f7d84b080beea97342567f96c649702ee88ce53b9e"
+        )
+        # Neutral transforms and no entropy: the group digest collapses to
+        # the payload digest.
+        assert group_digest(payload) == payload_digest(payload)
+
+    def test_transformed_stochastic_payload(self):
+        payload = evaluation_payload(
+            {"model": _MODEL},
+            {"p_scale": 0.5},
+            "montecarlo",
+            {"replications": 1000},
+            [11],
+        )
+        assert (
+            payload_digest(payload)
+            == "393c6f970f113b04fc06c5363af42b78f7cb2ceda6fe9fca552594bdafae7f30"
+        )
+        assert (
+            group_digest(payload)
+            == "dfb3135c35a250117c48a28ecc29c3fec5afca231ffe8eec5671f85fd921b519"
+        )
+
+    def test_scenario_payload(self):
+        payload = evaluation_payload(
+            {"scenario": "many-small-faults"}, {"n": 50}, "bounds", {}, None
+        )
+        assert (
+            payload_digest(payload)
+            == "86c8c26e359937575e8c869d0f634c312015b7d6ec481fe965e4e7864f4f6cb9"
+        )
+
+
+class TestDigestInvariants:
+    def test_wire_request_digests_match_grouping(self):
+        """The service request digests are the grouping-module ones, computed
+        over the *resolved* request (model round-tripped through
+        ``FaultModel.to_dict``, every method option default materialised)."""
+        from repro.api import default_registry
+        from repro.core.fault_model import FaultModel
+
+        request = parse_evaluate_payload(
+            {
+                "model": _MODEL,
+                "method": "montecarlo",
+                "options": {"replications": 1000},
+                "seed": 11,
+                "p_scale": 0.5,
+            }
+        )
+        resolved_model = FaultModel.from_dict(_MODEL).to_dict()
+        resolved_options = default_registry().resolve_options(
+            "montecarlo", {"replications": 1000}
+        )
+        payload = evaluation_payload(
+            {"model": resolved_model},
+            {"p_scale": 0.5},
+            "montecarlo",
+            resolved_options,
+            [11],
+        )
+        assert request.digest() == payload_digest(payload)
+        assert request.group_key() == group_digest(payload)
+
+    def test_transform_values_share_a_group(self):
+        """Batchable transforms differ, group digest does not: the router's
+        shard-affinity guarantee (groupmates land on one shard)."""
+        digests = {
+            group_digest(
+                evaluation_payload(
+                    {"model": _MODEL},
+                    {"p_scale": scale},
+                    "montecarlo",
+                    {"replications": 1000},
+                    [11],
+                )
+            )
+            for scale in (0.25, 0.5, 1.0)
+        }
+        assert len(digests) == 1
+
+    def test_implicit_defaults_hash_like_explicit(self):
+        spelled = evaluation_payload(
+            {"model": _MODEL}, {"p_scale": 1.0, "q_scale": 1.0}, "moments", {}, None
+        )
+        implicit = evaluation_payload({"model": _MODEL}, {}, "moments", {}, None)
+        assert payload_digest(spelled) == payload_digest(implicit)
+
+    def test_group_payload_neutralises_only_transforms(self):
+        payload = evaluation_payload(
+            {"model": _MODEL},
+            {"p_scale": 0.5, "q_scale": 2.0},
+            "montecarlo",
+            {"replications": 1000},
+            [11],
+        )
+        grouped = group_payload(payload)
+        assert grouped["params"]["p_scale"] == 1.0
+        assert grouped["params"]["q_scale"] == 1.0
+        assert grouped["method"] == payload["method"]
+        assert grouped["entropy"] == payload["entropy"]
+
+    def test_payload_serialisation_is_canonical(self):
+        """Key order must not leak into the digest (canonical JSON)."""
+        forward = evaluation_payload({"model": _MODEL}, {}, "moments", {}, None)
+        shuffled = json.loads(json.dumps(forward)[::-1][::-1])  # same content
+        reordered = {key: shuffled[key] for key in reversed(list(shuffled))}
+        assert payload_digest(forward) == payload_digest(reordered)
