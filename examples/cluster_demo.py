@@ -18,7 +18,11 @@ the scale-out contract end to end:
 * **the remote cache tier** -- a shard warmed by earlier traffic answers
   a cold peer's ``--cache-peer`` probe, turning a would-be recompute into
   a cache hop (``served.cached == "remote"``);
-* **router /metrics** -- the counters a capacity planner would scrape.
+* **router /metrics** -- the counters a capacity planner would scrape;
+* **kill-a-replica drill** -- with ``replication=2`` the router write-all
+  fans every computed result out to both replicas, so killing a shard
+  loses *zero* warm cache: the survivor answers the whole warmed workload
+  without recomputing a single evaluation.
 
 Run with::
 
@@ -29,6 +33,7 @@ from __future__ import annotations
 
 import pathlib
 import sys
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import suppress
 
@@ -162,7 +167,77 @@ def main() -> None:
 
     with suppress(RuntimeError):
         handle_b.stop()
+
+    replication_drill()
     print("\ncluster stopped.")
+
+
+def replication_drill() -> None:
+    """Kill a replica under ``replication=2`` and lose no warm cache.
+
+    Every computed result was write-all fanned out to both replicas, so
+    after the primary dies the survivor answers the entire warmed
+    workload from its cache tier -- byte-identically, and without
+    computing a single evaluation again.
+    """
+    workload = build_workload()
+    shards = [EvaluationServer(batch_window_ms=25.0) for _ in range(3)]
+    handles = [start_in_background(shard) for shard in shards]
+    addresses = [f"127.0.0.1:{handle.port}" for handle in handles]
+    router = ShardRouter(addresses, replication=2, lru_size=0,
+                         probe_interval_ms=200.0)
+    front = start_in_background(router)
+    client = ServiceClient(port=front.port)
+    try:
+        print(f"\nreplication drill: replication=2 over {', '.join(addresses)}")
+        fire(client, workload)
+
+        # The fan-out is asynchronous; wait until every result has been
+        # replicated to its second shard before pulling the plug.
+        want = len(workload)  # distinct * (R - 1)
+        deadline = time.monotonic() + 15.0
+        while (router.registry["replica_writes"]
+               + router.registry["replica_write_failures"]) < want:
+            if time.monotonic() > deadline:
+                raise RuntimeError("replica fan-out did not finish in time")
+            time.sleep(0.05)
+        computed_before = sum(s.registry["evaluations_computed"] for s in shards)
+        print(f"warmed {len(workload)} payloads, "
+              f"replica_writes={router.registry['replica_writes']}")
+
+        # Kill the busiest shard -- it primaries the most keys, so the
+        # drill exercises as many read fallbacks as possible.
+        victim = max(range(len(shards)),
+                     key=lambda i: shards[i].registry["evaluations_computed"])
+        print(f"killing {addresses[victim]} "
+              f"(computed {shards[victim].registry['evaluations_computed']} "
+              "of the warm-up) ...")
+        handles[victim].stop()
+
+        survived = fire(client, workload)
+        for (result, served), (model, seed) in zip(survived, workload):
+            direct = evaluate(model, "montecarlo",
+                              seed=seed, replications=REPLICATIONS)
+            assert result.metric_dict() == direct.to_dict()["metrics"]
+            assert served["cached"] in ("lru", "disk", "remote")
+        survivors_computed = sum(
+            shards[i].registry["evaluations_computed"]
+            for i in range(len(shards)) if i != victim
+        )
+        recomputed = survivors_computed - (
+            computed_before - shards[victim].registry["evaluations_computed"])
+        assert recomputed == 0, f"survivors recomputed {recomputed} evaluations"
+        print(f"after the kill: {len(survived)}/{len(workload)} warm payloads "
+              "answered byte-identically from the surviving replicas, "
+              f"0 recomputed (replica_read_fallbacks="
+              f"{router.registry['replica_read_fallbacks']})")
+    finally:
+        client.close()
+        with suppress(RuntimeError):
+            front.stop()
+        for handle in handles:
+            with suppress(RuntimeError):
+                handle.stop()
 
 
 if __name__ == "__main__":

@@ -363,8 +363,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard",
         action="append",
         default=None,
-        metavar="HOST:PORT",
-        help="a backend 'repro serve' instance (repeatable; at least one required)",
+        metavar="HOST:PORT[@WEIGHT]",
+        help=(
+            "a backend 'repro serve' instance (repeatable; at least one "
+            "required); an optional @WEIGHT scales its share of the ring "
+            "(e.g. big-box:8001@2 owns twice the keyspace)"
+        ),
     )
     route_parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
     route_parser.add_argument("--port", type=int, default=8100, help="TCP port (default 8100)")
@@ -394,6 +398,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="extra full ring walks before giving up on a request (default 2)",
+    )
+    route_parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="R",
+        help=(
+            "replicate each batch-group key across the first R distinct "
+            "healthy shards: computed results fan out (write-all) to every "
+            "replica's cache, and reads fail over to the next replica that "
+            "already holds the warm entry (default 1: no replication)"
+        ),
+    )
+    route_parser.add_argument(
+        "--peer-router",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "another router behind the same shard set (repeatable); their "
+            "GET /v1/health/peers views are merged last-writer-wins once per "
+            "probe interval so both routers agree on ejections"
+        ),
+    )
+    route_parser.add_argument(
+        "--trace-file",
+        default=None,
+        help=(
+            "capture telemetry spans into this JSONL file (analyse with "
+            "'repro trace summarize')"
+        ),
     )
 
     loadgen_parser = subparsers.add_parser(
@@ -431,6 +466,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--phases",
         default="cold,warm,duplicates",
         help="comma-separated subset of cold,warm,duplicates (default all three)",
+    )
+    loadgen_parser.add_argument(
+        "--soak-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "chaos-soak mode: self-host a replicated cluster (ignoring "
+            "--host/--port) and drive open-loop load for S seconds, checking "
+            "every response byte-identical against in-process ground truth"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--kill-shard-at",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "soak mode: kill the busiest shard S seconds into the soak "
+            "(requires --soak-seconds)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--restart-shard-at",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "soak mode: restart the killed shard on the same port S seconds "
+            "into the soak (requires --kill-shard-at)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="soak mode: in-process shard count (default 3)",
+    )
+    loadgen_parser.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        metavar="R",
+        help="soak mode: router replication factor (default 2)",
     )
 
     cache_parser = subparsers.add_parser(
@@ -754,12 +833,28 @@ def _handle_route(arguments: argparse.Namespace) -> int:
         )
     if arguments.retries < 0:
         raise ValueError(f"--retries must be >= 0, got {arguments.retries}")
+    if arguments.lru_size < 0:
+        raise ValueError(
+            f"--lru-size must be >= 0 (0 disables the router cache), "
+            f"got {arguments.lru_size}"
+        )
+    if not 1 <= arguments.replication <= len(arguments.shard):
+        raise ValueError(
+            f"--replication must be in 1..{len(arguments.shard)} (the shard "
+            f"count), got {arguments.replication}"
+        )
+    if arguments.trace_file is not None:
+        from repro import telemetry
+
+        telemetry.configure(arguments.trace_file)
     router = ShardRouter(
         arguments.shard,
         replicas=arguments.replicas,
+        replication=arguments.replication,
         probe_interval_ms=arguments.probe_interval_ms,
         lru_size=arguments.lru_size,
         retries=arguments.retries,
+        peer_routers=tuple(arguments.peer_router or ()),
     )
     try:
         asyncio.run(router.serve_forever(arguments.host, arguments.port))
@@ -771,8 +866,29 @@ def _handle_route(arguments: argparse.Namespace) -> int:
 
 
 def _handle_loadgen(arguments: argparse.Namespace) -> int:
-    from repro.cluster.loadgen import run_loadgen
+    from repro.cluster.loadgen import run_loadgen, run_soak
 
+    if arguments.soak_seconds is None and (
+        arguments.kill_shard_at is not None or arguments.restart_shard_at is not None
+    ):
+        raise ValueError("--kill-shard-at/--restart-shard-at require --soak-seconds")
+    if arguments.soak_seconds is not None:
+        # The soak self-hosts its cluster; validation of the chaos timeline
+        # (kill before restart, both inside the soak) lives in run_soak.
+        record = run_soak(
+            seed=arguments.seed,
+            distinct=arguments.distinct,
+            shards=arguments.shards,
+            replication=arguments.replication,
+            rate=arguments.rate,
+            workers=arguments.workers,
+            soak_seconds=arguments.soak_seconds,
+            kill_shard_at=arguments.kill_shard_at,
+            restart_shard_at=arguments.restart_shard_at,
+            replications=arguments.replications,
+        )
+        print(json.dumps(record, indent=2))
+        return 0
     if not 0 < arguments.port < 65536:
         raise ValueError(f"port must be in 1..65535, got {arguments.port}")
     phases = tuple(phase.strip() for phase in arguments.phases.split(",") if phase.strip())

@@ -7,13 +7,18 @@ A dependency-free scale-out tier over :mod:`repro.service`:
   spills a key range to the next shard without rehashing anything else;
 * :mod:`~repro.cluster.health` -- ejection/readmission state: dead shards
   stay out until a ``/healthz`` probe succeeds, saturated ones (429/503)
-  sit out a ``Retry-After``-sized cooldown;
+  sit out a ``Retry-After``-sized cooldown; the view serialises over
+  ``GET /v1/health/peers`` and merges peer routers' views last-writer-wins,
+  and :class:`~repro.cluster.health.ProbeSchedule` staggers probes per
+  shard deterministically;
 * :mod:`~repro.cluster.transport` -- keep-alive asyncio connections to
   each shard, reconnect-on-stale;
 * :mod:`~repro.cluster.router` -- :class:`ShardRouter` behind
   ``repro route``: terminates the service protocol, routes ``/v1/evaluate``
   by batch-group digest, fans ``/v1/evaluate/batch`` out per shard with
-  order-preserving reassembly, carries a read-through LRU, and propagates
+  order-preserving reassembly, carries a read-through LRU, replicates
+  computed results write-all/read-any across each key's R-shard replica
+  set (:class:`~repro.cluster.ring.ReplicatedPlacement`), and propagates
   ``x-repro-trace-id`` and ``Retry-After`` end to end;
 * :mod:`~repro.cluster.loadgen` -- the deterministic open-loop load
   generator behind ``repro loadgen`` and the cluster benchmark gate.
@@ -31,13 +36,16 @@ The router embeds exactly like the server::
     handle = start_in_background(ShardRouter(["127.0.0.1:8001", "127.0.0.1:8002"]))
 """
 
-from repro.cluster.health import ShardHealth
-from repro.cluster.ring import ConsistentHashRing
+from repro.cluster.health import HealthView, ProbeSchedule, ShardHealth
+from repro.cluster.ring import ConsistentHashRing, ReplicatedPlacement
 from repro.cluster.router import ShardRouter
 from repro.cluster.transport import ShardTransport
 
 __all__ = [
     "ConsistentHashRing",
+    "HealthView",
+    "ProbeSchedule",
+    "ReplicatedPlacement",
     "ShardHealth",
     "ShardRouter",
     "ShardTransport",

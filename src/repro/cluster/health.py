@@ -1,4 +1,4 @@
-"""Shard health state: ejection, cooldowns and readmission.
+"""Shard health state: ejection, cooldowns, readmission -- and sharing it.
 
 The router never mutates its hash ring; it tracks *exclusions* here and
 passes them to ring lookups, so a shard's key range spills to its clockwise
@@ -15,29 +15,52 @@ Two ejection flavours, matching how shards fail:
   lapses, no probe required.  Saturation is expected to clear on its own;
   a probe would read a healthy ``/healthz`` immediately anyway.
 
-The clock is injectable so rebalance tests can eject, advance time and
-observe readmission deterministically.
+:class:`HealthView` is *shareable*: every local state change is stamped
+with the clock, :meth:`HealthView.export` serialises the eject/readmit
+table (the router's ``GET /v1/health/peers`` body) and
+:meth:`HealthView.merge` folds in a peer router's export with
+last-writer-wins on the stamp -- whichever router observed a shard most
+recently decides its state, so N stateless routers behind one ring agree
+on ejections within one probe interval.  The default clock is ``time.time``
+(stamps must be comparable *across* router processes; cooldown windows are
+exported as remaining seconds and re-anchored on the receiving clock, so
+modest clock skew only shifts a cooldown, never corrupts it).
+
+The clock is injectable so rebalance and merge tests can eject, advance
+time and observe convergence deterministically.  ``ShardHealth`` remains as
+a compatibility alias.
+
+:class:`ProbeSchedule` staggers ``/healthz`` probes: each shard gets a
+deterministic offset within the probe interval (derived from its name's
+SHA-256, nothing random), so a router -- and every router and restart,
+since the offset is a pure function of the shard name and interval --
+spreads its probes across the interval instead of stampeding all shards
+at once.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import time
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
-__all__ = ["ShardHealth"]
+__all__ = ["HealthView", "ProbeSchedule", "ShardHealth", "probe_offset"]
 
 
-class ShardHealth:
+class HealthView:
     """Exclusion bookkeeping for a fixed shard set (single event loop)."""
 
     def __init__(
-        self, shards: Sequence[str], clock: Callable[[], float] = time.monotonic
+        self, shards: Sequence[str], clock: Callable[[], float] = time.time
     ) -> None:
         self.shards = tuple(str(shard) for shard in shards)
         self._clock = clock
         #: shard -> moment its exclusion lapses (math.inf = until readmit()).
         self._ejected_until: dict[str, float] = {}
+        #: shard -> stamp of the last local observation or adopted peer
+        #: entry; the last-writer-wins key for :meth:`merge`.
+        self._updated: dict[str, float] = {}
         self.ejections = 0
         self.readmissions = 0
 
@@ -53,6 +76,7 @@ class ShardHealth:
             self._ejected_until[shard] = until
         if previous < self._clock():
             self.ejections += 1
+        self._updated[shard] = self._clock()
 
     def readmit(self, shard: str) -> bool:
         """Clear ``shard``'s exclusion (a probe succeeded); True if it was out."""
@@ -60,7 +84,18 @@ class ShardHealth:
         self._ejected_until.pop(shard, None)
         if was_out:
             self.readmissions += 1
+        self._updated[shard] = self._clock()
         return was_out
+
+    def touch(self, shard: str) -> None:
+        """Stamp ``shard`` as observed now, state unchanged.
+
+        The router calls this when a probe confirms what the view already
+        believed (a healthy shard read healthy): the observation carries no
+        transition, but its *recency* is what last-writer-wins merging
+        trades on.
+        """
+        self._updated[shard] = self._clock()
 
     def is_excluded(self, shard: str) -> bool:
         return self._ejected_until.get(shard, -math.inf) > self._clock()
@@ -74,6 +109,7 @@ class ShardHealth:
         for shard in lapsed:
             self._ejected_until.pop(shard, None)
             self.readmissions += 1
+            self._updated[shard] = now
         return frozenset(self._ejected_until)
 
     def needs_probe(self) -> list[str]:
@@ -84,6 +120,70 @@ class ShardHealth:
             if math.isinf(until)
         ]
 
+    # ----------------------------------------------------------------- #
+    # The shared view: serialise and merge
+    # ----------------------------------------------------------------- #
+    def export(self) -> dict:
+        """The eject/readmit table, JSON-safe: the ``/v1/health/peers`` body.
+
+        Cooldown deadlines travel as *remaining* seconds -- the receiver
+        re-anchors them on its own clock -- and ``math.inf`` (until-probe)
+        travels as the ``until_probe`` flag, so the wire format has no
+        non-finite floats.
+        """
+        now = self._clock()
+        view: dict[str, dict] = {}
+        for shard in self.shards:
+            until = self._ejected_until.get(shard)
+            ejected = until is not None and until > now
+            entry: dict = {
+                "ejected": ejected,
+                "updated": self._updated.get(shard, 0.0),
+            }
+            if ejected:
+                entry["until_probe"] = math.isinf(until)
+                entry["cooldown_remaining"] = (
+                    None if math.isinf(until) else max(0.0, until - now)
+                )
+            view[shard] = entry
+        return view
+
+    def merge(self, view: Mapping[str, Mapping]) -> int:
+        """Fold a peer's :meth:`export` in, last-writer-wins on the stamp.
+
+        Returns the number of *state-changing* adoptions (a newer peer stamp
+        whose healthy/ejected verdict differed from the local one) -- the
+        router's ``health_merges`` increment.  Newer stamps with the same
+        verdict are adopted silently (they keep a three-router chain's
+        recency honest); unknown shards and malformed entries are ignored,
+        so merging a foreign or empty view is a no-op.
+        """
+        adopted = 0
+        for shard, entry in view.items():
+            if shard not in self.shards or not isinstance(entry, Mapping):
+                continue
+            updated = entry.get("updated")
+            if not isinstance(updated, (int, float)) or isinstance(updated, bool):
+                continue
+            if updated <= self._updated.get(shard, 0.0):
+                continue
+            was_excluded = self.is_excluded(shard)
+            ejected = bool(entry.get("ejected"))
+            if ejected:
+                if entry.get("until_probe"):
+                    self._ejected_until[shard] = math.inf
+                else:
+                    remaining = entry.get("cooldown_remaining")
+                    if not isinstance(remaining, (int, float)) or remaining < 0.0:
+                        remaining = 0.0
+                    self._ejected_until[shard] = self._clock() + float(remaining)
+            else:
+                self._ejected_until.pop(shard, None)
+            self._updated[shard] = float(updated)
+            if self.is_excluded(shard) != was_excluded:
+                adopted += 1
+        return adopted
+
     def snapshot(self) -> dict:
         """Per-shard state for the router's ``/healthz`` body."""
         excluded = self.excluded()
@@ -91,3 +191,66 @@ class ShardHealth:
             shard: {"healthy": shard not in excluded, "ejected": shard in excluded}
             for shard in self.shards
         }
+
+
+#: Compatibility alias: PR-8 code and tests constructed ``ShardHealth``.
+ShardHealth = HealthView
+
+
+def probe_offset(shard: str, interval: float) -> float:
+    """``shard``'s deterministic probe stagger in ``[0, interval)``.
+
+    A pure function of the shard name and the interval (SHA-256, no
+    process state), so every router -- and every restart of one -- places a
+    given shard's probe at the same phase, while distinct shards spread
+    uniformly across the interval.
+    """
+    numerator = int.from_bytes(
+        hashlib.sha256(f"probe:{shard}".encode("utf-8")).digest()[:8], "big"
+    )
+    return (numerator / 2.0**64) * interval
+
+
+class ProbeSchedule:
+    """When each shard's next ``/healthz`` probe is due.
+
+    Each shard fires every ``interval`` seconds at its :func:`probe_offset`
+    phase.  :meth:`due` returns (and reschedules) the shards whose deadline
+    has passed; a schedule that fell behind -- the event loop stalled --
+    skips the missed beats instead of bursting to catch up.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[str],
+        interval: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval <= 0.0:
+            raise ValueError(f"probe interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self._clock = clock
+        now = clock()
+        self._next = {
+            str(shard): now + probe_offset(str(shard), self.interval)
+            for shard in shards
+        }
+
+    def due(self) -> list[str]:
+        """Shards whose probe deadline has passed, rescheduled one interval out."""
+        now = self._clock()
+        ready = sorted(
+            (deadline, shard)
+            for shard, deadline in self._next.items()
+            if deadline <= now
+        )
+        for deadline, shard in ready:
+            following = deadline + self.interval
+            if following <= now:  # fell behind: resume phase-shifted, no burst
+                following = now + self.interval
+            self._next[shard] = following
+        return [shard for _, shard in ready]
+
+    def seconds_until_next(self) -> float:
+        """How long until the earliest deadline (0.0 when one already passed)."""
+        return max(0.0, min(self._next.values()) - self._clock())

@@ -17,11 +17,29 @@ same endpoints, same error bodies) and forwards each request to a backend
   stream, and so every byte of every result, identical to the unsplit
   call), and responses reassemble in request order;
 * a router-side **read-through LRU** answers repeat ``/v1/evaluate``
-  traffic without a hop (``served.cached == "router"``).
+  traffic without a hop (``served.cached == "router"``; ``lru_size=0``
+  disables it -- soak harnesses do, so cache behaviour under failure is
+  the *shards'* behaviour, not the router's);
+* **R-way replication** (``--replication R``): each key's home set is the
+  first R shards of the ring's candidate walk
+  (:class:`~repro.cluster.ring.ReplicatedPlacement`).  Writes are
+  **write-all** -- a freshly computed result is asynchronously ``PUT`` to
+  the other replicas' ``/v1/cache/<digest>`` surface (``replica_writes``,
+  failpoint ``router.replica_write``) -- and reads are **read-any**: the
+  forward walk's fallback shard is exactly the next replica, which already
+  holds the warm entry, so a shard death loses no warm cache
+  (``replica_read_fallbacks`` counts requests a non-primary answered);
+* a **shared health view**: the eject/readmit table is served over
+  ``GET /v1/health/peers`` and, when peer routers are configured
+  (``--peer-router``), fetched and merged last-writer-wins once per probe
+  interval (``health_merges``), so N stateless routers behind one ring
+  agree on ejections within one probe interval.
 
 Failover: an unreachable shard is ejected until a ``/healthz`` probe
 succeeds; a saturated one (429/503) is ejected for the server's
-``Retry-After`` (or one probe interval) and readmits itself.  Ejected
+``Retry-After`` (or one probe interval) and readmits itself.  Probes are
+staggered per shard (:class:`~repro.cluster.health.ProbeSchedule`, failpoint
+``health.probe``) so routers don't hit every shard in lockstep.  Ejected
 shards' key ranges spill to the next ring candidate; when every candidate
 is out, the last upstream 429/503 propagates -- ``Retry-After`` included --
 so the client's typed-retry machinery keeps working through the router.
@@ -38,9 +56,13 @@ import sys
 import time
 from typing import Any, Sequence
 
-from repro import telemetry
-from repro.cluster.health import ShardHealth
-from repro.cluster.ring import ConsistentHashRing
+from repro import faults, telemetry
+from repro.cluster.health import HealthView, ProbeSchedule
+from repro.cluster.ring import (
+    ConsistentHashRing,
+    ReplicatedPlacement,
+    parse_shard_specs,
+)
 from repro.cluster.transport import ShardTransport
 from repro.grouping import evaluation_payload, group_digest
 from repro.service.cache import ResponseCache
@@ -66,6 +88,10 @@ _COUNTER_NAMES = (
     "shard_readmits",
     "hop_retries",
     "no_healthy_shards",
+    "replica_writes",
+    "replica_write_failures",
+    "replica_read_fallbacks",
+    "health_merges",
 )
 
 
@@ -76,19 +102,29 @@ class ShardRouter:
     ----------
     shards:
         Backend base URLs (``host:port`` or ``http://host:port``), one per
-        ``repro serve`` instance.  At least one; names must be unique.
+        ``repro serve`` instance, optionally weighted as
+        ``host:port@WEIGHT``.  At least one; names must be unique.
     replicas:
-        Virtual nodes per shard on the hash ring.
+        Virtual nodes per weight-1.0 shard on the hash ring.
+    replication:
+        Replica-set size R: each key's computed results fan out to its
+        first R candidate shards, reads fall through the same order.
+        1 (the default) is PR-8 behaviour -- no fan-out.
     probe_interval_ms:
-        How often ejected shards are probed via ``/healthz`` (also the
-        saturation cooldown when a shard sends no ``Retry-After``).
+        How often each shard is probed via ``/healthz`` (also the
+        saturation cooldown when a shard sends no ``Retry-After``, and the
+        peer-view merge cadence).
     lru_size:
-        Router-side read-through cache capacity (entries).
+        Router-side read-through cache capacity (entries); 0 disables the
+        router cache entirely.
     retries:
         Full ring walks to attempt per request beyond the first, with
         :class:`BackoffPolicy` delays between walks.
     timeout:
         Per-hop budget in seconds for forwarded requests.
+    peer_routers:
+        Other routers' base URLs; their ``GET /v1/health/peers`` views are
+        merged (last-writer-wins) once per probe interval.
     """
 
     def __init__(
@@ -96,26 +132,36 @@ class ShardRouter:
         shards: Sequence[str],
         *,
         replicas: int = 64,
+        replication: int = 1,
         probe_interval_ms: float = 500.0,
         lru_size: int = 1024,
         retries: int = 2,
         timeout: float = 120.0,
         backoff: BackoffPolicy | None = None,
+        peer_routers: Sequence[str] = (),
     ) -> None:
         if probe_interval_ms <= 0.0:
             raise ValueError(f"probe_interval_ms must be positive, got {probe_interval_ms}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
-        self.ring = ConsistentHashRing(shards, replicas=replicas)
-        self.health = ShardHealth(self.ring.shards)
+        if lru_size < 0:
+            raise ValueError(f"lru_size must be >= 0 (0 disables), got {lru_size}")
+        names, weights = parse_shard_specs(shards)
+        self.ring = ConsistentHashRing(names, replicas=replicas, weights=weights)
+        self.placement = ReplicatedPlacement(self.ring, replication)
+        self.health = HealthView(self.ring.shards)
         self.transports = {
             shard: ShardTransport(shard, timeout=timeout) for shard in self.ring.shards
+        }
+        self.peer_routers = tuple(str(peer) for peer in peer_routers)
+        self.peer_transports = {
+            peer: ShardTransport(peer, timeout=timeout) for peer in self.peer_routers
         }
         self.probe_interval = probe_interval_ms / 1000.0
         self.probe_timeout = min(2.0, max(0.25, self.probe_interval * 4.0))
         self.retries = retries
         self.backoff = backoff if backoff is not None else BackoffPolicy()
-        self.cache = ResponseCache(max_entries=lru_size)
+        self.cache = ResponseCache(max_entries=lru_size) if lru_size > 0 else None
         self.registry = MetricsRegistry()
         self.registry.register_counters(_COUNTER_NAMES)
         self.registry.histogram("request_seconds")
@@ -124,38 +170,83 @@ class ShardRouter:
         self._started = time.time()
         self._probe_task: asyncio.Task | None = None
         self._connections: set[asyncio.StreamWriter] = set()
+        self._replica_tasks: set[asyncio.Task] = set()
 
     # ----------------------------------------------------------------- #
     # Health probing
     # ----------------------------------------------------------------- #
-    async def _probe_once(self) -> None:
-        """One probe pass: readmit recovered shards, eject newly dead ones.
+    async def _probe_shard(self, shard: str) -> None:
+        """Probe one shard: readmit it if recovered, eject it if newly dead.
 
         Cooldown (saturation) ejections are deliberately *not* cut short by
         a healthy probe -- ``/healthz`` bypasses admission control, so a
-        saturated shard reads healthy while still rejecting work.
+        saturated shard reads healthy while still rejecting work.  The
+        ``health.probe`` failpoint fires before the wire call; an injected
+        error reads as a failed probe, so chaos runs can blind the prober.
         """
-        awaiting_probe = set(self.health.needs_probe())
+        awaiting_probe = shard in self.health.needs_probe()
+        try:
+            faults.hit("health.probe")
+            response = await self.transports[shard].request(
+                "GET", "/healthz", timeout=self.probe_timeout
+            )
+            alive = response.status == 200
+        except (ConnectionError, OSError, asyncio.TimeoutError, faults.FaultInjected):
+            alive = False
+        if alive and awaiting_probe:
+            if self.health.readmit(shard):
+                self.registry.inc("shard_readmits")
+        elif not alive and not self.health.is_excluded(shard):
+            self.health.eject(shard)
+            self.registry.inc("shard_ejects")
+        elif alive:
+            # No transition, but a fresh observation: recency is what the
+            # peer-view merge's last-writer-wins trades on.
+            self.health.touch(shard)
+
+    async def _probe_once(self) -> None:
+        """One full pass over every shard, then the peer views (tests, CI)."""
         for shard in self.ring.shards:
+            await self._probe_shard(shard)
+        await self._merge_peer_views()
+
+    async def _merge_peer_views(self) -> None:
+        """Fold each peer router's ``/v1/health/peers`` export into ours.
+
+        An unreachable peer is skipped, not ejected -- peers are not
+        shards, and our own probes still converge the view within one
+        interval; the merge only *accelerates* agreement.
+        """
+        for peer, transport in self.peer_transports.items():
             try:
-                response = await self.transports[shard].request(
-                    "GET", "/healthz", timeout=self.probe_timeout
+                response = await transport.request(
+                    "GET", "/v1/health/peers", timeout=self.probe_timeout
                 )
-                alive = response.status == 200
             except (ConnectionError, OSError, asyncio.TimeoutError):
-                alive = False
-            if alive and shard in awaiting_probe:
-                if self.health.readmit(shard):
-                    self.registry.inc("shard_readmits")
-            elif not alive and not self.health.is_excluded(shard):
-                self.health.eject(shard)
-                self.registry.inc("shard_ejects")
+                continue
+            data = response.json()
+            if response.status != 200 or not isinstance(data, dict):
+                continue
+            view = data.get("view")
+            if isinstance(view, dict):
+                adopted = self.health.merge(view)
+                if adopted:
+                    self.registry.inc("health_merges", adopted)
 
     async def _probe_loop(self) -> None:
+        schedule = ProbeSchedule(self.ring.shards, self.probe_interval)
+        next_merge = time.monotonic() + self.probe_interval
         while True:
-            await asyncio.sleep(self.probe_interval)
+            delay = schedule.seconds_until_next()
+            if self.peer_transports:
+                delay = min(delay, max(0.0, next_merge - time.monotonic()))
+            await asyncio.sleep(delay)
             try:
-                await self._probe_once()
+                for shard in schedule.due():
+                    await self._probe_shard(shard)
+                if self.peer_transports and time.monotonic() >= next_merge:
+                    await self._merge_peer_views()
+                    next_merge = time.monotonic() + self.probe_interval
             except asyncio.CancelledError:
                 raise
             except Exception as error:  # noqa: BLE001 - probing must not die
@@ -166,25 +257,31 @@ class ShardRouter:
     # ----------------------------------------------------------------- #
     async def _forward(
         self, key: str, verb: str, path: str, body: bytes
-    ) -> tuple[int, Any, dict]:
+    ) -> tuple[int, Any, dict, str | None]:
         """Send one request to ``key``'s shard, spilling across the ring.
 
-        Returns ``(status, parsed_json, response_headers)``.  Non-retryable
-        shard responses (400s, 500s) propagate as-is -- the shard answered;
-        the router adds nothing.  429/503 eject the shard for its
-        ``Retry-After`` (or one probe interval) and spill to the next
-        candidate; connection failures eject until a probe succeeds.  When
-        every candidate is out, the ring walk repeats up to ``retries``
-        times with backoff, then the last upstream 429/503 (or a router 503
-        ``no_healthy_shards``) comes back.
+        Returns ``(status, parsed_json, response_headers, shard)`` where
+        ``shard`` is the one that answered (``None`` when none did).
+        Non-retryable shard responses (400s, 500s) propagate as-is -- the
+        shard answered; the router adds nothing.  429/503 eject the shard
+        for its ``Retry-After`` (or one probe interval) and spill to the
+        next candidate; connection failures eject until a probe succeeds.
+        The spill order *is* the replica order, so under replication the
+        first fallback already holds the key's warm entries
+        (``replica_read_fallbacks`` counts answers from a non-primary).
+        When every candidate is out, the ring walk repeats up to
+        ``retries`` times with backoff, then the last upstream 429/503 (or
+        a router 503 ``no_healthy_shards``) comes back.
         """
         trace_id = telemetry.current_trace_id()
         headers = {"x-repro-trace-id": trace_id} if trace_id else {}
         last_retryable: tuple[int, Any, dict] | None = None
         attempt = 0
+        candidates = self.ring.candidates(key)
+        primary = candidates[0]
         while True:
             excluded = set(self.health.excluded())
-            for shard in self.ring.candidates(key):
+            for shard in candidates:
                 if shard in excluded:
                     continue
                 hop_from = time.perf_counter()
@@ -229,7 +326,9 @@ class ShardRouter:
                     self.registry.inc("failovers")
                     excluded.add(shard)
                     continue
-                return response.status, data, response.headers
+                if shard != primary:
+                    self.registry.inc("replica_read_fallbacks")
+                return response.status, data, response.headers, shard
             if attempt >= self.retries:
                 break
             self.registry.inc("hop_retries")
@@ -245,12 +344,13 @@ class ShardRouter:
                     "error": "every shard is saturated or draining",
                     "code": "saturated",
                 }
-            return status, data, response_headers
+            return status, data, response_headers, None
         self.registry.inc("no_healthy_shards")
         return (
             503,
             {"error": "no healthy shards for this key", "code": "no_healthy_shards"},
             {"retry-after": "1"},
+            None,
         )
 
     @staticmethod
@@ -260,6 +360,60 @@ class ShardRouter:
             return {}
         value = response_headers.get("retry-after")
         return {"Retry-After": value if value else "1"}
+
+    # ----------------------------------------------------------------- #
+    # Write-all replication fan-out
+    # ----------------------------------------------------------------- #
+    def _spawn_replica_writes(
+        self, key: str, digest: str, payload: dict, record: dict, source: str
+    ) -> None:
+        """Asynchronously push a freshly computed result to the other replicas.
+
+        The entry is study-shaped -- digest, canonical payload, metrics --
+        so the receiving shard's ``PUT /v1/cache/<digest>`` fills its LRU
+        (``record_from_entry`` rebuilds the wire record from the payload),
+        not just its disk tier.  The computing shard already holds the
+        entry; known-ejected replicas are skipped (a probe readmits them
+        before they could answer reads anyway).  Fire-and-forget: replica
+        writes never add latency to the response that triggered them.
+        """
+        targets = [
+            shard
+            for shard in self.placement.replica_set(key)
+            if shard != source and not self.health.is_excluded(shard)
+        ]
+        if not targets:
+            return
+        entry = json.dumps(
+            {"digest": digest, "payload": payload, "metrics": record.get("metrics", {})}
+        ).encode("utf-8")
+        task = asyncio.get_running_loop().create_task(
+            self._write_replicas(digest, entry, targets)
+        )
+        self._replica_tasks.add(task)
+        task.add_done_callback(self._replica_tasks.discard)
+
+    async def _write_replicas(
+        self, digest: str, entry: bytes, targets: Sequence[str]
+    ) -> None:
+        for shard in targets:
+            try:
+                faults.hit("router.replica_write")
+                response = await self.transports[shard].request(
+                    "PUT",
+                    f"/v1/cache/{digest}",
+                    entry,
+                    timeout=min(10.0, self.transports[shard].timeout),
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - best-effort: reads still failover
+                self.registry.inc("replica_write_failures")
+                continue
+            if response.status == 200:
+                self.registry.inc("replica_writes")
+            else:
+                self.registry.inc("replica_write_failures")
 
     # ----------------------------------------------------------------- #
     # Endpoints
@@ -280,7 +434,7 @@ class ShardRouter:
             # nothing malformed crosses a hop.
             return 400, {"error": str(error), "code": "bad_request"}, {}
         digest = request.digest()
-        record = self.cache.get_local(digest)
+        record = self.cache.get_local(digest) if self.cache is not None else None
         if record is not None:
             self.registry.inc("router_cache_hits")
             return (
@@ -295,11 +449,22 @@ class ShardRouter:
         # Forward the ORIGINAL bytes: the shard re-derives the same digest
         # from the same payload, so caching and results are exactly those of
         # a direct call.
-        status, data, response_headers = await self._forward(
-            request.group_key(), "POST", "/v1/evaluate", bytes(body)
+        key = request.group_key()
+        status, data, response_headers, shard = await self._forward(
+            key, "POST", "/v1/evaluate", bytes(body)
         )
         if status == 200 and isinstance(data, dict) and isinstance(data.get("result"), dict):
-            self.cache.put_local(digest, data["result"])
+            if self.cache is not None:
+                self.cache.put_local(digest, data["result"])
+            served = data.get("served")
+            # Write-all: only *freshly computed* results fan out -- a cache
+            # tier answering means every surviving replica was already
+            # warmed when the entry was first computed.
+            computed = isinstance(served, dict) and served.get("cached") is None
+            if computed and shard is not None and self.placement.replication > 1:
+                self._spawn_replica_writes(
+                    key, digest, request.payload(), data["result"], source=shard
+                )
         if not isinstance(data, dict):
             data = {"error": "shard returned an empty response", "code": "bad_gateway"}
             status = 502
@@ -350,7 +515,7 @@ class ShardRouter:
             groups.setdefault(owner, []).append(index)
         timeout_ms = payload.get("timeout_ms")
 
-        async def send(owner: str, members: list[int]) -> tuple[int, Any, dict]:
+        async def send(owner: str, members: list[int]) -> tuple[int, Any, dict, str | None]:
             sub: dict[str, Any] = {
                 "model": model_data,
                 "requests": [
@@ -373,7 +538,7 @@ class ShardRouter:
             *(send(owner, members) for owner, members in members_by_owner)
         )
         records: list[Any] = [None] * len(requests)
-        for (owner, members), (status, data, response_headers) in zip(
+        for (owner, members), (status, data, response_headers, _shard) in zip(
             members_by_owner, outcomes
         ):
             if status != 200 or not isinstance(data, dict) or "results" not in data:
@@ -407,7 +572,10 @@ class ShardRouter:
         self.registry.set_gauge(
             "healthy_shards", len(self.ring.shards) - len(self.health.excluded())
         )
-        self.registry.set_gauge("lru_entries", len(self.cache))
+        self.registry.set_gauge("replication", self.placement.replication)
+        self.registry.set_gauge(
+            "lru_entries", len(self.cache) if self.cache is not None else 0
+        )
         snapshot = self.registry.snapshot()
         body: dict[str, Any] = {**snapshot["counters"], **snapshot["gauges"]}
         body["histograms"] = {
@@ -425,7 +593,21 @@ class ShardRouter:
             "status": "ok",
             "role": "router",
             "uptime_seconds": round(time.time() - self._started, 3),
+            "replication": self.placement.replication,
             "shards": self.health.snapshot(),
+        }
+
+    def _serve_health_peers(self) -> dict:
+        """The shared health view (``GET /v1/health/peers``).
+
+        Peer routers merge the ``view`` table last-writer-wins; the same
+        envelope shape is served by shards (with an empty view), so the
+        surface is uniform across roles.
+        """
+        return {
+            "role": "router",
+            "updated": round(time.time(), 6),
+            "view": self.health.export(),
         }
 
     async def _route(
@@ -434,6 +616,8 @@ class ShardRouter:
         try:
             if path == "/healthz" and verb == "GET":
                 return 200, self._serve_health(), {}
+            if path == "/v1/health/peers" and verb == "GET":
+                return 200, self._serve_health_peers(), {}
             if path == "/metrics" and verb == "GET":
                 from urllib.parse import parse_qs
 
@@ -451,7 +635,7 @@ class ShardRouter:
                     )
                 return 200, self._serve_metrics(), {}
             if path == "/v1/methods" and verb == "GET":
-                status, data, response_headers = await self._forward(
+                status, data, response_headers, _shard = await self._forward(
                     "/v1/methods", "GET", "/v1/methods", b""
                 )
                 if not isinstance(data, dict):
@@ -462,7 +646,14 @@ class ShardRouter:
                 return await self._route_evaluate(body)
             if path == "/v1/evaluate/batch" and verb == "POST":
                 return await self._route_batch(body)
-            known = {"/healthz", "/metrics", "/v1/methods", "/v1/evaluate", "/v1/evaluate/batch"}
+            known = {
+                "/healthz",
+                "/metrics",
+                "/v1/methods",
+                "/v1/evaluate",
+                "/v1/evaluate/batch",
+                "/v1/health/peers",
+            }
             if path in known:
                 return (
                     405,
@@ -568,6 +759,13 @@ class ShardRouter:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._probe_task
             self._probe_task = None
+        # In-flight replica writes are best-effort by contract: cancel them
+        # rather than hold shutdown on a dead replica's timeout.
+        for task in list(self._replica_tasks):
+            task.cancel()
+        if self._replica_tasks:
+            await asyncio.gather(*self._replica_tasks, return_exceptions=True)
+            self._replica_tasks.clear()
         # Close kept-alive client connections so parked handler tasks end
         # via EOF, not cancellation (same shutdown contract as the server).
         for writer in list(self._connections):
@@ -576,4 +774,6 @@ class ShardRouter:
         while self._connections and asyncio.get_running_loop().time() < deadline:
             await asyncio.sleep(0.01)
         for transport in self.transports.values():
+            await transport.aclose()
+        for transport in self.peer_transports.values():
             await transport.aclose()

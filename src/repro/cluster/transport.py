@@ -5,7 +5,12 @@ per-thread keep-alive: each shard gets a small pool of persistent
 connections multiplexed across concurrent router requests, so a hop costs a
 round trip, not a TCP handshake.  A pooled connection the shard closed
 between uses is detected on reuse (EOF where the status line should be) and
-replaced transparently, counted in ``stats["reconnects"]``.
+replaced transparently, counted in ``stats["reconnects"]``.  The idle pool
+is bounded (``max_idle``): a concurrency burst -- a batch fan-out plus
+replica writes landing together -- opens extra connections, but only
+``max_idle`` of them park afterwards; the rest close on release
+(``stats["connections_trimmed"]``), so a long-lived router's descriptor
+count tracks steady-state concurrency, not its historical peak.
 
 Transport failures raise ``ConnectionError``/``OSError``/``TimeoutError``
 -- the router's signal to eject the shard and spill its keys; HTTP-level
@@ -49,13 +54,16 @@ def split_base_url(base: str) -> tuple[str, int]:
 class ShardTransport:
     """A keep-alive connection pool to one shard."""
 
-    def __init__(self, base: str, timeout: float = 120.0) -> None:
+    def __init__(self, base: str, timeout: float = 120.0, max_idle: int = 8) -> None:
+        if max_idle < 1:
+            raise ValueError(f"max_idle must be >= 1, got {max_idle}")
         self.base = base
         self.host, self.port = split_base_url(base)
         self.timeout = timeout
+        self.max_idle = max_idle
         self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
         self._closed = False
-        self.stats = {"connections_opened": 0, "reconnects": 0}
+        self.stats = {"connections_opened": 0, "reconnects": 0, "connections_trimmed": 0}
 
     async def _connect(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
         reader, writer = await asyncio.open_connection(self.host, self.port)
@@ -135,6 +143,9 @@ class ShardTransport:
                 f"shard {self.base} died mid-response: {error}"
             ) from error
         if self._closed or response.headers.get("connection", "").lower() == "close":
+            self._close_pair(writer)
+        elif len(self._idle) >= self.max_idle:
+            self.stats["connections_trimmed"] += 1
             self._close_pair(writer)
         else:
             self._idle.append((reader, writer))

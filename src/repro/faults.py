@@ -34,6 +34,19 @@ Directives (API keyword / env spelling):
 ``crash`` / `crash`    ``os._exit(70)`` instead of raising -- simulates a
                        worker-process crash (``BrokenProcessPool`` upstream)
 =====================  ========================================================
+
+Failpoints in the tree (grep for ``faults.hit`` to refresh this list):
+
+========================  =====================================================
+``worker.evaluate``       one evaluation inside a service/pool worker
+``worker.group``          one coalesced batch group inside a worker
+``worker.crash``          worker-process entry (arm with ``crash`` to kill it)
+``studies.point``         one study point in the runner
+``router.replica_write``  one write-all cache ``PUT`` to a replica shard --
+                          firing it models a replica missing a warm entry
+``health.probe``          one router ``/healthz`` probe -- firing it blinds
+                          the prober (the probe reads as failed)
+========================  =====================================================
 """
 
 from __future__ import annotations

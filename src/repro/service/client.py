@@ -146,6 +146,14 @@ class ServiceClient:
     when it is longer.  Retrying is safe because every response is
     deterministic and content-keyed: a retried request returns the same
     bytes the first attempt would have.  ``retries=0`` disables retrying.
+
+    ``max_elapsed_s`` is the **retry budget**: the total time a call may
+    spend across attempts and backoff sleeps.  A sleep that would overrun
+    the budget is skipped and the last failure raised instead -- a typed
+    :class:`ServiceError` when the server answered (429/503, ``Retry-After``
+    attached), the transport error otherwise -- so honoured ``Retry-After``
+    values can never stretch a call past the caller's own deadline.
+    ``None`` (the default) keeps the unbounded PR-6 behaviour.
     """
 
     def __init__(
@@ -157,15 +165,21 @@ class ServiceClient:
         retries: int = 2,
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
+        max_elapsed_s: float | None = None,
         sleep: Callable[[float], None] = time.sleep,
         rng: Callable[[], float] = random.random,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if max_elapsed_s is not None and max_elapsed_s <= 0.0:
+            raise ValueError(f"max_elapsed_s must be positive, got {max_elapsed_s}")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
+        self.max_elapsed_s = max_elapsed_s
+        self._clock = clock
         self.backoff = BackoffPolicy(backoff_base, backoff_max, rng=rng)
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
@@ -263,6 +277,7 @@ class ServiceClient:
 
     def _request(self, verb: str, path: str, payload: dict | None = None) -> dict:
         last_error: Exception | None = None
+        started = self._clock()
         for attempt in range(self.retries + 1):
             retry_after = None
             try:
@@ -279,7 +294,17 @@ class ServiceClient:
                 if attempt >= self.retries:
                     raise
                 last_error = error
-            self._sleep(self.backoff_delay(attempt, retry_after))
+            delay = self.backoff_delay(attempt, retry_after)
+            if (
+                self.max_elapsed_s is not None
+                and self._clock() - started + delay > self.max_elapsed_s
+            ):
+                # The budget expired: sleeping again -- even for an
+                # honoured Retry-After -- would overrun the caller's total
+                # deadline.  Surface the last failure as-is (the typed
+                # ServiceError when the server answered).
+                raise last_error
+            self._sleep(delay)
         raise last_error  # pragma: no cover - the loop always returns or raises
 
     def _request_once(self, verb: str, path: str, payload: dict | None = None) -> dict:
@@ -385,6 +410,10 @@ class ServiceClient:
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def health_peers(self) -> dict:
+        """The shared health view (router eject/readmit table, shard status)."""
+        return self._request("GET", "/v1/health/peers")
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")

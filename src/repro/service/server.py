@@ -13,6 +13,8 @@ Endpoint                     Meaning
                              for a digest (local tiers only), or 404
 ``PUT /v1/cache/<digest>``   push a study-shaped entry into this shard's cache
 ``GET /healthz``             liveness: ``{"status": "ok", ...}``
+``GET /v1/health/peers``     the shared health-view surface (role, status and an
+                             empty view table: routers own ejection state)
 ``GET /metrics``             counters, gauges and latency histograms (JSON; the
                              Prometheus text exposition via ``?format=prom``)
 ===========================  ========================================================
@@ -647,6 +649,7 @@ class EvaluationServer:
             "/healthz": "GET",
             "/metrics": "GET",
             "/v1/methods": "GET",
+            "/v1/health/peers": "GET",
             "/v1/evaluate": "POST",
             "/v1/evaluate/batch": "POST",
         }
@@ -665,6 +668,18 @@ class EvaluationServer:
                     "status": "ok",
                     "draining": self._draining,
                     "uptime_seconds": round(time.time() - self._started, 3),
+                }, {}
+            if path == "/v1/health/peers":
+                # The shared health-view surface, uniform across roles: a
+                # shard has no peer table (routers own ejection state), so
+                # its view is empty and merging it is a no-op -- a router
+                # pointed at a shard by mistake converges on nothing
+                # instead of failing.
+                return 200, {
+                    "role": "shard",
+                    "status": "draining" if self._draining else "ok",
+                    "updated": round(time.time(), 6),
+                    "view": {},
                 }, {}
             if path == "/metrics":
                 wanted = parse_qs(query).get("format", ["json"])[-1]

@@ -92,3 +92,180 @@ class TestSnapshot:
     def test_unknown_shard_rejected(self, health):
         with pytest.raises(ValueError):
             health.eject("nope:0")
+
+
+class TestSharedView:
+    def test_export_shape(self, health, clock):
+        clock.now = 10.0
+        health.eject("a:1")
+        health.eject("b:2", cooldown=5.0)
+        view = health.export()
+        assert set(view) == set(SHARDS)
+        assert view["a:1"] == {
+            "ejected": True, "updated": 10.0,
+            "until_probe": True, "cooldown_remaining": None,
+        }
+        assert view["b:2"] == {
+            "ejected": True, "updated": 10.0,
+            "until_probe": False, "cooldown_remaining": 5.0,
+        }
+        assert view["c:3"] == {"ejected": False, "updated": 0.0}
+
+    def test_export_has_no_nonfinite_floats(self, health):
+        import json
+        import math
+
+        health.eject("a:1")
+        text = json.dumps(health.export(), allow_nan=False)  # raises on inf
+        assert "Infinity" not in text
+        assert not any(
+            isinstance(v, float) and not math.isfinite(v)
+            for entry in health.export().values()
+            for v in entry.values()
+            if v is not None
+        )
+
+    def test_merge_adopts_newer_ejection(self, clock):
+        ours = ShardHealth(SHARDS, clock=clock)
+        theirs = ShardHealth(SHARDS, clock=clock)
+        clock.now = 5.0
+        theirs.eject("a:1")
+        adopted = ours.merge(theirs.export())
+        assert adopted == 1
+        assert ours.is_excluded("a:1")
+        assert ours.needs_probe() == ["a:1"]
+
+    def test_merge_adopts_newer_readmission(self, clock):
+        ours = ShardHealth(SHARDS, clock=clock)
+        theirs = ShardHealth(SHARDS, clock=clock)
+        clock.now = 1.0
+        ours.eject("a:1")
+        theirs.eject("a:1")
+        clock.now = 2.0
+        theirs.readmit("a:1")  # the peer probed it back to life
+        assert ours.merge(theirs.export()) == 1
+        assert not ours.is_excluded("a:1")
+
+    def test_older_stamp_never_wins(self, clock):
+        ours = ShardHealth(SHARDS, clock=clock)
+        theirs = ShardHealth(SHARDS, clock=clock)
+        clock.now = 1.0
+        theirs.eject("a:1")
+        stale = theirs.export()
+        clock.now = 5.0
+        ours.readmit("a:1")  # our probe is fresher than their ejection
+        assert ours.merge(stale) == 0
+        assert not ours.is_excluded("a:1")
+
+    def test_touch_defends_local_state(self, clock):
+        """A probe confirming health re-stamps the shard, so a peer's older
+        ejection cannot resurrect it."""
+        ours = ShardHealth(SHARDS, clock=clock)
+        theirs = ShardHealth(SHARDS, clock=clock)
+        clock.now = 1.0
+        theirs.eject("a:1")
+        clock.now = 2.0
+        ours.touch("a:1")
+        assert ours.merge(theirs.export()) == 0
+        assert not ours.is_excluded("a:1")
+
+    def test_cooldown_remaining_reanchored_on_receiver_clock(self, clock):
+        ours = ShardHealth(SHARDS, clock=clock)
+        theirs = ShardHealth(SHARDS, clock=clock)
+        clock.now = 1.0
+        theirs.eject("b:2", cooldown=10.0)
+        clock.now = 4.0  # 7 s of cooldown left at export time
+        view = theirs.export()
+        assert view["b:2"]["cooldown_remaining"] == pytest.approx(7.0)
+        ours.merge(view)
+        clock.now = 10.9
+        assert ours.is_excluded("b:2")
+        clock.now = 11.1  # 4.0 + 7.0 lapsed on *our* clock
+        assert not ours.is_excluded("b:2")
+
+    def test_same_verdict_adopts_stamp_silently(self, clock):
+        ours = ShardHealth(SHARDS, clock=clock)
+        theirs = ShardHealth(SHARDS, clock=clock)
+        clock.now = 1.0
+        ours.eject("a:1")
+        clock.now = 2.0
+        theirs.eject("a:1")
+        assert ours.merge(theirs.export()) == 0  # no state change counted
+        clock.now = 3.0
+        ours.readmit("a:1")
+        # ... but the adopted stamp means their now-stale view cannot win.
+        assert ours.merge(theirs.export()) == 0
+        assert not ours.is_excluded("a:1")
+
+    def test_merge_ignores_garbage(self, health):
+        adopted = health.merge(
+            {
+                "nope:0": {"ejected": True, "updated": 99.0},
+                "a:1": "not-a-mapping",
+                "b:2": {"ejected": True, "updated": True},  # bool stamp
+                "c:3": {"ejected": True},  # no stamp
+            }
+        )
+        assert adopted == 0
+        assert health.excluded() == frozenset()
+
+    def test_two_views_converge_both_directions(self, clock):
+        left = ShardHealth(SHARDS, clock=clock)
+        right = ShardHealth(SHARDS, clock=clock)
+        clock.now = 1.0
+        left.eject("a:1")
+        clock.now = 2.0
+        right.eject("b:2", cooldown=60.0)
+        left.merge(right.export())
+        right.merge(left.export())
+        assert left.excluded() == right.excluded() == {"a:1", "b:2"}
+
+    def test_alias_is_the_same_class(self):
+        from repro.cluster.health import HealthView
+
+        assert ShardHealth is HealthView
+
+
+class TestProbeSchedule:
+    def test_offsets_deterministic_and_spread(self):
+        from repro.cluster.health import probe_offset
+
+        shards = [f"shard-{i}:800{i}" for i in range(8)]
+        offsets = [probe_offset(shard, 1.0) for shard in shards]
+        assert offsets == [probe_offset(shard, 1.0) for shard in shards]
+        assert all(0.0 <= offset < 1.0 for offset in offsets)
+        assert len(set(offsets)) == len(offsets)  # no stampede
+
+    def test_due_fires_each_shard_once_per_interval(self, clock):
+        from repro.cluster.health import ProbeSchedule
+
+        schedule = ProbeSchedule(SHARDS, 1.0, clock=clock)
+        clock.now = 1.0
+        first = schedule.due()
+        assert sorted(first) == sorted(SHARDS)
+        assert schedule.due() == []  # nothing due twice in one beat
+        clock.now = 2.0
+        assert sorted(schedule.due()) == sorted(SHARDS)
+
+    def test_stall_skips_missed_beats(self, clock):
+        from repro.cluster.health import ProbeSchedule
+
+        schedule = ProbeSchedule(["a:1"], 1.0, clock=clock)
+        clock.now = 50.0  # the loop stalled for ~50 intervals
+        assert schedule.due() == ["a:1"]
+        assert schedule.due() == []  # one probe, not fifty
+        assert schedule.seconds_until_next() == pytest.approx(1.0)
+
+    def test_seconds_until_next(self, clock):
+        from repro.cluster.health import ProbeSchedule, probe_offset
+
+        schedule = ProbeSchedule(["a:1"], 2.0, clock=clock)
+        assert schedule.seconds_until_next() == pytest.approx(
+            probe_offset("a:1", 2.0)
+        )
+
+    def test_bad_interval_rejected(self):
+        from repro.cluster.health import ProbeSchedule
+
+        with pytest.raises(ValueError):
+            ProbeSchedule(SHARDS, 0.0)

@@ -27,11 +27,17 @@ MODEL = {"p": [0.05, 0.02, 0.01], "q": [1e-4, 5e-4, 2e-3]}
 
 
 @contextmanager
-def cluster(shards: int = 2, probe_interval_ms: float = 10_000.0, **server_kw):
+def cluster(
+    shards: int = 2,
+    probe_interval_ms: float = 10_000.0,
+    router_kw: dict | None = None,
+    **server_kw,
+):
     """``shards`` live servers behind a live router; yields the moving parts.
 
     The probe interval defaults high so tests control ejection/readmission
-    deterministically instead of racing the probe loop.
+    deterministically instead of racing the probe loop.  ``router_kw``
+    reaches the :class:`ShardRouter` constructor (replication, lru_size...).
     """
     server_kw.setdefault("batch_window_ms", 1.0)
     servers = [EvaluationServer(**server_kw) for _ in range(shards)]
@@ -40,6 +46,7 @@ def cluster(shards: int = 2, probe_interval_ms: float = 10_000.0, **server_kw):
         [f"127.0.0.1:{handle.port}" for handle in handles],
         probe_interval_ms=probe_interval_ms,
         retries=2,
+        **(router_kw or {}),
     )
     front = start_in_background(router)
     try:
@@ -288,3 +295,174 @@ class TestRetryAfterPropagation:
             front.stop()
             stub.shutdown()
             thread.join(5.0)
+
+
+def _wait_for(predicate, timeout: float = 10.0, step: float = 0.02) -> bool:
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(step)
+    return predicate()
+
+
+class TestReplication:
+    def test_write_all_warms_replica_and_primary_death_loses_nothing(self):
+        """With R=2 a computed result fans out to the standby replica, so
+        killing the primary serves the *same bytes* from the replica's cache
+        -- zero recompute, one counted read fallback."""
+        with cluster(
+            3, router_kw={"replication": 2, "lru_size": 0}
+        ) as (servers, handles, router, front):
+            client = ServiceClient(port=front.port)
+            payload = _payload_owned_by(router, router.ring.shards[0])
+            key = parse_evaluate_payload(payload).group_key()
+            primary, standby = router.placement.replica_set(key)
+
+            first, served = client.evaluate_detail(**_as_kwargs(payload))
+            assert served["cached"] is None  # computed on the primary
+            assert _wait_for(lambda: router.registry["replica_writes"] >= 1)
+
+            primary_index = next(
+                index for index, handle in enumerate(handles)
+                if primary.endswith(f":{handle.port}")
+            )
+            computed_before = sum(_computed(servers))
+            handles[primary_index].stop()
+
+            second, served = client.evaluate_detail(**_as_kwargs(payload))
+            assert _strip_elapsed(second.to_dict()) == _strip_elapsed(first.to_dict())
+            assert served["cached"] in ("lru", "disk")  # the replica was warm
+            assert sum(_computed(servers)) == computed_before  # nothing recomputed
+            assert router.registry["replica_read_fallbacks"] >= 1
+            assert primary in router.health.excluded()
+
+    def test_readmission_restores_exact_placement(self):
+        with cluster(
+            3, router_kw={"replication": 2, "lru_size": 0}
+        ) as (servers, handles, router, front):
+            keys = [f"key-{index}" for index in range(64)]
+            before = {key: router.placement.replica_set(key) for key in keys}
+            victim = router.ring.shards[0]
+            _on_router_loop(front, lambda: router.health.eject(victim))
+            during = {
+                key: router.placement.replica_set(
+                    key, excluded=router.health.excluded()
+                )
+                for key in keys
+            }
+            assert any(during[key] != before[key] for key in keys)
+            _on_router_loop(front, lambda: router.health.readmit(victim))
+            after = {key: router.placement.replica_set(key) for key in keys}
+            assert after == before
+
+    def test_replica_write_failpoint_counts_failures(self):
+        from repro import faults
+
+        with cluster(
+            2, router_kw={"replication": 2, "lru_size": 0}
+        ) as (servers, handles, router, front):
+            faults.inject("router.replica_write", export_env=False)
+            try:
+                client = ServiceClient(port=front.port)
+                client.evaluate_detail(
+                    FaultModel.from_dict(MODEL),
+                    "montecarlo",
+                    options={"replications": 500},
+                    seed=3,
+                )
+                assert _wait_for(
+                    lambda: router.registry["replica_write_failures"] >= 1
+                )
+                assert router.registry["replica_writes"] == 0
+            finally:
+                faults.clear("router.replica_write")
+
+    def test_replication_must_fit_the_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(["a:1", "b:2"], replication=3)
+
+    def test_lru_size_zero_disables_the_router_cache(self):
+        with cluster(1, router_kw={"lru_size": 0}) as (servers, handles, router, front):
+            assert router.cache is None
+            client = ServiceClient(port=front.port)
+            kwargs = _as_kwargs(
+                {"model": MODEL, "method": "montecarlo",
+                 "options": {"replications": 500}, "seed": 11}
+            )
+            client.evaluate_detail(**kwargs)
+            _, served = client.evaluate_detail(**kwargs)
+            # The repeat is served by the shard's cache, never tagged "router".
+            assert served["cached"] in ("lru", "disk")
+
+
+class TestSharedHealthView:
+    def test_router_serves_its_view(self):
+        with cluster(2) as (servers, handles, router, front):
+            client = ServiceClient(port=front.port)
+            body = client.health_peers()
+            assert body["role"] == "router"
+            assert set(body["view"]) == set(router.ring.shards)
+            victim = router.ring.shards[0]
+            _on_router_loop(front, lambda: router.health.eject(victim))
+            body = client.health_peers()
+            assert body["view"][victim]["ejected"] is True
+
+    def test_shard_serves_an_empty_view(self):
+        server = EvaluationServer(batch_window_ms=1.0)
+        handle = start_in_background(server)
+        try:
+            client = ServiceClient(port=handle.port)
+            body = client.health_peers()
+            assert body["role"] == "shard"
+            assert body["view"] == {}
+        finally:
+            handle.stop()
+
+    def test_peer_routers_converge_on_an_ejection(self):
+        """Router A never saw the failure; router B did.  One merge pass
+        later A excludes the shard too, and counts the adoption."""
+        with cluster(2) as (servers, handles, router_a, front_a):
+            shard_names = [f"127.0.0.1:{handle.port}" for handle in handles]
+            router_b = ShardRouter(
+                shard_names, probe_interval_ms=10_000.0, retries=2
+            )
+            front_b = start_in_background(router_b)
+            try:
+                import asyncio
+
+                from repro.cluster.transport import ShardTransport
+
+                peer = f"127.0.0.1:{front_b.port}"
+                router_a.peer_routers = (peer,)
+                router_a.peer_transports = {peer: ShardTransport(peer, timeout=5.0)}
+                victim = shard_names[0]
+                _on_router_loop(front_b, lambda: router_b.health.eject(victim))
+                future = asyncio.run_coroutine_threadsafe(
+                    router_a._merge_peer_views(), front_a._loop
+                )
+                future.result(timeout=10.0)
+                assert victim in router_a.health.excluded()
+                assert router_a.registry["health_merges"] >= 1
+            finally:
+                front_b.stop()
+
+    def test_unreachable_peer_is_skipped(self):
+        import asyncio
+
+        from repro.cluster.transport import ShardTransport
+
+        with cluster(1) as (servers, handles, router, front):
+            peer = "127.0.0.1:1"  # nothing listens there
+            router.peer_routers = (peer,)
+            router.peer_transports = {peer: ShardTransport(peer, timeout=2.0)}
+            future = asyncio.run_coroutine_threadsafe(
+                router._merge_peer_views(), front._loop
+            )
+            future.result(timeout=10.0)  # swallows the connection failure
+            client = ServiceClient(port=front.port)
+            # Traffic still flows; the merge failure is silent by design.
+            client.evaluate(FaultModel.from_dict(MODEL), "moments")
+            assert router.registry["health_merges"] == 0

@@ -1,0 +1,84 @@
+"""Chaos-soak harness: a short kill-and-restart soak over a live cluster.
+
+These run the real thing -- in-process shards, a real router, real sockets
+-- just compressed to a few seconds.  The invariants are the PR's headline
+guarantees: byte-identical responses throughout, zero recompute after a
+replica death, and exact placement snapback on readmission.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.loadgen import run_soak
+
+
+class TestSoak:
+    def test_kill_and_restart_loses_no_warm_cache(self):
+        report = run_soak(
+            seed=11,
+            distinct=4,
+            shards=3,
+            replication=2,
+            rate=12.0,
+            workers=4,
+            soak_seconds=4.0,
+            kill_shard_at=1.2,
+            restart_shard_at=2.6,
+            replications=200,
+            n_faults=12,
+            probe_interval_ms=80.0,
+        )
+        assert report["events"]["chaos_errors"] == []
+        assert "killed_at" in report["events"]
+        assert "restarted_at" in report["events"]
+        totals = report["totals"]
+        assert totals["byte_mismatches"] == 0
+        assert totals["untyped_failures"] == 0
+        # The headline: after the kill, the surviving replica answers from
+        # the write-all-warmed cache -- nothing is computed again.
+        assert totals["degraded_recomputed"] == 0
+        assert report["router"]["replica_writes"] >= 4  # distinct * (R-1)
+        assert report["router"]["replica_read_fallbacks"] >= 1
+        assert report["router"]["shard_ejects"] >= 1
+        assert report["router"]["shard_readmits"] >= 1
+        assert report["placement_restored"] is True
+        assert [phase["phase"] for phase in report["phases"]] == [
+            "pre_kill", "degraded", "recovered",
+        ]
+        for phase in report["phases"]:
+            assert phase["requests"] > 0
+
+    def test_steady_soak_without_chaos(self):
+        report = run_soak(
+            seed=3,
+            distinct=3,
+            shards=2,
+            replication=1,
+            rate=10.0,
+            workers=4,
+            soak_seconds=1.5,
+            replications=150,
+            n_faults=10,
+        )
+        assert [phase["phase"] for phase in report["phases"]] == ["steady"]
+        assert report["totals"]["errors"] == 0
+        assert report["totals"]["byte_mismatches"] == 0
+        assert report["latency_degradation"] == {}
+        assert report["placement_restored"] is None
+
+
+class TestSoakValidation:
+    def test_chaos_timeline_must_fit_the_soak(self):
+        with pytest.raises(ValueError):
+            run_soak(soak_seconds=5.0, kill_shard_at=6.0)
+        with pytest.raises(ValueError):
+            run_soak(soak_seconds=5.0, kill_shard_at=2.0, restart_shard_at=1.0)
+        with pytest.raises(ValueError):
+            run_soak(soak_seconds=5.0, restart_shard_at=2.0)  # no kill
+        with pytest.raises(ValueError):
+            run_soak(soak_seconds=0.0)
+
+    def test_replication_must_fit_shards(self):
+        with pytest.raises(ValueError):
+            run_soak(soak_seconds=2.0, shards=2, replication=3)

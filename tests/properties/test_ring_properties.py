@@ -1,0 +1,102 @@
+"""Property-based tests for consistent hashing and replicated placement.
+
+Hypothesis explores shard sets, keys, weights and exclusion patterns that
+example-based tests would never enumerate; the properties are the ring's
+load-bearing contracts: candidate completeness, placement stability under
+unrelated failures, and bounded key movement on reconfiguration.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import ConsistentHashRing, ReplicatedPlacement
+
+shard_sets = st.lists(
+    st.from_regex(r"[a-z]{1,8}:[0-9]{2,4}", fullmatch=True),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+keys = st.text(min_size=1, max_size=32)
+
+
+class TestCandidateProperties:
+    @given(shard_sets, keys)
+    @settings(max_examples=150, deadline=None)
+    def test_candidates_is_a_permutation_of_the_shards(self, shards, key):
+        ring = ConsistentHashRing(shards, replicas=16)
+        candidates = ring.candidates(key)
+        assert sorted(candidates) == sorted(shards)
+
+    @given(shard_sets, keys)
+    @settings(max_examples=150, deadline=None)
+    def test_owner_is_the_first_candidate(self, shards, key):
+        ring = ConsistentHashRing(shards, replicas=16)
+        assert ring.owner(key) == ring.candidates(key)[0]
+
+    @given(shard_sets, keys, st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_exclusion_preserves_candidate_order(self, shards, key, rng):
+        """Excluding shards filters the candidate walk; it never reorders
+        the survivors -- that is what makes failover placement stable."""
+        ring = ConsistentHashRing(shards, replicas=16)
+        full = ring.candidates(key)
+        excluded = {shard for shard in shards if rng.random() < 0.4}
+        survivors = [shard for shard in full if shard not in excluded]
+        if survivors:
+            assert ring.owner(key, excluded=excluded) == survivors[0]
+        else:
+            assert ring.owner(key, excluded=excluded) is None
+
+
+class TestReplicationProperties:
+    @given(shard_sets, keys, st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_replica_set_stable_under_unrelated_exclusion(self, shards, key, data):
+        """Ejecting a shard outside a key's replica set never moves the key."""
+        replication = data.draw(
+            st.integers(min_value=1, max_value=len(shards) - 1), label="replication"
+        )
+        ring = ConsistentHashRing(shards, replicas=16)
+        placement = ReplicatedPlacement(ring, replication=replication)
+        replicas = placement.replica_set(key)
+        outsiders = [shard for shard in shards if shard not in replicas]
+        if outsiders:
+            outsider = data.draw(st.sampled_from(outsiders), label="outsider")
+            assert placement.replica_set(key, excluded={outsider}) == replicas
+
+    @given(shard_sets, keys, st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_replica_set_size_and_distinctness(self, shards, key, data):
+        replication = data.draw(
+            st.integers(min_value=1, max_value=len(shards)), label="replication"
+        )
+        ring = ConsistentHashRing(shards, replicas=16)
+        placement = ReplicatedPlacement(ring, replication=replication)
+        replicas = placement.replica_set(key)
+        assert len(replicas) == len(set(replicas)) == replication
+
+
+class TestWeightChangeProperties:
+    @given(
+        shard_sets,
+        st.lists(keys, min_size=1, max_size=40, unique=True),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_key_movement_on_weight_change_is_bounded(self, shards, key_list, data):
+        """Reweighting one shard only moves keys whose old or new owner is
+        that shard -- every other assignment is untouched."""
+        target = data.draw(st.sampled_from(shards), label="target")
+        weight = data.draw(
+            st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+            label="weight",
+        )
+        before = ConsistentHashRing(shards, replicas=16)
+        after = ConsistentHashRing(shards, replicas=16, weights={target: weight})
+        for key in key_list:
+            old, new = before.owner(key), after.owner(key)
+            if old != new:
+                assert target in (old, new)

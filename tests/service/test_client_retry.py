@@ -128,3 +128,93 @@ class TestServiceErrorTyping:
         assert _parse_retry_after("0") == 0.0
         assert _parse_retry_after("-2") is None
         assert _parse_retry_after("Wed, 21 Oct 2026 07:28:00 GMT") is None
+
+
+class TestRetryBudget:
+    """``max_elapsed_s`` caps the *total* time spent retrying one request."""
+
+    def _budgeted_client(self, failures, *, max_elapsed_s, retries=5):
+        """A scripted client whose clock advances by each recorded sleep."""
+        now = {"t": 0.0}
+        sleeps: list[float] = []
+
+        def sleep(delay: float) -> None:
+            sleeps.append(delay)
+            now["t"] += delay
+
+        client = ServiceClient(
+            retries=retries,
+            backoff_base=0.1,
+            backoff_max=0.4,
+            max_elapsed_s=max_elapsed_s,
+            sleep=sleep,
+            rng=lambda: 1.0,
+            clock=lambda: now["t"],
+        )
+        script = list(failures)
+        calls = {"count": 0}
+
+        def transport(verb, path, payload=None):
+            calls["count"] += 1
+            if script:
+                raise script.pop(0)
+            return {"ok": True}
+
+        client._request_once = transport
+        return client, sleeps, calls, now
+
+    def test_budget_expiry_raises_the_last_typed_error(self):
+        client, sleeps, calls, _ = self._budgeted_client(
+            [ServiceError(503, "draining", code="draining")] * 10,
+            max_elapsed_s=0.25,
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v1/methods")
+        # Delays would be 0.1, 0.2, ...; the second sleep overruns 0.25 s,
+        # so the client stops after one sleep and surfaces the typed 503.
+        assert excinfo.value.status == 503
+        assert sleeps == [0.1]
+        assert calls["count"] == 2
+
+    def test_budget_expiry_raises_transport_error_when_never_answered(self):
+        client, sleeps, calls, _ = self._budgeted_client(
+            [ConnectionRefusedError("down")] * 10, max_elapsed_s=0.05
+        )
+        with pytest.raises(ConnectionRefusedError):
+            client._request("GET", "/healthz")
+        assert sleeps == []  # even the first 0.1 s sleep would overrun
+        assert calls["count"] == 1
+
+    def test_generous_budget_changes_nothing(self):
+        client, sleeps, calls, _ = self._budgeted_client(
+            [ServiceError(429, "busy", code="saturated")] * 2,
+            max_elapsed_s=60.0,
+        )
+        assert client._request("POST", "/v1/evaluate", {}) == {"ok": True}
+        assert sleeps == [0.1, 0.2]
+        assert calls["count"] == 3
+
+    def test_retry_after_counts_against_the_budget(self):
+        client, sleeps, calls, _ = self._budgeted_client(
+            [
+                ServiceError(429, "busy", code="saturated", retry_after=5.0),
+                ServiceError(429, "busy", code="saturated", retry_after=5.0),
+            ],
+            max_elapsed_s=6.0,
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/v1/evaluate", {})
+        # One honoured Retry-After (5 s) fits; a second would overrun.
+        assert excinfo.value.status == 429
+        assert sleeps == [5.0]
+        assert calls["count"] == 2
+
+    def test_default_is_unbudgeted(self):
+        client = ServiceClient()
+        assert client.max_elapsed_s is None
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError, match="max_elapsed_s"):
+            ServiceClient(max_elapsed_s=0.0)
+        with pytest.raises(ValueError, match="max_elapsed_s"):
+            ServiceClient(max_elapsed_s=-1.0)

@@ -145,3 +145,49 @@ class TestDigestInvariants:
         shuffled = json.loads(json.dumps(forward)[::-1][::-1])  # same content
         reordered = {key: shuffled[key] for key in reversed(list(shuffled))}
         assert payload_digest(forward) == payload_digest(reordered)
+
+
+class TestGoldenRingLayout:
+    """The consistent-hash ring's point layout, pinned like a digest.
+
+    Router placement -- and therefore which shard's cache holds which warm
+    entry across a whole fleet -- derives from these SHA-256 ring points.
+    A layout change reshuffles every deployment's keyspace on upgrade, so
+    the exact layout for a fixed shard set is pinned: failing here is a
+    breaking-change decision, not a refactor.
+    """
+
+    SHARDS = ["shard-a:8001", "shard-b:8002", "shard-c:8003"]
+
+    def test_point_layout_hash_is_pinned(self):
+        import hashlib
+
+        from repro.cluster.ring import ConsistentHashRing
+
+        ring = ConsistentHashRing(self.SHARDS, replicas=64)
+        text = "\n".join(f"{position}:{shard}" for position, shard in ring._points)
+        assert (
+            hashlib.sha256(text.encode("utf-8")).hexdigest()
+            == "4d7833f6cbfec16e50bb0d22fcc402a0f4111997ecbeb5e0c684dbd1c4f61679"
+        )
+
+    def test_equal_weights_reproduce_the_pinned_layout(self):
+        """The weighted constructor with weight 1.0 everywhere must emit the
+        seed-era layout byte for byte -- upgrading reshuffles nothing."""
+        from repro.cluster.ring import ConsistentHashRing
+
+        plain = ConsistentHashRing(self.SHARDS, replicas=64)
+        weighted = ConsistentHashRing(
+            self.SHARDS, replicas=64, weights={shard: 1.0 for shard in self.SHARDS}
+        )
+        assert weighted._points == plain._points
+
+    def test_candidate_walk_is_pinned(self):
+        from repro.cluster.ring import ConsistentHashRing
+
+        ring = ConsistentHashRing(self.SHARDS, replicas=64)
+        assert ring.candidates("key-0000") == [
+            "shard-a:8001",
+            "shard-c:8003",
+            "shard-b:8002",
+        ]
