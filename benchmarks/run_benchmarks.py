@@ -539,6 +539,11 @@ def workload_chaos_soak(quick: bool) -> dict:
         replications=20_000 if quick else 60_000,
         n_faults=40,
         probe_interval_ms=100.0,
+        # The SLO gate over every soak phase: a degraded phase legitimately
+        # burns error budget (typed errors while the primary dies), so the
+        # threshold is generous -- it catches systemic failure (a whole
+        # phase erroring burns at 1000x against the 0.999 objective).
+        slo_max_burn=100.0,
     )
     totals = report["totals"]
     if report["events"]["chaos_errors"]:
@@ -561,6 +566,15 @@ def workload_chaos_soak(quick: bool) -> dict:
             "readmits": report["router"]["shard_readmits"],
         },
         "placement_restored": report["placement_restored"],
+        "slo_gate_passed": report["slo"]["gate"]["passed"],
+        "slo_worst_burn": max(
+            (row["burn_rate"] for rows in report["slo"]["phases"].values()
+             for row in rows),
+            default=0.0,
+        ),
+        "fleet_rollup_matches": report["fleet"]["rollup_matches_targets"]
+        if report.get("fleet")
+        else None,
         "latency_degradation": report["latency_degradation"],
         "phase_latency_ms": {
             phase["phase"]: phase["latency_ms"] for phase in report["phases"]
@@ -697,6 +711,126 @@ def workload_telemetry_overhead(quick: bool) -> dict:
     }
 
 
+def workload_telemetry_fleet_overhead(quick: bool) -> dict:
+    """Cost of the fleet observability plane on the routed serving path.
+
+    The plane adds two moving parts on top of PR-7 tracing: span *shipping*
+    on every finished span (the only per-request hot-path cost -- one lock
+    plus a deque append) and the router's scrape+merge beat (off the
+    request path, once per probe interval).  Raw wall-clock A/B of routed
+    requests drowns in socket and scheduler noise, so the gate computes the
+    hot-path price the way ``telemetry_overhead`` does: the per-span
+    enqueue cost of an armed shipper (tight loop, nanoseconds, stable)
+    times the spans one served request emits, as a percentage of a warm
+    routed request's own wall time.  The scrape beat is reported as the
+    fraction of one core it consumes (parse + store + roll-up per beat,
+    amortised over the probe interval) -- it must stay far from saturating
+    the probe thread.  Loss accounting rides along: every span enqueued
+    during the measurement must ship, none dropped.
+    """
+    from repro.cluster import ShardRouter
+    from repro.experiments.scenarios import many_small_faults_scenario
+    from repro.service import EvaluationServer, ServiceClient, start_in_background
+    from repro.telemetry import tracing
+    from repro.telemetry.collector import SpanShipper
+    from repro.telemetry.federation import MetricsFederation
+    from repro.telemetry.metrics import MetricsRegistry, render_prometheus
+
+    model = many_small_faults_scenario(n=100)
+    replications = 20_000 if quick else 100_000
+    warm_calls = 20 if quick else 50
+    repeats = 5
+
+    # 1. Per-span hot-path cost of an armed shipper: enqueue only, the
+    #    transport is a no-op so the number is pure queue mechanics.
+    registry = MetricsRegistry()
+    shipper = SpanShipper(
+        "127.0.0.1:1",
+        transport=lambda batch: True,
+        capacity=1_000_000,
+        batch_size=1_000_000,
+        flush_interval=3600.0,
+        registry=registry,
+    )
+    event = {"name": "bench.ship", "trace": "t", "span": "s", "dur_ms": 1.0}
+    loops = 100_000 if quick else 200_000
+    start = time.perf_counter()
+    for _ in range(loops):
+        shipper(event)
+    enqueue_ns = (time.perf_counter() - start) / loops * 1e9
+    shipper.flush()
+    shipper.close()
+    spans_shipped = registry["spans_shipped"]
+    spans_dropped = registry["spans_dropped"] if "spans_dropped" in registry else 0
+
+    shard = EvaluationServer(batch_window_ms=0.0)
+    with start_in_background(shard) as handle:
+        router = ShardRouter([f"127.0.0.1:{handle.port}"])
+        with start_in_background(router) as front:
+            client = ServiceClient(port=front.port)
+
+            def one():
+                return client.evaluate_detail(
+                    model, "montecarlo", options={"replications": replications}, seed=7
+                )
+
+            one()  # cold: populate caches so the timed calls are warm hits
+
+            # 2. Spans one warm routed request emits (router + shard live in
+            #    this process, so a sink sees the whole tree).
+            sunk: list = []
+            tracing.configure(sink=sunk.append)
+            probe_calls = 5
+            for _ in range(probe_calls):
+                one()
+            spans_per_request = len(sunk) / probe_calls
+            tracing.disable(export_env=False)
+
+            # 3. The warm request's own wall time, shipping off (best block).
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for _ in range(warm_calls):
+                    one()
+                best = min(best, time.perf_counter() - start)
+            seconds_per_call = best / warm_calls
+
+            # 4. The scrape+merge beat, measured against real shard output:
+            #    parse the shard's prometheus page, store it, roll the fleet
+            #    up -- the exact work the probe loop does once per interval.
+            shard_page = render_prometheus(shard.registry.snapshot())
+            local = router.registry.snapshot()
+            federation = MetricsFederation()
+            beats = 200
+            start = time.perf_counter()
+            for _ in range(beats):
+                federation.update_from_prometheus("127.0.0.1:1", shard_page)
+                federation.fleet_snapshot(local)
+            scrape_ms_per_beat = (time.perf_counter() - start) / beats * 1e3
+            client.close()
+
+    hot_path_percent = (
+        spans_per_request * enqueue_ns / 1e9 / seconds_per_call * 100.0
+    )
+    scrape_cpu_percent = scrape_ms_per_beat / (router.probe_interval * 1e3) * 100.0
+    return {
+        "method": "montecarlo",
+        "n": 100,
+        "replications": replications,
+        "ship_enqueue_ns": round(enqueue_ns, 1),
+        "spans_per_request": spans_per_request,
+        "warm_request_ms": round(seconds_per_call * 1e3, 3),
+        "hot_path_percent": round(hot_path_percent, 5),
+        "hot_path_budget_percent": 5.0,
+        "scrape_ms_per_beat": round(scrape_ms_per_beat, 3),
+        "probe_interval_ms": round(router.probe_interval * 1e3, 1),
+        "scrape_cpu_percent": round(scrape_cpu_percent, 3),
+        "spans_shipped": spans_shipped,
+        "spans_dropped": spans_dropped,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
 WORKLOADS = {
     "single": workload_single,
     "paired": workload_paired,
@@ -711,6 +845,7 @@ WORKLOADS = {
     "chaos_soak": workload_chaos_soak,
     "dispatch": workload_dispatch,
     "telemetry_overhead": workload_telemetry_overhead,
+    "telemetry_fleet_overhead": workload_telemetry_fleet_overhead,
 }
 
 
@@ -796,6 +931,18 @@ def check_record(record: dict) -> list[str]:
             "chaos_soak readmitted shard resumed its placement",
             lambda: value("chaos_soak", "placement_restored") is True,
         ),
+        # The declarative SLO gate over every soak phase (availability +
+        # latency objectives against each phase's own histogram) must pass.
+        (
+            "chaos_soak SLO burn-rate gate passed",
+            lambda: value("chaos_soak", "slo_gate_passed") is True,
+        ),
+        # The federated fleet roll-up taken mid-soak must equal the merge
+        # of the per-shard scrapes exactly.
+        (
+            "chaos_soak fleet roll-up equals per-target merge",
+            lambda: value("chaos_soak", "fleet_rollup_matches") is True,
+        ),
         # Warm study runs must stay essentially free.  A broken cache makes
         # warm ~= cold (ratio ~1); the floor sits well above that while
         # leaving room for the fixed per-run cost (plan + cache probing)
@@ -823,6 +970,26 @@ def check_record(record: dict) -> list[str]:
         (
             "telemetry_overhead instrumentation covers the kernel",
             lambda: value("telemetry_overhead", "spans_per_evaluate") >= 1,
+        ),
+        # The fleet plane's hot-path price (span enqueue x spans/request)
+        # must stay within 5% of a warm routed request -- same computed-ratio
+        # construction as telemetry_overhead, so it is noise-immune.
+        (
+            "telemetry_fleet_overhead hot path <= 5% of a warm request",
+            lambda: value("telemetry_fleet_overhead", "hot_path_percent")
+            <= value("telemetry_fleet_overhead", "hot_path_budget_percent"),
+        ),
+        # Loss accounting: every span enqueued during the measurement
+        # shipped; a single drop means the bounded queue is mis-sized.
+        (
+            "telemetry_fleet_overhead shipped every span (zero drops)",
+            lambda: value("telemetry_fleet_overhead", "spans_dropped") == 0,
+        ),
+        # The scrape+merge beat runs on the probe thread once per interval;
+        # it must stay far from saturating a core (amortised < 5%).
+        (
+            "telemetry_fleet_overhead scrape beat stays off the hot path",
+            lambda: value("telemetry_fleet_overhead", "scrape_cpu_percent") < 5.0,
         ),
     ]
     failures = []

@@ -43,8 +43,12 @@ writing any code:
 * ``cache info`` / ``cache clear`` -- inspect or empty a content-addressed
   result cache directory (shared by ``study run`` and ``serve``);
 * ``trace summarize`` -- render per-span timing tables and per-request
-  breakdowns from a telemetry trace capture (``repro serve --trace-file`` /
-  ``repro study run --trace-file``);
+  breakdowns from one or more telemetry trace captures (``repro serve
+  --trace-file`` / ``repro study run --trace-file`` / a router's
+  ``--collector-file``); several files are stitched into one fleet view;
+* ``top`` -- live terminal dashboard over a router or shard ``/metrics``
+  endpoint (throughput, latency percentiles, cache mix, shard health, SLO
+  burn); ``--once`` prints a single frame for scripts and CI;
 * ``scenarios`` -- list the built-in scenarios with their descriptions.
 
 The JSON model format is the output of :meth:`repro.core.fault_model.FaultModel.to_dict`::
@@ -335,6 +339,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve_parser.add_argument(
+        "--ship-traces",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "ship telemetry spans to a router's POST /v1/traces collector "
+            "instead of a local file (batched, bounded queue, never blocks "
+            "the request path); mutually exclusive with --trace-file"
+        ),
+    )
+    serve_parser.add_argument(
         "--slow-request-ms",
         type=float,
         default=None,
@@ -430,6 +444,34 @@ def build_parser() -> argparse.ArgumentParser:
             "'repro trace summarize')"
         ),
     )
+    route_parser.add_argument(
+        "--collector-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also append spans received on POST /v1/traces (from shards "
+            "running --ship-traces) to this JSONL file; without it the "
+            "collector keeps a bounded in-memory ring only"
+        ),
+    )
+    route_parser.add_argument(
+        "--slo-config",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON file of SLO objectives evaluated at GET /v1/slo (default: "
+            "built-in 99.9%% availability + 99%% of requests under 500 ms)"
+        ),
+    )
+    route_parser.add_argument(
+        "--no-federation",
+        action="store_true",
+        help=(
+            "do not scrape shard/peer /metrics after health probes; "
+            "/metrics?scope=fleet answers 400 and /v1/slo sees only the "
+            "router's own metrics"
+        ),
+    )
 
     loadgen_parser = subparsers.add_parser(
         "loadgen",
@@ -511,6 +553,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="R",
         help="soak mode: router replication factor (default 2)",
     )
+    loadgen_parser.add_argument(
+        "--slo-max-burn",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "soak mode: evaluate the built-in SLOs per phase and fail (exit "
+            "1) if any phase burns error budget faster than X times the "
+            "sustainable rate (e.g. 2.0: the degraded phase may consume "
+            "budget at most twice as fast as the objective allows)"
+        ),
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear a content-addressed result cache directory"
@@ -547,13 +601,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-span timing tables and per-request breakdowns from a trace file",
     )
     trace_summarize.add_argument(
-        "file", help="trace JSONL file (from 'repro serve --trace-file' or 'repro study run --trace-file')"
+        "file",
+        nargs="+",
+        help=(
+            "trace JSONL file(s) (from --trace-file or a router's "
+            "--collector-file); several files are stitched into one summary, "
+            "so 'summarize router.jsonl collector.jsonl' reassembles "
+            "router->shard->worker trees"
+        ),
     )
     trace_summarize.add_argument(
         "--top", type=int, default=10, help="slowest requests to list (default 10)"
     )
     trace_summarize.add_argument(
         "--json", action="store_true", help="emit the summary as JSON instead of tables"
+    )
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard over a router or shard /metrics endpoint",
+    )
+    top_parser.add_argument("--host", default="127.0.0.1", help="target address (default 127.0.0.1)")
+    top_parser.add_argument("--port", type=int, default=8100, help="target port (default 8100)")
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame (no screen clearing) and exit; for scripts and CI",
+    )
+    top_parser.add_argument(
+        "--scope",
+        default="fleet",
+        choices=("fleet", "local"),
+        help=(
+            "metrics scope to request; 'fleet' (default) falls back to "
+            "'local' automatically against a bare shard"
+        ),
+    )
+    top_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after this many refreshes (default: run until interrupted)",
     )
 
     subparsers.add_parser(
@@ -791,12 +885,22 @@ def _handle_serve(arguments: argparse.Namespace) -> int:
             f"--slow-request-ms must be >= 0, got {arguments.slow_request_ms:g}"
         )
     cache_dir = None if arguments.cache_dir.lower() == "none" else arguments.cache_dir
+    if arguments.trace_file is not None and arguments.ship_traces is not None:
+        raise ValueError(
+            "--trace-file and --ship-traces are mutually exclusive: spans go "
+            "to a local file or to a collector, not both"
+        )
     if arguments.trace_file is not None:
         # Exported to the environment so pool workers trace into the same
         # file as the server process.
         from repro import telemetry
 
         telemetry.configure(arguments.trace_file)
+    elif arguments.ship_traces is not None:
+        # Likewise exported, so pool workers ship to the same collector.
+        from repro.telemetry.collector import configure_shipping
+
+        configure_shipping(arguments.ship_traces)
     server = EvaluationServer(
         workers=arguments.workers,
         batch_window_ms=arguments.batch_window_ms,
@@ -847,6 +951,16 @@ def _handle_route(arguments: argparse.Namespace) -> int:
         from repro import telemetry
 
         telemetry.configure(arguments.trace_file)
+    collector = None
+    if arguments.collector_file is not None:
+        from repro.telemetry.collector import TraceCollector
+
+        collector = TraceCollector(arguments.collector_file)
+    slo_objectives = None
+    if arguments.slo_config is not None:
+        from repro.telemetry.slo import load_objectives
+
+        slo_objectives = load_objectives(arguments.slo_config)
     router = ShardRouter(
         arguments.shard,
         replicas=arguments.replicas,
@@ -855,6 +969,9 @@ def _handle_route(arguments: argparse.Namespace) -> int:
         lru_size=arguments.lru_size,
         retries=arguments.retries,
         peer_routers=tuple(arguments.peer_router or ()),
+        federate=not arguments.no_federation,
+        collector=collector,
+        slo_objectives=slo_objectives,
     )
     try:
         asyncio.run(router.serve_forever(arguments.host, arguments.port))
@@ -872,6 +989,12 @@ def _handle_loadgen(arguments: argparse.Namespace) -> int:
         arguments.kill_shard_at is not None or arguments.restart_shard_at is not None
     ):
         raise ValueError("--kill-shard-at/--restart-shard-at require --soak-seconds")
+    if arguments.slo_max_burn is not None and arguments.soak_seconds is None:
+        raise ValueError("--slo-max-burn requires --soak-seconds")
+    if arguments.slo_max_burn is not None and arguments.slo_max_burn <= 0.0:
+        raise ValueError(
+            f"--slo-max-burn must be positive, got {arguments.slo_max_burn:g}"
+        )
     if arguments.soak_seconds is not None:
         # The soak self-hosts its cluster; validation of the chaos timeline
         # (kill before restart, both inside the soak) lives in run_soak.
@@ -886,8 +1009,16 @@ def _handle_loadgen(arguments: argparse.Namespace) -> int:
             kill_shard_at=arguments.kill_shard_at,
             restart_shard_at=arguments.restart_shard_at,
             replications=arguments.replications,
+            slo_max_burn=arguments.slo_max_burn,
         )
         print(json.dumps(record, indent=2))
+        gate = (record.get("slo") or {}).get("gate")
+        if gate is not None and not gate["passed"]:
+            print(
+                f"error: SLO burn-rate gate failed: {gate['violations']}",
+                file=sys.stderr,
+            )
+            return 1
         return 0
     if not 0 < arguments.port < 65536:
         raise ValueError(f"port must be in 1..65535, got {arguments.port}")
@@ -943,16 +1074,38 @@ def _handle_cache(arguments: argparse.Namespace) -> int:
 
 
 def _handle_trace(arguments: argparse.Namespace) -> int:
-    from repro.telemetry.summarize import format_summary, summarize_file
+    from repro.telemetry.summarize import format_summary, summarize_files
 
     if arguments.top < 1:
         raise ValueError(f"--top must be >= 1, got {arguments.top}")
-    summary = summarize_file(arguments.file)
+    summary = summarize_files(arguments.file)
     if arguments.json:
         print(json.dumps(summary, indent=2))
     else:
         print(format_summary(summary, top=arguments.top))
     return 0
+
+
+def _handle_top(arguments: argparse.Namespace) -> int:
+    from repro.telemetry.top import run_top
+
+    if not 0 < arguments.port < 65536:
+        raise ValueError(f"port must be in 1..65535, got {arguments.port}")
+    if arguments.interval <= 0.0:
+        raise ValueError(f"--interval must be positive, got {arguments.interval:g}")
+    if arguments.iterations is not None and arguments.iterations < 1:
+        raise ValueError(f"--iterations must be >= 1, got {arguments.iterations}")
+    try:
+        return run_top(
+            arguments.host,
+            arguments.port,
+            interval=arguments.interval,
+            once=arguments.once,
+            iterations=arguments.iterations,
+            scope=arguments.scope,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def _preview(values: Sequence) -> str:
@@ -976,6 +1129,7 @@ _HANDLERS = {
     "loadgen": _handle_loadgen,
     "cache": _handle_cache,
     "trace": _handle_trace,
+    "top": _handle_top,
 }
 
 

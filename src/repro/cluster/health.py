@@ -192,6 +192,24 @@ class HealthView:
             for shard in self.shards
         }
 
+    def ages(self) -> dict[str, float | None]:
+        """Seconds since each shard was last observed; ``None`` when never.
+
+        The staleness column of fleet views: a shard whose age keeps
+        growing past the probe interval is one the prober cannot reach
+        (dashboards show it next to the last scrape age, which tracks the
+        metrics path rather than the health path).
+        """
+        now = self._clock()
+        return {
+            shard: (
+                round(now - self._updated[shard], 6)
+                if shard in self._updated
+                else None
+            )
+            for shard in self.shards
+        }
+
 
 #: Compatibility alias: PR-8 code and tests constructed ``ShardHealth``.
 ShardHealth = HealthView

@@ -35,6 +35,14 @@ per-phase recompute counts (with ``--replication 2`` the degraded phase
 must recompute **nothing** -- the write-all fan-out already warmed the
 surviving replica), and whether the readmitted shard resumed its exact
 pre-kill placement.
+
+The soak also speaks the observability plane's vocabulary: every phase is
+evaluated against the stock SLOs (:data:`~repro.telemetry.slo.
+DEFAULT_OBJECTIVES`) into error-budget/burn-rate rows, ``slo_max_burn``
+turns those into a pass/fail gate ("the degraded phase may burn budget at
+most X times faster than sustainable"), and the report carries the
+router's federated fleet snapshot cross-checked against the per-target
+scrapes it was merged from.
 """
 
 from __future__ import annotations
@@ -294,6 +302,7 @@ def run_soak(
     probe_interval_ms: float = 100.0,
     router_lru_size: int = 0,
     timeout: float = 30.0,
+    slo_max_burn: float | None = None,
 ) -> dict:
     """Open-loop soak over a self-hosted replicated cluster with a mid-run kill.
 
@@ -314,7 +323,9 @@ def run_soak(
     Every response is checked byte-identical to the expected record; any
     failure must be a typed :class:`ServiceError`.  Returns a JSON-safe
     report with per-phase latency/served/recompute tables, degradation
-    ratios against the pre-kill phase, and the placement-snapback verdict.
+    ratios against the pre-kill phase, the placement-snapback verdict,
+    per-phase SLO rows (gated by ``slo_max_burn`` when given), and the
+    router's fleet-federation cross-check.
     """
     from contextlib import suppress
 
@@ -580,6 +591,78 @@ def run_soak(
                 )
             degradation[f"{name}_vs_baseline"] = ratios
 
+        # ---- per-phase SLOs: the declarative form of the old gates ---- #
+        from repro.telemetry.slo import DEFAULT_OBJECTIVES, evaluate_objectives, gate
+
+        if kill_shard_at is None:
+            phase_durations = {"steady": soak_seconds}
+        else:
+            phase_durations = {"pre_kill": kill_shard_at}
+            if restart_shard_at is not None:
+                phase_durations["degraded"] = restart_shard_at - kill_shard_at
+                phase_durations["recovered"] = soak_seconds - restart_shard_at
+            else:
+                phase_durations["degraded"] = soak_seconds - kill_shard_at
+        slo_phases = {}
+        for name in phase_names:
+            tally = tallies[name]
+            # Each phase becomes a snapshot in the fleet schema: its error
+            # counters plus its latency histogram under the objectives'
+            # standard names, so evaluate_objectives needs no special case.
+            phase_snapshot = {
+                "counters": {
+                    "requests_total": tally["requests"],
+                    "errors_total": tally["errors"],
+                },
+                "histograms": {
+                    "request_seconds": registry.histogram(
+                        f"soak_{name}_seconds"
+                    ).snapshot()
+                },
+            }
+            slo_phases[name] = evaluate_objectives(
+                DEFAULT_OBJECTIVES,
+                phase_snapshot,
+                window_seconds=phase_durations[name],
+            )
+        slo_section: dict[str, Any] = {"phases": slo_phases}
+        if slo_max_burn is not None:
+            slo_section["gate"] = gate(
+                (row for rows in slo_phases.values() for row in rows),
+                max_burn_rate=slo_max_burn,
+            )
+        # The router's own windowed view (fed by its probe-beat fleet
+        # snapshots), next to the loadgen-side phase rows.
+        slo_section["router_report"] = router.slo.report()
+
+        # ---- fleet federation cross-check ----------------------------- #
+        # The rollup the router serves must equal the merge of the
+        # per-target scrapes it was built from: summing the per-target
+        # counter columns of the fleet document reproduces the flat rollup
+        # exactly (fixed bucket bounds make histogram merges exact too; the
+        # integration tests cover those -- the soak spot-checks counters).
+        fleet_section = None
+        if router.federation is not None:
+            fleet_document = router.federation.document(
+                router._local_snapshot(), self_role="router"
+            )
+            fleet_targets = fleet_document.get("targets") or {}
+            checked = {}
+            for counter in ("requests_total", "errors_total", "spans_dropped"):
+                rollup = fleet_document.get(counter, 0)
+                summed = sum(
+                    (entry.get("counters") or {}).get(counter, 0)
+                    for entry in fleet_targets.values()
+                )
+                checked[counter] = {"rollup": rollup, "summed": summed}
+            fleet_section = {
+                "targets": sorted(fleet_targets),
+                "rollup_matches_targets": all(
+                    column["rollup"] == column["summed"] for column in checked.values()
+                ),
+                "counters": checked,
+            }
+
         # ---- placement snapback: the victim owns its keys again ------- #
         placement_restored = None
         if restart_shard_at is not None and not chaos_errors:
@@ -626,6 +709,8 @@ def run_soak(
             "replica_writes_after_warm": warm_writes,
             "phases": phase_reports,
             "latency_degradation": degradation,
+            "slo": slo_section,
+            "fleet": fleet_section,
             "placement_restored": placement_restored,
             "router": {
                 name: counters[name]

@@ -45,6 +45,20 @@ is out, the last upstream 429/503 propagates -- ``Retry-After`` included --
 so the client's typed-retry machinery keeps working through the router.
 Per-hop retries reuse :class:`repro.service.client.BackoffPolicy`, and
 ``x-repro-trace-id`` propagates end to end.
+
+The router is also the fleet's **observability plane**:
+
+* **metrics federation** (``federate=True``): each successful ``/healthz``
+  probe is followed by a ``/metrics?format=prom`` scrape, parsed back into
+  snapshot form and folded into a :class:`MetricsFederation`; peer routers
+  are scraped on the merge cadence.  ``GET /metrics?scope=fleet`` serves
+  the exact roll-up (JSON or Prometheus text) -- the merged view a single
+  registry would have held, plus a per-target table;
+* a **trace collector** behind ``POST /v1/traces``: shards and their pool
+  workers ship span batches here (:mod:`repro.telemetry.collector`), so
+  one routed request's router->shard->worker tree lands in one place;
+* an **SLO engine** fed a fleet snapshot once per probe interval, serving
+  error-budget and burn-rate reports at ``GET /v1/slo``.
 """
 
 from __future__ import annotations
@@ -72,7 +86,15 @@ from repro.service.protocol import (
     parse_batch_payload,
     parse_evaluate_payload,
 )
-from repro.telemetry.metrics import MetricsRegistry, histogram_summary, render_prometheus
+from repro.telemetry.collector import TraceCollector
+from repro.telemetry.federation import MetricsFederation
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    histogram_summary,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.telemetry.slo import DEFAULT_OBJECTIVES, SLOEngine
 
 __all__ = ["ShardRouter"]
 
@@ -92,6 +114,11 @@ _COUNTER_NAMES = (
     "replica_write_failures",
     "replica_read_fallbacks",
     "health_merges",
+    "fleet_scrapes",
+    "fleet_scrape_failures",
+    "trace_batches_received",
+    "trace_events_received",
+    "trace_events_rejected",
 )
 
 
@@ -125,6 +152,18 @@ class ShardRouter:
     peer_routers:
         Other routers' base URLs; their ``GET /v1/health/peers`` views are
         merged (last-writer-wins) once per probe interval.
+    federate:
+        Scrape shard (and peer-router) metrics on the probe schedule and
+        serve ``/metrics?scope=fleet``.  Off, the fleet scope answers 400
+        and probing is exactly PR-8 behaviour (the overhead benchmark's
+        baseline).
+    collector:
+        The :class:`TraceCollector` behind ``POST /v1/traces``; a bounded
+        in-memory one is created when omitted (pass one with a ``path`` to
+        persist shipped spans to a JSONL file).
+    slo_objectives:
+        Objectives for the ``/v1/slo`` report; defaults to
+        :data:`repro.telemetry.slo.DEFAULT_OBJECTIVES`.
     """
 
     def __init__(
@@ -139,6 +178,9 @@ class ShardRouter:
         timeout: float = 120.0,
         backoff: BackoffPolicy | None = None,
         peer_routers: Sequence[str] = (),
+        federate: bool = True,
+        collector: TraceCollector | None = None,
+        slo_objectives=None,
     ) -> None:
         if probe_interval_ms <= 0.0:
             raise ValueError(f"probe_interval_ms must be positive, got {probe_interval_ms}")
@@ -167,6 +209,9 @@ class ShardRouter:
         self.registry.histogram("request_seconds")
         self.registry.histogram("hop_seconds")
         self.metrics = self.registry
+        self.federation = MetricsFederation() if federate else None
+        self.collector = collector if collector is not None else TraceCollector()
+        self.slo = SLOEngine(slo_objectives or DEFAULT_OBJECTIVES)
         self._started = time.time()
         self._probe_task: asyncio.Task | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -203,12 +248,43 @@ class ShardRouter:
             # No transition, but a fresh observation: recency is what the
             # peer-view merge's last-writer-wins trades on.
             self.health.touch(shard)
+        if alive and self.federation is not None:
+            await self._scrape_target(shard, self.transports[shard], role="shard")
+
+    async def _scrape_target(
+        self, target: str, transport: ShardTransport, *, role: str
+    ) -> None:
+        """Scrape one target's ``/metrics?format=prom`` into the federation.
+
+        A failed scrape leaves the previous (stale) entry in place --
+        scrapes are snapshots of monotonic state, so old is merely old --
+        and counts ``fleet_scrape_failures``; it never affects health.
+        """
+        try:
+            response = await transport.request(
+                "GET", "/metrics?format=prom", timeout=self.probe_timeout
+            )
+            if response.status != 200:
+                raise ValueError(f"scrape returned {response.status}")
+            snapshot = parse_prometheus(response.body.decode("utf-8"))
+        except (ConnectionError, OSError, asyncio.TimeoutError, ValueError, UnicodeDecodeError):
+            self.registry.inc("fleet_scrape_failures")
+            return
+        self.federation.update(target, snapshot, role=role)
+        self.registry.inc("fleet_scrapes")
+
+    async def _scrape_peers(self) -> None:
+        for peer, transport in self.peer_transports.items():
+            await self._scrape_target(peer, transport, role="router")
 
     async def _probe_once(self) -> None:
         """One full pass over every shard, then the peer views (tests, CI)."""
         for shard in self.ring.shards:
             await self._probe_shard(shard)
         await self._merge_peer_views()
+        if self.federation is not None:
+            await self._scrape_peers()
+        self.slo.observe(self._fleet_snapshot())
 
     async def _merge_peer_views(self) -> None:
         """Fold each peer router's ``/v1/health/peers`` export into ours.
@@ -235,18 +311,25 @@ class ShardRouter:
 
     async def _probe_loop(self) -> None:
         schedule = ProbeSchedule(self.ring.shards, self.probe_interval)
-        next_merge = time.monotonic() + self.probe_interval
+        # One "beat" per probe interval for the cluster-wide chores: peer
+        # view merges, peer-router scrapes, and the SLO engine's sample.
+        next_beat = time.monotonic() + self.probe_interval
         while True:
-            delay = schedule.seconds_until_next()
-            if self.peer_transports:
-                delay = min(delay, max(0.0, next_merge - time.monotonic()))
+            delay = min(
+                schedule.seconds_until_next(),
+                max(0.0, next_beat - time.monotonic()),
+            )
             await asyncio.sleep(delay)
             try:
                 for shard in schedule.due():
                     await self._probe_shard(shard)
-                if self.peer_transports and time.monotonic() >= next_merge:
-                    await self._merge_peer_views()
-                    next_merge = time.monotonic() + self.probe_interval
+                if time.monotonic() >= next_beat:
+                    if self.peer_transports:
+                        await self._merge_peer_views()
+                        if self.federation is not None:
+                            await self._scrape_peers()
+                    self.slo.observe(self._fleet_snapshot())
+                    next_beat = time.monotonic() + self.probe_interval
             except asyncio.CancelledError:
                 raise
             except Exception as error:  # noqa: BLE001 - probing must not die
@@ -275,6 +358,11 @@ class ShardRouter:
         """
         trace_id = telemetry.current_trace_id()
         headers = {"x-repro-trace-id": trace_id} if trace_id else {}
+        # The enclosing router.request span becomes the shard-side root's
+        # parent, so the stitched trace is one tree, not two forests.
+        parent_span = telemetry.current_span_id()
+        if parent_span:
+            headers["x-repro-parent-span"] = parent_span
         last_retryable: tuple[int, Any, dict] | None = None
         attempt = 0
         candidates = self.ring.candidates(key)
@@ -566,7 +654,8 @@ class ShardRouter:
             {},
         )
 
-    def _serve_metrics(self) -> dict:
+    def _local_snapshot(self) -> dict:
+        """Refresh the operational gauges and cut one registry snapshot."""
         self.registry.set_gauge("uptime_seconds", round(time.time() - self._started, 3))
         self.registry.set_gauge("shards", len(self.ring.shards))
         self.registry.set_gauge(
@@ -576,7 +665,18 @@ class ShardRouter:
         self.registry.set_gauge(
             "lru_entries", len(self.cache) if self.cache is not None else 0
         )
-        snapshot = self.registry.snapshot()
+        telemetry.set_process_gauges(self.registry)
+        return self.registry.snapshot()
+
+    def _fleet_snapshot(self) -> dict:
+        """The roll-up the SLO engine and fleet endpoints evaluate."""
+        local = self._local_snapshot()
+        if self.federation is None:
+            return local
+        return self.federation.fleet_snapshot(local)
+
+    def _serve_metrics(self) -> dict:
+        snapshot = self._local_snapshot()
         body: dict[str, Any] = {**snapshot["counters"], **snapshot["gauges"]}
         body["histograms"] = {
             name: histogram_summary(data)
@@ -585,16 +685,37 @@ class ShardRouter:
         return body
 
     def _serve_metrics_prometheus(self) -> str:
-        self._serve_metrics()  # refresh gauges
-        return render_prometheus(self.registry.snapshot())
+        return render_prometheus(self._local_snapshot())
+
+    def _serve_metrics_fleet(self) -> dict:
+        document = self.federation.document(self._local_snapshot())
+        health = self.health.snapshot()
+        ages = self.health.ages()
+        for target, entry in document["targets"].items():
+            if target in health:
+                entry["healthy"] = health[target]["healthy"]
+                entry["observed_age_seconds"] = ages.get(target)
+        return document
+
+    def _serve_metrics_fleet_prometheus(self) -> str:
+        return self.federation.prometheus(self._local_snapshot())
+
+    def _serve_slo(self) -> dict:
+        """The ``/v1/slo`` body; samples on demand so the report is fresh."""
+        self.slo.observe(self._fleet_snapshot())
+        return {"role": "router", **self.slo.report()}
 
     def _serve_health(self) -> dict:
+        ages = self.health.ages()
+        shards = self.health.snapshot()
+        for shard, entry in shards.items():
+            entry["observed_age_seconds"] = ages.get(shard)
         return {
             "status": "ok",
             "role": "router",
             "uptime_seconds": round(time.time() - self._started, 3),
             "replication": self.placement.replication,
-            "shards": self.health.snapshot(),
+            "shards": shards,
         }
 
     def _serve_health_peers(self) -> dict:
@@ -621,10 +742,10 @@ class ShardRouter:
             if path == "/metrics" and verb == "GET":
                 from urllib.parse import parse_qs
 
-                wanted = parse_qs(query).get("format", ["json"])[-1]
-                if wanted == "prom":
-                    return 200, self._serve_metrics_prometheus(), {}
-                if wanted != "json":
+                params = parse_qs(query)
+                wanted = params.get("format", ["json"])[-1]
+                scope = params.get("scope", ["local"])[-1]
+                if wanted not in ("json", "prom"):
                     return (
                         400,
                         {
@@ -633,7 +754,54 @@ class ShardRouter:
                         },
                         {},
                     )
+                if scope not in ("local", "fleet"):
+                    return (
+                        400,
+                        {
+                            "error": f"unknown metrics scope {scope!r}; use 'local' or 'fleet'",
+                            "code": "bad_request",
+                        },
+                        {},
+                    )
+                if scope == "fleet":
+                    if self.federation is None:
+                        return (
+                            400,
+                            {
+                                "error": "metrics federation is disabled on this router",
+                                "code": "federation_disabled",
+                            },
+                            {},
+                        )
+                    if wanted == "prom":
+                        return 200, self._serve_metrics_fleet_prometheus(), {}
+                    return 200, self._serve_metrics_fleet(), {}
+                if wanted == "prom":
+                    return 200, self._serve_metrics_prometheus(), {}
                 return 200, self._serve_metrics(), {}
+            if path == "/v1/traces" and verb == "POST":
+                try:
+                    payload = json.loads(body or b"null")
+                except json.JSONDecodeError as error:
+                    return (
+                        400,
+                        {
+                            "error": f"trace payload is not valid JSON: {error}",
+                            "code": "bad_request",
+                        },
+                        {},
+                    )
+                try:
+                    accepted, rejected = self.collector.ingest(payload)
+                except ValueError as error:
+                    return 400, {"error": str(error), "code": "bad_request"}, {}
+                self.registry.inc("trace_batches_received")
+                self.registry.inc("trace_events_received", accepted)
+                if rejected:
+                    self.registry.inc("trace_events_rejected", rejected)
+                return 200, {"accepted": accepted, "rejected": rejected}, {}
+            if path == "/v1/slo" and verb == "GET":
+                return 200, self._serve_slo(), {}
             if path == "/v1/methods" and verb == "GET":
                 status, data, response_headers, _shard = await self._forward(
                     "/v1/methods", "GET", "/v1/methods", b""
@@ -653,6 +821,8 @@ class ShardRouter:
                 "/v1/evaluate",
                 "/v1/evaluate/batch",
                 "/v1/health/peers",
+                "/v1/traces",
+                "/v1/slo",
             }
             if path in known:
                 return (
@@ -706,7 +876,9 @@ class ShardRouter:
                 finally:
                     trace_token.var.reset(trace_token)
                 self.registry.observe(
-                    "request_seconds", time.perf_counter() - handled_from
+                    "request_seconds",
+                    time.perf_counter() - handled_from,
+                    trace_id=trace_id,
                 )
                 if status >= 400:
                     self.registry.inc("errors_total")
@@ -777,3 +949,4 @@ class ShardRouter:
             await transport.aclose()
         for transport in self.peer_transports.values():
             await transport.aclose()
+        self.collector.close()

@@ -264,9 +264,15 @@ class EvaluationServer:
         from concurrent.futures import BrokenExecutor
 
         # Jobs cross the executor as a run_job envelope carrying the trace
-        # id out (contextvars stop at the executor boundary) and, for
-        # process pools, the worker's metrics delta back.
-        job = (function, arguments, telemetry.current_trace_id(), self.workers >= 1)
+        # id and enclosing span id out (contextvars stop at the executor
+        # boundary) and, for process pools, the worker's metrics delta back.
+        job = (
+            function,
+            arguments,
+            telemetry.current_trace_id(),
+            telemetry.current_span_id(),
+            self.workers >= 1,
+        )
         loop = asyncio.get_running_loop()
         for attempt in (0, 1):
             executor = self._ensure_executor()
@@ -472,6 +478,7 @@ class EvaluationServer:
         self.registry.set_gauge("max_queue", self.max_queue)
         self.registry.set_gauge("request_timeout_ms", self.request_timeout_ms)
         self.registry.set_gauge("cache_dir", self.cache_dir)
+        telemetry.set_process_gauges(self.registry)
         return merge_snapshots(
             self.registry.snapshot(),
             telemetry.global_registry().snapshot(),
@@ -682,7 +689,21 @@ class EvaluationServer:
                     "view": {},
                 }, {}
             if path == "/metrics":
-                wanted = parse_qs(query).get("format", ["json"])[-1]
+                params = parse_qs(query)
+                wanted = params.get("format", ["json"])[-1]
+                scope = params.get("scope", ["local"])[-1]
+                if scope != "local":
+                    return (
+                        400,
+                        {
+                            "error": (
+                                f"unknown metrics scope {scope!r}; shards serve "
+                                "'local' only -- routers serve scope=fleet"
+                            ),
+                            "code": "bad_request",
+                        },
+                        {},
+                    )
                 if wanted == "prom":
                     return 200, self._serve_metrics_prometheus(), {}
                 if wanted != "json":
@@ -750,12 +771,16 @@ class EvaluationServer:
                 # sent one (x-repro-trace-id), so multi-hop callers
                 # correlate; echoed on the response either way.
                 trace_id = headers.get("x-repro-trace-id") or telemetry.new_trace_id()
+                # A router forwards its enclosing span id so this request's
+                # root span nests under it in the stitched fleet trace.
+                parent_span = headers.get("x-repro-parent-span") or None
                 trace_token = telemetry.set_trace_id(trace_id)
                 handled_from = time.perf_counter()
                 try:
                     with telemetry.span(
                         "server.request",
                         trace_id=trace_id,
+                        parent_id=parent_span,
                         path=request.path,
                         verb=request.verb,
                     ) as request_span:
@@ -766,7 +791,7 @@ class EvaluationServer:
                 finally:
                     trace_token.var.reset(trace_token)
                 elapsed = time.perf_counter() - handled_from
-                self.registry.observe("request_seconds", elapsed)
+                self.registry.observe("request_seconds", elapsed, trace_id=trace_id)
                 if (
                     self.slow_request_ms is not None
                     and elapsed * 1000.0 > self.slow_request_ms

@@ -39,13 +39,17 @@ __all__ = ["evaluate_batch_endpoint", "evaluate_group", "evaluate_single", "run_
 def run_job(arguments: tuple) -> tuple:
     """Run one pool job under telemetry; the server's executor entry point.
 
-    ``arguments`` is ``(function, function_arguments, trace_id, collect)``.
-    The wrapper exists because neither trace context nor metrics cross the
-    executor boundary on their own (``run_in_executor`` does not propagate
-    contextvars, and a pool worker's registry lives in another process):
+    ``arguments`` is ``(function, function_arguments, trace_id, parent_span,
+    collect)`` (the PR-7 four-element form without ``parent_span`` is still
+    accepted).  The wrapper exists because neither trace context nor metrics
+    cross the executor boundary on their own (``run_in_executor`` does not
+    propagate contextvars, and a pool worker's registry lives in another
+    process):
 
-    * the request's trace id rides in explicitly and scopes a
-      ``worker.kernel`` span, so worker-side events land in the right trace;
+    * the request's trace id and enclosing span id ride in explicitly and
+      scope a ``worker.kernel`` span, so worker-side events land in the
+      right trace *and* nest under the server-side span that dispatched the
+      job in a stitched fleet trace;
     * with ``collect`` (process pools), the delta of this process's global
       metrics registry across the job rides back with the result, for the
       server to merge -- in thread mode the observations are already in the
@@ -55,15 +59,26 @@ def run_job(arguments: tuple) -> tuple:
     tuple is picklable (module-level function + plain data), so the same
     wrapper serves thread and process executors.
     """
-    function, function_arguments, trace_id, collect = arguments
+    if len(arguments) == 4:
+        function, function_arguments, trace_id, collect = arguments
+        parent_span = None
+    else:
+        function, function_arguments, trace_id, parent_span, collect = arguments
     registry = telemetry.global_registry()
     before = registry.snapshot() if collect else None
     start = time.perf_counter()
     try:
-        with telemetry.span("worker.kernel", trace_id=trace_id, job=function.__name__):
+        with telemetry.span(
+            "worker.kernel",
+            trace_id=trace_id,
+            parent_id=parent_span,
+            job=function.__name__,
+        ):
             result = function(function_arguments)
     finally:
-        registry.observe("kernel_seconds", time.perf_counter() - start)
+        registry.observe(
+            "kernel_seconds", time.perf_counter() - start, trace_id=trace_id
+        )
     delta = subtract_snapshots(registry.snapshot(), before) if collect else None
     return result, delta
 

@@ -25,6 +25,10 @@ pool worker, deltas of this registry are what travel back to the parent.
 
 from __future__ import annotations
 
+import os
+import platform
+import time
+
 from repro.telemetry.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
@@ -38,6 +42,7 @@ from repro.telemetry.metrics import (
 from repro.telemetry.tracing import (
     Span,
     configure,
+    current_span_id,
     current_trace_id,
     disable,
     enabled,
@@ -52,6 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "configure",
+    "current_span_id",
     "current_trace_id",
     "disable",
     "enabled",
@@ -64,6 +70,7 @@ __all__ = [
     "record",
     "render_prometheus",
     "reset_global_registry",
+    "set_process_gauges",
     "set_trace_id",
     "span",
     "subtract_snapshots",
@@ -86,3 +93,50 @@ def reset_global_registry() -> MetricsRegistry:
     global _global_registry
     _global_registry = MetricsRegistry()
     return _global_registry
+
+
+#: Stamped at import: how long *this process* has been alive, as opposed to
+#: the server/router ``uptime_seconds`` gauge which measures serving time.
+_PROCESS_START = time.time()
+
+
+def _rss_bytes() -> int | None:
+    """Resident set size, best effort: /proc (exact) then getrusage (peak)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as stream:
+            return int(stream.read().split()[1]) * (os.sysconf("SC_PAGESIZE"))
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return usage * 1024 if platform.system() == "Linux" else usage
+    except Exception:
+        return None
+
+
+def set_process_gauges(registry: MetricsRegistry) -> None:
+    """Refresh the build/process gauges every registry exposes.
+
+    Called on each ``/metrics`` render, so fleet views can spot a leaking
+    shard (``process_rss_bytes``), a spinning one (``process_cpu_seconds``)
+    or a silently restarted one (``process_uptime_seconds`` snapping back
+    to zero).  ``build_info`` follows the Prometheus idiom of a constant
+    ``1`` sample; the version/python strings ride as non-numeric gauges,
+    visible in the JSON scope and skipped by the text exposition.
+    """
+    from repro import __version__
+
+    rss = _rss_bytes()
+    if rss is not None:
+        registry.set_gauge("process_rss_bytes", rss)
+    times = os.times()
+    registry.set_gauge("process_cpu_seconds", round(times.user + times.system, 3))
+    registry.set_gauge(
+        "process_uptime_seconds", round(time.time() - _PROCESS_START, 3)
+    )
+    registry.set_gauge("build_info", 1)
+    registry.set_gauge("build_version", __version__)
+    registry.set_gauge("build_python", platform.python_version())

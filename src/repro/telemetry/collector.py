@@ -1,0 +1,326 @@
+"""Cross-process trace collection: a span shipper and its collector sink.
+
+PR 7's tracing writes JSONL files -- one per process, stitched by hand.  In
+a fleet (N shards x W workers behind R routers) that means dozens of files
+on as many hosts, so this module moves trace events over the wire instead:
+
+* :class:`SpanShipper` -- a :func:`repro.telemetry.tracing.configure` sink
+  installed on shards and pool workers.  ``shipper(event)`` appends to a
+  **bounded queue and returns immediately**: the request path never blocks
+  on trace shipping, and when the queue is full the event is *dropped and
+  counted* (``spans_dropped``), never queued unboundedly.  A daemon thread
+  drains the queue in batches and POSTs them to a collector; successful
+  shipments count into ``spans_shipped``, failed batches into
+  ``spans_dropped`` -- the two counters are the loss accounting the smoke
+  run asserts on (``shipped + dropped == emitted``, ``dropped == 0``).
+* :class:`TraceCollector` -- the receiving side, owned by routers behind
+  ``POST /v1/traces``: validates each event, keeps a bounded in-memory ring
+  and optionally appends to a JSONL file, which then feeds
+  ``repro trace summarize`` exactly like a local trace file -- except it
+  holds the *whole* router->shard->worker tree for each routed request.
+
+Workers join automatically: :func:`configure_shipping` exports the
+collector endpoint to ``REPRO_TRACE_COLLECTOR``, and
+``tracing._load_env`` arms a fresh shipper in every pool worker process.
+
+Everything here is stdlib (``http.client`` for the POSTs) and touches no
+seeded RNG stream, preserving the determinism contract.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+from collections import deque
+from typing import Callable, Iterable
+from urllib.parse import urlsplit
+
+from repro.telemetry.tracing import ENV_VAR, configure
+
+__all__ = [
+    "ENV_COLLECTOR",
+    "SpanShipper",
+    "TraceCollector",
+    "configure_shipping",
+    "split_endpoint",
+]
+
+#: Environment variable carrying the collector ``host:port`` to spawned
+#: worker processes (the shipping analogue of ``REPRO_TRACE_FILE``).
+ENV_COLLECTOR = "REPRO_TRACE_COLLECTOR"
+
+#: Keys an event must carry to be accepted by a collector: the minimum for
+#: ``repro trace summarize`` to place it in a tree.
+_REQUIRED_KEYS = ("name", "trace", "span", "dur_ms")
+
+
+def split_endpoint(endpoint: str) -> tuple[str, int]:
+    """``host:port`` (scheme optional) -> ``(host, port)``."""
+    if "//" not in endpoint:
+        endpoint = f"http://{endpoint}"
+    parts = urlsplit(endpoint)
+    if not parts.hostname or not parts.port:
+        raise ValueError(f"collector endpoint needs host:port, got {endpoint!r}")
+    return parts.hostname, parts.port
+
+
+def _global_registry():
+    # Lazy: repro.telemetry may still be mid-import when tracing._load_env
+    # pulls this module in a worker process.
+    from repro import telemetry
+
+    return telemetry.global_registry()
+
+
+class SpanShipper:
+    """A tracing sink that batches span events to a collector endpoint.
+
+    The calling contract is the writer protocol of
+    :func:`repro.telemetry.tracing.configure`: ``shipper(event)`` must be
+    cheap and non-blocking.  It takes one lock, appends (or drops) and
+    returns; all I/O happens on a daemon thread that wakes every
+    ``flush_interval`` seconds or as soon as a full batch is queued.
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        *,
+        capacity: int = 4096,
+        batch_size: int = 256,
+        flush_interval: float = 0.25,
+        timeout: float = 5.0,
+        registry=None,
+        transport: Callable[[list], bool] | None = None,
+    ) -> None:
+        if capacity <= 0 or batch_size <= 0:
+            raise ValueError("capacity and batch_size must be positive")
+        self.endpoint = endpoint
+        self.host, self.port = split_endpoint(endpoint)
+        self.capacity = int(capacity)
+        self.batch_size = int(batch_size)
+        self.flush_interval = float(flush_interval)
+        self.timeout = float(timeout)
+        self._registry = registry
+        self._transport = transport if transport is not None else self._post
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------ #
+    # The hot path: called by tracing._emit for every finished span
+    # ------------------------------------------------------------------ #
+    def __call__(self, event: dict) -> None:
+        with self._lock:
+            if len(self._queue) >= self.capacity:
+                self._count("spans_dropped")
+                return
+            self._queue.append(event)
+            depth = len(self._queue)
+        if self._thread is None:
+            self._ensure_thread()
+        if depth >= self.batch_size:
+            self._wake.set()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        registry = self._registry if self._registry is not None else _global_registry()
+        registry.inc(name, amount)
+
+    def _ensure_thread(self) -> None:
+        # Lazily started so a shipper armed before a process-pool fork does
+        # not leave a dead thread handle in the children.
+        with self._lock:
+            if self._thread is not None or self._stop.is_set():
+                return
+            self._thread = threading.Thread(
+                target=self._run, name="repro-span-shipper", daemon=True
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # The drain side (daemon thread)
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self.flush_interval)
+            self._wake.clear()
+            self.flush()
+        self.flush()
+
+    def flush(self) -> int:
+        """Ship everything queued right now; returns the number shipped."""
+        shipped = 0
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return shipped
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(self.batch_size, len(self._queue)))
+                ]
+            try:
+                delivered = bool(self._transport(batch))
+            except Exception:
+                delivered = False
+            if not delivered:
+                # A torn keep-alive socket (the collector closes idle
+                # connections between batches) fails exactly once and
+                # succeeds on the fresh connection: one retry separates
+                # that from a genuinely dead collector.
+                try:
+                    delivered = bool(self._transport(batch))
+                except Exception:
+                    delivered = False
+            if delivered:
+                self._count("spans_shipped", len(batch))
+                shipped += len(batch)
+            else:
+                # A dead collector degrades to counted loss, never blocking
+                # or unbounded growth; the next batch retries the socket.
+                self._count("spans_dropped", len(batch))
+                self._drop_connection()
+        return shipped
+
+    def _post(self, batch: list) -> bool:
+        body = json.dumps({"events": batch}, separators=(",", ":")).encode("utf-8")
+        connection = self._connection
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._connection = connection
+        try:
+            connection.request(
+                "POST",
+                "/v1/traces",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            response.read()
+        except (OSError, http.client.HTTPException):
+            self._drop_connection()
+            raise
+        return 200 <= response.status < 300
+
+    def _drop_connection(self) -> None:
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the drain thread after a final flush (idempotent)."""
+        self._stop.set()
+        self._wake.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
+        else:
+            self.flush()
+        self._drop_connection()
+
+
+class TraceCollector:
+    """The receiving side of span shipping (``POST /v1/traces``).
+
+    Keeps the most recent ``capacity`` events in memory (a deque ring: old
+    events age out, ingestion never fails for space) and, when ``path`` is
+    given, appends every accepted event to a JSONL file with the exact
+    on-disk schema of ``REPRO_TRACE_FILE`` -- so the collector file drops
+    straight into ``repro trace summarize``.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=int(capacity))
+        self.path = os.fspath(path) if path is not None else None
+        self._stream = open(self.path, "a", encoding="utf-8") if self.path else None
+        self.batches = 0
+        self.received = 0
+        self.rejected = 0
+
+    def ingest(self, payload) -> tuple[int, int]:
+        """Accept a shipped payload; returns ``(accepted, rejected)``.
+
+        The payload is ``{"events": [...]}`` (a bare list also works).
+        Events missing the summarize-critical keys are rejected and
+        counted, not fatal: one malformed event must not sink its batch.
+        """
+        if isinstance(payload, dict):
+            events = payload.get("events")
+        else:
+            events = payload
+        if not isinstance(events, list):
+            raise ValueError("trace payload must be a list or {'events': [...]}")
+        accepted: list[dict] = []
+        rejected = 0
+        for event in events:
+            if isinstance(event, dict) and all(key in event for key in _REQUIRED_KEYS):
+                accepted.append(event)
+            else:
+                rejected += 1
+        with self._lock:
+            self.batches += 1
+            self.received += len(accepted)
+            self.rejected += rejected
+            self._events.extend(accepted)
+            if self._stream is not None and accepted:
+                for event in accepted:
+                    self._stream.write(
+                        json.dumps(event, separators=(",", ":")) + "\n"
+                    )
+                self._stream.flush()
+        return len(accepted), rejected
+
+    def events(self) -> list[dict]:
+        """A copy of the in-memory ring, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "received": self.received,
+                "rejected": self.rejected,
+                "buffered": len(self._events),
+                "path": self.path,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None:
+                try:
+                    self._stream.close()
+                except OSError:
+                    pass
+                self._stream = None
+
+
+def configure_shipping(
+    endpoint: str, *, export_env: bool = True, **options
+) -> SpanShipper:
+    """Arm tracing with a :class:`SpanShipper` posting to ``endpoint``.
+
+    The shipping analogue of ``telemetry.configure(trace_file=...)``:
+    ``export_env=True`` mirrors the endpoint into ``REPRO_TRACE_COLLECTOR``
+    so worker processes spawned from now on ship to the same collector
+    (each arming its own shipper via ``tracing._load_env``).
+    """
+    shipper = SpanShipper(endpoint, **options)
+    configure(sink=shipper)
+    if export_env:
+        os.environ[ENV_COLLECTOR] = endpoint
+        # A stale file path would win over the collector in _load_env.
+        os.environ.pop(ENV_VAR, None)
+    return shipper

@@ -12,7 +12,9 @@ renders the classic text exposition format via :func:`render_prometheus`):
 * :class:`Gauge` -- a point-in-time value (queue depth, in-flight requests),
   with a ``set_max`` high-water-mark helper;
 * :class:`Histogram` -- observations bucketed by **fixed upper bounds**, plus
-  running count/sum/min/max.  Fixed buckets make histograms *merge-able*:
+  running count/sum/min/max and an optional *exemplar* (the trace id of the
+  slowest traced observation, so a bad p99 links straight to a stitched
+  trace).  Fixed buckets make histograms *merge-able*:
   adding two registries' bucket counts is exact, which is how
   ``ProcessPoolExecutor`` workers report their kernel timings back with
   their job results (snapshot before, snapshot after, ship the
@@ -82,7 +84,9 @@ class Histogram:
     ``len(buckets) + 1`` entries (the last is the overflow bucket).
     """
 
-    __slots__ = ("name", "help", "buckets", "counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "name", "help", "buckets", "counts", "count", "sum", "min", "max", "exemplar",
+    )
 
     def __init__(
         self,
@@ -103,8 +107,10 @@ class Histogram:
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        #: Trace id + value of the slowest *traced* observation, or None.
+        self.exemplar: dict | None = None
 
-    def _observe(self, value: float) -> None:
+    def _observe(self, value: float, trace_id: str | None = None) -> None:
         value = float(value)
         index = _bucket_index(self.buckets, value)
         self.counts[index] += 1
@@ -114,6 +120,10 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if trace_id is not None and (
+            self.exemplar is None or value >= self.exemplar["value"]
+        ):
+            self.exemplar = {"trace": trace_id, "value": value}
 
     def snapshot(self) -> dict:
         return {
@@ -123,6 +133,7 @@ class Histogram:
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
+            "exemplar": dict(self.exemplar) if self.exemplar else None,
         }
 
 
@@ -256,10 +267,10 @@ class MetricsRegistry:
             if value > instrument.value:
                 instrument.value = value
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, trace_id: str | None = None) -> None:
         instrument = self._histograms.get(name) or self.histogram(name)
         with self._lock:
-            instrument._observe(value)
+            instrument._observe(value, trace_id)
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -331,6 +342,12 @@ class MetricsRegistry:
                             edge,
                             incoming if current is None else better(current, incoming),
                         )
+                exemplar = data.get("exemplar")
+                if exemplar is not None and (
+                    instrument.exemplar is None
+                    or exemplar["value"] >= instrument.exemplar["value"]
+                ):
+                    instrument.exemplar = dict(exemplar)
 
 
 def merge_snapshots(*snapshots: Mapping[str, Any]) -> dict:
@@ -374,6 +391,12 @@ def subtract_snapshots(after: Mapping[str, Any], before: Mapping[str, Any]) -> d
             "sum": data["sum"] - previous["sum"],
             "min": None,
             "max": None,
+            # The exemplar rides the delta only when the window changed it.
+            "exemplar": (
+                data.get("exemplar")
+                if data.get("exemplar") != previous.get("exemplar")
+                else None
+            ),
         }
     return delta
 
@@ -382,6 +405,7 @@ def histogram_summary(snapshot: Mapping[str, Any]) -> dict:
     """A histogram snapshot with derived p50/p95/p99 attached (for JSON)."""
     return {
         **{key: snapshot[key] for key in ("buckets", "counts", "count", "sum", "min", "max")},
+        "exemplar": snapshot.get("exemplar"),
         "p50": histogram_quantile(snapshot, 0.50),
         "p95": histogram_quantile(snapshot, 0.95),
         "p99": histogram_quantile(snapshot, 0.99),
@@ -435,9 +459,12 @@ def render_prometheus(snapshot: Mapping[str, Any], prefix: str = "repro_") -> st
 def parse_prometheus(text: str, prefix: str = "repro_") -> dict:
     """Parse :func:`render_prometheus` output back into a snapshot-like dict.
 
-    Supports exactly the subset this module emits (no labels other than
-    ``le``); exists so tests can pin a lossless round trip, and so the CI
-    smoke job can sanity-check a scrape without a Prometheus server.
+    Supports the subset this module emits: the only *structural* label is
+    ``le`` (histogram buckets); any other labelled sample -- e.g. the
+    per-shard series a fleet scope adds -- is preserved verbatim under a
+    ``"labeled"`` key instead of being mistaken for a bucket.  Exists so
+    tests can pin a lossless round trip, and so the CI smoke job can
+    sanity-check a scrape without a Prometheus server.
     """
     snapshot: dict = {"counters": {}, "gauges": {}, "histograms": {}}
     types: dict[str, str] = {}
@@ -456,7 +483,12 @@ def parse_prometheus(text: str, prefix: str = "repro_") -> dict:
         value = float(raw)
         if "{" in sample:
             metric, _, label = sample.partition("{")
-            base = metric[: metric.rindex("_bucket")] if metric.endswith("_bucket") else metric
+            if not (metric.endswith("_bucket") and label.startswith('le="')):
+                snapshot.setdefault("labeled", {})[sample] = (
+                    int(value) if value.is_integer() else value
+                )
+                continue
+            base = metric[: metric.rindex("_bucket")]
             name = base[len(prefix):]
             entry = snapshot["histograms"].setdefault(
                 name, {"buckets": [], "cumulative": []}
@@ -487,4 +519,5 @@ def parse_prometheus(text: str, prefix: str = "repro_") -> dict:
         entry["counts"] = counts
         entry.setdefault("min", None)
         entry.setdefault("max", None)
+        entry.setdefault("exemplar", None)
     return snapshot

@@ -11,6 +11,18 @@ renders two views:
   ``server.request`` span, where its wall-clock went: queue wait,
   batch-window wait, worker kernel time, cache probes and writes.
 
+Since the observability plane ships spans across processes, one capture
+(or several -- :func:`summarize_files` concatenates router, shard and
+collector files before analysis) can hold the *whole* fleet-side story of
+a routed request.  When a trace carries a ``router.request`` root, that
+root becomes the request's wall clock and the breakdown gains **per-hop**
+columns: time inside the router (``router_ms``), inside the shard server
+(``shard_ms``), inside the worker kernel (``kernel_ms``), and the residual
+between consecutive hops (``network_ms`` -- wire time plus anything not
+spanned).  :func:`build_trace_tree` reassembles the parent-linked span
+tree for one trace, which the stitched-trace golden test walks
+router->shard->worker.
+
 Everything here is read-only analysis over plain dicts, shared by the
 ``repro trace summarize`` CLI and the tests.
 """
@@ -22,7 +34,14 @@ import os
 from collections import defaultdict
 from typing import Any, Iterable, Mapping
 
-__all__ = ["format_summary", "load_events", "summarize_events", "summarize_file"]
+__all__ = [
+    "build_trace_tree",
+    "format_summary",
+    "load_events",
+    "summarize_events",
+    "summarize_file",
+    "summarize_files",
+]
 
 #: Span names folded into the per-request breakdown columns.  Each column
 #: sums every matching span within the request's trace.
@@ -94,8 +113,11 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict:
         }
 
     requests = []
+    stitched = 0
     for trace, trace_events in by_trace.items():
-        roots = [event for event in trace_events if event["name"] == "server.request"]
+        router_roots = [e for e in trace_events if e["name"] == "router.request"]
+        server_roots = [e for e in trace_events if e["name"] == "server.request"]
+        roots = router_roots or server_roots
         if not roots:
             continue
         root = roots[0]
@@ -110,12 +132,25 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict:
             breakdown[column] = sum(
                 float(event["dur_ms"]) for event in trace_events if event["name"] in names
             )
+        # Per-hop columns: only meaningful once a trace crosses processes
+        # (router events stitched next to shard/worker events).
+        router_ms = sum(float(e["dur_ms"]) for e in router_roots)
+        shard_ms = sum(float(e["dur_ms"]) for e in server_roots)
+        breakdown["router_ms"] = router_ms
+        breakdown["shard_ms"] = shard_ms
+        if router_roots and server_roots:
+            stitched += 1
+            # Residual between hop envelopes: wire plus unspanned time.
+            breakdown["network_ms"] = max(0.0, router_ms - shard_ms)
+        else:
+            breakdown["network_ms"] = 0.0
         requests.append(breakdown)
     requests.sort(key=lambda entry: entry["dur_ms"], reverse=True)
 
     return {
         "events": len(events),
         "traces": len(by_trace),
+        "stitched": stitched,
         "spans": spans,
         "requests": requests,
     }
@@ -123,6 +158,49 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict:
 
 def summarize_file(path: str | os.PathLike) -> dict:
     return summarize_events(load_events(path))
+
+
+def summarize_files(paths: Iterable[str | os.PathLike]) -> dict:
+    """Stitch several captures (router + shards + collector) into one summary."""
+    events: list[dict] = []
+    for path in paths:
+        events.extend(load_events(path))
+    return summarize_events(events)
+
+
+def build_trace_tree(events: Iterable[Mapping[str, Any]], trace: str) -> list[dict]:
+    """The parent-linked span tree of one trace, roots first.
+
+    Events whose ``parent`` is absent from the capture become roots (their
+    parent finished in an uncaptured process), so a partially shipped trace
+    still renders as a forest instead of vanishing.  Children are ordered
+    by timestamp; each node carries ``name``/``span``/``dur_ms``/``pid``
+    and its nested ``children``.
+    """
+    trace_events = sorted(
+        (e for e in events if e.get("trace") == trace and e.get("span")),
+        key=lambda e: e.get("ts", 0.0),
+    )
+    nodes = {
+        e["span"]: {
+            "name": e.get("name"),
+            "span": e["span"],
+            "parent": e.get("parent"),
+            "dur_ms": float(e.get("dur_ms", 0.0)),
+            "pid": e.get("pid"),
+            "attrs": e.get("attrs") or {},
+            "children": [],
+        }
+        for e in trace_events
+    }
+    roots = []
+    for node in nodes.values():
+        parent = node["parent"]
+        if parent is not None and parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
 
 
 def _row(columns: Iterable[Any], widths: Iterable[int]) -> str:
@@ -135,7 +213,10 @@ def _row(columns: Iterable[Any], widths: Iterable[int]) -> str:
 
 def format_summary(summary: Mapping[str, Any], *, top: int = 10) -> str:
     """Render a summary as the ``repro trace summarize`` report text."""
-    lines = [f"events: {summary['events']}    traces: {summary['traces']}", ""]
+    header_line = f"events: {summary['events']}    traces: {summary['traces']}"
+    if summary.get("stitched"):
+        header_line += f"    stitched: {summary['stitched']}"
+    lines = [header_line, ""]
     spans = summary["spans"]
     if spans:
         header = ("span", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
@@ -162,26 +243,36 @@ def format_summary(summary: Mapping[str, Any], *, top: int = 10) -> str:
     if requests:
         lines.append("")
         lines.append(f"slowest requests (top {min(top, len(requests))} of {len(requests)}):")
+        stitched = bool(summary.get("stitched"))
         header = (
             "trace", "dur_ms", "queue_wait_ms", "window_wait_ms", "kernel_ms",
-            "cache_ms", "status", "path",
+            "cache_ms",
         )
-        widths = (16, 9, 13, 14, 9, 9, 6, 24)
+        widths: tuple[int, ...] = (16, 9, 13, 14, 9, 9)
+        if stitched:
+            header += ("router_ms", "shard_ms", "network_ms")
+            widths += (10, 9, 11)
+        header += ("status", "path")
+        widths += (6, 24)
         lines.append(_row(header, widths))
         for entry in requests[:top]:
-            lines.append(
-                _row(
-                    (
-                        entry["trace"],
-                        entry["dur_ms"],
-                        entry["queue_wait_ms"],
-                        entry["window_wait_ms"],
-                        entry["kernel_ms"],
-                        entry["cache_ms"],
-                        "" if entry["status"] is None else entry["status"],
-                        entry["path"] or "",
-                    ),
-                    widths,
-                )
-            )
+            columns = [
+                entry["trace"],
+                entry["dur_ms"],
+                entry["queue_wait_ms"],
+                entry["window_wait_ms"],
+                entry["kernel_ms"],
+                entry["cache_ms"],
+            ]
+            if stitched:
+                columns += [
+                    entry.get("router_ms", 0.0),
+                    entry.get("shard_ms", 0.0),
+                    entry.get("network_ms", 0.0),
+                ]
+            columns += [
+                "" if entry["status"] is None else entry["status"],
+                entry["path"] or "",
+            ]
+            lines.append(_row(columns, widths))
     return "\n".join(lines)

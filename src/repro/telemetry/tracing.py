@@ -54,6 +54,7 @@ from typing import Any, Callable, TextIO
 __all__ = [
     "Span",
     "configure",
+    "current_span_id",
     "current_trace_id",
     "disable",
     "enabled",
@@ -88,6 +89,17 @@ def current_trace_id() -> str | None:
     return _trace_id.get()
 
 
+def current_span_id() -> str | None:
+    """The enclosing span id of the current context, if any.
+
+    This is what crosses process/network hops: a router forwards it in the
+    ``x-repro-parent-span`` header (and the server passes it into worker
+    jobs) so the receiving side can parent its root span explicitly,
+    stitching one routed request into a single tree.
+    """
+    return _span_id.get()
+
+
 def set_trace_id(trace_id: str | None) -> contextvars.Token:
     """Bind the current context to ``trace_id``; returns the reset token."""
     return _trace_id.set(trace_id)
@@ -118,9 +130,18 @@ _NOOP = _NoopSpan()
 class Span:
     """One live timed section; created by :func:`span` when tracing is on."""
 
-    __slots__ = ("name", "attrs", "trace", "span_id", "_start", "_parent_token", "_trace_token")
+    __slots__ = (
+        "name", "attrs", "trace", "span_id", "_start",
+        "_parent_token", "_trace_token", "_parent_override",
+    )
 
-    def __init__(self, name: str, trace: str | None, attrs: dict) -> None:
+    def __init__(
+        self,
+        name: str,
+        trace: str | None,
+        attrs: dict,
+        parent: str | None = None,
+    ) -> None:
         self.name = name
         self.attrs = attrs
         self.trace = trace if trace is not None else (_trace_id.get() or new_trace_id())
@@ -128,6 +149,7 @@ class Span:
         self._start = 0.0
         self._parent_token: contextvars.Token | None = None
         self._trace_token: contextvars.Token | None = None
+        self._parent_override = parent
 
     def __enter__(self) -> "Span":
         # Bind this span as the context's parent for anything opened inside
@@ -145,11 +167,14 @@ class Span:
             _trace_id.reset(self._trace_token)
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
+        parent = self._parent_override
+        if parent is None:
+            parent = _span_id.get()
         _emit(
             name=self.name,
             trace=self.trace,
             span_id=self.span_id,
-            parent=_span_id.get(),
+            parent=parent,
             duration_seconds=duration,
             attrs=self.attrs,
         )
@@ -159,15 +184,18 @@ class Span:
         self.attrs.update(attrs)
 
 
-def span(name: str, *, trace_id: str | None = None, **attrs):
+def span(name: str, *, trace_id: str | None = None, parent_id: str | None = None, **attrs):
     """Open a named span; a shared no-op when tracing is disabled.
 
     ``trace_id`` overrides the context's trace id (the explicit-propagation
-    path for worker jobs); attributes land in the event's ``attrs``.
+    path for worker jobs); ``parent_id`` overrides the context's enclosing
+    span (the explicit-propagation path for cross-process hops -- a span id
+    carried by a header or a job envelope); attributes land in the event's
+    ``attrs``.
     """
     if _writer is None:
         return _NOOP
-    return Span(name, trace_id, attrs)
+    return Span(name, trace_id, attrs, parent=parent_id)
 
 
 def record(
@@ -239,6 +267,7 @@ def configure(
         raise ValueError("configure() needs exactly one of trace_file and sink")
     with _lock:
         _close_stream_locked()
+        _close_writer_locked()
         if sink is not None:
             _writer = sink
             return
@@ -256,13 +285,15 @@ def configure(
 
 
 def disable(*, export_env: bool = True) -> None:
-    """Disable tracing and (by default) clear the exported env var."""
+    """Disable tracing and (by default) clear the exported env vars."""
     global _writer
     with _lock:
         _close_stream_locked()
+        _close_writer_locked()
         _writer = None
         if export_env:
             os.environ.pop(ENV_VAR, None)
+            os.environ.pop("REPRO_TRACE_COLLECTOR", None)
 
 
 def _close_stream_locked() -> None:
@@ -275,16 +306,43 @@ def _close_stream_locked() -> None:
         _stream = None
 
 
+def _close_writer_locked() -> None:
+    """Release a sink that owns resources (a span shipper's thread/socket)."""
+    global _writer
+    close = getattr(_writer, "close", None)
+    if callable(close):
+        try:
+            close()
+        except Exception:
+            pass
+    _writer = None
+
+
 def _load_env() -> None:
-    """Enable tracing from ``REPRO_TRACE_FILE`` (worker-process startup path)."""
+    """Enable tracing from the environment (worker-process startup path).
+
+    ``REPRO_TRACE_FILE`` wins when both are set (its semantics predate the
+    collector); otherwise ``REPRO_TRACE_COLLECTOR`` arms a span shipper
+    posting to that ``host:port`` -- this is how process-pool workers join
+    the fleet's trace collection without any plumbing through the pool.
+    """
     path = os.environ.get(ENV_VAR)
-    if not path:
+    if path:
+        try:
+            configure(path, export_env=False)
+        except OSError:
+            # An unwritable path in a worker degrades to no tracing there --
+            # unlike faults, lost telemetry cannot make a test vacuously pass.
+            pass
+        return
+    endpoint = os.environ.get("REPRO_TRACE_COLLECTOR")
+    if not endpoint:
         return
     try:
-        configure(path, export_env=False)
-    except OSError:
-        # An unwritable path in a worker degrades to no tracing there --
-        # unlike faults, lost telemetry cannot make a test vacuously pass.
+        from repro.telemetry.collector import configure_shipping
+
+        configure_shipping(endpoint, export_env=False)
+    except Exception:
         pass
 
 

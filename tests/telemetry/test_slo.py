@@ -1,0 +1,183 @@
+"""SLOs: burn-rate arithmetic, latency interpolation, windowing, gates, config."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.slo import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    SLOEngine,
+    evaluate_objectives,
+    gate,
+    load_objectives,
+    parse_objectives,
+)
+
+
+def _availability(target=0.999, **kw):
+    return Objective("avail", "availability", target, **kw)
+
+
+def _latency(target=0.99, threshold_ms=500.0, **kw):
+    return Objective("lat", "latency", target, threshold_ms=threshold_ms, **kw)
+
+
+def _snapshot(requests=0, errors=0, buckets=(), counts=(), count=0):
+    return {
+        "counters": {"requests_total": requests, "errors_total": errors},
+        "histograms": {
+            "request_seconds": {
+                "buckets": list(buckets),
+                "counts": list(counts),
+                "count": count,
+                "sum": 0.0,
+            }
+        },
+    }
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="availability|latency"):
+            Objective("x", "throughput", 0.9)
+        with pytest.raises(ValueError, match="target"):
+            Objective("x", "availability", 1.0)
+        with pytest.raises(ValueError, match="threshold_ms"):
+            Objective("x", "latency", 0.99)
+        with pytest.raises(ValueError, match="window_seconds"):
+            Objective("x", "availability", 0.99, window_seconds=0.0)
+
+    def test_budget_and_describe(self):
+        objective = _latency(0.99, threshold_ms=250.0)
+        assert objective.budget == pytest.approx(0.01)
+        description = objective.describe()
+        assert description["threshold_ms"] == 250.0
+        assert description["window_seconds"] == 300.0
+
+
+class TestBurnMath:
+    def test_availability_burn_rate_is_bad_fraction_over_budget(self):
+        # 1 error in 1000 against three nines: exactly on budget.
+        [row] = evaluate_objectives([_availability(0.999)], _snapshot(1000, 1))
+        assert row["burn_rate"] == 1.0
+        assert row["met"] is True
+        assert row["compliance"] == 0.999
+
+        [row] = evaluate_objectives([_availability(0.999)], _snapshot(1000, 10))
+        assert row["burn_rate"] == 10.0
+        assert row["met"] is False
+
+    def test_latency_overflow_bucket_counts_as_bad(self):
+        # 20 at/under 500 ms, 5 in (0.5, 1], 5 beyond the last bound.
+        snapshot = _snapshot(buckets=(0.25, 0.5, 1.0), counts=(10, 10, 5), count=30)
+        [row] = evaluate_objectives([_latency(0.99, threshold_ms=500.0)], snapshot)
+        assert row["bad"] == 10.0
+        assert row["compliance"] == pytest.approx(2.0 / 3.0)
+        assert row["burn_rate"] == pytest.approx((10.0 / 30.0) / 0.01)
+
+    def test_latency_threshold_interpolates_inside_its_bucket(self):
+        # threshold 750 ms sits halfway through the (0.5, 1.0] bucket:
+        # credit half its 5 observations, same arithmetic as
+        # histogram_quantile.
+        snapshot = _snapshot(buckets=(0.25, 0.5, 1.0), counts=(10, 10, 5), count=25)
+        [row] = evaluate_objectives([_latency(0.9, threshold_ms=750.0)], snapshot)
+        assert row["bad"] == pytest.approx(2.5)
+
+    def test_empty_snapshot_is_vacuously_met_with_zero_burn(self):
+        rows = evaluate_objectives(DEFAULT_OBJECTIVES, _snapshot())
+        for row in rows:
+            assert row["met"] is True
+            assert row["burn_rate"] == 0.0
+            assert row["compliance"] is None
+
+    def test_budget_consumed_scales_with_window_fraction(self):
+        # Burning at exactly rate 1.0 for a tenth of the objective window
+        # consumes a tenth of the budget.
+        [row] = evaluate_objectives(
+            [_availability(0.999, window_seconds=300.0)],
+            _snapshot(1000, 1),
+            window_seconds=30.0,
+        )
+        assert row["burn_rate"] == 1.0
+        assert row["budget_consumed"] == pytest.approx(0.1)
+        assert row["budget_remaining"] == pytest.approx(0.9)
+        assert row["window_seconds"] == 30.0
+
+
+class TestGate:
+    def test_gate_passes_within_allowance_and_reports_violations(self):
+        rows = evaluate_objectives(
+            [_availability(0.999)], _snapshot(1000, 3)
+        )  # burn 3.0
+        assert gate(rows, max_burn_rate=5.0)["passed"] is True
+        verdict = gate(rows, max_burn_rate=2.0)
+        assert verdict["passed"] is False
+        [violation] = verdict["violations"]
+        assert violation["name"] == "avail"
+        assert violation["burn_rate"] == 3.0
+
+
+class TestParseObjectives:
+    def test_list_and_wrapper_forms(self, tmp_path):
+        data = [
+            {"name": "a", "kind": "availability", "target": 0.99},
+            {"kind": "latency", "target": 0.95, "threshold_ms": 100.0},
+        ]
+        objectives = parse_objectives({"objectives": data})
+        assert [objective.name for objective in objectives] == ["a", "latency"]
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(data))
+        assert len(load_objectives(path)) == 2
+
+    def test_unknown_fields_and_empty_configs_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective fields"):
+            parse_objectives([{"kind": "availability", "budget": 0.1}])
+        with pytest.raises(ValueError, match="non-empty"):
+            parse_objectives([])
+        with pytest.raises(ValueError, match="objects"):
+            parse_objectives(["availability"])
+
+
+class TestSLOEngine:
+    def test_windowed_rows_difference_cumulative_counters(self):
+        clock = {"now": 0.0}
+        engine = SLOEngine([_availability(0.999, window_seconds=100.0)], clock=lambda: clock["now"])
+        engine.observe(_snapshot(1000, 0))
+        clock["now"] = 50.0
+        engine.observe(_snapshot(2000, 1))
+        report = engine.report()
+        [row] = report["objectives"]
+        # Cumulative: 1 bad of 2000.  Windowed: the last 50 s saw 1000
+        # requests and 1 error -- exactly on budget.
+        assert row["cumulative"]["bad"] == 1.0
+        assert row["cumulative"]["total"] == 2000.0
+        assert row["window"]["total"] == 1000.0
+        assert row["window"]["burn_rate"] == 1.0
+        assert row["window"]["window_seconds"] == 50.0
+        assert report["samples"] == 2
+
+    def test_samples_outside_the_window_are_ignored(self):
+        clock = {"now": 0.0}
+        engine = SLOEngine([_availability(0.999, window_seconds=100.0)], clock=lambda: clock["now"])
+        engine.observe(_snapshot(1000, 5))  # ancient burn
+        clock["now"] = 500.0
+        engine.observe(_snapshot(5000, 5))
+        clock["now"] = 550.0
+        engine.observe(_snapshot(6000, 5))
+        [row] = engine.report()["objectives"]
+        # The window baseline is the t=500 sample: no *new* errors since.
+        assert row["window"]["bad"] == 0.0
+        assert row["window"]["total"] == 1000.0
+
+    def test_empty_engine_reports_no_data_shape(self):
+        report = SLOEngine().report()
+        assert report["samples"] == 0
+        for row in report["objectives"]:
+            assert row["cumulative"] is None
+            assert row["window"] is None
+
+    def test_no_objectives_falls_back_to_the_stock_set(self):
+        assert SLOEngine(()).objectives == DEFAULT_OBJECTIVES

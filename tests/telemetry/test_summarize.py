@@ -7,10 +7,12 @@ import json
 import pytest
 
 from repro.telemetry.summarize import (
+    build_trace_tree,
     format_summary,
     load_events,
     summarize_events,
     summarize_file,
+    summarize_files,
 )
 
 
@@ -128,3 +130,86 @@ class TestFormatSummary:
     def test_empty_capture_renders_without_tables(self):
         text = format_summary(summarize_events([]))
         assert "events: 0" in text
+
+
+def _stitched_events(trace="fleet1"):
+    """One routed request as three processes would capture it: the router's
+    envelope, the shard's server.request parented under it, and the worker
+    kernel parented under that."""
+    return [
+        _event(
+            "router.request", trace, 30.0,
+            attrs={"path": "/v1/evaluate", "status": 200},
+            span="r1", parent=None, pid=10, ts=1.0,
+        ),
+        _event("server.request", trace, 20.0, span="s1", parent="r1", pid=20, ts=1.2),
+        _event("worker.kernel", trace, 12.0, span="w1", parent="s1", pid=30, ts=1.4),
+    ]
+
+
+class TestStitchedTraces:
+    def test_router_root_wins_and_per_hop_columns_appear(self):
+        summary = summarize_events(_stitched_events())
+        assert summary["stitched"] == 1
+        [request] = summary["requests"]
+        assert request["dur_ms"] == 30.0  # the router envelope is the wall clock
+        assert request["router_ms"] == 30.0
+        assert request["shard_ms"] == 20.0
+        assert request["network_ms"] == 10.0
+        assert request["kernel_ms"] == 12.0
+
+    def test_unstitched_capture_has_zero_network_residual(self):
+        events = [
+            _event("server.request", "t", 9.0, attrs={"path": "/x", "status": 200}),
+        ]
+        [request] = summarize_events(events)["requests"]
+        assert request["shard_ms"] == 9.0
+        assert request["router_ms"] == 0.0
+        assert request["network_ms"] == 0.0
+        assert summarize_events(events)["stitched"] == 0
+
+    def test_summarize_files_concatenates_captures(self, tmp_path):
+        events = _stitched_events()
+        router_file, collector_file = tmp_path / "r.jsonl", tmp_path / "c.jsonl"
+        router_file.write_text(json.dumps(events[0]) + "\n")
+        collector_file.write_text("".join(json.dumps(e) + "\n" for e in events[1:]))
+        summary = summarize_files([router_file, collector_file])
+        assert summary["stitched"] == 1
+        assert summary["requests"][0]["network_ms"] == 10.0
+
+    def test_stitched_report_gains_per_hop_columns(self):
+        text = format_summary(summarize_events(_stitched_events()))
+        assert "stitched: 1" in text
+        assert "router_ms" in text and "network_ms" in text
+        # An unstitched report keeps the PR-7 table exactly.
+        local = format_summary(
+            summarize_events(
+                [_event("server.request", "t", 5.0, attrs={"path": "/x", "status": 200})]
+            )
+        )
+        assert "router_ms" not in local
+
+
+class TestBuildTraceTree:
+    def test_parent_links_nest_across_pids(self):
+        roots = build_trace_tree(_stitched_events(), "fleet1")
+        [root] = roots
+        assert root["name"] == "router.request"
+        [server] = root["children"]
+        assert server["name"] == "server.request"
+        assert server["pid"] == 20
+        [kernel] = server["children"]
+        assert kernel["name"] == "worker.kernel"
+
+    def test_missing_parent_degrades_to_a_forest(self):
+        events = _stitched_events()
+        orphaned = [event for event in events if event["span"] != "r1"]
+        roots = build_trace_tree(orphaned, "fleet1")
+        [root] = roots  # server.request becomes the root; kernel stays nested
+        assert root["name"] == "server.request"
+        assert root["children"][0]["name"] == "worker.kernel"
+
+    def test_other_traces_are_excluded(self):
+        events = _stitched_events() + _stitched_events(trace="other")
+        roots = build_trace_tree(events, "fleet1")
+        assert len(roots) == 1
